@@ -1,0 +1,95 @@
+// E4 — Theorem 4: the AC(k) graph algorithm.
+//
+// Fig. 6-style layered instances, scaled in layer width and k. The
+// polynomial solver's growth stays tame while the oracle explodes with
+// the number of non-singleton blocks; the SAT fallback tracks the
+// polynomial solver but with a visible constant-factor gap.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Database AckDb(int k, int layer, uint64_t seed) {
+  AckInstanceOptions options;
+  options.k = k;
+  options.layer_size = layer;
+  options.s_tuples = layer * 2;
+  options.noise_edges = layer * 2;
+  options.seed = seed;
+  return RandomAckDatabase(options);
+}
+
+void BM_Thm4_AckSolver(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int layer = static_cast<int>(state.range(1));
+  Database db = AckDb(k, layer, 7);
+  Query q = corpus::Ack(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AckSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Thm4_AckSolver)
+    ->ArgsProduct({{2, 3, 4}, {2, 4, 8, 16}});
+
+void BM_Thm4_Oracle(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int layer = static_cast<int>(state.range(1));
+  Database db = AckDb(k, layer, 7);
+  if (db.RepairCount() > BigInt(1 << 22)) {
+    state.SkipWithError("repair count too large for the oracle");
+    return;
+  }
+  Query q = corpus::Ack(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Thm4_Oracle)->ArgsProduct({{3}, {2, 3, 4}});
+
+void BM_Thm4_Sat(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int layer = static_cast<int>(state.range(1));
+  Database db = AckDb(k, layer, 7);
+  Query q = corpus::Ack(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Thm4_Sat)->ArgsProduct({{3}, {2, 4, 8, 16}});
+
+void BM_Thm4_WitnessExtraction(benchmark::State& state) {
+  // Finding and assembling the falsifying repair (Fig. 7 artifacts).
+  int layer = static_cast<int>(state.range(0));
+  Database db = AckDb(3, layer, 11);
+  Query q = corpus::Ack(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AckSolver::FindFalsifyingRepair(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Thm4_WitnessExtraction)->DenseRange(2, 10, 2);
+
+void BM_Thm4_Fig6PaperInstance(benchmark::State& state) {
+  // The literal Fig. 6 database: certain = no, as Fig. 7 shows.
+  Database db = corpus::Fig6Database();
+  Query q = corpus::Ack(3);
+  bool certain = true;
+  for (auto _ : state) {
+    certain = *AckSolver::IsCertain(db, q);
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["certain"] = certain ? 1 : 0;
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Thm4_Fig6PaperInstance);
+
+}  // namespace

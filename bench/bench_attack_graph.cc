@@ -1,0 +1,103 @@
+// E2 — attack-graph computation and classification throughput.
+//
+// The paper notes the attack graph is computable in quadratic time in
+// |q|. This bench measures graph construction and full classification
+// on growing path queries, star queries, and cycle families, exposing
+// the polynomial scaling.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Query StarQuery(int n) {
+  // Hub H(x | y1..); spokes S_i(yi | zi).
+  Query q;
+  std::vector<Term> hub_terms{Term::Var("x")};
+  for (int i = 1; i <= n; ++i) {
+    hub_terms.push_back(Term::Var("y" + std::to_string(i)));
+  }
+  q.AddAtom(Atom(InternSymbol("H"), hub_terms, 1));
+  for (int i = 1; i <= n; ++i) {
+    q.AddAtom(Atom(InternSymbol("S" + std::to_string(i)),
+                   {Term::Var("y" + std::to_string(i)),
+                    Term::Var("z" + std::to_string(i))},
+                   1));
+  }
+  return q;
+}
+
+void BM_AttackGraph_Path(benchmark::State& state) {
+  Query q = corpus::PathQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttackGraph::Compute(q));
+  }
+  state.counters["atoms"] = q.size();
+}
+BENCHMARK(BM_AttackGraph_Path)->DenseRange(2, 14, 2);
+
+void BM_AttackGraph_Star(benchmark::State& state) {
+  Query q = StarQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttackGraph::Compute(q));
+  }
+  state.counters["atoms"] = q.size();
+}
+BENCHMARK(BM_AttackGraph_Star)->DenseRange(2, 12, 2);
+
+void BM_AttackGraph_Ack(benchmark::State& state) {
+  Query q = corpus::Ack(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttackGraph::Compute(q));
+  }
+  state.counters["atoms"] = q.size();
+}
+BENCHMARK(BM_AttackGraph_Ack)->DenseRange(2, 10, 2);
+
+void BM_Classify_Corpus(benchmark::State& state) {
+  auto corpus_queries = corpus::AllNamedQueries();
+  for (auto _ : state) {
+    for (const auto& [name, q] : corpus_queries) {
+      benchmark::DoNotOptimize(ClassifyQuery(q));
+    }
+  }
+  state.counters["queries"] = static_cast<double>(corpus_queries.size());
+}
+BENCHMARK(BM_Classify_Corpus);
+
+void BM_Classify_Fig4(benchmark::State& state) {
+  Query q = corpus::Fig4Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifyQuery(q));
+  }
+}
+BENCHMARK(BM_Classify_Fig4);
+
+void BM_Q1_ClosuresAndAttacks(benchmark::State& state) {
+  // Example 2/3/4 regenerated: the exact closures and the single strong
+  // attack, reported as counters.
+  Query q1 = corpus::Q1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttackGraph::Compute(q1));
+  }
+  Result<AttackGraph> g = AttackGraph::Compute(q1);
+  int strong = 0, weak = 0;
+  for (int i = 0; i < g->size(); ++i) {
+    for (int j = 0; j < g->size(); ++j) {
+      if (!g->Attacks(i, j)) continue;
+      if (g->IsStrongAttack(i, j)) ++strong;
+      else ++weak;
+    }
+  }
+  state.counters["attacks_weak"] = weak;
+  state.counters["attacks_strong"] = strong;  // Paper: exactly 1 (G->F).
+  state.counters["has_strong_cycle"] = g->HasStrongCycle() ? 1 : 0;
+}
+BENCHMARK(BM_Q1_ClosuresAndAttacks);
+
+}  // namespace

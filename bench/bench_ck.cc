@@ -1,0 +1,62 @@
+// E8 — Corollary 1: CERTAINTY(C(k)) in P, settling the Fuxman–Miller
+// question for k >= 3.
+//
+// Compares the specialized layered solver against the literal Lemma 9
+// reduction (which materializes S_k = D^k and pays |D|^k) and the SAT
+// fallback — the shape: specialized polynomial, Lemma 9 exponential in
+// k, both returning identical answers.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Database CkDb(int k, int layer, uint64_t seed) {
+  CkInstanceOptions options;
+  options.k = k;
+  options.layer_size = layer;
+  options.edges_per_vertex = 2;
+  options.seed = seed;
+  return RandomCkDatabase(options);
+}
+
+void BM_Ck_Specialized(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int layer = static_cast<int>(state.range(1));
+  Database db = CkDb(k, layer, 5);
+  Query q = corpus::Ck(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CkSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Ck_Specialized)->ArgsProduct({{2, 3, 4, 5}, {2, 4, 8}});
+
+void BM_Ck_Lemma9Reduction(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Database db = CkDb(k, 2, 5);
+  Query q = corpus::Ck(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CkSolver::IsCertainViaLemma9(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["adom"] = static_cast<double>(db.ActiveDomain().size());
+}
+BENCHMARK(BM_Ck_Lemma9Reduction)->DenseRange(2, 4, 1);
+
+void BM_Ck_Sat(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int layer = static_cast<int>(state.range(1));
+  Database db = CkDb(k, layer, 5);
+  Query q = corpus::Ck(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Ck_Sat)->ArgsProduct({{3}, {2, 4, 8}});
+
+}  // namespace

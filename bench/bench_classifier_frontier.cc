@@ -1,0 +1,58 @@
+// E11 — the frontier itself, as a synthesized "Table 1".
+//
+// The paper's contribution is a *classification*; this bench sweeps a
+// generated space of small acyclic self-join-free queries and reports
+// how the space splits across the classes {FO, P(Thm 3), P(AC(k)),
+// coNP-complete, OPEN}, plus the Theorem 6 cross-check (every safe
+// query must land in FO). Counters are the table cells.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+void BM_Frontier_Distribution(benchmark::State& state) {
+  int atoms = static_cast<int>(state.range(0));
+  int fo = 0, terminal = 0, ack = 0, conp = 0, open = 0, safe = 0,
+      safe_and_fo = 0;
+  int total = 0;
+  for (auto _ : state) {
+    fo = terminal = ack = conp = open = safe = safe_and_fo = total = 0;
+    for (uint64_t seed = 1; seed <= 400; ++seed) {
+      QueryGenOptions options;
+      options.seed = seed * 1000 + atoms;
+      options.num_atoms = atoms;
+      Query q = RandomAcyclicQuery(options);
+      Result<Classification> cls = ClassifyQuery(q);
+      if (!cls.ok()) continue;
+      ++total;
+      switch (cls->complexity) {
+        case ComplexityClass::kFirstOrder: ++fo; break;
+        case ComplexityClass::kPtimeTerminalCycles: ++terminal; break;
+        case ComplexityClass::kPtimeAck: ++ack; break;
+        case ComplexityClass::kPtimeCk: break;
+        case ComplexityClass::kConpComplete: ++conp; break;
+        case ComplexityClass::kOpenConjecturedPtime: ++open; break;
+      }
+      if (cls->safe) {
+        ++safe;
+        if (cls->fo_expressible) ++safe_and_fo;
+      }
+    }
+  }
+  state.counters["queries"] = total;
+  state.counters["fo"] = fo;
+  state.counters["p_terminal"] = terminal;
+  state.counters["p_ack"] = ack;
+  state.counters["conp_complete"] = conp;
+  state.counters["open"] = open;
+  state.counters["safe"] = safe;
+  // Theorem 6: safe => FO; this must equal `safe`.
+  state.counters["safe_and_fo"] = safe_and_fo;
+}
+BENCHMARK(BM_Frontier_Distribution)->DenseRange(2, 6, 1);
+
+}  // namespace

@@ -1,0 +1,77 @@
+// E5 — Theorem 2: the coNP side of the frontier.
+//
+// Three measurements: (1) the polynomial cost of the q0 -> q reduction
+// itself (it is a *reduction*, so it must be cheap); (2) the SAT
+// solver's behaviour on coNP-complete q0/q1 instances (exponential in
+// the worst case, fast on random instances); (3) the exponential oracle
+// for contrast. Together they regenerate the paper's qualitative story:
+// past the strong-cycle line there is no polynomial algorithm to be
+// had, only search.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Database Q0Db(int pairs, uint64_t seed) {
+  Q0InstanceOptions options;
+  options.join_pairs = pairs;
+  options.violations = pairs;
+  options.domain_size = std::max(3, pairs / 2);
+  options.seed = seed;
+  return RandomQ0Database(options);
+}
+
+void BM_Thm2_ReductionTransform(benchmark::State& state) {
+  Result<ConpReduction> red = ConpReduction::Create(corpus::Q1());
+  Database db0 = Q0Db(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(red->Transform(db0));
+  }
+  Result<Database> out = red->Transform(db0);
+  state.counters["facts_in"] = db0.size();
+  state.counters["facts_out"] = out.ok() ? out->size() : 0;
+}
+BENCHMARK(BM_Thm2_ReductionTransform)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_Thm2_SatOnQ0(benchmark::State& state) {
+  Database db = Q0Db(static_cast<int>(state.range(0)), 3);
+  Query q = corpus::Q0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["decisions"] =
+      static_cast<double>(SatSolver::last_stats().decisions);
+}
+BENCHMARK(BM_Thm2_SatOnQ0)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_Thm2_SatOnTransformedQ1(benchmark::State& state) {
+  Result<ConpReduction> red = ConpReduction::Create(corpus::Q1());
+  Database db0 = Q0Db(static_cast<int>(state.range(0)), 3);
+  Result<Database> db = red->Transform(db0);
+  Query q1 = corpus::Q1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(*db, q1));
+  }
+  state.counters["facts"] = db->size();
+}
+BENCHMARK(BM_Thm2_SatOnTransformedQ1)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_Thm2_OracleOnQ0(benchmark::State& state) {
+  Database db = Q0Db(static_cast<int>(state.range(0)), 3);
+  Query q = corpus::Q0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Thm2_OracleOnQ0)->DenseRange(4, 16, 4);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// E7 — Theorem 1: certain FO rewriting vs the exponential baseline.
+//
+// On path queries (acyclic attack graphs) the rewriting answers
+// CERTAINTY in polynomial time; repair enumeration blows up with the
+// number of uncertain blocks, and SAT sits in between. The crossover
+// shape — FO flat, oracle exponential — is the figure this bench
+// regenerates.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Database PathDb(int blocks, uint64_t seed) {
+  BlockDbGenOptions options;
+  options.blocks_per_relation = blocks;
+  options.max_block_size = 2;
+  options.domain_size = blocks;  // Keep join selectivity stable.
+  options.seed = seed;
+  return RandomBlockDatabase(corpus::PathQuery2(), options);
+}
+
+void BM_Fo_PathRewriting(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  Result<FoSolver> solver = FoSolver::Create(corpus::PathQuery2());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver->IsCertain(db));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Fo_PathRewriting)->RangeMultiplier(2)->Range(4, 256);
+
+void BM_Fo_PathOracle(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  Query q = corpus::PathQuery2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Fo_PathOracle)->DenseRange(4, 16, 4);
+
+void BM_Fo_PathSat(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  Query q = corpus::PathQuery2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Fo_PathSat)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_Fo_RewritingConstruction(benchmark::State& state) {
+  // Rewriting construction itself on longer paths (query complexity).
+  Query q = corpus::PathQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CertainRewriting(q));
+  }
+  Result<FormulaPtr> f = CertainRewriting(q);
+  state.counters["formula_nodes"] = f.ok() ? (*f)->NodeCount() : 0;
+  state.counters["quantifier_depth"] = f.ok() ? (*f)->QuantifierDepth() : 0;
+}
+BENCHMARK(BM_Fo_RewritingConstruction)->DenseRange(1, 7, 1);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// E9 — Section 7: PROBABILITY(q) on BID databases.
+//
+// The safe-plan evaluator (Theorem 5.1, exact rationals) against the
+// exhaustive worlds oracle: FP vs exponential, identical answers. Also
+// reports the Fig. 1 probability 3/4 as a paper-number check.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+BidDatabase UniformBid(const Query& q, int blocks, uint64_t seed) {
+  BlockDbGenOptions options;
+  options.blocks_per_relation = blocks;
+  options.max_block_size = 3;
+  options.domain_size = 4;
+  options.seed = seed;
+  return BidDatabase::UniformOverRepairs(RandomBlockDatabase(q, options));
+}
+
+void BM_Prob_SafePlan(benchmark::State& state) {
+  Query q = MustParseQuery("R(x | y), S(x | z)");
+  BidDatabase bid = UniformBid(q, static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SafePlan::Probability(bid, q));
+  }
+  state.counters["facts"] = bid.database().size();
+}
+BENCHMARK(BM_Prob_SafePlan)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_Prob_WorldsOracle(benchmark::State& state) {
+  Query q = MustParseQuery("R(x | y), S(x | z)");
+  BidDatabase bid = UniformBid(q, static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WorldsOracle::Probability(bid, q));
+  }
+  state.counters["facts"] = bid.database().size();
+}
+BENCHMARK(BM_Prob_WorldsOracle)->DenseRange(2, 5, 1);
+
+void BM_Prob_IsSafe(benchmark::State& state) {
+  auto queries = corpus::AllNamedQueries();
+  for (auto _ : state) {
+    for (const auto& [name, q] : queries) {
+      benchmark::DoNotOptimize(IsSafe(q));
+    }
+  }
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+BENCHMARK(BM_Prob_IsSafe);
+
+void BM_Prob_Fig1Probability(benchmark::State& state) {
+  BidDatabase bid =
+      BidDatabase::UniformOverRepairs(corpus::ConferenceDatabase());
+  Query q = corpus::ConferenceQuery();
+  Rational p;
+  for (auto _ : state) {
+    p = WorldsOracle::Probability(bid, q);
+    benchmark::DoNotOptimize(p);
+  }
+  // Paper: true in 3 of 4 repairs -> probability 3/4.
+  state.counters["prob_num"] = p.num().ToDouble();
+  state.counters["prob_den"] = p.den().ToDouble();
+}
+BENCHMARK(BM_Prob_Fig1Probability);
+
+}  // namespace

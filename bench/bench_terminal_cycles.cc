@@ -1,0 +1,76 @@
+// E3 — Theorem 3: the weak-terminal-cycle polynomial algorithm.
+//
+// On the Fig. 4 query family the inductive solver stays polynomial
+// while repair enumeration explodes; SAT is the generic midpoint. This
+// regenerates the qualitative figure behind Theorem 3: P vs
+// exponential, with matching answers.
+
+#include <benchmark/benchmark.h>
+
+#include "cqa.h"
+
+namespace {
+
+using namespace cqa;
+
+Database Fig4Db(int blocks, uint64_t seed) {
+  BlockDbGenOptions options;
+  options.blocks_per_relation = blocks;
+  options.max_block_size = 2;
+  options.domain_size = 3;
+  options.seed = seed;
+  return RandomBlockDatabase(corpus::Fig4Query(), options);
+}
+
+void BM_Thm3_TerminalCycleSolver(benchmark::State& state) {
+  Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
+  Query q = corpus::Fig4Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TerminalCycleSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Thm3_TerminalCycleSolver)->DenseRange(2, 10, 2);
+
+void BM_Thm3_Oracle(benchmark::State& state) {
+  Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
+  Query q = corpus::Fig4Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["repairs"] = db.RepairCount().ToDouble();
+}
+BENCHMARK(BM_Thm3_Oracle)->DenseRange(2, 6, 2);
+
+void BM_Thm3_Sat(benchmark::State& state) {
+  Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
+  Query q = corpus::Fig4Query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Thm3_Sat)->DenseRange(2, 10, 2);
+
+void BM_Thm3_TwoAtomBase(benchmark::State& state) {
+  // The base case in isolation: C(2) instances (one weak 2-cycle) via
+  // the matching path.
+  BlockDbGenOptions options;
+  options.blocks_per_relation = static_cast<int>(state.range(0));
+  options.max_block_size = 3;
+  options.domain_size = static_cast<int>(state.range(0));
+  options.seed = 99;
+  Database db = RandomBlockDatabase(corpus::Ck(2), options);
+  Query q = corpus::Ck(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoAtomSolver::IsCertain(db, q));
+  }
+  state.counters["facts"] = db.size();
+  state.counters["path"] =
+      static_cast<double>(static_cast<int>(TwoAtomSolver::last_path()));
+}
+BENCHMARK(BM_Thm3_TwoAtomBase)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace

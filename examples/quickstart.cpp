@@ -1,0 +1,66 @@
+// Quickstart: the paper's Fig. 1 example, end to end.
+//
+// Builds the conference-planning uncertain database, asks whether "Rome
+// hosts some A conference" is *certain* (true in every repair), counts
+// the repairs where it holds, and prints the classifier's reasoning.
+
+#include <cstdio>
+
+#include "cqa.h"
+
+int main() {
+  using namespace cqa;
+
+  // The uncertain database of Fig. 1: the city of PODS 2016 and the
+  // rank of KDD are uncertain (two facts share a primary key).
+  Result<Database> db = ParseDatabase(R"(
+    relation C[3,2].   # Conference(conf, year | city)
+    relation R[2,1].   # Rank(conf | rank)
+    C(PODS, 2016, Rome).
+    C(PODS, 2016, Paris).
+    C(KDD, 2017, Rome).
+    R(PODS, A).
+    R(KDD, A).
+    R(KDD, B).
+  )");
+  if (!db.ok()) {
+    std::printf("parse error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Database (%d facts, %zu blocks, %s repairs):\n%s\n",
+              db->size(), db->blocks().size(),
+              db->RepairCount().ToString().c_str(),
+              FormatDatabase(*db).c_str());
+
+  // "Will Rome host some A conference?"
+  Query q = MustParseQuery("C(x, y, 'Rome'), R(x, 'A')", db->schema());
+  std::printf("Query: %s\n\n", q.ToString().c_str());
+
+  // Classify CERTAINTY(q) along the paper's frontier.
+  Result<Classification> cls = ClassifyQuery(q);
+  std::printf("Classification: %s\n%s\n",
+              ComplexityClassName(cls->complexity),
+              cls->explanation.c_str());
+
+  // Decide certainty with the dispatched solver.
+  Result<SolveOutcome> outcome = Engine::Solve(*db, q);
+  std::printf("Certain: %s (solver: %s)\n", outcome->certain ? "yes" : "no",
+              outcome->solver.c_str());
+
+  // The paper: "true in only three repairs".
+  BigInt holds = OracleSolver::CountSatisfyingRepairs(*db, q);
+  std::printf("Holds in %s of %s repairs (probability %s)\n",
+              holds.ToString().c_str(), db->RepairCount().ToString().c_str(),
+              WorldsOracle::Probability(
+                  BidDatabase::UniformOverRepairs(*db), q)
+                  .ToString()
+                  .c_str());
+
+  // A falsifying repair, as evidence.
+  auto witness = SatSolver::FindFalsifyingRepair(*db, q);
+  if (witness.has_value()) {
+    std::printf("\nA repair falsifying the query:\n");
+    for (const Fact& f : *witness) std::printf("  %s\n", f.ToString().c_str());
+  }
+  return 0;
+}

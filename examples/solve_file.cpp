@@ -1,0 +1,85 @@
+// solve_file: batch front end — load an uncertain database from a .db
+// file, classify and answer one or more queries against it.
+//
+// Usage:
+//   solve_file db.txt "C(x, y, 'Rome'), R(x, 'A')" ...
+//   solve_file --demo          # writes and solves a demo file
+//
+// Exit code: 0 on success, 1 on parse/solve errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cqa.h"
+
+namespace {
+
+constexpr const char* kDemoDb = R"(
+# Employee directory with conflicting HR records.
+relation Emp[3,1].        # Emp(id | name, dept)
+relation Dept[2,1].       # Dept(dept | floor)
+Emp(e1, Ada, eng).
+Emp(e1, Ada, sales).      # Conflicting department for e1.
+Emp(e2, Grace, eng).
+Dept(eng, f2).
+Dept(eng, f3).            # Conflicting floor for eng.
+Dept(sales, f1).
+)";
+
+int SolveAll(const cqa::Database& db, int argc, char** argv, int first) {
+  using namespace cqa;
+  for (int i = first; i < argc; ++i) {
+    Result<Query> q = ParseQuery(argv[i], db.schema());
+    if (!q.ok()) {
+      std::printf("query error: %s\n", q.status().ToString().c_str());
+      return 1;
+    }
+    Result<Classification> cls = ClassifyQuery(*q);
+    Result<SolveOutcome> out = Engine::Solve(db, *q);
+    if (!out.ok()) {
+      std::printf("solve error: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-40s  class=%-40s  certain=%s  solver=%s\n",
+                q->ToString().c_str(),
+                cls.ok() ? ComplexityClassName(cls->complexity) : "n/a",
+                out->certain ? "yes" : "no", out->solver.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqa;
+  if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    Result<Database> db = ParseDatabase(kDemoDb);
+    std::printf("Demo database:\n%s\n", FormatDatabase(*db).c_str());
+    const char* queries[] = {
+        "solve_file", "Emp(x, 'Ada', d)",          // Is Ada certain?
+        "Emp(x, n, 'eng'), Dept('eng', f)",        // Someone in eng + floor.
+        "Emp(x, n, d), Dept(d, 'f1')",             // Anyone on floor 1?
+    };
+    return SolveAll(*db, 4, const_cast<char**>(queries), 1);
+  }
+  if (argc < 3) {
+    std::printf("usage: %s <db-file> <query> [<query> ...]\n", argv[0]);
+    std::printf("       %s --demo\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::printf("cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<Database> db = ParseDatabase(text.str());
+  if (!db.ok()) {
+    std::printf("database error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  return SolveAll(*db, argc, argv, 2);
+}

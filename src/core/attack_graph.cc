@@ -1,0 +1,135 @@
+#include "core/attack_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+bool IsSubset(const VarSet& a, const VarSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+Result<AttackGraph> AttackGraph::Compute(const Query& q) {
+  Result<JoinTree> tree = BuildJoinTree(q);
+  if (!tree.ok()) return tree.status();
+
+  AttackGraph g;
+  g.query_ = q;
+  int n = q.size();
+  g.attacks_.assign(n, std::vector<bool>(n, false));
+  g.weak_.assign(n, std::vector<bool>(n, false));
+  g.plus_.resize(n);
+  g.circ_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    g.plus_[i] = cqa::PlusClosure(q, i);
+    g.circ_[i] = cqa::CircClosure(q, i);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      std::vector<int> path = tree->Path(i, j);
+      bool attack = true;
+      for (size_t p = 0; p + 1 < path.size(); ++p) {
+        const VarSet& label = tree->Label(path[p], path[p + 1]);
+        if (IsSubset(label, g.plus_[i])) {
+          attack = false;
+          break;
+        }
+      }
+      if (attack) {
+        g.attacks_[i][j] = true;
+        g.weak_[i][j] = IsSubset(q.atom(j).KeyVars(), g.circ_[i]);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph AttackGraph::AsDigraph() const {
+  Digraph g(size());
+  for (int i = 0; i < size(); ++i) {
+    for (int j = 0; j < size(); ++j) {
+      if (attacks_[i][j]) g[i].push_back(j);
+    }
+  }
+  return g;
+}
+
+std::vector<int> AttackGraph::UnattackedAtoms() const {
+  std::vector<int> out;
+  for (int j = 0; j < size(); ++j) {
+    bool attacked = false;
+    for (int i = 0; i < size() && !attacked; ++i) {
+      attacked = attacks_[i][j];
+    }
+    if (!attacked) out.push_back(j);
+  }
+  return out;
+}
+
+bool AttackGraph::IsAcyclic() const { return !HasCycle(AsDigraph()); }
+
+bool AttackGraph::HasStrongCycle() const {
+  Digraph g = AsDigraph();
+  for (int i = 0; i < size(); ++i) {
+    for (int j = 0; j < size(); ++j) {
+      if (IsStrongAttack(i, j) && EdgeOnCycle(g, i, j)) return true;
+    }
+  }
+  return false;
+}
+
+bool AttackGraph::HasStrongTwoCycle() const {
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (attacks_[i][j] && attacks_[j][i] &&
+          (IsStrongAttack(i, j) || IsStrongAttack(j, i))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AttackGraph::AllCyclesTerminal() const {
+  return cqa::AllCyclesTerminal(AsDigraph());
+}
+
+std::vector<std::pair<int, int>> AttackGraph::TwoCycles() const {
+  std::vector<std::pair<int, int>> out;
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (attacks_[i][j] && attacks_[j][i]) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+int AttackGraph::EdgeCount() const {
+  int count = 0;
+  for (int i = 0; i < size(); ++i) {
+    for (int j = 0; j < size(); ++j) {
+      if (attacks_[i][j]) ++count;
+    }
+  }
+  return count;
+}
+
+std::string AttackGraph::ToString() const {
+  std::ostringstream os;
+  for (int i = 0; i < size(); ++i) {
+    for (int j = 0; j < size(); ++j) {
+      if (!attacks_[i][j]) continue;
+      os << query_.atom(i).ToString() << " ~~> "
+         << query_.atom(j).ToString()
+         << (weak_[i][j] ? "  [weak]" : "  [strong]") << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cqa

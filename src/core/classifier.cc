@@ -1,0 +1,234 @@
+#include "core/classifier.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "prob/is_safe.h"
+
+namespace cqa {
+
+const char* ComplexityClassName(ComplexityClass c) {
+  switch (c) {
+    case ComplexityClass::kFirstOrder:
+      return "FO (first-order expressible)";
+    case ComplexityClass::kPtimeTerminalCycles:
+      return "P, not FO (weak terminal cycles, Theorem 3)";
+    case ComplexityClass::kPtimeAck:
+      return "P, not FO (AC(k), Theorem 4)";
+    case ComplexityClass::kPtimeCk:
+      return "P (C(k), Corollary 1)";
+    case ComplexityClass::kConpComplete:
+      return "coNP-complete (strong cycle, Theorem 2)";
+    case ComplexityClass::kOpenConjecturedPtime:
+      return "OPEN (Conjecture 1 predicts P)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string VarSetToString(const VarSet& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (SymbolId v : s) {
+    if (!first) os << ",";
+    first = false;
+    os << SymbolName(v);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<CkShape> MatchCkPattern(const Query& q) {
+  int k = q.size();
+  if (k < 2 || q.HasSelfJoin()) return std::nullopt;
+  // Every atom must be R(x | y) with distinct variables x, y.
+  std::unordered_map<SymbolId, int> by_key_var;  // key variable -> atom
+  for (int i = 0; i < k; ++i) {
+    const Atom& a = q.atom(i);
+    if (a.arity() != 2 || a.key_arity() != 1) return std::nullopt;
+    const Term& s = a.terms()[0];
+    const Term& t = a.terms()[1];
+    if (!s.is_var() || !t.is_var() || s.id() == t.id()) return std::nullopt;
+    if (!by_key_var.emplace(s.id(), i).second) return std::nullopt;
+  }
+  // Follow the successor chain from atom 0; it must close a single cycle
+  // covering every atom exactly once (k distinct variables).
+  CkShape shape;
+  shape.k = k;
+  std::vector<bool> visited(k, false);
+  int cur = 0;
+  for (int step = 0; step < k; ++step) {
+    if (visited[cur]) return std::nullopt;  // Shorter sub-cycle.
+    visited[cur] = true;
+    const Atom& a = q.atom(cur);
+    shape.atom_order.push_back(cur);
+    shape.var_cycle.push_back(a.terms()[0].id());
+    auto it = by_key_var.find(a.terms()[1].id());
+    if (it == by_key_var.end()) return std::nullopt;
+    cur = it->second;
+  }
+  if (cur != 0) return std::nullopt;  // Chain must return to the start.
+  return shape;
+}
+
+std::optional<AckShape> MatchAckPattern(const Query& q) {
+  int n = q.size();
+  if (n < 3 || q.HasSelfJoin()) return std::nullopt;
+  int k = n - 1;
+  // Find the all-key atom S_k of arity k with k distinct variables.
+  int s_atom = -1;
+  for (int i = 0; i < n; ++i) {
+    const Atom& a = q.atom(i);
+    if (a.IsAllKey() && a.arity() == k) {
+      if (s_atom != -1) return std::nullopt;  // Ambiguous for k == 2 below.
+      s_atom = i;
+    }
+  }
+  if (s_atom == -1) return std::nullopt;
+  const Atom& s = q.atom(s_atom);
+  VarSet s_vars = s.Vars();
+  if (static_cast<int>(s_vars.size()) != k) return std::nullopt;
+  for (const Term& t : s.terms()) {
+    if (!t.is_var()) return std::nullopt;
+  }
+  // Remaining atoms must form C(k).
+  Query rest;
+  for (int i = 0; i < n; ++i) {
+    if (i != s_atom) rest.AddAtom(q.atom(i));
+  }
+  std::optional<CkShape> cycle = MatchCkPattern(rest);
+  if (!cycle.has_value()) return std::nullopt;
+  // The S_k argument list must be a rotation of the variable cycle (same
+  // direction: S_k "encodes the cycles clockwise", Fig. 6).
+  std::vector<SymbolId> s_args;
+  for (const Term& t : s.terms()) s_args.push_back(t.id());
+  int start = -1;
+  for (int r = 0; r < k; ++r) {
+    if (cycle->var_cycle[r] == s_args[0]) {
+      start = r;
+      break;
+    }
+  }
+  if (start == -1) return std::nullopt;
+  for (int i = 0; i < k; ++i) {
+    if (cycle->var_cycle[(start + i) % k] != s_args[i]) return std::nullopt;
+  }
+  // Rotate the shape so that position 0 matches S_k's first argument.
+  CkShape rotated;
+  rotated.k = k;
+  for (int i = 0; i < k; ++i) {
+    rotated.atom_order.push_back(cycle->atom_order[(start + i) % k]);
+    rotated.var_cycle.push_back(cycle->var_cycle[(start + i) % k]);
+  }
+  // Map atom indices of `rest` back to indices of `q`.
+  for (int& idx : rotated.atom_order) {
+    const Atom& a = rest.atom(idx);
+    for (int j = 0; j < n; ++j) {
+      if (q.atom(j) == a) {
+        idx = j;
+        break;
+      }
+    }
+  }
+  AckShape shape;
+  shape.cycle = std::move(rotated);
+  shape.s_atom = s_atom;
+  return shape;
+}
+
+Result<Classification> ClassifyQuery(const Query& q) {
+  if (q.HasSelfJoin()) {
+    return Status::Unsupported(
+        "query has a self-join; the paper's classification assumes "
+        "self-join-free queries (only fragmentary results are known)");
+  }
+  Classification out;
+  out.safe = IsSafe(q);
+  std::ostringstream ex;
+
+  if (!IsAcyclicQuery(q)) {
+    // Attack graphs are undefined; the paper still settles C(k) (Cor. 1).
+    if (auto ck = MatchCkPattern(q); ck.has_value()) {
+      out.complexity = ComplexityClass::kPtimeCk;
+      out.fo_expressible = false;
+      out.in_ptime = TriState::kYes;
+      out.conp_complete = false;
+      ex << "q is cyclic and matches C(" << ck->k << ").\n"
+         << "Corollary 1: CERTAINTY(C(k)) is in P for every k >= 2,\n"
+         << "via the Lemma 9 reduction to CERTAINTY(AC(k)).\n";
+      out.explanation = ex.str();
+      return out;
+    }
+    return Status::Unsupported(
+        "query is cyclic (no join tree) and is not C(k); the paper's "
+        "classification covers acyclic queries");
+  }
+
+  Result<AttackGraph> graph_result = AttackGraph::Compute(q);
+  if (!graph_result.ok()) return graph_result.status();
+  AttackGraph graph = std::move(graph_result).value();
+
+  ex << "Attack graph (" << graph.EdgeCount() << " attacks):\n"
+     << graph.ToString();
+  for (int i = 0; i < q.size(); ++i) {
+    ex << "  " << q.atom(i).ToString()
+       << ": F+ = " << VarSetToString(graph.PlusClosure(i))
+       << ", F0 = " << VarSetToString(graph.CircClosure(i)) << "\n";
+  }
+
+  if (graph.IsAcyclic()) {
+    out.complexity = ComplexityClass::kFirstOrder;
+    out.fo_expressible = true;
+    out.in_ptime = TriState::kYes;
+    out.conp_complete = false;
+    ex << "Attack graph is acyclic => CERTAINTY(q) is first-order "
+          "expressible (Theorem 1).\n";
+  } else if (graph.HasStrongCycle()) {
+    out.complexity = ComplexityClass::kConpComplete;
+    out.fo_expressible = false;
+    out.in_ptime = TriState::kNo;  // Unless P = coNP.
+    out.conp_complete = true;
+    ex << "Attack graph contains a strong cycle => CERTAINTY(q) is "
+          "coNP-complete (Theorem 2).\n";
+  } else if (graph.AllCyclesTerminal()) {
+    out.complexity = ComplexityClass::kPtimeTerminalCycles;
+    out.fo_expressible = false;
+    out.in_ptime = TriState::kYes;
+    out.conp_complete = false;
+    ex << "All attack cycles are weak and terminal => CERTAINTY(q) is in "
+          "P (Theorem 3) and not FO (Theorem 1).\n";
+  } else if (auto ack = MatchAckPattern(q); ack.has_value()) {
+    out.complexity = ComplexityClass::kPtimeAck;
+    out.fo_expressible = false;
+    out.in_ptime = TriState::kYes;
+    out.conp_complete = false;
+    ex << "q matches AC(" << ack->cycle.k
+       << "): weak nonterminal cycles, solved by the Theorem 4 graph "
+          "algorithm => in P, not FO.\n";
+  } else {
+    out.complexity = ComplexityClass::kOpenConjecturedPtime;
+    out.fo_expressible = false;
+    out.in_ptime = TriState::kUnknown;
+    out.conp_complete = false;
+    ex << "Attack graph has weak nonterminal cycles, no strong cycle, and "
+          "q is not AC(k): complexity open; Conjecture 1 predicts P.\n";
+  }
+
+  ex << "IsSafe(q) = " << (out.safe ? "true" : "false")
+     << " => PROBABILITY(q) is "
+     << (out.safe ? "in FP (Theorem 5.1)" : "#P-hard (Theorem 5.2)")
+     << ".\n";
+  if (out.safe && !out.fo_expressible) {
+    return Status::Internal(
+        "Theorem 6 violated: q is safe but CERTAINTY(q) is not FO");
+  }
+  out.attack_graph = std::move(graph);
+  out.explanation = ex.str();
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,96 @@
+#ifndef CQA_CORE_CLASSIFIER_H_
+#define CQA_CORE_CLASSIFIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/attack_graph.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+/// \file
+/// The effective complexity classification of CERTAINTY(q) that the paper
+/// charts (Theorems 1–4, Corollary 1, Conjecture 1):
+///
+///   attack graph acyclic                         -> FO          (Thm 1)
+///   some strong cycle                            -> coNP-complete (Thm 2)
+///   all cycles weak and terminal                 -> P, not FO   (Thm 3)
+///   cyclic graph, only weak cycles, AC(k) shape  -> P, not FO   (Thm 4)
+///   cyclic query matching C(k)                   -> P           (Cor 1)
+///   only weak cycles, some nonterminal, not AC(k)-> OPEN (Conjecture 1: P)
+///
+/// The classifier also runs IsSafe(q) (Section 7) and reports the
+/// PROBABILITY(q) dichotomy of Theorem 5 plus the Theorem 6 / Corollary 2
+/// cross-implications.
+
+namespace cqa {
+
+enum class ComplexityClass {
+  /// CERTAINTY(q) has a certain first-order rewriting (Theorem 1).
+  kFirstOrder,
+  /// In P but not FO: all attack cycles weak and terminal (Theorem 3).
+  kPtimeTerminalCycles,
+  /// In P but not FO: q is AC(k) up to renaming (Theorem 4).
+  kPtimeAck,
+  /// In P: q is C(k) up to renaming, k >= 3, a cyclic CQ (Corollary 1).
+  kPtimeCk,
+  /// coNP-complete: some strong attack cycle (Theorem 2).
+  kConpComplete,
+  /// Weak nonterminal cycles, no strong cycle, not AC(k): open in the
+  /// paper; Conjecture 1 predicts P.
+  kOpenConjecturedPtime,
+};
+
+const char* ComplexityClassName(ComplexityClass c);
+
+/// Yes/no/unknown with the usual complexity-theoretic caveat: "no" for
+/// membership in P means "not in P unless P = coNP".
+enum class TriState { kYes, kNo, kUnknown };
+
+struct Classification {
+  ComplexityClass complexity;
+  /// Theorem 1 criterion (only meaningful for acyclic queries; C(k) with
+  /// k >= 3 has no attack graph and is reported not FO via Theorem 1 of
+  /// Fuxman–Miller lineage: C(k) is in P \ FO for k >= 2).
+  bool fo_expressible = false;
+  TriState in_ptime = TriState::kUnknown;
+  bool conp_complete = false;
+  /// IsSafe(q): PROBABILITY(q) is in FP iff safe (Theorem 5).
+  bool safe = false;
+  /// Attack graph when the query is acyclic.
+  std::optional<AttackGraph> attack_graph;
+  /// Human-readable derivation: closures, attacks, cycles, rule applied.
+  std::string explanation;
+};
+
+/// Classifies CERTAINTY(q). Fails for queries with self-joins (the paper's
+/// machinery assumes self-join-free queries) and for cyclic queries other
+/// than C(k) (attack graphs are only defined for acyclic queries).
+Result<Classification> ClassifyQuery(const Query& q);
+
+/// Shape of a C(k) query: R_1(x_1|x_2), ..., R_k(x_k|x_1) (Definition 8).
+struct CkShape {
+  int k = 0;
+  /// Atom indices in cycle order; atoms[i] is R_{i+1}(x_{i+1}, x_{i+2}).
+  std::vector<int> atom_order;
+  /// Variable cycle x_1, ..., x_k.
+  std::vector<SymbolId> var_cycle;
+};
+
+/// Shape of an AC(k) query: C(k) plus the all-key S_k(x_1, ..., x_k).
+struct AckShape {
+  CkShape cycle;
+  int s_atom = -1;
+};
+
+/// Recognizes C(k) up to variable renaming and atom order; k >= 2.
+std::optional<CkShape> MatchCkPattern(const Query& q);
+
+/// Recognizes AC(k) up to variable renaming, atom order and rotation of
+/// the S_k argument list; k >= 2.
+std::optional<AckShape> MatchAckPattern(const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_CLASSIFIER_H_

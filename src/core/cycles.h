@@ -1,0 +1,50 @@
+#ifndef CQA_CORE_CYCLES_H_
+#define CQA_CORE_CYCLES_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Directed-graph cycle machinery shared by the attack-graph analysis and
+/// the Theorem 4 solver: Tarjan strongly connected components, Johnson
+/// elementary-cycle enumeration (for small graphs / tests), terminal-cycle
+/// checks (Definition 6).
+
+namespace cqa {
+
+/// Adjacency-list digraph on vertices 0..n-1.
+using Digraph = std::vector<std::vector<int>>;
+
+/// Strongly connected components; returns component id per vertex.
+/// Component ids are in reverse topological order of the condensation.
+std::vector<int> TarjanScc(const Digraph& g);
+
+/// Groups vertices by component id.
+std::vector<std::vector<int>> SccGroups(const Digraph& g);
+
+/// All elementary (simple directed) cycles, each as a vertex list without
+/// repeating the start. Exponential output; intended for small graphs.
+/// Stops after `max_cycles` cycles.
+std::vector<std::vector<int>> EnumerateElementaryCycles(
+    const Digraph& g, size_t max_cycles = 100000);
+
+/// True iff no edge leads from a vertex of `cycle` to a vertex outside it
+/// (Definition 6).
+bool IsTerminalCycle(const Digraph& g, const std::vector<int>& cycle);
+
+/// True iff the digraph contains at least one directed cycle.
+bool HasCycle(const Digraph& g);
+
+/// True iff every elementary cycle is terminal. Polynomial: holds iff
+/// every nontrivial SCC is a chordless directed cycle with no out-edges
+/// leaving it. (Cross-validated against the definitional check via
+/// Johnson enumeration in the tests.)
+bool AllCyclesTerminal(const Digraph& g);
+
+/// True iff some vertex of a cycle can reach edge (u, v), i.e. (u, v) lies
+/// on some directed cycle: v reaches u.
+bool EdgeOnCycle(const Digraph& g, int u, int v);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_CYCLES_H_

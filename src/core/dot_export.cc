@@ -1,0 +1,69 @@
+#include "core/dot_export.h"
+
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AttackGraphToDot(const AttackGraph& graph) {
+  std::ostringstream os;
+  os << "digraph attack_graph {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (int i = 0; i < graph.size(); ++i) {
+    os << "  a" << i << " [label=\""
+       << Escape(graph.query().atom(i).ToString()) << "\"];\n";
+  }
+  for (int i = 0; i < graph.size(); ++i) {
+    for (int j = 0; j < graph.size(); ++j) {
+      if (!graph.Attacks(i, j)) continue;
+      os << "  a" << i << " -> a" << j;
+      if (graph.IsWeakAttack(i, j)) {
+        os << " [style=dashed, label=\"weak\"]";
+      } else {
+        os << " [penwidth=2, color=red, label=\"strong\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string JoinTreeToDot(const JoinTree& tree, const Query& q) {
+  std::ostringstream os;
+  os << "graph join_tree {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (int i = 0; i < tree.size(); ++i) {
+    os << "  a" << i << " [label=\"" << Escape(q.atom(i).ToString())
+       << "\"];\n";
+  }
+  for (auto [u, v] : tree.edges()) {
+    std::ostringstream label;
+    label << "{";
+    bool first = true;
+    for (SymbolId x : tree.Label(u, v)) {
+      if (!first) label << ",";
+      first = false;
+      label << SymbolName(x);
+    }
+    label << "}";
+    os << "  a" << u << " -- a" << v << " [label=\"" << Escape(label.str())
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cqa

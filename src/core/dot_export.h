@@ -1,0 +1,22 @@
+#ifndef CQA_CORE_DOT_EXPORT_H_
+#define CQA_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/attack_graph.h"
+#include "cq/join_tree.h"
+
+/// \file
+/// Graphviz DOT renderings of join trees and attack graphs, matching the
+/// visual conventions of the paper's figures: weak attacks dashed, strong
+/// attacks solid/bold.
+
+namespace cqa {
+
+std::string AttackGraphToDot(const AttackGraph& graph);
+
+std::string JoinTreeToDot(const JoinTree& tree, const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_DOT_EXPORT_H_

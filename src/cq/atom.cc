@@ -1,0 +1,117 @@
+#include "cq/atom.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+namespace cqa {
+
+std::string Term::ToString() const {
+  if (is_var()) return SymbolName(id_);
+  return "'" + SymbolName(id_) + "'";
+}
+
+Atom Atom::Make(std::string_view relation,
+                const std::vector<std::string>& terms, int key_arity) {
+  std::vector<Term> ts;
+  ts.reserve(terms.size());
+  for (const std::string& t : terms) {
+    if (!t.empty() && t[0] == '\'') {
+      std::string name = t.substr(1);
+      if (!name.empty() && name.back() == '\'') name.pop_back();
+      ts.push_back(Term::Const(name));
+    } else {
+      ts.push_back(Term::Var(t));
+    }
+  }
+  return Atom(InternSymbol(relation), std::move(ts), key_arity);
+}
+
+VarSet Atom::KeyVars() const {
+  VarSet out;
+  for (int i = 0; i < key_arity_; ++i) {
+    if (terms_[i].is_var()) out.insert(terms_[i].id());
+  }
+  return out;
+}
+
+VarSet Atom::Vars() const {
+  VarSet out;
+  for (const Term& t : terms_) {
+    if (t.is_var()) out.insert(t.id());
+  }
+  return out;
+}
+
+VarSet Atom::NonKeyVars() const {
+  VarSet out;
+  for (int i = key_arity_; i < arity(); ++i) {
+    if (terms_[i].is_var()) out.insert(terms_[i].id());
+  }
+  return out;
+}
+
+bool Atom::IsGround() const {
+  for (const Term& t : terms_) {
+    if (t.is_var()) return false;
+  }
+  return true;
+}
+
+Atom Atom::Substitute(SymbolId var, SymbolId value) const {
+  Atom out = *this;
+  for (Term& t : out.terms_) {
+    if (t.is_var() && t.id() == var) t = Term::Const(value);
+  }
+  return out;
+}
+
+Atom Atom::RenameVar(SymbolId from, SymbolId to) const {
+  Atom out = *this;
+  for (Term& t : out.terms_) {
+    if (t.is_var() && t.id() == from) t = Term::Var(to);
+  }
+  return out;
+}
+
+Fact Atom::ToFact() const {
+  assert(IsGround());
+  std::vector<SymbolId> values;
+  values.reserve(terms_.size());
+  for (const Term& t : terms_) values.push_back(t.id());
+  return Fact(relation_, std::move(values), key_arity_);
+}
+
+bool Atom::Matches(const Fact& fact) const {
+  if (fact.relation() != relation_ || fact.arity() != arity()) return false;
+  std::unordered_map<SymbolId, SymbolId> binding;
+  for (int i = 0; i < arity(); ++i) {
+    const Term& t = terms_[i];
+    SymbolId v = fact.values()[i];
+    if (t.is_const()) {
+      if (t.id() != v) return false;
+    } else {
+      auto [it, inserted] = binding.emplace(t.id(), v);
+      if (!inserted && it->second != v) return false;
+    }
+  }
+  return true;
+}
+
+bool Atom::operator<(const Atom& o) const {
+  if (relation_ != o.relation_) return relation_ < o.relation_;
+  return terms_ < o.terms_;
+}
+
+std::string Atom::ToString() const {
+  std::ostringstream os;
+  os << SymbolName(relation_) << "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) os << (i == key_arity_ ? " | " : ", ");
+    os << terms_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace cqa

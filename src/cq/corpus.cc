@@ -1,0 +1,147 @@
+#include "cq/corpus.h"
+
+#include <cassert>
+
+#include "cq/parser.h"
+
+namespace cqa {
+namespace corpus {
+
+namespace {
+
+void MustAdd(Database* db, const Fact& f) {
+  Status st = db->AddFact(f);
+  assert(st.ok());
+  (void)st;
+}
+
+}  // namespace
+
+Database ConferenceDatabase() {
+  Database db;
+  MustAdd(&db, Fact::Make("C", {"PODS", "2016", "Rome"}, 2));
+  MustAdd(&db, Fact::Make("C", {"PODS", "2016", "Paris"}, 2));
+  MustAdd(&db, Fact::Make("C", {"KDD", "2017", "Rome"}, 2));
+  MustAdd(&db, Fact::Make("R", {"PODS", "A"}, 1));
+  MustAdd(&db, Fact::Make("R", {"KDD", "A"}, 1));
+  MustAdd(&db, Fact::Make("R", {"KDD", "B"}, 1));
+  return db;
+}
+
+Query ConferenceQuery() {
+  return MustParseQuery("C(x, y | 'Rome'), R(x | 'A')");
+}
+
+Query Q1() {
+  // R(u, 'a', x): key {u}; S(y, x, z): key {y}; T(x,y), P(x,z): key {x}.
+  return MustParseQuery(
+      "R(u | 'a', x), S(y | x, z), T(x | y), P(x | z)");
+}
+
+Query Fig4Query() {
+  // Example 5 gives the atoms without rendering the key underlines; the
+  // keys below are forced by the caption ("all cycles are weak and
+  // terminal") together with Lemma 7 (variables shared between cycles
+  // must sit in both keys): each pair attacks one another because the
+  // partner's swapped non-key tail is not derivable from its own key.
+  return MustParseQuery(
+      "R1(x, u1 | u2, z), R2(x, u2 | u1, z), "
+      "R3(x, y, u3 | u4), R4(x, y, u4 | u3), "
+      "R5(y, u5 | u6), R6(y, u6 | u5)");
+}
+
+Query Fig4QueryWithSource() {
+  // Fig. 4 additionally draws an unattacked source vertex R0 attacking
+  // into the R1/R2 cycle. We attach it through the key variable x so
+  // that the cycles stay terminal (no attack back to R0), which is what
+  // the figure's caption requires; this exercises the induction step of
+  // the Theorem 3 algorithm (unattacked-atom elimination).
+  Query q = Fig4Query();
+  q.AddAtom(Atom::Make("R0", {"u", "x"}, 1));
+  return q;
+}
+
+Query Ck(int k) {
+  assert(k >= 2);
+  Query q;
+  for (int i = 1; i <= k; ++i) {
+    int next = i == k ? 1 : i + 1;
+    q.AddAtom(Atom(InternSymbol("R" + std::to_string(i)),
+                   {Term::Var("x" + std::to_string(i)),
+                    Term::Var("x" + std::to_string(next))},
+                   1));
+  }
+  return q;
+}
+
+Query Ack(int k) {
+  Query q = Ck(k);
+  std::vector<Term> terms;
+  terms.reserve(k);
+  for (int i = 1; i <= k; ++i) {
+    terms.push_back(Term::Var("x" + std::to_string(i)));
+  }
+  q.AddAtom(Atom(InternSymbol("S" + std::to_string(k)), std::move(terms), k));
+  return q;
+}
+
+Database Fig6Database() {
+  Database db;
+  MustAdd(&db, Fact::Make("R1", {"a", "b"}, 1));
+  MustAdd(&db, Fact::Make("R1", {"a", "b2"}, 1));
+  MustAdd(&db, Fact::Make("R1", {"a2", "b"}, 1));
+  MustAdd(&db, Fact::Make("R2", {"b", "c"}, 1));
+  MustAdd(&db, Fact::Make("R2", {"b", "c2"}, 1));
+  MustAdd(&db, Fact::Make("R2", {"b2", "c"}, 1));
+  MustAdd(&db, Fact::Make("R3", {"c", "a"}, 1));
+  MustAdd(&db, Fact::Make("R3", {"c", "a2"}, 1));
+  MustAdd(&db, Fact::Make("R3", {"c2", "a"}, 1));
+  MustAdd(&db, Fact::Make("S3", {"a", "b", "c2"}, 3));
+  MustAdd(&db, Fact::Make("S3", {"a", "b2", "c"}, 3));
+  MustAdd(&db, Fact::Make("S3", {"a2", "b", "c"}, 3));
+  return db;
+}
+
+Query Q0() { return MustParseQuery("R0(x | y), S0(y, z | x)"); }
+
+Query PathQuery2() { return MustParseQuery("R(x | y), S(y | z)"); }
+
+Query PathQuery(int n) {
+  assert(n >= 1);
+  Query q;
+  for (int i = 1; i <= n; ++i) {
+    q.AddAtom(Atom(InternSymbol("R" + std::to_string(i)),
+                   {Term::Var("x" + std::to_string(i)),
+                    Term::Var("x" + std::to_string(i + 1))},
+                   1));
+  }
+  return q;
+}
+
+std::vector<NamedQuery> AllNamedQueries() {
+  std::vector<NamedQuery> out;
+  out.push_back({"conference", ConferenceQuery()});
+  out.push_back({"q1", Q1()});
+  out.push_back({"fig4", Fig4Query()});
+  out.push_back({"fig4src", Fig4QueryWithSource()});
+  out.push_back({"q0", Q0()});
+  out.push_back({"path2", PathQuery2()});
+  out.push_back({"path4", PathQuery(4)});
+  out.push_back({"c2", Ck(2)});
+  out.push_back({"c3", Ck(3)});
+  out.push_back({"ac2", Ack(2)});
+  out.push_back({"ac3", Ack(3)});
+  out.push_back({"ac4", Ack(4)});
+  // A two-atom weak cycle that is not C(2): the partner fact is fully
+  // determined (conflicts form a matching).
+  out.push_back({"swap2", MustParseQuery("R(x | y, u), S(y | x, u)")});
+  // A two-atom weak cycle whose conflict sets are not singletons (S has a
+  // free non-key variable w).
+  out.push_back({"fan2", MustParseQuery("R(x | y), S(y | x, w)")});
+  // A strong 2-cycle (Kolaitis–Pema hard query family member).
+  out.push_back({"strong2", MustParseQuery("R(x | y), S(y, z | x)")});
+  return out;
+}
+
+}  // namespace corpus
+}  // namespace cqa

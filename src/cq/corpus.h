@@ -1,0 +1,67 @@
+#ifndef CQA_CQ_CORPUS_H_
+#define CQA_CQ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+
+/// \file
+/// The named queries and databases that appear in the paper, built
+/// programmatically so tests and benchmarks reference them by name.
+
+namespace cqa {
+namespace corpus {
+
+/// Fig. 1: the conference planning database (4 repairs).
+Database ConferenceDatabase();
+
+/// §1: ∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A')) — "Will Rome host some A
+/// conference?" True in 3 of the 4 repairs of ConferenceDatabase().
+Query ConferenceQuery();
+
+/// Example 2 / Fig. 2: q1 = {R(u,'a',x), S(y,x,z), T(x,y), P(x,z)} with
+/// key arities 1, 1, 1, 1. Its attack graph has the strong attack G -> F.
+Query Q1();
+
+/// Example 5 / Fig. 4: six atoms in three weak terminal 2-cycles
+/// ({R1,R2}, {R3,R4}, {R5,R6}); keys reconstructed per Lemma 7.
+Query Fig4Query();
+
+/// Fig. 4's additional unattacked source vertex R0 attacking into the
+/// cycles (adapted to share the key variable x so cycles stay terminal).
+Query Fig4QueryWithSource();
+
+/// Definition 8: C(k) = {R1(x1,x2), ..., Rk(xk,x1)}, k >= 2.
+Query Ck(int k);
+
+/// Definition 8: AC(k) = C(k) ∪ {Sk(x1,...,xk)} with Sk all-key.
+Query Ack(int k);
+
+/// Fig. 6: the purified uncertain database over {R1,R2,R3,S3} whose two
+/// falsifying repairs are drawn in Fig. 7.
+Database Fig6Database();
+
+/// Kolaitis–Pema: q0 = {R0(x,y), S0(y,z,x)}; CERTAINTY(q0) is
+/// coNP-complete (used as the reduction source in Theorem 2).
+Query Q0();
+
+/// A Fuxman–Miller style FO query: R(x,y), S(y,z) (path, keys x and y).
+Query PathQuery2();
+
+/// Longer FO path: R1(x1,x2), R2(x2,x3), ..., Rn(xn, x_{n+1}).
+Query PathQuery(int n);
+
+/// Named corpus of small self-join-free queries covering every
+/// complexity class; handy for sweep tests.
+struct NamedQuery {
+  std::string name;
+  Query query;
+};
+std::vector<NamedQuery> AllNamedQueries();
+
+}  // namespace corpus
+}  // namespace cqa
+
+#endif  // CQA_CQ_CORPUS_H_

@@ -1,0 +1,202 @@
+#include "cq/join_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+namespace cqa {
+
+namespace {
+
+VarSet Intersect(const VarSet& a, const VarSet& b) {
+  VarSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+bool IsSubset(const VarSet& a, const VarSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+JoinTree::JoinTree(const Query& q, std::vector<std::pair<int, int>> edges)
+    : n_(q.size()), edges_(std::move(edges)) {
+  adj_.assign(n_, {});
+  labels_.assign(n_, std::vector<VarSet>(n_));
+  std::vector<VarSet> vars(n_);
+  for (int i = 0; i < n_; ++i) vars[i] = q.atom(i).Vars();
+  for (auto [u, v] : edges_) {
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    labels_[u][v] = Intersect(vars[u], vars[v]);
+    labels_[v][u] = labels_[u][v];
+  }
+}
+
+const VarSet& JoinTree::Label(int u, int v) const { return labels_[u][v]; }
+
+std::vector<int> JoinTree::Path(int u, int v) const {
+  assert(u != v);
+  std::vector<int> parent(n_, -1);
+  std::deque<int> queue{u};
+  parent[u] = u;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    if (cur == v) break;
+    for (int next : adj_[cur]) {
+      if (parent[next] == -1) {
+        parent[next] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  assert(parent[v] != -1 && "join tree must be connected");
+  std::vector<int> path;
+  for (int cur = v; cur != u; cur = parent[cur]) path.push_back(cur);
+  path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool JoinTree::IsValidFor(const Query& q) const {
+  if (q.size() != n_) return false;
+  if (n_ <= 1) return true;
+  // Must be a tree: n-1 edges and connected (Path asserts connectivity,
+  // so check edge count and then the Connectedness Condition directly).
+  if (static_cast<int>(edges_.size()) != n_ - 1) return false;
+  // Connectivity check.
+  std::vector<bool> seen(n_, false);
+  std::deque<int> queue{0};
+  seen[0] = true;
+  int count = 1;
+  while (!queue.empty()) {
+    int cur = queue.front();
+    queue.pop_front();
+    for (int next : adj_[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        ++count;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (count != n_) return false;
+  // Connectedness Condition: for every pair of atoms sharing a variable x,
+  // every atom on the path between them contains x.
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      VarSet shared = Intersect(q.atom(u).Vars(), q.atom(v).Vars());
+      if (shared.empty()) continue;
+      for (int mid : Path(u, v)) {
+        if (!IsSubset(shared, q.atom(mid).Vars())) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<JoinTree> BuildJoinTree(const Query& q) {
+  int n = q.size();
+  if (n <= 1) return JoinTree(q, {});
+  std::vector<VarSet> vars(n);
+  for (int i = 0; i < n; ++i) vars[i] = q.atom(i).Vars();
+
+  std::vector<bool> active(n, true);
+  std::vector<std::pair<int, int>> edges;
+  int remaining = n;
+  while (remaining > 1) {
+    // Find an ear: an atom F whose variables shared with other active
+    // atoms are all contained in a single active witness G.
+    int ear = -1, witness = -1;
+    for (int f = 0; f < n && ear == -1; ++f) {
+      if (!active[f]) continue;
+      // Variables of F shared with any other active atom.
+      VarSet shared;
+      for (int g = 0; g < n; ++g) {
+        if (g == f || !active[g]) continue;
+        VarSet common = Intersect(vars[f], vars[g]);
+        shared.insert(common.begin(), common.end());
+      }
+      for (int g = 0; g < n; ++g) {
+        if (g == f || !active[g]) continue;
+        if (IsSubset(shared, vars[g])) {
+          ear = f;
+          witness = g;
+          break;
+        }
+      }
+    }
+    if (ear == -1) {
+      return Status::InvalidArgument(
+          "query is cyclic (GYO reduction got stuck): " + q.ToString());
+    }
+    edges.emplace_back(ear, witness);
+    active[ear] = false;
+    --remaining;
+  }
+  JoinTree tree(q, std::move(edges));
+  assert(tree.IsValidFor(q) && "GYO must produce a valid join tree");
+  return tree;
+}
+
+bool IsAcyclicQuery(const Query& q) { return BuildJoinTree(q).ok(); }
+
+std::vector<JoinTree> EnumerateJoinTrees(const Query& q) {
+  int n = q.size();
+  assert(n <= 7 && "join-tree enumeration is exponential");
+  std::vector<JoinTree> out;
+  if (n <= 1) {
+    JoinTree t(q, {});
+    if (t.IsValidFor(q)) out.push_back(t);
+    return out;
+  }
+  if (n == 2) {
+    JoinTree t(q, {{0, 1}});
+    if (t.IsValidFor(q)) out.push_back(t);
+    return out;
+  }
+  // Enumerate labelled trees via Prüfer sequences (n^(n-2) of them).
+  std::vector<int> seq(n - 2, 0);
+  for (;;) {
+    // Decode the Prüfer sequence: degree = 1 + #occurrences; repeatedly
+    // join the smallest remaining leaf to the next sequence element.
+    std::vector<int> degree(n, 1);
+    for (int v : seq) ++degree[v];
+    std::vector<std::pair<int, int>> edges;
+    for (int v : seq) {
+      int leaf = -1;
+      for (int u = 0; u < n; ++u) {
+        if (degree[u] == 1) {
+          leaf = u;
+          break;
+        }
+      }
+      edges.emplace_back(leaf, v);
+      --degree[leaf];  // Leaf is consumed (degree drops to 0).
+      --degree[v];
+    }
+    // The last two vertices with degree 1 form the final edge.
+    std::vector<int> last;
+    for (int u = 0; u < n; ++u) {
+      if (degree[u] == 1) last.push_back(u);
+    }
+    assert(last.size() == 2);
+    edges.emplace_back(last[0], last[1]);
+    JoinTree t(q, std::move(edges));
+    if (t.IsValidFor(q)) out.push_back(t);
+    // Next sequence.
+    int i = 0;
+    for (; i < n - 2; ++i) {
+      if (++seq[i] < n) break;
+      seq[i] = 0;
+    }
+    if (i == n - 2) break;
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,59 @@
+#ifndef CQA_CQ_JOIN_TREE_H_
+#define CQA_CQ_JOIN_TREE_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "util/status.h"
+
+/// \file
+/// Join trees and α-acyclicity (Beeri–Fagin–Maier–Yannakakis, recalled in
+/// Section 3). A join tree is an undirected tree over the atoms of q
+/// satisfying the Connectedness Condition: the atoms containing any given
+/// variable induce a connected subtree. We build join trees with the GYO
+/// ear-removal reduction; a query is acyclic iff the reduction succeeds.
+
+namespace cqa {
+
+class JoinTree {
+ public:
+  JoinTree(const Query& q, std::vector<std::pair<int, int>> edges);
+
+  int size() const { return n_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  const std::vector<int>& Neighbors(int u) const { return adj_[u]; }
+
+  /// Edge label: vars(u) ∩ vars(v) for adjacent atoms (the paper labels
+  /// every tree edge this way).
+  const VarSet& Label(int u, int v) const;
+
+  /// The unique path u = p_0, p_1, ..., p_m = v (inclusive). u != v.
+  std::vector<int> Path(int u, int v) const;
+
+  /// Checks the Connectedness Condition against `q`.
+  bool IsValidFor(const Query& q) const;
+
+ private:
+  int n_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adj_;
+  // labels_[u][v] for adjacent pairs.
+  std::vector<std::vector<VarSet>> labels_;
+};
+
+/// Builds a join tree via GYO; fails when `q` is cyclic. Queries with zero
+/// or one atom have the trivial join tree.
+Result<JoinTree> BuildJoinTree(const Query& q);
+
+/// True iff `q` has a join tree.
+bool IsAcyclicQuery(const Query& q);
+
+/// Enumerates *all* join trees of `q` (all spanning trees over the atoms
+/// that satisfy the Connectedness Condition). Exponential; intended for
+/// tests of the paper's join-tree-independence theorem. `q.size()` must be
+/// at most 7.
+std::vector<JoinTree> EnumerateJoinTrees(const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_JOIN_TREE_H_

@@ -1,0 +1,129 @@
+#include "cq/matcher.h"
+
+#include <algorithm>
+
+namespace cqa {
+
+FactIndex::FactIndex(const Database& db) {
+  for (const Fact& f : db.facts()) Add(&f);
+}
+
+FactIndex::FactIndex(const Repair& repair) {
+  for (const Fact* f : repair) Add(f);
+}
+
+void FactIndex::Add(const Fact* fact) {
+  by_relation_[fact->relation()].push_back(fact);
+  fact_set_.insert(*fact);
+  ++total_;
+}
+
+const std::vector<const Fact*>& FactIndex::Facts(SymbolId relation) const {
+  static const std::vector<const Fact*> kEmpty;
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+/// Attempts to extend `val` so that θ(atom) == fact; records newly bound
+/// variables in `bound` for backtracking. Returns false on mismatch (and
+/// rolls back its own bindings).
+bool Unify(const Atom& atom, const Fact& fact, Valuation* val,
+           std::vector<SymbolId>* bound) {
+  size_t bound_before = bound->size();
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& t = atom.terms()[i];
+    SymbolId v = fact.values()[i];
+    if (t.is_const()) {
+      if (t.id() == v) continue;
+    } else {
+      auto existing = val->Get(t.id());
+      if (!existing.has_value()) {
+        val->Bind(t.id(), v);
+        bound->push_back(t.id());
+        continue;
+      }
+      if (*existing == v) continue;
+    }
+    // Mismatch: roll back.
+    while (bound->size() > bound_before) {
+      val->Unbind(bound->back());
+      bound->pop_back();
+    }
+    return false;
+  }
+  return true;
+}
+
+struct SearchState {
+  const FactIndex& index;
+  std::vector<const Atom*> order;
+  const std::function<bool(const Valuation&)>& fn;
+  Valuation val;
+  bool completed = true;
+};
+
+// Depth-first search over atoms in `order`; returns false to abort early.
+bool Search(SearchState* st, size_t depth) {
+  if (depth == st->order.size()) {
+    if (!st->fn(st->val)) {
+      st->completed = false;
+      return false;
+    }
+    return true;
+  }
+  const Atom& atom = *st->order[depth];
+  for (const Fact* fact : st->index.Facts(atom.relation())) {
+    if (fact->arity() != atom.arity()) continue;
+    std::vector<SymbolId> bound;
+    if (!Unify(atom, *fact, &st->val, &bound)) continue;
+    bool keep_going = Search(st, depth + 1);
+    for (SymbolId v : bound) st->val.Unbind(v);
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachEmbedding(const FactIndex& index, const Query& q,
+                      const Valuation& initial,
+                      const std::function<bool(const Valuation&)>& fn) {
+  // Order atoms by selectivity: fewest candidate facts first.
+  std::vector<const Atom*> order;
+  order.reserve(q.atoms().size());
+  for (const Atom& a : q.atoms()) order.push_back(&a);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const Atom* a, const Atom* b) {
+                     return index.Facts(a->relation()).size() <
+                            index.Facts(b->relation()).size();
+                   });
+  SearchState st{index, std::move(order), fn, initial, true};
+  Search(&st, 0);
+  return st.completed;
+}
+
+bool SatisfiesWith(const FactIndex& index, const Query& q,
+                   const Valuation& initial) {
+  bool found = false;
+  ForEachEmbedding(index, q, initial, [&](const Valuation&) {
+    found = true;
+    return false;  // Stop at the first embedding.
+  });
+  return found;
+}
+
+bool Satisfies(const FactIndex& index, const Query& q) {
+  return SatisfiesWith(index, q, Valuation());
+}
+
+bool Satisfies(const Database& db, const Query& q) {
+  return Satisfies(FactIndex(db), q);
+}
+
+bool Satisfies(const Repair& repair, const Query& q) {
+  return Satisfies(FactIndex(repair), q);
+}
+
+}  // namespace cqa

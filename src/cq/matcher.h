@@ -1,0 +1,64 @@
+#ifndef CQA_CQ_MATCHER_H_
+#define CQA_CQ_MATCHER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/valuation.h"
+#include "db/database.h"
+#include "db/repairs.h"
+
+/// \file
+/// Conjunctive query evaluation: db ⊨ q iff some valuation θ over vars(q)
+/// embeds every atom of q into db (Section 3). Implemented as a
+/// backtracking join over a per-relation fact index.
+
+namespace cqa {
+
+/// A light-weight per-relation view over a set of facts. Used both for
+/// whole databases and for individual repairs (which are just fact lists).
+class FactIndex {
+ public:
+  FactIndex() = default;
+  explicit FactIndex(const Database& db);
+  explicit FactIndex(const Repair& repair);
+
+  void Add(const Fact* fact);
+
+  const std::vector<const Fact*>& Facts(SymbolId relation) const;
+
+  /// Membership test (hash lookup).
+  bool Contains(const Fact& fact) const {
+    return fact_set_.find(fact) != fact_set_.end();
+  }
+
+  size_t total() const { return total_; }
+
+ private:
+  std::unordered_map<SymbolId, std::vector<const Fact*>> by_relation_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+  size_t total_ = 0;
+};
+
+/// True iff some valuation embeds `q` into the indexed facts.
+bool Satisfies(const FactIndex& index, const Query& q);
+bool Satisfies(const Database& db, const Query& q);
+bool Satisfies(const Repair& repair, const Query& q);
+
+/// Enumerates embeddings θ with θ(q) ⊆ index. The callback returns false
+/// to stop; `initial` seeds the search with pre-bound variables.
+/// Returns true when the enumeration ran to completion.
+bool ForEachEmbedding(const FactIndex& index, const Query& q,
+                      const Valuation& initial,
+                      const std::function<bool(const Valuation&)>& fn);
+
+/// True iff some embedding of `q` into `index` extends `initial`.
+bool SatisfiesWith(const FactIndex& index, const Query& q,
+                   const Valuation& initial);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_MATCHER_H_

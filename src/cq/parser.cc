@@ -1,0 +1,162 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cqa {
+
+namespace {
+
+struct QueryLexer {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns (token, is_constant). Empty token on failure.
+  std::pair<std::string, bool> Term() {
+    SkipSpace();
+    if (pos >= text.size()) return {"", false};
+    if (text[pos] == '\'') {
+      size_t end = text.find('\'', pos + 1);
+      if (end == std::string_view::npos) return {"", false};
+      std::string out(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+      return {out, true};
+    }
+    size_t start = pos;
+    bool all_digits = true;
+    while (pos < text.size() &&
+           (isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      if (!isdigit(static_cast<unsigned char>(text[pos]))) all_digits = false;
+      ++pos;
+    }
+    std::string tok(text.substr(start, pos - start));
+    return {tok, all_digits && !tok.empty()};
+  }
+};
+
+Result<Query> ParseQueryImpl(std::string_view text, const Schema* schema) {
+  Query q;
+  QueryLexer lex{text};
+  while (!lex.AtEnd()) {
+    auto [rel, rel_is_const] = lex.Term();
+    if (rel.empty() || rel_is_const) {
+      return Status::ParseError("expected relation name in query");
+    }
+    if (!lex.Consume('(')) {
+      return Status::ParseError("expected '(' after relation '" + rel + "'");
+    }
+    std::vector<Term> terms;
+    int bar_at = -1;
+    if (!lex.Consume(')')) {
+      for (;;) {
+        auto [tok, is_const] = lex.Term();
+        if (tok.empty()) return Status::ParseError("expected term");
+        terms.push_back(is_const ? Term::Const(tok) : Term::Var(tok));
+        if (lex.Consume(')')) break;
+        if (lex.Consume('|')) {
+          if (bar_at != -1) return Status::ParseError("duplicate '|'");
+          bar_at = static_cast<int>(terms.size());
+          if (lex.Consume(')')) break;
+          continue;
+        }
+        if (!lex.Consume(',')) {
+          return Status::ParseError("expected ',', '|' or ')'");
+        }
+      }
+    }
+    int arity = static_cast<int>(terms.size());
+    int key_arity;
+    if (bar_at != -1) {
+      key_arity = bar_at;
+      if (schema != nullptr) {
+        auto sig = schema->Find(InternSymbol(rel));
+        if (sig.has_value() &&
+            (sig->arity != arity || sig->key_arity != key_arity)) {
+          return Status::ParseError("atom signature of '" + rel +
+                                    "' disagrees with the schema");
+        }
+      }
+    } else {
+      if (schema == nullptr) {
+        return Status::ParseError("atom '" + rel +
+                                  "' needs '|' (no schema given)");
+      }
+      auto sig = schema->Find(InternSymbol(rel));
+      if (!sig.has_value()) {
+        return Status::ParseError("relation '" + rel + "' not in schema");
+      }
+      if (sig->arity != arity) {
+        return Status::ParseError("arity mismatch for relation '" + rel +
+                                  "'");
+      }
+      key_arity = sig->key_arity;
+    }
+    q.AddAtom(Atom(InternSymbol(rel), std::move(terms), key_arity));
+    // Optional separators between atoms.
+    lex.Consume(',');
+    lex.Consume('.');
+  }
+  return q;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, const Schema& schema) {
+  return ParseQueryImpl(text, &schema);
+}
+
+Result<Query> ParseQuery(std::string_view text) {
+  return ParseQueryImpl(text, nullptr);
+}
+
+Query MustParseQuery(std::string_view text) {
+  Result<Query> r = ParseQuery(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseQuery(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+Query MustParseQuery(std::string_view text, const Schema& schema) {
+  Result<Query> r = ParseQuery(text, schema);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseQuery(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace cqa

@@ -1,0 +1,37 @@
+#ifndef CQA_CQ_PARSER_H_
+#define CQA_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "cq/query.h"
+#include "db/schema.h"
+#include "util/status.h"
+
+/// \file
+/// Query text format. Atoms are comma-separated. Inside an atom, unquoted
+/// identifiers are variables, while quoted identifiers ('Rome') and purely
+/// numeric tokens (2016) are constants:
+///
+///   "C(x, y, 'Rome'), R(x, 'A')"           -- with a schema for C and R
+///   "R(x, y | z), S(y | x)"                -- self-describing signatures
+///
+/// The `|` marks the end of the primary key inside an atom; when absent,
+/// the signature is taken from the schema. An atom whose relation is not
+/// in the schema and has no `|` is an error.
+
+namespace cqa {
+
+/// Parses with signatures resolved against `schema`; atoms using `|`
+/// override (and must agree with) the schema.
+Result<Query> ParseQuery(std::string_view text, const Schema& schema);
+
+/// Parses a self-describing query: every atom must carry `|`.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Must-parse helpers for tests and examples: abort on error.
+Query MustParseQuery(std::string_view text);
+Query MustParseQuery(std::string_view text, const Schema& schema);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_PARSER_H_

@@ -1,0 +1,60 @@
+#ifndef CQA_CQ_TERM_H_
+#define CQA_CQ_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/interner.h"
+
+/// \file
+/// A term is a variable or a constant (Section 3 of the paper). Both are
+/// interned symbols; the kind tag distinguishes them.
+
+namespace cqa {
+
+class Term {
+ public:
+  enum class Kind : uint8_t { kVar, kConst };
+
+  Term() : kind_(Kind::kConst), id_(0) {}
+
+  static Term Var(SymbolId id) { return Term(Kind::kVar, id); }
+  static Term Const(SymbolId id) { return Term(Kind::kConst, id); }
+  static Term Var(std::string_view name) { return Var(InternSymbol(name)); }
+  static Term Const(std::string_view name) {
+    return Const(InternSymbol(name));
+  }
+
+  bool is_var() const { return kind_ == Kind::kVar; }
+  bool is_const() const { return kind_ == Kind::kConst; }
+  SymbolId id() const { return id_; }
+
+  bool operator==(const Term& o) const {
+    return kind_ == o.kind_ && id_ == o.id_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+  bool operator<(const Term& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    return id_ < o.id_;
+  }
+
+  /// Variables print bare; constants print quoted ('Rome').
+  std::string ToString() const;
+
+ private:
+  Term(Kind kind, SymbolId id) : kind_(kind), id_(id) {}
+  Kind kind_;
+  SymbolId id_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(t.is_var()) << 32) |
+                                 t.id());
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_TERM_H_

@@ -1,0 +1,54 @@
+#include "cq/valuation.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace cqa {
+
+std::optional<SymbolId> Valuation::Get(SymbolId var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Valuation::Bind(SymbolId var, SymbolId value) {
+  auto [it, inserted] = map_.emplace(var, value);
+  return inserted || it->second == value;
+}
+
+Fact Valuation::Apply(const Atom& atom) const {
+  std::vector<SymbolId> values;
+  values.reserve(atom.terms().size());
+  for (const Term& t : atom.terms()) {
+    if (t.is_const()) {
+      values.push_back(t.id());
+    } else {
+      auto it = map_.find(t.id());
+      assert(it != map_.end() && "valuation must cover the atom");
+      values.push_back(it->second);
+    }
+  }
+  return Fact(atom.relation(), std::move(values), atom.key_arity());
+}
+
+bool Valuation::Covers(const Atom& atom) const {
+  for (const Term& t : atom.terms()) {
+    if (t.is_var() && map_.find(t.id()) == map_.end()) return false;
+  }
+  return true;
+}
+
+std::string Valuation::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [var, value] : map_) {
+    if (!first) os << ", ";
+    first = false;
+    os << SymbolName(var) << "->" << SymbolName(value);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,48 @@
+#ifndef CQA_CQ_VALUATION_H_
+#define CQA_CQ_VALUATION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cq/atom.h"
+#include "db/fact.h"
+
+/// \file
+/// A valuation: a mapping from variables to constants, extended to be the
+/// identity on constants (Section 3).
+
+namespace cqa {
+
+class Valuation {
+ public:
+  Valuation() = default;
+
+  /// The binding of `var`, if any.
+  std::optional<SymbolId> Get(SymbolId var) const;
+
+  /// Binds `var` to `value`. Returns false (and leaves the valuation
+  /// unchanged) when `var` is already bound to a different value.
+  bool Bind(SymbolId var, SymbolId value);
+
+  void Unbind(SymbolId var) { map_.erase(var); }
+
+  size_t size() const { return map_.size(); }
+
+  const std::unordered_map<SymbolId, SymbolId>& map() const { return map_; }
+
+  /// θ(F): every variable of `atom` must be bound (or be a constant).
+  Fact Apply(const Atom& atom) const;
+
+  /// True iff every variable of `atom` is bound.
+  bool Covers(const Atom& atom) const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<SymbolId, SymbolId> map_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_VALUATION_H_

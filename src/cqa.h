@@ -1,0 +1,54 @@
+#ifndef CQA_CQA_H_
+#define CQA_CQA_H_
+
+/// \file
+/// Umbrella header for the cqa library — certain conjunctive query
+/// answering over uncertain (primary-key-violating) databases, after
+/// Wijsen, "Charting the Tractability Frontier of Certain Conjunctive
+/// Query Answering", PODS 2013.
+///
+/// Typical usage:
+///
+///   #include "cqa.h"
+///   auto db = cqa::ParseDatabase(text).value();
+///   auto q  = cqa::ParseQuery("C(x, y, 'Rome'), R(x, 'A')", db.schema());
+///   auto cls = cqa::ClassifyQuery(*q);          // Theorems 1-4.
+///   auto out = cqa::Engine::Solve(db, *q);      // Dispatches a solver.
+
+#include "core/attack_graph.h"
+#include "core/classifier.h"
+#include "core/dot_export.h"
+#include "cq/corpus.h"
+#include "cq/join_tree.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/parser.h"
+#include "db/printer.h"
+#include "db/purify.h"
+#include "db/repairs.h"
+#include "db/sampling.h"
+#include "fd/fd.h"
+#include "fo/evaluator.h"
+#include "fo/rewriter.h"
+#include "fo/sql_gen.h"
+#include "gen/db_gen.h"
+#include "gen/instance_gen.h"
+#include "gen/query_gen.h"
+#include "prob/bid.h"
+#include "prob/counting.h"
+#include "prob/is_safe.h"
+#include "prob/safe_plan.h"
+#include "prob/worlds.h"
+#include "solvers/ack_solver.h"
+#include "solvers/ck_solver.h"
+#include "solvers/conp_reduction.h"
+#include "solvers/engine.h"
+#include "solvers/fo_solver.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/sat_solver.h"
+#include "solvers/terminal_cycle_solver.h"
+#include "solvers/two_atom_solver.h"
+
+#endif  // CQA_CQA_H_

@@ -1,0 +1,99 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace cqa {
+
+Status Database::AddFact(const Fact& fact) {
+  auto sig = schema_.Find(fact.relation());
+  if (!sig.has_value()) {
+    CQA_RETURN_NOT_OK(
+        schema_.AddRelation(fact.relation(), fact.arity(), fact.key_arity()));
+  } else if (sig->arity != fact.arity() ||
+             sig->key_arity != fact.key_arity()) {
+    return Status::InvalidArgument("fact " + fact.ToString() +
+                                   " contradicts signature of relation '" +
+                                   SymbolName(fact.relation()) + "'");
+  }
+  if (Contains(fact)) return Status::OK();
+
+  int fact_id = static_cast<int>(facts_.size());
+  facts_.push_back(fact);
+  fact_set_.insert(fact);
+  by_relation_[fact.relation()].push_back(fact_id);
+
+  auto block_key = std::make_pair(fact.relation(), fact.KeyValues());
+  auto it = block_index_.find(block_key);
+  if (it == block_index_.end()) {
+    int block_id = static_cast<int>(blocks_.size());
+    blocks_.push_back(Block{fact.relation(), block_key.second, {fact_id}});
+    block_index_.emplace(std::move(block_key), block_id);
+  } else {
+    blocks_[it->second].fact_ids.push_back(fact_id);
+  }
+  return Status::OK();
+}
+
+const std::vector<int>& Database::FactsOf(SymbolId relation) const {
+  static const std::vector<int> kEmpty;
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kEmpty : it->second;
+}
+
+const Database::Block& Database::BlockOf(const Fact& fact) const {
+  auto it = block_index_.find(std::make_pair(fact.relation(),
+                                             fact.KeyValues()));
+  assert(it != block_index_.end());
+  return blocks_[it->second];
+}
+
+bool Database::IsConsistent() const {
+  for (const Block& b : blocks_) {
+    if (b.fact_ids.size() > 1) return false;
+  }
+  return true;
+}
+
+BigInt Database::RepairCount() const {
+  BigInt out(1);
+  for (const Block& b : blocks_) {
+    out = out * BigInt(static_cast<int64_t>(b.fact_ids.size()));
+  }
+  return out;
+}
+
+std::vector<SymbolId> Database::ActiveDomain() const {
+  std::set<SymbolId> dom;
+  for (const Fact& f : facts_) {
+    dom.insert(f.values().begin(), f.values().end());
+  }
+  return std::vector<SymbolId>(dom.begin(), dom.end());
+}
+
+Database Database::Restrict(
+    const std::unordered_set<SymbolId>& relations) const {
+  Database out(schema_);
+  for (const Fact& f : facts_) {
+    if (relations.count(f.relation())) {
+      Status st = out.AddFact(f);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(facts_.size());
+  for (const Fact& f : facts_) lines.push_back(f.ToString());
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream os;
+  for (const std::string& l : lines) os << l << "\n";
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,96 @@
+#ifndef CQA_DB_DATABASE_H_
+#define CQA_DB_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/fact.h"
+#include "db/schema.h"
+#include "util/bigint.h"
+#include "util/status.h"
+
+/// \file
+/// An *uncertain database*: a finite set of facts in which primary keys
+/// need not be satisfied. A *block* is a maximal set of key-equal facts;
+/// a *repair* picks exactly one fact from each block (Section 3).
+
+namespace cqa {
+
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  /// Inserts `fact` (no-op when already present). Registers the relation
+  /// in the schema when unknown; fails when the fact contradicts a known
+  /// signature.
+  Status AddFact(const Fact& fact);
+
+  /// All facts, in insertion order.
+  const std::vector<Fact>& facts() const { return facts_; }
+  int size() const { return static_cast<int>(facts_.size()); }
+  bool empty() const { return facts_.empty(); }
+
+  bool Contains(const Fact& fact) const {
+    return fact_set_.find(fact) != fact_set_.end();
+  }
+
+  /// Fact indices (into facts()) of all facts of `relation`.
+  const std::vector<int>& FactsOf(SymbolId relation) const;
+
+  /// A block: maximal set of key-equal facts.
+  struct Block {
+    SymbolId relation;
+    std::vector<SymbolId> key;
+    std::vector<int> fact_ids;  // indices into facts()
+  };
+
+  /// All blocks, in order of first appearance.
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// The block containing `fact` (which must be in the database).
+  const Block& BlockOf(const Fact& fact) const;
+
+  /// True iff every block is a singleton.
+  bool IsConsistent() const;
+
+  /// Number of repairs: the product of block sizes (1 when empty).
+  BigInt RepairCount() const;
+
+  /// All constants occurring in the database, sorted.
+  std::vector<SymbolId> ActiveDomain() const;
+
+  /// Database restricted to the given relations.
+  Database Restrict(const std::unordered_set<SymbolId>& relations) const;
+
+  /// One line per fact, sorted; convenient for tests and goldens.
+  std::string ToString() const;
+
+ private:
+  struct BlockKeyHash {
+    size_t operator()(const std::pair<SymbolId, std::vector<SymbolId>>& k)
+        const {
+      size_t h = k.first;
+      for (SymbolId v : k.second) h = h * 1000003u + v;
+      return h;
+    }
+  };
+
+  Schema schema_;
+  std::vector<Fact> facts_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+  std::vector<Block> blocks_;
+  std::unordered_map<std::pair<SymbolId, std::vector<SymbolId>>, int,
+                     BlockKeyHash>
+      block_index_;
+  std::unordered_map<SymbolId, std::vector<int>> by_relation_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DB_DATABASE_H_

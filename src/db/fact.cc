@@ -1,0 +1,41 @@
+#include "db/fact.h"
+
+#include <sstream>
+
+namespace cqa {
+
+Fact Fact::Make(std::string_view relation,
+                const std::vector<std::string>& values, int key_arity) {
+  std::vector<SymbolId> ids;
+  ids.reserve(values.size());
+  for (const std::string& v : values) ids.push_back(InternSymbol(v));
+  return Fact(InternSymbol(relation), std::move(ids), key_arity);
+}
+
+bool Fact::KeyEqual(const Fact& other) const {
+  if (relation_ != other.relation_ || key_arity_ != other.key_arity_) {
+    return false;
+  }
+  for (int i = 0; i < key_arity_; ++i) {
+    if (values_[i] != other.values_[i]) return false;
+  }
+  return true;
+}
+
+bool Fact::operator<(const Fact& o) const {
+  if (relation_ != o.relation_) return relation_ < o.relation_;
+  return values_ < o.values_;
+}
+
+std::string Fact::ToString() const {
+  std::ostringstream os;
+  os << SymbolName(relation_) << "(";
+  for (int i = 0; i < arity(); ++i) {
+    if (i > 0) os << (i == key_arity_ ? " | " : ", ");
+    os << SymbolName(values_[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,72 @@
+#ifndef CQA_DB_FACT_H_
+#define CQA_DB_FACT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/interner.h"
+
+/// \file
+/// A fact is an atom without variables: a relation name applied to
+/// constants, with the first `key_arity` positions forming the primary key.
+/// Two facts are key-equal when they share relation and key values
+/// (Section 3).
+
+namespace cqa {
+
+class Fact {
+ public:
+  Fact() : relation_(0), key_arity_(0) {}
+  Fact(SymbolId relation, std::vector<SymbolId> values, int key_arity)
+      : relation_(relation), values_(std::move(values)),
+        key_arity_(key_arity) {}
+
+  /// Convenience constructor interning string constants.
+  static Fact Make(std::string_view relation,
+                   const std::vector<std::string>& values, int key_arity);
+
+  SymbolId relation() const { return relation_; }
+  const std::vector<SymbolId>& values() const { return values_; }
+  int arity() const { return static_cast<int>(values_.size()); }
+  int key_arity() const { return key_arity_; }
+
+  /// The key prefix (positions 0..key_arity-1).
+  std::vector<SymbolId> KeyValues() const {
+    return std::vector<SymbolId>(values_.begin(),
+                                 values_.begin() + key_arity_);
+  }
+
+  /// True iff same relation and same key values.
+  bool KeyEqual(const Fact& other) const;
+
+  bool operator==(const Fact& o) const {
+    return relation_ == o.relation_ && key_arity_ == o.key_arity_ &&
+           values_ == o.values_;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+  bool operator<(const Fact& o) const;
+
+  /// e.g. "R(a, b | c)" — the bar separates key from non-key positions.
+  std::string ToString() const;
+
+ private:
+  SymbolId relation_;
+  std::vector<SymbolId> values_;
+  int key_arity_;
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    size_t h = std::hash<uint32_t>()(f.relation());
+    for (SymbolId v : f.values()) {
+      h = h * 1000003u + v;
+    }
+    return h;
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DB_FACT_H_

@@ -1,0 +1,137 @@
+#include "db/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace cqa {
+
+namespace {
+
+struct Lexer {
+  std::string_view text;
+  size_t pos = 0;
+  int line = 1;
+
+  void SkipSpace() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Identifier, number, or quoted string. Empty on failure.
+  std::string Token() {
+    SkipSpace();
+    if (pos >= text.size()) return "";
+    if (text[pos] == '\'') {
+      size_t end = text.find('\'', pos + 1);
+      if (end == std::string_view::npos) return "";
+      std::string out(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+      return out;
+    }
+    size_t start = pos;
+    while (pos < text.size() &&
+           (isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_' || text[pos] == '-')) {
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+
+  Status Error(const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line) + ": " + msg);
+  }
+};
+
+}  // namespace
+
+Result<Database> ParseDatabase(std::string_view text) {
+  Database db;
+  Lexer lex{text};
+  while (!lex.AtEnd()) {
+    std::string head = lex.Token();
+    if (head.empty()) return lex.Error("expected identifier");
+    if (head == "relation") {
+      std::string name = lex.Token();
+      if (name.empty()) return lex.Error("expected relation name");
+      if (!lex.Consume('[')) return lex.Error("expected '[' after name");
+      std::string arity_s = lex.Token();
+      if (!lex.Consume(',')) return lex.Error("expected ',' in signature");
+      std::string key_s = lex.Token();
+      if (!lex.Consume(']')) return lex.Error("expected ']' in signature");
+      if (!lex.Consume('.')) return lex.Error("expected '.' after relation");
+      int arity = 0, key = 0;
+      for (char c : arity_s) {
+        if (!isdigit(static_cast<unsigned char>(c)))
+          return lex.Error("bad arity");
+        arity = arity * 10 + (c - '0');
+      }
+      for (char c : key_s) {
+        if (!isdigit(static_cast<unsigned char>(c)))
+          return lex.Error("bad key arity");
+        key = key * 10 + (c - '0');
+      }
+      Status st = db.mutable_schema()->AddRelation(name, arity, key);
+      if (!st.ok()) return lex.Error(st.message());
+      continue;
+    }
+    // A fact: head is a relation name.
+    auto sig = db.schema().Find(InternSymbol(head));
+    if (!sig.has_value()) {
+      return lex.Error("relation '" + head +
+                       "' used before its 'relation' declaration");
+    }
+    if (!lex.Consume('(')) return lex.Error("expected '(' in fact");
+    std::vector<SymbolId> values;
+    if (!lex.Consume(')')) {
+      for (;;) {
+        std::string v = lex.Token();
+        if (v.empty()) return lex.Error("expected constant");
+        values.push_back(InternSymbol(v));
+        if (lex.Consume(')')) break;
+        if (!lex.Consume(',')) return lex.Error("expected ',' or ')'");
+      }
+    }
+    if (!lex.Consume('.')) return lex.Error("expected '.' after fact");
+    if (static_cast<int>(values.size()) != sig->arity) {
+      return lex.Error("fact arity mismatch for relation '" + head + "'");
+    }
+    Status st = db.AddFact(
+        Fact(InternSymbol(head), std::move(values), sig->key_arity));
+    if (!st.ok()) return lex.Error(st.message());
+  }
+  return db;
+}
+
+}  // namespace cqa

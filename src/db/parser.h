@@ -1,0 +1,34 @@
+#ifndef CQA_DB_PARSER_H_
+#define CQA_DB_PARSER_H_
+
+#include <string_view>
+
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// Text format for uncertain databases:
+///
+/// ```
+/// # Conference planning database (Fig. 1 of the paper).
+/// relation C[3,2].          # arity 3, key = first 2 positions
+/// relation R[2,1].
+/// C(PODS, 2016, Rome).
+/// C(PODS, 2016, Paris).
+/// C(KDD, 2017, Rome).
+/// R(PODS, A).
+/// R(KDD, A).
+/// R(KDD, B).
+/// ```
+///
+/// Every value in a fact is a constant; quoting ('New York') is only
+/// needed when a value contains spaces or punctuation.
+
+namespace cqa {
+
+/// Parses relation declarations and facts.
+Result<Database> ParseDatabase(std::string_view text);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_PARSER_H_

@@ -1,0 +1,46 @@
+#include "db/printer.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+/// Quotes a constant when it would not re-lex as a single token.
+std::string QuoteIfNeeded(const std::string& s) {
+  bool plain = !s.empty();
+  for (char c : s) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-') {
+      plain = false;
+      break;
+    }
+  }
+  if (plain && s != "relation") return s;
+  return "'" + s + "'";
+}
+
+}  // namespace
+
+std::string FormatDatabase(const Database& db) {
+  std::ostringstream os;
+  for (SymbolId rel : db.schema().relations()) {
+    Signature sig = *db.schema().Find(rel);
+    os << "relation " << SymbolName(rel) << "[" << sig.arity << ","
+       << sig.key_arity << "].\n";
+  }
+  for (const Database::Block& block : db.blocks()) {
+    for (int fid : block.fact_ids) {
+      const Fact& f = db.facts()[fid];
+      os << SymbolName(f.relation()) << "(";
+      for (int i = 0; i < f.arity(); ++i) {
+        if (i > 0) os << ", ";
+        os << QuoteIfNeeded(SymbolName(f.values()[i]));
+      }
+      os << ").\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,20 @@
+#ifndef CQA_DB_PRINTER_H_
+#define CQA_DB_PRINTER_H_
+
+#include <string>
+
+#include "db/database.h"
+
+/// \file
+/// Round-trip serialization back to the `.db` text format understood by
+/// `ParseDatabase`.
+
+namespace cqa {
+
+/// Relation declarations followed by facts grouped by block. The output
+/// parses back to an equal database.
+std::string FormatDatabase(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_PRINTER_H_

@@ -1,0 +1,92 @@
+#include "db/purify.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "cq/matcher.h"
+
+namespace cqa {
+
+namespace {
+
+/// True iff there is a valuation θ with fact ∈ θ(q) ⊆ db (db given as
+/// index). The fact must be matched by at least one atom, and the match
+/// must extend to a full embedding.
+bool FactIsRelevant(const FactIndex& index, const Query& q,
+                    const Fact& fact) {
+  for (int i = 0; i < q.size(); ++i) {
+    const Atom& atom = q.atom(i);
+    if (atom.relation() != fact.relation() ||
+        atom.arity() != fact.arity()) {
+      continue;
+    }
+    // Seed a valuation with atom := fact, then try to embed the rest.
+    Valuation seed;
+    bool ok = true;
+    for (int p = 0; p < atom.arity() && ok; ++p) {
+      const Term& t = atom.terms()[p];
+      if (t.is_const()) {
+        ok = t.id() == fact.values()[p];
+      } else {
+        ok = seed.Bind(t.id(), fact.values()[p]);
+      }
+    }
+    if (!ok) continue;
+    if (SatisfiesWith(index, q.WithoutAtom(i), seed)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Database Purify(const Database& db, const Query& q) {
+  return Purify(db, q, nullptr);
+}
+
+Database Purify(const Database& db, const Query& q,
+                std::vector<Fact>* removed_witnesses) {
+  // Iterate to a fixpoint: removing a block can make other facts
+  // irrelevant. Each round removes at least one block, so the number of
+  // rounds is at most the number of blocks (polynomial, as Lemma 1 needs).
+  Database current = db;
+  for (;;) {
+    FactIndex index(current);
+    // Identify all blocks containing an irrelevant fact. Irrelevance is
+    // monotone under removal, so batching whole rounds is equivalent to
+    // the paper's one-block-at-a-time sequence.
+    std::unordered_set<int> doomed_blocks;
+    for (int b = 0; b < static_cast<int>(current.blocks().size()); ++b) {
+      const Database::Block& block = current.blocks()[b];
+      for (int fid : block.fact_ids) {
+        if (!FactIsRelevant(index, q, current.facts()[fid])) {
+          doomed_blocks.insert(b);
+          if (removed_witnesses != nullptr) {
+            removed_witnesses->push_back(current.facts()[fid]);
+          }
+          break;
+        }
+      }
+    }
+    if (doomed_blocks.empty()) return current;
+    Database next(current.schema());
+    for (int b = 0; b < static_cast<int>(current.blocks().size()); ++b) {
+      if (doomed_blocks.count(b)) continue;
+      for (int fid : current.blocks()[b].fact_ids) {
+        Status st = next.AddFact(current.facts()[fid]);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+    current = std::move(next);
+  }
+}
+
+bool IsPurified(const Database& db, const Query& q) {
+  FactIndex index(db);
+  for (const Fact& f : db.facts()) {
+    if (!FactIsRelevant(index, q, f)) return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

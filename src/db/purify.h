@@ -1,0 +1,33 @@
+#ifndef CQA_DB_PURIFY_H_
+#define CQA_DB_PURIFY_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+
+/// \file
+/// Purification (Lemma 1): an uncertain database is *purified* relative to
+/// q when every fact participates in some embedding of q. Purifying
+/// preserves membership in CERTAINTY(q) and runs in polynomial time. The
+/// procedure repeatedly finds a fact A with no valuation θ such that
+/// A ∈ θ(q) ⊆ db and removes A's entire *block* (exactly as in the paper's
+/// proof of Lemma 1).
+
+namespace cqa {
+
+/// Returns the purified version of `db` relative to `q`.
+Database Purify(const Database& db, const Query& q);
+
+/// Like Purify, but records one irrelevant witness fact per removed
+/// block. Appending those witnesses to any repair of the purified
+/// database yields a repair of `db` with the same q-satisfaction
+/// (the construction inside Lemma 1's proof) — used to lift falsifying
+/// repairs found on purified databases back to the original input.
+Database Purify(const Database& db, const Query& q,
+                std::vector<Fact>* removed_witnesses);
+
+/// True iff every fact of `db` participates in some embedding of `q`.
+bool IsPurified(const Database& db, const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_PURIFY_H_

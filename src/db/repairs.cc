@@ -1,0 +1,27 @@
+#include "db/repairs.h"
+
+namespace cqa {
+
+bool RepairEnumerator::ForEach(
+    const std::function<bool(const Repair&)>& fn) const {
+  const auto& blocks = db_.blocks();
+  const auto& facts = db_.facts();
+  size_t n = blocks.size();
+  std::vector<size_t> choice(n, 0);
+  Repair repair(n, nullptr);
+  for (;;) {
+    for (size_t i = 0; i < n; ++i) {
+      repair[i] = &facts[blocks[i].fact_ids[choice[i]]];
+    }
+    if (!fn(repair)) return false;
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (++choice[i] < blocks[i].fact_ids.size()) break;
+      choice[i] = 0;
+    }
+    if (i == n) return true;
+  }
+}
+
+}  // namespace cqa

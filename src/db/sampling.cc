@@ -1,0 +1,29 @@
+#include "db/sampling.h"
+
+#include <cassert>
+
+#include "cq/matcher.h"
+
+namespace cqa {
+
+Repair SampleRepair(const Database& db, Rng* rng) {
+  Repair repair;
+  repair.reserve(db.blocks().size());
+  for (const Database::Block& block : db.blocks()) {
+    int pick = static_cast<int>(rng->Below(block.fact_ids.size()));
+    repair.push_back(&db.facts()[block.fact_ids[pick]]);
+  }
+  return repair;
+}
+
+Rational EstimateSatisfactionProbability(const Database& db, const Query& q,
+                                         int samples, Rng* rng) {
+  assert(samples > 0);
+  int hits = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (Satisfies(SampleRepair(db, rng), q)) ++hits;
+  }
+  return Rational(BigInt(hits), BigInt(samples));
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+#ifndef CQA_DB_SAMPLING_H_
+#define CQA_DB_SAMPLING_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/repairs.h"
+#include "util/rational.h"
+#include "util/rng.h"
+
+/// \file
+/// Uniform repair sampling. Repairs are exactly the independent
+/// one-per-block choices, so a uniformly random repair is one uniform
+/// pick per block — the Monte-Carlo workhorse for estimating
+/// Pr(q holds in a random repair) when exact methods (safe plan,
+/// decomposition counting) are too expensive.
+
+namespace cqa {
+
+/// A uniformly random repair of `db`.
+Repair SampleRepair(const Database& db, Rng* rng);
+
+/// Monte-Carlo estimate of the fraction of repairs satisfying q, as the
+/// exact fraction hits/samples. `samples` must be positive.
+Rational EstimateSatisfactionProbability(const Database& db, const Query& q,
+                                         int samples, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_DB_SAMPLING_H_

@@ -1,0 +1,94 @@
+#include "fd/fd.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+bool IsSubset(const VarSet& a, const VarSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::string VarSetToString(const VarSet& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (SymbolId v : s) {
+    if (!first) os << ",";
+    first = false;
+    os << SymbolName(v);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString() const {
+  return VarSetToString(lhs) + " -> " + VarSetToString(rhs);
+}
+
+VarSet FdSet::Closure(const VarSet& x) const {
+  VarSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds_) {
+      if (IsSubset(fd.lhs, closure)) {
+        for (SymbolId v : fd.rhs) {
+          if (closure.insert(v).second) changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Implies(const VarSet& x, const VarSet& y) const {
+  return IsSubset(y, Closure(x));
+}
+
+bool FdSet::Implies(const VarSet& x, SymbolId y) const {
+  VarSet closure = Closure(x);
+  return closure.find(y) != closure.end();
+}
+
+FdSet FdSet::KeyFds(const Query& q) {
+  FdSet out;
+  for (const Atom& a : q.atoms()) {
+    out.Add(FunctionalDependency{a.KeyVars(), a.Vars()});
+  }
+  return out;
+}
+
+FdSet FdSet::KeyFdsWithout(const Query& q, int excluded) {
+  FdSet out;
+  for (int i = 0; i < q.size(); ++i) {
+    if (i == excluded) continue;
+    out.Add(FunctionalDependency{q.atom(i).KeyVars(), q.atom(i).Vars()});
+  }
+  return out;
+}
+
+std::string FdSet::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fds_[i].ToString();
+  }
+  return os.str();
+}
+
+VarSet PlusClosure(const Query& q, int f) {
+  // Definition 2 restricts F^{+,q} to vars(q); variables cannot escape
+  // vars(q) here because all FDs mention only query variables.
+  return FdSet::KeyFdsWithout(q, f).Closure(q.atom(f).KeyVars());
+}
+
+VarSet CircClosure(const Query& q, int f) {
+  return FdSet::KeyFds(q).Closure(q.atom(f).KeyVars());
+}
+
+}  // namespace cqa

@@ -1,0 +1,63 @@
+#ifndef CQA_FD_FD_H_
+#define CQA_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+/// \file
+/// Functional dependencies over query variables (Definitions 1, 2 and 5
+/// of the paper). Variables play the role of attributes: every atom F
+/// contributes key(F) → vars(F); K(q) collects these, and the closures
+///   F^{+,q} = closure of key(F) under K(q \ {F})
+///   F^{⊙,q} = closure of key(F) under K(q)
+/// drive the attack graph and the weak/strong classification.
+
+namespace cqa {
+
+struct FunctionalDependency {
+  VarSet lhs;
+  VarSet rhs;
+
+  std::string ToString() const;
+};
+
+class FdSet {
+ public:
+  FdSet() = default;
+
+  void Add(FunctionalDependency fd) { fds_.push_back(std::move(fd)); }
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// Attribute closure of X under this FD set (standard fixpoint
+  /// algorithm, see Ullman, Principles of DBS).
+  VarSet Closure(const VarSet& x) const;
+
+  /// Σ ⊨ X → Y.
+  bool Implies(const VarSet& x, const VarSet& y) const;
+  /// Σ ⊨ X → {y}.
+  bool Implies(const VarSet& x, SymbolId y) const;
+
+  /// K(q): {key(F) → vars(F) | F ∈ q} (Definition 1).
+  static FdSet KeyFds(const Query& q);
+
+  /// K(q \ {q.atom(excluded)}).
+  static FdSet KeyFdsWithout(const Query& q, int excluded);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+/// F^{+,q} for F = q.atom(f) (Definition 2).
+VarSet PlusClosure(const Query& q, int f);
+
+/// F^{⊙,q} for F = q.atom(f) (Definition 5).
+VarSet CircClosure(const Query& q, int f);
+
+}  // namespace cqa
+
+#endif  // CQA_FD_FD_H_

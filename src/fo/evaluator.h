@@ -1,0 +1,40 @@
+#ifndef CQA_FO_EVALUATOR_H_
+#define CQA_FO_EVALUATOR_H_
+
+#include <vector>
+
+#include "cq/matcher.h"
+#include "cq/valuation.h"
+#include "db/database.h"
+#include "fo/formula.h"
+
+/// \file
+/// Evaluation of FO formulas over an uncertain database, with active-
+/// domain semantics for the unguarded quantifiers. Guarded quantifiers
+/// iterate only over facts of the guard's relation, which keeps the
+/// certain rewritings produced by `CertainRewriting` polynomial to
+/// evaluate.
+
+namespace cqa {
+
+class FormulaEvaluator {
+ public:
+  explicit FormulaEvaluator(const Database& db);
+
+  /// Evaluates a sentence (no free variables outside `binding`).
+  bool Eval(const FormulaPtr& formula) const;
+
+  /// Evaluates under an initial binding (free variables allowed when
+  /// bound here).
+  bool Eval(const FormulaPtr& formula, const Valuation& binding) const;
+
+ private:
+  bool EvalRec(const Formula& f, Valuation* binding) const;
+
+  FactIndex index_;
+  std::vector<SymbolId> adom_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_FO_EVALUATOR_H_

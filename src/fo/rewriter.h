@@ -1,0 +1,31 @@
+#ifndef CQA_FO_REWRITER_H_
+#define CQA_FO_REWRITER_H_
+
+#include "cq/query.h"
+#include "fo/formula.h"
+#include "util/status.h"
+
+/// \file
+/// Certain first-order rewriting (Theorem 1, construction from Wijsen
+/// TODS'12 via unattacked atoms, generalizing Fuxman–Miller). For a query
+/// whose attack graph is acyclic, produces a sentence φ with
+///   db ∈ CERTAINTY(q)  ⟺  db ⊨ φ.
+///
+/// Construction: pick an unattacked atom F = R(s⃗, t⃗); then
+///   φ(q) = ∃[R(s⃗, t⃗)] ∀[R(s⃗, u⃗)] ( pattern(u⃗ ≙ t⃗) ∧ φ(q') )
+/// where u⃗ are fresh variables, pattern(u⃗ ≙ t⃗) forces each u_j to agree
+/// with the constants / repeated variables of t⃗, and q' is q \ {F} with
+/// the non-key variables of F renamed to the corresponding u_j. The
+/// recursion treats variables bound by outer quantifiers as constants
+/// ("frozen") when recomputing attack graphs, exactly as the grounding
+/// steps in the paper's proofs (Lemma 5 guarantees no new attacks).
+
+namespace cqa {
+
+/// Fails when the attack graph of `q` is cyclic (Theorem 1: no certain
+/// FO rewriting exists) or `q` has a self-join / is a cyclic CQ.
+Result<FormulaPtr> CertainRewriting(const Query& q);
+
+}  // namespace cqa
+
+#endif  // CQA_FO_REWRITER_H_

@@ -1,0 +1,89 @@
+#include "gen/db_gen.h"
+
+#include <cassert>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cqa {
+
+namespace {
+
+std::vector<SymbolId> ConstantPool(const Query& q, int domain_size) {
+  std::vector<SymbolId> pool;
+  pool.reserve(domain_size);
+  for (int i = 0; i < domain_size; ++i) {
+    pool.push_back(InternSymbol("c" + std::to_string(i)));
+  }
+  for (const Atom& a : q.atoms()) {
+    for (const Term& t : a.terms()) {
+      if (t.is_const()) pool.push_back(t.id());
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+Database RandomDatabase(const Query& q, const DbGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SymbolId> pool = ConstantPool(q, options.domain_size);
+  Result<Schema> schema = q.InducedSchema();
+  assert(schema.ok());
+  Database db(*schema);
+  for (SymbolId rel : schema->relations()) {
+    Signature sig = *schema->Find(rel);
+    for (int i = 0; i < options.facts_per_relation; ++i) {
+      std::vector<SymbolId> values(sig.arity);
+      for (int p = 0; p < sig.arity; ++p) {
+        values[p] = pool[rng.Below(pool.size())];
+      }
+      Status st = db.AddFact(Fact(rel, std::move(values), sig.key_arity));
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return db;
+}
+
+Database RandomBlockDatabase(const Query& q,
+                             const BlockDbGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SymbolId> pool = ConstantPool(q, options.domain_size);
+  Result<Schema> schema = q.InducedSchema();
+  assert(schema.ok());
+  Database db(*schema);
+  for (SymbolId rel : schema->relations()) {
+    Signature sig = *schema->Find(rel);
+    // Draw distinct keys from the shared pool so key and non-key
+    // positions can join across relations.
+    std::set<std::vector<SymbolId>> used_keys;
+    for (int b = 0; b < options.blocks_per_relation; ++b) {
+      std::vector<SymbolId> key(sig.key_arity);
+      bool fresh = false;
+      for (int attempt = 0; attempt < 64 && !fresh; ++attempt) {
+        for (int p = 0; p < sig.key_arity; ++p) {
+          key[p] = pool[rng.Below(pool.size())];
+        }
+        fresh = used_keys.insert(key).second;
+      }
+      if (!fresh) break;  // Key space exhausted; fewer blocks is fine.
+      int size = sig.key_arity == sig.arity
+                     ? 1  // All-key blocks are singletons by definition.
+                     : static_cast<int>(rng.Below(options.max_block_size)) + 1;
+      for (int m = 0; m < size; ++m) {
+        std::vector<SymbolId> values = key;
+        values.resize(sig.arity);
+        for (int p = sig.key_arity; p < sig.arity; ++p) {
+          values[p] = pool[rng.Below(pool.size())];
+        }
+        Status st = db.AddFact(Fact(rel, std::move(values), sig.key_arity));
+        assert(st.ok());
+        (void)st;
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,47 @@
+#ifndef CQA_GEN_DB_GEN_H_
+#define CQA_GEN_DB_GEN_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/rng.h"
+
+/// \file
+/// Random uncertain-database generators. The paper has no experimental
+/// datasets (it is a theory paper), so the benchmarks and property tests
+/// synthesize workloads: uniform fact soup for correctness sweeps, and
+/// block-structured instances with controlled inconsistency for the
+/// scaling benchmarks.
+
+namespace cqa {
+
+struct DbGenOptions {
+  /// Fresh constants c0..c_{domain_size-1}; constants appearing in the
+  /// query are always added to the pool (so query constants can match).
+  int domain_size = 5;
+  /// Facts drawn per relation of the query's schema (duplicates collapse).
+  int facts_per_relation = 8;
+  uint64_t seed = 1;
+};
+
+/// Uniformly random facts over the induced schema of `q`.
+Database RandomDatabase(const Query& q, const DbGenOptions& options);
+
+struct BlockDbGenOptions {
+  /// Number of blocks per relation.
+  int blocks_per_relation = 4;
+  /// Each block holds 1..max_block_size facts (uniform).
+  int max_block_size = 3;
+  /// Pool of constants for non-key positions.
+  int domain_size = 5;
+  uint64_t seed = 1;
+};
+
+/// Random database with explicit block structure: keys are distinct per
+/// relation, block sizes vary, non-key positions are uniform.
+Database RandomBlockDatabase(const Query& q, const BlockDbGenOptions& options);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_DB_GEN_H_

@@ -1,0 +1,151 @@
+#include "gen/instance_gen.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cqa {
+
+namespace {
+
+void MustAdd(Database* db, const Fact& f) {
+  Status st = db->AddFact(f);
+  assert(st.ok());
+  (void)st;
+}
+
+/// Layer constant "L{i}_{j}": j-th constant of type x_{i+1}.
+SymbolId LayerConst(int layer, int j) {
+  return InternSymbol("L" + std::to_string(layer) + "_" + std::to_string(j));
+}
+
+std::string RelName(int i) { return "R" + std::to_string(i + 1); }
+
+}  // namespace
+
+Database RandomAckDatabase(const AckInstanceOptions& options) {
+  Rng rng(options.seed);
+  int k = options.k;
+  Database db;
+  for (int i = 0; i < k; ++i) {
+    Status st = db.mutable_schema()->AddRelation(RelName(i), 2, 1);
+    assert(st.ok());
+    (void)st;
+  }
+  Status st = db.mutable_schema()->AddRelation("S" + std::to_string(k), k, k);
+  assert(st.ok());
+  (void)st;
+
+  // S_k tuples, each materialized as a full k-cycle of edges.
+  for (int t = 0; t < options.s_tuples; ++t) {
+    std::vector<SymbolId> tuple(k);
+    for (int i = 0; i < k; ++i) {
+      tuple[i] = LayerConst(i, static_cast<int>(rng.Below(options.layer_size)));
+    }
+    MustAdd(&db, Fact(InternSymbol("S" + std::to_string(k)), tuple, k));
+    for (int i = 0; i < k; ++i) {
+      MustAdd(&db, Fact(InternSymbol(RelName(i)),
+                        {tuple[i], tuple[(i + 1) % k]}, 1));
+    }
+  }
+  // Noise edges within the layered structure.
+  for (int e = 0; e < options.noise_edges; ++e) {
+    int layer = static_cast<int>(rng.Below(k));
+    SymbolId from = LayerConst(layer,
+                               static_cast<int>(rng.Below(options.layer_size)));
+    SymbolId to = LayerConst((layer + 1) % k,
+                             static_cast<int>(rng.Below(options.layer_size)));
+    MustAdd(&db, Fact(InternSymbol(RelName(layer)), {from, to}, 1));
+  }
+  return db;
+}
+
+Database RandomQ0Database(const Q0InstanceOptions& options) {
+  Rng rng(options.seed);
+  Database db;
+  Status st = db.mutable_schema()->AddRelation("R0", 2, 1);
+  assert(st.ok());
+  st = db.mutable_schema()->AddRelation("S0", 3, 2);
+  assert(st.ok());
+  (void)st;
+  auto constant = [&](int i) {
+    return InternSymbol("q" + std::to_string(i));
+  };
+  auto random_const = [&]() {
+    return constant(static_cast<int>(rng.Below(options.domain_size)));
+  };
+  // Joining pairs: R0(a, b) with S0(b, c, a).
+  for (int i = 0; i < options.join_pairs; ++i) {
+    SymbolId a = random_const();
+    SymbolId b = random_const();
+    SymbolId c = random_const();
+    MustAdd(&db, Fact(InternSymbol("R0"), {a, b}, 1));
+    MustAdd(&db, Fact(InternSymbol("S0"), {b, c, a}, 2));
+  }
+  // Key violations: alternative non-key values for existing blocks.
+  for (int i = 0; i < options.violations && !db.blocks().empty(); ++i) {
+    const Database::Block& block =
+        db.blocks()[rng.Below(db.blocks().size())];
+    std::vector<SymbolId> values = block.key;
+    Signature sig = *db.schema().Find(block.relation);
+    values.resize(sig.arity);
+    for (int p = sig.key_arity; p < sig.arity; ++p) {
+      values[p] = random_const();
+    }
+    MustAdd(&db, Fact(block.relation, values, sig.key_arity));
+  }
+  return db;
+}
+
+Database FanTwoAtomDatabase(int n, int fan) {
+  assert(n >= 2 && fan >= 2);
+  Database db;
+  Status st = db.mutable_schema()->AddRelation("R", 2, 1);
+  assert(st.ok());
+  st = db.mutable_schema()->AddRelation("S", 3, 1);
+  assert(st.ok());
+  (void)st;
+  auto a = [](int i) { return InternSymbol("a" + std::to_string(i)); };
+  auto b = [](int i) { return InternSymbol("b" + std::to_string(i)); };
+  auto w = [](int i) { return InternSymbol("w" + std::to_string(i)); };
+  for (int i = 0; i < n; ++i) {
+    int next = (i + 1) % n;
+    // R-block a_i: the "stay" edge and the ring edge.
+    MustAdd(&db, Fact(InternSymbol("R"), {a(i), b(i)}, 1));
+    MustAdd(&db, Fact(InternSymbol("R"), {a(i), b(next)}, 1));
+    // S-block b_i: `fan` partners of R(a_i, b_i), plus the back-link
+    // that keeps R(a_{i-1}, b_i) relevant.
+    for (int f = 0; f < fan; ++f) {
+      MustAdd(&db, Fact(InternSymbol("S"), {b(i), a(i), w(f)}, 1));
+    }
+    int prev = (i + n - 1) % n;
+    MustAdd(&db, Fact(InternSymbol("S"), {b(i), a(prev), w(0)}, 1));
+  }
+  return db;
+}
+
+Database RandomCkDatabase(const CkInstanceOptions& options) {
+  Rng rng(options.seed);
+  int k = options.k;
+  Database db;
+  for (int i = 0; i < k; ++i) {
+    Status st = db.mutable_schema()->AddRelation(RelName(i), 2, 1);
+    assert(st.ok());
+    (void)st;
+  }
+  for (int layer = 0; layer < k; ++layer) {
+    for (int j = 0; j < options.layer_size; ++j) {
+      for (int e = 0; e < options.edges_per_vertex; ++e) {
+        SymbolId to = LayerConst(
+            (layer + 1) % k, static_cast<int>(rng.Below(options.layer_size)));
+        MustAdd(&db, Fact(InternSymbol(RelName(layer)),
+                          {LayerConst(layer, j), to}, 1));
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

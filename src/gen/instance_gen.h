@@ -1,0 +1,68 @@
+#ifndef CQA_GEN_INSTANCE_GEN_H_
+#define CQA_GEN_INSTANCE_GEN_H_
+
+#include <cstdint>
+
+#include "db/database.h"
+
+/// \file
+/// Structured instance families for the paper's algorithms: layered
+/// digraph databases for AC(k)/C(k) (Figures 6 and 7) and the Theorem 4
+/// benchmarks.
+
+namespace cqa {
+
+struct AckInstanceOptions {
+  int k = 3;
+  /// Constants per layer (type(x_i) in the paper's terminology).
+  int layer_size = 3;
+  /// Number of S_k tuples; each S_k(a1..ak) also inserts its k cycle
+  /// edges R_i(a_i, a_{i+1}), as in Fig. 6 where S3 encodes clockwise
+  /// cycles.
+  int s_tuples = 3;
+  /// Extra random edges beyond the encoded cycles (creates the longer
+  /// elementary cycles that Fig. 7's falsifying repairs exploit).
+  int noise_edges = 3;
+  uint64_t seed = 1;
+};
+
+/// Random database over {R1..Rk, Sk} for AC(k).
+Database RandomAckDatabase(const AckInstanceOptions& options);
+
+struct CkInstanceOptions {
+  int k = 3;
+  int layer_size = 3;
+  /// Outgoing edges drawn per layer vertex (at least 1).
+  int edges_per_vertex = 2;
+  uint64_t seed = 1;
+};
+
+/// Random layered database over {R1..Rk} for C(k).
+Database RandomCkDatabase(const CkInstanceOptions& options);
+
+struct Q0InstanceOptions {
+  /// Number of joining pairs R0(a,b), S0(b,c,a) seeded into the
+  /// database (guarantees embeddings survive purification).
+  int join_pairs = 4;
+  /// Extra facts added to existing blocks (key violations).
+  int violations = 4;
+  int domain_size = 4;
+  uint64_t seed = 1;
+};
+
+/// Random database for q0 = {R0(x,y), S0(y,z,x)} — the coNP-complete
+/// query used as the Theorem 2 reduction source — built so that the
+/// atoms actually join and blocks genuinely conflict.
+Database RandomQ0Database(const Q0InstanceOptions& options);
+
+/// A purified instance family for the fan2 query R(x|y), S(y|x,w) in
+/// which every R fact conflicts with `fan` S facts of one block — the
+/// conflict sets are *not* a matching, forcing the two-atom solver onto
+/// its exact-MIS branch (the general claw-free case). Built as a ring of
+/// n R-blocks {R(a_i,b_i), R(a_i,b_{i+1})} and S-blocks containing the
+/// fanned partners plus the ring back-link.
+Database FanTwoAtomDatabase(int n, int fan);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_INSTANCE_GEN_H_

@@ -1,0 +1,48 @@
+#include "gen/query_gen.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cqa {
+
+Query RandomAcyclicQuery(const QueryGenOptions& options) {
+  Rng rng(options.seed);
+  int n = options.num_atoms;
+  assert(n >= 1);
+  std::vector<std::vector<SymbolId>> atom_vars(n);
+  int fresh_counter = 0;
+  auto fresh_var = [&]() {
+    return InternSymbol("v" + std::to_string(fresh_counter++));
+  };
+
+  Query q;
+  for (int i = 0; i < n; ++i) {
+    int parent = i == 0 ? -1 : static_cast<int>(rng.Below(i));
+    int arity = static_cast<int>(rng.Below(options.max_arity)) + 1;
+    int key_arity = static_cast<int>(rng.Below(arity)) + 1;
+    std::vector<Term> terms;
+    terms.reserve(arity);
+    for (int p = 0; p < arity; ++p) {
+      if (rng.Chance(options.constant_percent, 100)) {
+        terms.push_back(Term::Const(
+            InternSymbol("a" + std::to_string(rng.Below(3)))));
+        continue;
+      }
+      SymbolId var;
+      if (parent >= 0 && !atom_vars[parent].empty() &&
+          rng.Chance(options.reuse_percent, 100)) {
+        var = atom_vars[parent][rng.Below(atom_vars[parent].size())];
+      } else {
+        var = fresh_var();
+      }
+      terms.push_back(Term::Var(var));
+      atom_vars[i].push_back(var);
+    }
+    q.AddAtom(Atom(InternSymbol("G" + std::to_string(i)), std::move(terms),
+                   key_arity));
+  }
+  return q;
+}
+
+}  // namespace cqa

@@ -1,0 +1,37 @@
+#ifndef CQA_GEN_QUERY_GEN_H_
+#define CQA_GEN_QUERY_GEN_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+#include "util/rng.h"
+
+/// \file
+/// Random acyclic self-join-free query generator, used by the property
+/// tests (attack-graph invariants: Lemmas 2, 3, 4, 6) and the classifier
+/// frontier sweep. Queries are built along a random tree so acyclicity is
+/// guaranteed by construction: each atom may only reuse variables of its
+/// tree parent, which makes every variable's occurrence set a connected
+/// subtree.
+
+namespace cqa {
+
+struct QueryGenOptions {
+  int num_atoms = 4;
+  int max_arity = 4;
+  /// Probability (percent) that a position reuses a parent variable
+  /// rather than introducing a fresh one.
+  int reuse_percent = 50;
+  /// Probability (percent) that a position holds a constant.
+  int constant_percent = 10;
+  uint64_t seed = 1;
+};
+
+/// Generates a random acyclic query without self-joins. Relations are
+/// named G0, G1, ... with arities in [1, max_arity] and key arities in
+/// [1, arity].
+Query RandomAcyclicQuery(const QueryGenOptions& options);
+
+}  // namespace cqa
+
+#endif  // CQA_GEN_QUERY_GEN_H_

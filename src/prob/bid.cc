@@ -1,0 +1,63 @@
+#include "prob/bid.h"
+
+#include <cassert>
+
+namespace cqa {
+
+Status BidDatabase::AddFact(const Fact& fact, const Rational& p) {
+  if (p <= Rational::Zero() || p > Rational::One()) {
+    return Status::InvalidArgument("fact probability must be in (0, 1]");
+  }
+  if (db_.Contains(fact)) {
+    return Status::InvalidArgument("duplicate fact " + fact.ToString());
+  }
+  CQA_RETURN_NOT_OK(db_.AddFact(fact));
+  probs_.emplace(fact, p);
+  if (BlockMass(db_.BlockOf(fact)) > Rational::One()) {
+    return Status::InvalidArgument("block mass of " + fact.ToString() +
+                                   "'s block exceeds 1");
+  }
+  return Status::OK();
+}
+
+Rational BidDatabase::Probability(const Fact& fact) const {
+  auto it = probs_.find(fact);
+  return it == probs_.end() ? Rational::Zero() : it->second;
+}
+
+BidDatabase BidDatabase::UniformOverRepairs(const Database& db) {
+  BidDatabase out;
+  for (const Database::Block& block : db.blocks()) {
+    Rational p(BigInt(1), BigInt(static_cast<int64_t>(block.fact_ids.size())));
+    for (int fid : block.fact_ids) {
+      Status st = out.AddFact(db.facts()[fid], p);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out;
+}
+
+Rational BidDatabase::BlockMass(const Database::Block& block) const {
+  Rational mass;
+  for (int fid : block.fact_ids) {
+    mass += Probability(db_.facts()[fid]);
+  }
+  return mass;
+}
+
+Database BidDatabase::TotalBlocksRestriction() const {
+  Database out(db_.schema());
+  for (const Database::Block& block : db_.blocks()) {
+    if (BlockMass(block) == Rational::One()) {
+      for (int fid : block.fact_ids) {
+        Status st = out.AddFact(db_.facts()[fid]);
+        assert(st.ok());
+        (void)st;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,54 @@
+#ifndef CQA_PROB_BID_H_
+#define CQA_PROB_BID_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+/// \file
+/// Block-independent-disjoint (BID) probabilistic databases (Section 7,
+/// Definitions 9–11): facts carry rational probabilities; distinct facts
+/// of a block are disjoint events (their probabilities sum to at most 1
+/// per block), facts of distinct blocks are independent. Theorem 2.4 of
+/// Dalvi–Ré–Suciu makes the per-fact encoding complete, which is the
+/// encoding used here.
+
+namespace cqa {
+
+class BidDatabase {
+ public:
+  BidDatabase() = default;
+
+  /// Adds `fact` with probability `p` (0 < p <= 1). Fails when the
+  /// block's total probability would exceed 1.
+  Status AddFact(const Fact& fact, const Rational& p);
+
+  const Database& database() const { return db_; }
+
+  /// Probability of a fact (0 when absent).
+  Rational Probability(const Fact& fact) const;
+
+  /// The uniform-repair BID view of an uncertain database: each fact of
+  /// a block of size s gets probability 1/s. Possible worlds with
+  /// positive probability are then exactly the repairs, uniformly.
+  static BidDatabase UniformOverRepairs(const Database& db);
+
+  /// Sum of fact probabilities per block; a block is *total* when this
+  /// is exactly 1.
+  Rational BlockMass(const Database::Block& block) const;
+
+  /// Restriction of the database to blocks with total probability 1
+  /// (db' in Proposition 1).
+  Database TotalBlocksRestriction() const;
+
+ private:
+  Database db_;
+  std::unordered_map<Fact, Rational, FactHash> probs_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PROB_BID_H_

@@ -1,0 +1,180 @@
+#include "prob/counting.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cq/matcher.h"
+#include "prob/safe_plan.h"
+#include "solvers/oracle_solver.h"
+
+namespace cqa {
+
+BigInt Counting::CountByOracle(const Database& db, const Query& q) {
+  return OracleSolver::CountSatisfyingRepairs(db, q);
+}
+
+namespace {
+
+/// Union-find over block ids.
+struct UnionFind {
+  explicit UnionFind(int n) : parent(n) {
+    for (int i = 0; i < n; ++i) parent[i] = i;
+  }
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+  std::vector<int> parent;
+};
+
+/// Embeddings as block-id/fact-id constraint lists.
+struct EmbeddingTable {
+  // Each embedding: the (block, fact) choices it requires, deduped.
+  std::vector<std::vector<std::pair<int, int>>> embeddings;
+};
+
+/// Number of block choice-combinations of `blocks` (local ids) under
+/// which NO embedding in `embeds` (indexed into local block ids) is
+/// fully selected. Exhaustive over the component only.
+BigInt CountFalsifyingInComponent(
+    const std::vector<const Database::Block*>& blocks,
+    const std::vector<std::vector<std::pair<int, int>>>& embeds) {
+  size_t n = blocks.size();
+  std::vector<int> choice(n, 0);  // Index into each block's fact list.
+  BigInt count(0);
+  std::function<void(size_t)> Recurse = [&](size_t i) {
+    if (i == n) {
+      for (const auto& embed : embeds) {
+        bool complete = true;
+        for (auto [b, fid] : embed) {
+          if (blocks[b]->fact_ids[choice[b]] != fid) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) return;  // Some embedding survives: satisfying.
+      }
+      count += BigInt(1);
+      return;
+    }
+    for (choice[i] = 0;
+         choice[i] < static_cast<int>(blocks[i]->fact_ids.size());
+         ++choice[i]) {
+      Recurse(i + 1);
+    }
+  };
+  Recurse(0);
+  return count;
+}
+
+}  // namespace
+
+BigInt Counting::CountByDecomposition(const Database& db, const Query& q) {
+  if (q.empty()) return db.RepairCount();  // Every repair satisfies {}.
+
+  // Map each fact to its block id.
+  std::map<std::pair<SymbolId, std::vector<SymbolId>>, int> block_ids;
+  for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
+    block_ids.emplace(
+        std::make_pair(db.blocks()[b].relation, db.blocks()[b].key), b);
+  }
+  std::vector<int> block_of(db.facts().size());
+  std::map<Fact, int> fact_ids;
+  for (int f = 0; f < db.size(); ++f) {
+    const Fact& fact = db.facts()[f];
+    block_of[f] = block_ids.at(std::make_pair(fact.relation(),
+                                              fact.KeyValues()));
+    fact_ids.emplace(fact, f);
+  }
+
+  // Collect embeddings as (block, fact) requirement lists and union the
+  // blocks each embedding touches.
+  UnionFind uf(static_cast<int>(db.blocks().size()));
+  std::vector<std::vector<std::pair<int, int>>> embeddings;
+  FactIndex index(db);
+  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
+    std::vector<std::pair<int, int>> req;
+    bool consistent = true;
+    for (const Atom& atom : q.atoms()) {
+      int fid = fact_ids.at(theta.Apply(atom));
+      int b = block_of[fid];
+      bool dup = false;
+      for (auto [eb, ef] : req) {
+        if (eb == b) {
+          dup = true;
+          // Two atoms demanding different facts of one block can never
+          // be jointly selected; drop the embedding.
+          if (ef != fid) consistent = false;
+        }
+      }
+      if (!dup) req.emplace_back(b, fid);
+    }
+    if (consistent) {
+      for (size_t i = 1; i < req.size(); ++i) {
+        uf.Union(req[0].first, req[i].first);
+      }
+      embeddings.push_back(std::move(req));
+    }
+    return true;
+  });
+
+  // Group touched blocks by component root; untouched blocks multiply
+  // freely into the falsifying count.
+  std::map<int, std::vector<int>> components;  // root -> block ids.
+  std::vector<bool> touched(db.blocks().size(), false);
+  for (const auto& embed : embeddings) {
+    for (auto [b, fid] : embed) touched[b] = true;
+  }
+  for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
+    if (touched[b]) components[uf.Find(b)].push_back(b);
+  }
+
+  BigInt falsifying(1);
+  for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
+    if (!touched[b]) {
+      falsifying =
+          falsifying *
+          BigInt(static_cast<int64_t>(db.blocks()[b].fact_ids.size()));
+    }
+  }
+  for (const auto& [root, block_list] : components) {
+    // Localize embeddings fully inside this component.
+    std::vector<int> local_id(db.blocks().size(), -1);
+    std::vector<const Database::Block*> blocks;
+    for (int b : block_list) {
+      local_id[b] = static_cast<int>(blocks.size());
+      blocks.push_back(&db.blocks()[b]);
+    }
+    std::vector<std::vector<std::pair<int, int>>> local_embeds;
+    for (const auto& embed : embeddings) {
+      if (uf.Find(embed[0].first) != root) continue;
+      std::vector<std::pair<int, int>> local;
+      local.reserve(embed.size());
+      for (auto [b, fid] : embed) local.emplace_back(local_id[b], fid);
+      local_embeds.push_back(std::move(local));
+    }
+    falsifying = falsifying * CountFalsifyingInComponent(blocks,
+                                                         local_embeds);
+  }
+  return db.RepairCount() - falsifying;
+}
+
+Result<BigInt> Counting::CountBySafePlan(const Database& db,
+                                         const Query& q) {
+  BidDatabase bid = BidDatabase::UniformOverRepairs(db);
+  Result<Rational> p = SafePlan::Probability(bid, q);
+  if (!p.ok()) return p.status();
+  Rational count = *p * Rational(db.RepairCount(), BigInt(1));
+  if (!(count.den() == BigInt(1))) {
+    return Status::Internal(
+        "uniform-repair probability times repair count must be integral");
+  }
+  return count.num();
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+#ifndef CQA_PROB_COUNTING_H_
+#define CQA_PROB_COUNTING_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/bigint.h"
+#include "util/status.h"
+
+/// \file
+/// The counting variant #CERTAINTY(q) (Section 2): how many repairs of
+/// db satisfy q? Under the uniform-over-repairs BID view (each fact of a
+/// block of size s has probability 1/s), the positive-probability worlds
+/// are exactly the repairs, so
+///   #CERTAINTY(q)(db) = Pr(q) · #repairs(db).
+/// For safe queries the probability is exact and polynomial (safe plan);
+/// this covers the FP side reachable with the paper's Section 7 tools
+/// (the full Maslowski–Wijsen dichotomy is cited but out of scope, see
+/// DESIGN.md §2).
+
+namespace cqa {
+
+class Counting {
+ public:
+  /// Exhaustive count over all repairs (ground truth; exponential).
+  static BigInt CountByOracle(const Database& db, const Query& q);
+
+  /// Count via the uniform BID safe plan. Fails when q is unsafe.
+  static Result<BigInt> CountBySafePlan(const Database& db, const Query& q);
+
+  /// Exact count for *any* query by embedding-component decomposition:
+  /// blocks touched by a common embedding are grouped into connected
+  /// components; "no embedding completes" is independent across
+  /// components, so
+  ///   #falsifying = Π_C #falsifying(C) · Π_{untouched blocks} |block|
+  /// and #satisfying = #repairs - #falsifying. Exponential only in the
+  /// largest component, not in the database — the practical exact
+  /// counter for unsafe queries.
+  static BigInt CountByDecomposition(const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PROB_COUNTING_H_

@@ -1,0 +1,124 @@
+#include "prob/is_safe.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cqa {
+
+namespace {
+
+/// Fresh constant used when a rule grounds a variable; the exact constant
+/// is irrelevant (IsSafe is purely syntactic), but a reserved name avoids
+/// accidental collisions with user constants.
+SymbolId SafetyConstant() {
+  static SymbolId id = InternSymbol("$safe");
+  return id;
+}
+
+/// Partitions q into connected components by shared variables.
+std::vector<Query> VariableComponents(const Query& q) {
+  int n = q.size();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] != -1) continue;
+    comp[i] = next;
+    // BFS by shared variables.
+    std::vector<int> frontier{i};
+    while (!frontier.empty()) {
+      int cur = frontier.back();
+      frontier.pop_back();
+      VarSet cur_vars = q.atom(cur).Vars();
+      for (int j = 0; j < n; ++j) {
+        if (comp[j] != -1) continue;
+        VarSet other = q.atom(j).Vars();
+        bool shares = std::any_of(other.begin(), other.end(),
+                                  [&](SymbolId v) {
+                                    return cur_vars.count(v) > 0;
+                                  });
+        if (shares) {
+          comp[j] = next;
+          frontier.push_back(j);
+        }
+      }
+    }
+    ++next;
+  }
+  std::vector<Query> out(next);
+  for (int i = 0; i < n; ++i) out[comp[i]].AddAtom(q.atom(i));
+  return out;
+}
+
+bool IsSafeImpl(const Query& q, std::ostringstream* trace, int depth) {
+  auto log = [&](const std::string& line) {
+    if (trace == nullptr) return;
+    for (int i = 0; i < depth; ++i) *trace << "  ";
+    *trace << line << "\n";
+  };
+
+  if (q.empty()) {
+    log("empty query: safe (Pr = 1)");
+    return true;
+  }
+  // R1: a single ground atom.
+  if (q.size() == 1 && q.Vars().empty()) {
+    log("R1: single ground atom " + q.ToString() + " -> safe");
+    return true;
+  }
+  // R2: split into variable-disjoint components.
+  std::vector<Query> components = VariableComponents(q);
+  if (components.size() > 1) {
+    log("R2: split into " + std::to_string(components.size()) +
+        " components");
+    bool all = true;
+    for (const Query& part : components) {
+      all = IsSafeImpl(part, trace, depth + 1) && all;
+    }
+    return all;
+  }
+  // R3: a variable in every key.
+  VarSet common;
+  bool first = true;
+  for (const Atom& a : q.atoms()) {
+    VarSet key = a.KeyVars();
+    if (first) {
+      common = key;
+      first = false;
+    } else {
+      VarSet next;
+      std::set_intersection(common.begin(), common.end(), key.begin(),
+                            key.end(), std::inserter(next, next.begin()));
+      common = next;
+    }
+    if (common.empty()) break;
+  }
+  if (!common.empty()) {
+    SymbolId x = *common.begin();
+    log("R3: ground common key variable " + SymbolName(x));
+    return IsSafeImpl(q.Substitute(x, SafetyConstant()), trace, depth + 1);
+  }
+  // R4: an atom with an empty (variable-free) key but some variable.
+  for (const Atom& a : q.atoms()) {
+    if (a.KeyVars().empty() && !a.Vars().empty()) {
+      SymbolId x = *a.Vars().begin();
+      log("R4: ground variable " + SymbolName(x) + " of key-ground atom " +
+          a.ToString());
+      return IsSafeImpl(q.Substitute(x, SafetyConstant()), trace, depth + 1);
+    }
+  }
+  log("no rule applies -> unsafe");
+  return false;
+}
+
+}  // namespace
+
+bool IsSafe(const Query& q) { return IsSafeImpl(q, nullptr, 0); }
+
+bool IsSafeTraced(const Query& q, std::string* trace) {
+  std::ostringstream os;
+  bool safe = IsSafeImpl(q, &os, 0);
+  *trace = os.str();
+  return safe;
+}
+
+}  // namespace cqa

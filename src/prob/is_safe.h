@@ -1,0 +1,34 @@
+#ifndef CQA_PROB_IS_SAFE_H_
+#define CQA_PROB_IS_SAFE_H_
+
+#include <string>
+
+#include "cq/query.h"
+
+/// \file
+/// The Dalvi–Ré–Suciu safety test, reproduced verbatim from the paper's
+/// "Function IsSafe(q)" box (Section 7.1):
+///
+///   R1: |q| = 1 and vars(q) = {}                       -> true
+///   R2: q = q1 ∪ q2, nonempty, vars(q1) ∩ vars(q2) = {} -> safe(q1)∧safe(q2)
+///   R3: x ∈ ⋂_{F∈q} key(F)                             -> IsSafe(q[x↦a])
+///   R4: F ∈ q with key(F) = {} != vars(F), x ∈ vars(F)  -> IsSafe(q[x↦a])
+///   otherwise                                           -> false
+///
+/// Theorem 5: PROBABILITY(q) is in FP iff q is safe (else #P-hard);
+/// Theorem 6: safe  =>  CERTAINTY(q) is first-order expressible.
+
+namespace cqa {
+
+/// True iff `q` is safe. `q` must be self-join-free for the dichotomy
+/// theorems to apply; the syntactic test itself runs on any query.
+/// The empty query is safe (its probability is identically 1).
+bool IsSafe(const Query& q);
+
+/// Like IsSafe but records the rule applied at every step, for
+/// explanations ("R3 on x", ...).
+bool IsSafeTraced(const Query& q, std::string* trace);
+
+}  // namespace cqa
+
+#endif  // CQA_PROB_IS_SAFE_H_

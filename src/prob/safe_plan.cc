@@ -1,0 +1,114 @@
+#include "prob/safe_plan.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cqa {
+
+namespace {
+
+std::vector<Query> VariableComponents(const Query& q) {
+  int n = q.size();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] != -1) continue;
+    comp[i] = next;
+    std::vector<int> frontier{i};
+    while (!frontier.empty()) {
+      int cur = frontier.back();
+      frontier.pop_back();
+      VarSet cur_vars = q.atom(cur).Vars();
+      for (int j = 0; j < n; ++j) {
+        if (comp[j] != -1) continue;
+        VarSet other = q.atom(j).Vars();
+        bool shares = std::any_of(
+            other.begin(), other.end(),
+            [&](SymbolId v) { return cur_vars.count(v) > 0; });
+        if (shares) {
+          comp[j] = next;
+          frontier.push_back(j);
+        }
+      }
+    }
+    ++next;
+  }
+  std::vector<Query> out(next);
+  for (int i = 0; i < n; ++i) out[comp[i]].AddAtom(q.atom(i));
+  return out;
+}
+
+Result<Rational> Eval(const BidDatabase& bid,
+                      const std::vector<SymbolId>& domain, const Query& q) {
+  if (q.empty()) return Rational::One();
+
+  // R1: a single ground atom.
+  if (q.size() == 1 && q.Vars().empty()) {
+    return bid.Probability(q.atom(0).ToFact());
+  }
+
+  // R2: product over variable-disjoint components.
+  std::vector<Query> components = VariableComponents(q);
+  if (components.size() > 1) {
+    Rational p = Rational::One();
+    for (const Query& part : components) {
+      Result<Rational> sub = Eval(bid, domain, part);
+      if (!sub.ok()) return sub.status();
+      p *= *sub;
+    }
+    return p;
+  }
+
+  // R3: a variable in every key -> independent OR over the domain.
+  VarSet common;
+  bool first = true;
+  for (const Atom& a : q.atoms()) {
+    VarSet key = a.KeyVars();
+    if (first) {
+      common = key;
+      first = false;
+    } else {
+      VarSet next;
+      std::set_intersection(common.begin(), common.end(), key.begin(),
+                            key.end(), std::inserter(next, next.begin()));
+      common = next;
+    }
+  }
+  if (!common.empty()) {
+    SymbolId x = *common.begin();
+    Rational none = Rational::One();
+    for (SymbolId a : domain) {
+      Result<Rational> sub = Eval(bid, domain, q.Substitute(x, a));
+      if (!sub.ok()) return sub.status();
+      none *= Rational::One() - *sub;
+    }
+    return Rational::One() - none;
+  }
+
+  // R4: an atom with a ground key -> disjoint sum over the domain.
+  for (const Atom& a : q.atoms()) {
+    if (a.KeyVars().empty() && !a.Vars().empty()) {
+      SymbolId x = *a.Vars().begin();
+      Rational sum;
+      for (SymbolId value : domain) {
+        Result<Rational> sub = Eval(bid, domain, q.Substitute(x, value));
+        if (!sub.ok()) return sub.status();
+        sum += *sub;
+      }
+      return sum;
+    }
+  }
+
+  return Status::InvalidArgument(
+      "query is not safe: PROBABILITY(q) is #P-hard (Theorem 5.2)");
+}
+
+}  // namespace
+
+Result<Rational> SafePlan::Probability(const BidDatabase& bid,
+                                       const Query& q) {
+  std::vector<SymbolId> domain = bid.database().ActiveDomain();
+  return Eval(bid, domain, q);
+}
+
+}  // namespace cqa

@@ -1,0 +1,31 @@
+#ifndef CQA_PROB_SAFE_PLAN_H_
+#define CQA_PROB_SAFE_PLAN_H_
+
+#include "cq/query.h"
+#include "prob/bid.h"
+#include "util/status.h"
+
+/// \file
+/// Exact PROBABILITY(q) for safe queries (Theorem 5.1): the evaluation
+/// mirrors the IsSafe recursion (Section 7.1) —
+///   R1  single ground atom A          Pr(A)
+///   R2  variable-disjoint components  product (block independence)
+///   R3  x in every key                1 - ∏_{a∈D} (1 - Pr(q[x↦a]))
+///       (distinct a touch disjoint blocks: independent events)
+///   R4  atom with ground key          Σ_{a∈D} Pr(q[x↦a])
+///       (the block holds at most one fact per world: disjoint events)
+/// All arithmetic is exact rational.
+
+namespace cqa {
+
+class SafePlan {
+ public:
+  /// Pr(q) on the BID database. Fails when q is not safe (Theorem 5.2:
+  /// the problem is #P-hard then; use WorldsOracle for small instances).
+  static Result<Rational> Probability(const BidDatabase& bid,
+                                      const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PROB_SAFE_PLAN_H_

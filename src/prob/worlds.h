@@ -1,0 +1,25 @@
+#ifndef CQA_PROB_WORLDS_H_
+#define CQA_PROB_WORLDS_H_
+
+#include "cq/query.h"
+#include "prob/bid.h"
+
+/// \file
+/// Exhaustive possible-worlds oracle for BID probabilistic databases.
+/// A possible world picks at most one fact per block (Definition 9);
+/// its probability is the product over blocks of the chosen fact's
+/// probability (or 1 - block mass for "no fact"). PROBABILITY(q) sums
+/// the worlds where q holds (Definition 10). Exponential — ground truth
+/// for the safe-plan evaluator.
+
+namespace cqa {
+
+class WorldsOracle {
+ public:
+  /// Pr(q): total probability of worlds satisfying q. Exact rational.
+  static Rational Probability(const BidDatabase& bid, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PROB_WORLDS_H_

@@ -1,0 +1,85 @@
+#ifndef CQA_SOLVERS_ACK_SOLVER_H_
+#define CQA_SOLVERS_ACK_SOLVER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// The Theorem 4 algorithm: CERTAINTY(AC(k)) in polynomial time. The
+/// R_i facts of a purified database form a k-partite digraph over typed
+/// vertices (layer, constant); S_k facts designate *forbidden* k-cycles.
+/// db is NOT certain iff one outgoing edge can be marked per vertex
+/// without fully marking a forbidden cycle — condition (5) — which the
+/// algorithm tests per strong component by searching for a "good" cycle:
+/// a k-cycle not in C, or an elementary cycle longer than k (found with
+/// the paper's walk-plus-avoiding-return-path criterion). When all
+/// components have one, a falsifying repair is assembled by marking
+/// shortest paths into the good cycles.
+
+namespace cqa {
+
+namespace internal {
+
+/// The layered-digraph engine shared by AckSolver and CkSolver.
+class LayeredCycleSolver {
+ public:
+  /// `k` layers; vertices are (layer, constant) pairs created on demand.
+  explicit LayeredCycleSolver(int k) : k_(k) {}
+
+  /// Edge (layer, a) -> (layer+1 mod k, b) carrying `fact_id`.
+  void AddEdge(int layer, SymbolId from, SymbolId to, int fact_id);
+
+  /// Marks the k-cycle (a_0, ..., a_{k-1}) (a_i at layer i) as forbidden.
+  void ForbidCycle(const std::vector<SymbolId>& cycle);
+
+  /// When true, every k-cycle is forbidden regardless of ForbidCycle
+  /// calls — the C(k) regime of Corollary 1 / Lemma 9 (S_k = D^k).
+  void ForbidAllKCycles() { forbid_all_ = true; }
+
+  /// Fact ids of a falsifying choice (one outgoing edge per vertex,
+  /// avoiding forbidden cycles), or nullopt when none exists — i.e.
+  /// nullopt means "certain". Empty graphs return a (trivially empty)
+  /// choice: the empty repair falsifies the query.
+  std::optional<std::vector<int>> FindFalsifyingChoice();
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int fact_id;
+  };
+
+  int VertexId(int layer, SymbolId constant);
+
+  int k_;
+  bool forbid_all_ = false;
+  std::map<std::pair<int, SymbolId>, int> vertex_ids_;
+  std::vector<std::pair<int, SymbolId>> vertices_;  // id -> (layer, const)
+  std::vector<std::vector<Edge>> adj_;
+  std::set<std::vector<SymbolId>> forbidden_;
+};
+
+}  // namespace internal
+
+class AckSolver {
+ public:
+  /// Decides db ∈ CERTAINTY(q); `q` must match AC(k) up to renaming.
+  static Result<bool> IsCertain(const Database& db, const Query& q);
+
+  /// A falsifying repair of `db` (one fact per block of the *original*
+  /// database), or nullopt when db is certain.
+  static Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_ACK_SOLVER_H_

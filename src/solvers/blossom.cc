@@ -1,0 +1,123 @@
+#include "solvers/blossom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace cqa {
+
+void BlossomMatching::AddEdge(int u, int v) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+int BlossomMatching::LowestCommonAncestor(int a, int b) {
+  std::vector<bool> visited(n_, false);
+  // Walk up from a, marking bases.
+  for (;;) {
+    a = base_[a];
+    visited[a] = true;
+    if (mate_[a] == -1) break;
+    a = parent_[mate_[a]];
+  }
+  // Walk up from b until a marked base.
+  for (;;) {
+    b = base_[b];
+    if (visited[b]) return b;
+    b = parent_[mate_[b]];
+  }
+}
+
+void BlossomMatching::MarkPath(int v, int base, int child) {
+  while (base_[v] != base) {
+    blossom_[base_[v]] = true;
+    blossom_[base_[mate_[v]]] = true;
+    parent_[v] = child;
+    child = mate_[v];
+    v = parent_[mate_[v]];
+  }
+}
+
+int BlossomMatching::FindAugmentingPath(int root) {
+  used_.assign(n_, false);
+  parent_.assign(n_, -1);
+  for (int v = 0; v < n_; ++v) base_[v] = v;
+  used_[root] = true;
+  std::deque<int> queue{root};
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int to : adj_[v]) {
+      if (base_[v] == base_[to] || mate_[v] == to) continue;
+      if (to == root || (mate_[to] != -1 && parent_[mate_[to]] != -1)) {
+        // Found a blossom; contract it.
+        int cur_base = LowestCommonAncestor(v, to);
+        blossom_.assign(n_, false);
+        MarkPath(v, cur_base, to);
+        MarkPath(to, cur_base, v);
+        for (int u = 0; u < n_; ++u) {
+          if (blossom_[base_[u]]) {
+            base_[u] = cur_base;
+            if (!used_[u]) {
+              used_[u] = true;
+              queue.push_back(u);
+            }
+          }
+        }
+      } else if (parent_[to] == -1) {
+        parent_[to] = v;
+        if (mate_[to] == -1) {
+          return to;  // Augmenting path found.
+        }
+        used_[mate_[to]] = true;
+        queue.push_back(mate_[to]);
+      }
+    }
+  }
+  return -1;
+}
+
+int BlossomMatching::Solve() {
+  mate_.assign(n_, -1);
+  parent_.assign(n_, -1);
+  base_.assign(n_, 0);
+  used_.assign(n_, false);
+  blossom_.assign(n_, false);
+
+  // Greedy initialization speeds up the augmenting phase.
+  for (int v = 0; v < n_; ++v) {
+    if (mate_[v] != -1) continue;
+    for (int to : adj_[v]) {
+      if (mate_[to] == -1) {
+        mate_[v] = to;
+        mate_[to] = v;
+        break;
+      }
+    }
+  }
+
+  int matches = 0;
+  for (int v = 0; v < n_; ++v) {
+    if (mate_[v] != -1) ++matches;
+  }
+  matches /= 2;
+
+  for (int v = 0; v < n_; ++v) {
+    if (mate_[v] != -1) continue;
+    int u = FindAugmentingPath(v);
+    if (u == -1) continue;
+    ++matches;
+    // Flip matched/unmatched along the path ending at u.
+    while (u != -1) {
+      int pv = parent_[u];
+      int ppv = mate_[pv];
+      mate_[u] = pv;
+      mate_[pv] = u;
+      u = ppv;
+    }
+  }
+  return matches;
+}
+
+}  // namespace cqa

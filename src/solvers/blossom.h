@@ -1,0 +1,43 @@
+#ifndef CQA_SOLVERS_BLOSSOM_H_
+#define CQA_SOLVERS_BLOSSOM_H_
+
+#include <vector>
+
+/// \file
+/// Maximum matching in general (non-bipartite) graphs via Edmonds'
+/// blossom algorithm, O(V^3). Used by the two-atom solver: when the
+/// conflict relation between facts is a partial matching, the conflict
+/// graph is the line graph of a multigraph H, so a maximum independent
+/// set transversal exists iff H has a matching saturating all block
+/// vertices — a polynomial-time criterion, our stand-in for the
+/// Kolaitis–Pema/Minty machinery (see DESIGN.md §2).
+
+namespace cqa {
+
+/// Undirected graph as adjacency lists over vertices 0..n-1.
+class BlossomMatching {
+ public:
+  explicit BlossomMatching(int n) : n_(n), adj_(n) {}
+
+  void AddEdge(int u, int v);
+
+  /// Computes a maximum matching; returns its size. After the call,
+  /// mate()[v] is v's partner or -1.
+  int Solve();
+
+  const std::vector<int>& mate() const { return mate_; }
+
+ private:
+  int FindAugmentingPath(int root);
+  int LowestCommonAncestor(int a, int b);
+  void MarkPath(int v, int base, int child);
+
+  int n_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> mate_, parent_, base_;
+  std::vector<bool> used_, blossom_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_BLOSSOM_H_

@@ -1,0 +1,35 @@
+#ifndef CQA_SOLVERS_CK_SOLVER_H_
+#define CQA_SOLVERS_CK_SOLVER_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// CERTAINTY(C(k)) in polynomial time (Corollary 1). The paper settles
+/// the k >= 3 case — open since Fuxman–Miller — by reducing C(k) to
+/// AC(k): Lemma 9 pads the database with an all-key S_k relation holding
+/// every tuple of D^k. Two implementations are provided:
+///  * `IsCertain`: the specialized solver; with S_k = D^k every k-cycle
+///    is forbidden, so no materialization is needed (the |D|^k blow-up of
+///    the generic reduction is avoided);
+///  * `IsCertainViaLemma9`: the literal reduction (materializes S_k);
+///    exponential in k, used by the tests to validate Lemma 9 itself.
+
+namespace cqa {
+
+class CkSolver {
+ public:
+  /// Decides db ∈ CERTAINTY(q); `q` must match C(k) up to renaming
+  /// (k >= 2; for k = 2 the query is acyclic but the same algorithm
+  /// applies).
+  static Result<bool> IsCertain(const Database& db, const Query& q);
+
+  /// The literal Lemma 9 reduction: pads db with S_k = D^k and runs the
+  /// AC(k) solver. Only sensible for small |D| and k.
+  static Result<bool> IsCertainViaLemma9(const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_CK_SOLVER_H_

@@ -1,0 +1,121 @@
+#include "solvers/conp_reduction.h"
+
+#include <string>
+
+#include "core/attack_graph.h"
+#include "cq/corpus.h"
+#include "cq/matcher.h"
+#include "db/purify.h"
+
+namespace cqa {
+
+Result<ConpReduction> ConpReduction::Create(const Query& q) {
+  if (q.HasSelfJoin()) {
+    return Status::Unsupported("Theorem 2 assumes no self-join");
+  }
+  Result<AttackGraph> graph = AttackGraph::Compute(q);
+  if (!graph.ok()) return graph.status();
+
+  // Lemma 4: a strong cycle implies a strong 2-cycle. Orient so that the
+  // strong attack goes F -> G.
+  int f = -1, g = -1;
+  for (auto [i, j] : graph->TwoCycles()) {
+    if (graph->IsStrongAttack(i, j)) {
+      f = i;
+      g = j;
+      break;
+    }
+    if (graph->IsStrongAttack(j, i)) {
+      f = j;
+      g = i;
+      break;
+    }
+  }
+  if (f == -1) {
+    return Status::InvalidArgument(
+        "attack graph has no strong cycle: Theorem 2 does not apply");
+  }
+
+  // Venn regions of (F+, G+, F⊙) — Fig. 3. Note F+ ⊆ F⊙.
+  const VarSet& f_plus = graph->PlusClosure(f);
+  const VarSet& g_plus = graph->PlusClosure(g);
+  const VarSet& f_circ = graph->CircClosure(f);
+  std::map<SymbolId, int> regions;
+  for (SymbolId u : q.Vars()) {
+    bool in_f = f_plus.count(u) > 0;
+    bool in_g = g_plus.count(u) > 0;
+    bool in_c = f_circ.count(u) > 0;
+    int region;
+    if (in_f && in_g) {
+      region = 1;  // 'd'
+    } else if (in_f) {
+      region = 2;  // θ(x)
+    } else if (in_g && !in_c) {
+      region = 3;  // ⟨θ(y),θ(z)⟩
+    } else if (in_g) {
+      region = 4;  // θ(y)
+    } else if (in_c) {
+      region = 5;  // ⟨θ(x),θ(y)⟩
+    } else {
+      region = 6;  // ⟨θ(x),θ(y),θ(z)⟩
+    }
+    regions.emplace(u, region);
+  }
+  return ConpReduction(q, f, g, std::move(regions));
+}
+
+Result<Database> ConpReduction::Transform(const Database& db0) const {
+  Query q0 = corpus::Q0();
+  // Variable ids of x, y, z in q0: R0(x | y), S0(y, z | x).
+  SymbolId x = q0.atom(0).terms()[0].id();
+  SymbolId y = q0.atom(0).terms()[1].id();
+  SymbolId z = q0.atom(1).terms()[1].id();
+
+  Database purified = Purify(db0, q0);
+  Database out;
+
+  auto tuple2 = [](SymbolId a, SymbolId b) {
+    return InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) + ">");
+  };
+  auto tuple3 = [](SymbolId a, SymbolId b, SymbolId c) {
+    return InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) + "," +
+                        SymbolName(c) + ">");
+  };
+  SymbolId d = InternSymbol("d");
+
+  FactIndex index(purified);
+  Status status = Status::OK();
+  ForEachEmbedding(index, q0, Valuation(), [&](const Valuation& theta) {
+    SymbolId a = *theta.Get(x);
+    SymbolId b = *theta.Get(y);
+    SymbolId c = *theta.Get(z);
+    auto value_of = [&](SymbolId u) {
+      switch (regions_.at(u)) {
+        case 1: return d;
+        case 2: return a;
+        case 3: return tuple2(b, c);
+        case 4: return b;
+        case 5: return tuple2(a, b);
+        default: return tuple3(a, b, c);
+      }
+    };
+    for (const Atom& h : query_.atoms()) {
+      std::vector<SymbolId> values;
+      values.reserve(h.terms().size());
+      for (const Term& t : h.terms()) {
+        values.push_back(t.is_const() ? t.id() : value_of(t.id()));
+      }
+      Status st = out.AddFact(Fact(h.relation(), std::move(values),
+                                   h.key_arity()));
+      if (!st.ok()) {
+        status = st;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace cqa

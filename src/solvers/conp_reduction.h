@@ -1,0 +1,53 @@
+#ifndef CQA_SOLVERS_CONP_REDUCTION_H_
+#define CQA_SOLVERS_CONP_REDUCTION_H_
+
+#include <map>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// The Theorem 2 reduction: for any acyclic self-join-free query q whose
+/// attack graph has a strong cycle, CERTAINTY(q0) reduces in polynomial
+/// time to CERTAINTY(q), where q0 = {R0(x,y), S0(y,z,x)} is the
+/// coNP-complete query of Kolaitis–Pema. The construction picks a strong
+/// 2-cycle F ⇄ G (Lemma 4), assigns every variable of q to one of six
+/// Venn regions of (F^{+,q}, G^{+,q}, F^{⊙,q}) — Fig. 3 — and maps each
+/// valuation θ over {x,y,z} to a valuation θ̂ over vars(q) whose values
+/// are 'd', θ(x), θ(y), ⟨θ(y),θ(z)⟩, ⟨θ(x),θ(y)⟩ or ⟨θ(x),θ(y),θ(z)⟩
+/// depending on the region. Then db = {θ̂(H) | H ∈ q, θ ∈ V} satisfies
+///   db0 ∈ CERTAINTY(q0) ⟺ db ∈ CERTAINTY(q).
+
+namespace cqa {
+
+class ConpReduction {
+ public:
+  /// Builds the reduction for `q`. Fails unless q is acyclic,
+  /// self-join-free, and its attack graph contains a strong cycle.
+  static Result<ConpReduction> Create(const Query& q);
+
+  /// Maps an instance db0 of CERTAINTY(q0) to an instance of
+  /// CERTAINTY(q). db0 is purified internally, as in the proof.
+  Result<Database> Transform(const Database& db0) const;
+
+  /// The atoms chosen as the strong 2-cycle F ⇄ G.
+  int f_atom() const { return f_; }
+  int g_atom() const { return g_; }
+
+  /// Region index (1..6, matching the list in the proof) per variable.
+  const std::map<SymbolId, int>& regions() const { return regions_; }
+
+ private:
+  ConpReduction(Query q, int f, int g, std::map<SymbolId, int> regions)
+      : query_(std::move(q)), f_(f), g_(g), regions_(std::move(regions)) {}
+
+  Query query_;
+  int f_;
+  int g_;
+  std::map<SymbolId, int> regions_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_CONP_REDUCTION_H_

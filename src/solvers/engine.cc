@@ -1,0 +1,115 @@
+#include "solvers/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cq/matcher.h"
+#include "solvers/ack_solver.h"
+#include "solvers/ck_solver.h"
+#include "solvers/fo_solver.h"
+#include "solvers/sat_solver.h"
+#include "solvers/terminal_cycle_solver.h"
+
+namespace cqa {
+
+Result<SolveOutcome> Engine::Solve(const Database& db, const Query& q) {
+  Result<Classification> cls = ClassifyQuery(q);
+  if (!cls.ok()) {
+    // Unsupported fragment (self-join, non-C(k) cyclic query): fall back
+    // to the sound-and-complete SAT search, but report the failure cause
+    // for genuinely malformed queries.
+    if (cls.status().code() != StatusCode::kUnsupported) {
+      return cls.status();
+    }
+    SolveOutcome out;
+    out.certain = SatSolver::IsCertain(db, q);
+    out.complexity = ComplexityClass::kOpenConjecturedPtime;
+    out.solver = "sat";
+    return out;
+  }
+
+  SolveOutcome out;
+  out.complexity = cls->complexity;
+  switch (cls->complexity) {
+    case ComplexityClass::kFirstOrder: {
+      Result<FoSolver> fo = FoSolver::Create(q);
+      if (!fo.ok()) return fo.status();
+      out.certain = fo->IsCertain(db);
+      out.solver = "fo-rewriting";
+      return out;
+    }
+    case ComplexityClass::kPtimeTerminalCycles: {
+      Result<bool> r = TerminalCycleSolver::IsCertain(db, q);
+      if (!r.ok()) return r.status();
+      out.certain = *r;
+      out.solver = "terminal-cycles";
+      return out;
+    }
+    case ComplexityClass::kPtimeAck: {
+      Result<bool> r = AckSolver::IsCertain(db, q);
+      if (!r.ok()) return r.status();
+      out.certain = *r;
+      out.solver = "ack";
+      return out;
+    }
+    case ComplexityClass::kPtimeCk: {
+      Result<bool> r = CkSolver::IsCertain(db, q);
+      if (!r.ok()) return r.status();
+      out.certain = *r;
+      out.solver = "ck";
+      return out;
+    }
+    case ComplexityClass::kConpComplete:
+    case ComplexityClass::kOpenConjecturedPtime: {
+      out.certain = SatSolver::IsCertain(db, q);
+      out.solver = "sat";
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<std::vector<SymbolId>> Engine::PossibleAnswers(
+    const Database& db, const Query& q,
+    const std::vector<SymbolId>& free_vars) {
+  std::set<std::vector<SymbolId>> answers;
+  FactIndex index(db);
+  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
+    std::vector<SymbolId> row;
+    row.reserve(free_vars.size());
+    for (SymbolId v : free_vars) {
+      auto value = theta.Get(v);
+      row.push_back(value.has_value() ? *value : 0);
+    }
+    answers.insert(std::move(row));
+    return true;
+  });
+  return std::vector<std::vector<SymbolId>>(answers.begin(), answers.end());
+}
+
+Result<std::optional<std::vector<Fact>>> Engine::FindFalsifyingRepair(
+    const Database& db, const Query& q) {
+  if (MatchAckPattern(q).has_value()) {
+    return AckSolver::FindFalsifyingRepair(db, q);
+  }
+  return std::optional<std::vector<Fact>>(
+      SatSolver::FindFalsifyingRepair(db, q));
+}
+
+Result<std::vector<std::vector<SymbolId>>> Engine::CertainAnswers(
+    const Database& db, const Query& q,
+    const std::vector<SymbolId>& free_vars) {
+  std::vector<std::vector<SymbolId>> out;
+  for (const std::vector<SymbolId>& row : PossibleAnswers(db, q, free_vars)) {
+    Query ground = q;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      ground = ground.Substitute(free_vars[i], row[i]);
+    }
+    Result<SolveOutcome> solved = Solve(db, ground);
+    if (!solved.ok()) return solved.status();
+    if (solved->certain) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cqa

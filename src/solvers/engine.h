@@ -1,0 +1,67 @@
+#ifndef CQA_SOLVERS_ENGINE_H_
+#define CQA_SOLVERS_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// The production entry point: classify CERTAINTY(q) (Theorems 1–4) and
+/// dispatch the best solver —
+///   FO            -> certain FO rewriting evaluation
+///   P/Theorem 3   -> TerminalCycleSolver
+///   P/AC(k)       -> AckSolver
+///   P/C(k)        -> CkSolver
+///   coNP / OPEN   -> SAT-backed falsifying-repair search (sound and
+///                    complete; exponential only where Theorem 2 says it
+///                    must be, unless P = coNP)
+/// Non-Boolean queries are answered by treating free variables as
+/// parameters: candidate bindings come from evaluating q on db (certain
+/// answers are always possible answers), each decided as a Boolean
+/// instance.
+
+namespace cqa {
+
+struct SolveOutcome {
+  bool certain = false;
+  ComplexityClass complexity = ComplexityClass::kFirstOrder;
+  /// Which solver produced the answer ("fo-rewriting", "terminal-cycles",
+  /// "ack", "ck", "sat").
+  std::string solver;
+};
+
+class Engine {
+ public:
+  /// Decides db ∈ CERTAINTY(q) with the classification-driven dispatch.
+  static Result<SolveOutcome> Solve(const Database& db, const Query& q);
+
+  /// Certain answers of the non-Boolean query (q, free_vars): all
+  /// bindings a⃗ of the free variables such that every repair satisfies
+  /// q[free_vars ↦ a⃗]. Sorted lexicographically.
+  static Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
+      const Database& db, const Query& q,
+      const std::vector<SymbolId>& free_vars);
+
+  /// Possible answers: bindings of the free variables holding in the
+  /// full uncertain database. This is a superset of the answers of every
+  /// repair, hence of the certain answers; useful as the candidate set
+  /// and to contrast certain vs possible in the examples.
+  static std::vector<std::vector<SymbolId>> PossibleAnswers(
+      const Database& db, const Query& q,
+      const std::vector<SymbolId>& free_vars);
+
+  /// A repair of `db` falsifying `q`, or nullopt when db ∈ CERTAINTY(q).
+  /// Uses the Theorem 4 witness extraction for AC(k) queries and the
+  /// SAT search otherwise (sound and complete for every query).
+  static Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_ENGINE_H_

@@ -1,0 +1,19 @@
+#include "solvers/fo_solver.h"
+
+#include "fo/evaluator.h"
+#include "fo/rewriter.h"
+
+namespace cqa {
+
+Result<FoSolver> FoSolver::Create(const Query& q) {
+  Result<FormulaPtr> rewriting = CertainRewriting(q);
+  if (!rewriting.ok()) return rewriting.status();
+  return FoSolver(std::move(rewriting).value());
+}
+
+bool FoSolver::IsCertain(const Database& db) const {
+  FormulaEvaluator evaluator(db);
+  return evaluator.Eval(rewriting_);
+}
+
+}  // namespace cqa

@@ -1,0 +1,34 @@
+#ifndef CQA_SOLVERS_FO_SOLVER_H_
+#define CQA_SOLVERS_FO_SOLVER_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "fo/formula.h"
+#include "util/status.h"
+
+/// \file
+/// CERTAINTY(q) for queries with an acyclic attack graph, by evaluating
+/// the certain first-order rewriting (Theorem 1). The rewriting is
+/// computed once per query and can be reused across databases.
+
+namespace cqa {
+
+class FoSolver {
+ public:
+  /// Fails when q's attack graph is cyclic (Theorem 1: not FO).
+  static Result<FoSolver> Create(const Query& q);
+
+  /// db ∈ CERTAINTY(q), by formula evaluation — polynomial time.
+  bool IsCertain(const Database& db) const;
+
+  const FormulaPtr& rewriting() const { return rewriting_; }
+
+ private:
+  explicit FoSolver(FormulaPtr rewriting)
+      : rewriting_(std::move(rewriting)) {}
+  FormulaPtr rewriting_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_FO_SOLVER_H_

@@ -1,0 +1,97 @@
+#include "solvers/mis.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cqa {
+
+void MaxIndependentSet::AddEdge(int u, int v) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  if (adj_[u].empty()) adj_[u].assign(n_, 0);
+  if (adj_[v].empty()) adj_[v].assign(n_, 0);
+  adj_[u][v] = 1;
+  adj_[v][u] = 1;
+}
+
+int MaxIndependentSet::UpperBound(const std::vector<int>& candidates) const {
+  // Greedy clique cover: each clique contributes at most one vertex.
+  int cliques = 0;
+  std::vector<char> assigned(candidates.size(), 0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (assigned[i]) continue;
+    ++cliques;
+    assigned[i] = 1;
+    std::vector<int> clique{candidates[i]};
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (assigned[j]) continue;
+      int v = candidates[j];
+      bool adjacent_to_all = true;
+      for (int u : clique) {
+        if (adj_[u].empty() || !adj_[u][v]) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) {
+        clique.push_back(v);
+        assigned[j] = 1;
+      }
+    }
+  }
+  return cliques;
+}
+
+void MaxIndependentSet::Search(std::vector<int> candidates,
+                               std::vector<int>* current) {
+  ++nodes_;
+  if (current->size() + candidates.size() <= best_set_.size()) return;
+  if (candidates.empty()) {
+    if (current->size() > best_set_.size()) best_set_ = *current;
+    return;
+  }
+  if (current->size() + UpperBound(candidates) <= best_set_.size()) return;
+
+  // Branch on the candidate with the most candidate-neighbours (max
+  // degree first keeps the residual graphs small).
+  size_t pick = 0;
+  int best_degree = -1;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    int degree = 0;
+    int v = candidates[i];
+    if (!adj_[v].empty()) {
+      for (int u : candidates) degree += adj_[v][u];
+    }
+    if (degree > best_degree) {
+      best_degree = degree;
+      pick = i;
+    }
+  }
+  int v = candidates[pick];
+
+  // Branch 1: include v.
+  std::vector<int> included;
+  for (int u : candidates) {
+    if (u != v && (adj_[v].empty() || !adj_[v][u])) included.push_back(u);
+  }
+  current->push_back(v);
+  Search(std::move(included), current);
+  current->pop_back();
+
+  // Branch 2: exclude v.
+  std::vector<int> excluded;
+  for (int u : candidates) {
+    if (u != v) excluded.push_back(u);
+  }
+  Search(std::move(excluded), current);
+}
+
+int MaxIndependentSet::Solve() {
+  std::vector<int> all(n_);
+  for (int i = 0; i < n_; ++i) all[i] = i;
+  std::vector<int> current;
+  best_set_.clear();
+  Search(std::move(all), &current);
+  return static_cast<int>(best_set_.size());
+}
+
+}  // namespace cqa

@@ -1,0 +1,44 @@
+#ifndef CQA_SOLVERS_MIS_H_
+#define CQA_SOLVERS_MIS_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Exact maximum independent set by branch and bound with a greedy
+/// clique-cover upper bound. Sound and complete on every graph;
+/// worst-case exponential. The two-atom solver calls this only on the
+/// conflict graphs whose conflicts do not form a matching — those graphs
+/// are claw-free by construction, where Minty's algorithm would give a
+/// polynomial bound (future work; see DESIGN.md §6).
+
+namespace cqa {
+
+class MaxIndependentSet {
+ public:
+  explicit MaxIndependentSet(int n) : n_(n), adj_(n) {}
+
+  void AddEdge(int u, int v);
+
+  /// Size of a maximum independent set.
+  int Solve();
+
+  /// Vertices of the maximum independent set found by Solve().
+  const std::vector<int>& best_set() const { return best_set_; }
+
+  /// Search nodes explored (for benchmark reporting).
+  int64_t nodes() const { return nodes_; }
+
+ private:
+  void Search(std::vector<int> candidates, std::vector<int>* current);
+  int UpperBound(const std::vector<int>& candidates) const;
+
+  int n_;
+  std::vector<std::vector<char>> adj_;
+  std::vector<int> best_set_;
+  int64_t nodes_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_MIS_H_

@@ -1,0 +1,39 @@
+#include "solvers/oracle_solver.h"
+
+#include "cq/matcher.h"
+
+namespace cqa {
+
+bool OracleSolver::IsCertain(const Database& db, const Query& q) {
+  RepairEnumerator repairs(db);
+  return repairs.ForEach(
+      [&](const Repair& repair) { return Satisfies(repair, q); });
+}
+
+std::optional<std::vector<Fact>> OracleSolver::FindFalsifyingRepair(
+    const Database& db, const Query& q) {
+  std::optional<std::vector<Fact>> out;
+  RepairEnumerator repairs(db);
+  repairs.ForEach([&](const Repair& repair) {
+    if (Satisfies(repair, q)) return true;
+    std::vector<Fact> copy;
+    copy.reserve(repair.size());
+    for (const Fact* f : repair) copy.push_back(*f);
+    out = std::move(copy);
+    return false;
+  });
+  return out;
+}
+
+BigInt OracleSolver::CountSatisfyingRepairs(const Database& db,
+                                            const Query& q) {
+  BigInt count(0);
+  RepairEnumerator repairs(db);
+  repairs.ForEach([&](const Repair& repair) {
+    if (Satisfies(repair, q)) count += BigInt(1);
+    return true;
+  });
+  return count;
+}
+
+}  // namespace cqa

@@ -1,0 +1,35 @@
+#ifndef CQA_SOLVERS_ORACLE_SOLVER_H_
+#define CQA_SOLVERS_ORACLE_SOLVER_H_
+
+#include <optional>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "db/repairs.h"
+#include "util/bigint.h"
+
+/// \file
+/// Ground-truth solver: decides db ∈ CERTAINTY(q) by enumerating every
+/// repair. Exponential in the number of non-singleton blocks; used to
+/// validate every polynomial algorithm in the library and as the baseline
+/// in the benchmarks (it is the "obvious" upper bound the paper's
+/// tractability results beat).
+
+namespace cqa {
+
+class OracleSolver {
+ public:
+  /// True iff every repair of `db` satisfies `q`.
+  static bool IsCertain(const Database& db, const Query& q);
+
+  /// A repair falsifying q, if one exists (i.e. iff not certain).
+  static std::optional<std::vector<Fact>> FindFalsifyingRepair(
+      const Database& db, const Query& q);
+
+  /// Number of repairs satisfying q (the #CERTAINTY oracle).
+  static BigInt CountSatisfyingRepairs(const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_ORACLE_SOLVER_H_

@@ -1,0 +1,21 @@
+#include "solvers/sat/cnf.h"
+
+#include <sstream>
+
+namespace cqa {
+
+void Cnf::AddClause(std::vector<int> literals) {
+  clauses_.push_back(std::move(literals));
+}
+
+std::string Cnf::ToDimacs() const {
+  std::ostringstream os;
+  os << "p cnf " << num_vars_ << " " << clauses_.size() << "\n";
+  for (const auto& clause : clauses_) {
+    for (int lit : clause) os << lit << " ";
+    os << "0\n";
+  }
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,0 +1,35 @@
+#ifndef CQA_SOLVERS_SAT_CNF_H_
+#define CQA_SOLVERS_SAT_CNF_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal CNF container. Literals use DIMACS conventions: variable v
+/// (1-based) appears positively as +v and negatively as -v.
+
+namespace cqa {
+
+class Cnf {
+ public:
+  /// Returns a new 1-based variable id.
+  int AddVar() { return ++num_vars_; }
+
+  /// Adds a clause (disjunction of literals). Empty clauses make the
+  /// formula unsatisfiable.
+  void AddClause(std::vector<int> literals);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<std::vector<int>>& clauses() const { return clauses_; }
+
+  /// DIMACS text, for debugging and interop.
+  std::string ToDimacs() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::vector<int>> clauses_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_SAT_CNF_H_

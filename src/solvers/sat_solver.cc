@@ -1,0 +1,91 @@
+#include "solvers/sat_solver.h"
+
+#include <unordered_map>
+
+#include "cq/matcher.h"
+#include "solvers/sat/cnf.h"
+#include "solvers/sat/dpll.h"
+
+namespace cqa {
+
+SatSolver::Stats SatSolver::stats_;
+
+namespace {
+
+struct Encoding {
+  Cnf cnf;
+  // fact id (index into db.facts()) -> SAT variable.
+  std::vector<int> fact_var;
+};
+
+Encoding Encode(const Database& db, const Query& q) {
+  Encoding enc;
+  enc.fact_var.assign(db.facts().size(), 0);
+  for (size_t i = 0; i < db.facts().size(); ++i) {
+    enc.fact_var[i] = enc.cnf.AddVar();
+  }
+  // Exactly one fact per block.
+  for (const Database::Block& block : db.blocks()) {
+    std::vector<int> at_least_one;
+    at_least_one.reserve(block.fact_ids.size());
+    for (int fid : block.fact_ids) {
+      at_least_one.push_back(enc.fact_var[fid]);
+    }
+    enc.cnf.AddClause(at_least_one);
+    for (size_t a = 0; a < block.fact_ids.size(); ++a) {
+      for (size_t b = a + 1; b < block.fact_ids.size(); ++b) {
+        enc.cnf.AddClause({-enc.fact_var[block.fact_ids[a]],
+                           -enc.fact_var[block.fact_ids[b]]});
+      }
+    }
+  }
+  // Forbid every embedding of q.
+  std::unordered_map<Fact, int, FactHash> fact_ids;
+  for (size_t i = 0; i < db.facts().size(); ++i) {
+    fact_ids.emplace(db.facts()[i], static_cast<int>(i));
+  }
+  FactIndex index(db);
+  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
+    std::vector<int> clause;
+    clause.reserve(q.size());
+    for (const Atom& atom : q.atoms()) {
+      int fid = fact_ids.at(theta.Apply(atom));
+      int lit = -enc.fact_var[fid];
+      // Dedup repeated literals (two atoms hitting the same fact).
+      bool dup = false;
+      for (int existing : clause) dup = dup || existing == lit;
+      if (!dup) clause.push_back(lit);
+    }
+    enc.cnf.AddClause(std::move(clause));
+    return true;
+  });
+  return enc;
+}
+
+}  // namespace
+
+bool SatSolver::IsCertain(const Database& db, const Query& q) {
+  return !FindFalsifyingRepair(db, q).has_value();
+}
+
+std::optional<std::vector<Fact>> SatSolver::FindFalsifyingRepair(
+    const Database& db, const Query& q) {
+  // An empty database has the single repair {}; it satisfies q only if q
+  // is satisfied by the empty fact set (q must be empty).
+  Encoding enc = Encode(db, q);
+  DpllSolver solver(enc.cnf);
+  SatResult result = solver.Solve();
+  stats_.vars = enc.cnf.num_vars();
+  stats_.clauses = static_cast<int>(enc.cnf.clauses().size());
+  stats_.decisions = solver.decisions();
+  if (result == SatResult::kUnsat) return std::nullopt;
+  std::vector<Fact> repair;
+  for (size_t i = 0; i < db.facts().size(); ++i) {
+    if (solver.model()[enc.fact_var[i] - 1]) {
+      repair.push_back(db.facts()[i]);
+    }
+  }
+  return repair;
+}
+
+}  // namespace cqa

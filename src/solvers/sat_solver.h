@@ -1,0 +1,47 @@
+#ifndef CQA_SOLVERS_SAT_SOLVER_H_
+#define CQA_SOLVERS_SAT_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+
+/// \file
+/// Decides CERTAINTY(q) by searching for a falsifying repair with a SAT
+/// solver. Encoding:
+///   * one boolean per fact ("chosen by the repair"),
+///   * exactly-one constraints per block,
+///   * for every embedding θ(q) ⊆ db, the clause ¬⋀ θ(q)
+///     ("the repair must not contain all facts of any embedding").
+/// The formula is satisfiable iff some repair falsifies q, i.e. iff
+/// db ∉ CERTAINTY(q). Sound and complete for *every* conjunctive query;
+/// worst-case exponential (as expected: Theorem 2 queries are
+/// coNP-complete), but far faster than enumerating repairs.
+
+namespace cqa {
+
+class SatSolver {
+ public:
+  /// True iff every repair satisfies q.
+  static bool IsCertain(const Database& db, const Query& q);
+
+  /// A repair falsifying q, if any.
+  static std::optional<std::vector<Fact>> FindFalsifyingRepair(
+      const Database& db, const Query& q);
+
+  /// Encoding statistics from the last call (single-threaded use).
+  struct Stats {
+    int vars = 0;
+    int clauses = 0;
+    int64_t decisions = 0;
+  };
+  static const Stats& last_stats() { return stats_; }
+
+ private:
+  static Stats stats_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_SAT_SOLVER_H_

@@ -1,0 +1,39 @@
+#ifndef CQA_SOLVERS_TERMINAL_CYCLE_SOLVER_H_
+#define CQA_SOLVERS_TERMINAL_CYCLE_SOLVER_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// The Theorem 3 algorithm: CERTAINTY(q) in polynomial time when every
+/// cycle of q's attack graph is weak and terminal. Follows the paper's
+/// inductive proof literally:
+///
+///  * Induction step — an unattacked atom F exists. By Corollary 8.11 of
+///    Wijsen TODS'12, db ∈ CERTAINTY(q) iff for some grounding a⃗ of
+///    key(F) over the active domain, db ∈ CERTAINTY(q[x⃗↦a⃗]); F (whose
+///    key is now ground) is then eliminated with Lemma 8: every fact
+///    matching F's pattern must leave a certain residue query. Lemma 5
+///    guarantees the reduced queries stay in the weak-terminal class.
+///
+///  * Base case — no unattacked atom: the attack graph is a disjoint
+///    union of weak 2-cycles {F_i, G_i} covering all atoms (Lemma 6).
+///    db_i (the facts of F_i/G_i's relations) is split into partitions
+///    by the values of the variables shared with other cycles (which sit
+///    inside both keys, Lemma 7); ⟦db_i⟧ collects the partitions that are
+///    certain for the two-atom query q_i = {F_i, G_i} (decided by
+///    TwoAtomSolver), and db is certain iff ⋃⟦db_i⟧ ⊨ q (Sublemma 5).
+
+namespace cqa {
+
+class TerminalCycleSolver {
+ public:
+  /// Decides db ∈ CERTAINTY(q). Fails unless all cycles of q's attack
+  /// graph are weak and terminal (callers should classify first).
+  static Result<bool> IsCertain(const Database& db, const Query& q);
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_TERMINAL_CYCLE_SOLVER_H_

@@ -1,0 +1,52 @@
+#ifndef CQA_SOLVERS_TWO_ATOM_SOLVER_H_
+#define CQA_SOLVERS_TWO_ATOM_SOLVER_H_
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "util/status.h"
+
+/// \file
+/// CERTAINTY(q) for two-atom queries q = {F, G} — the base case of the
+/// Theorem 3 algorithm, standing in for the Kolaitis–Pema procedure the
+/// paper cites ([13, Theorem 2]).
+///
+/// Pipeline:
+///  * attack graph acyclic          -> certain FO rewriting (Theorem 1);
+///  * weak 2-cycle F <-> G          -> conflict-graph reduction, below;
+///  * strong 2-cycle                -> SAT-based search (the problem is
+///                                     coNP-complete, Theorem 2).
+///
+/// Conflict-graph reduction. After purification, a repair falsifies q iff
+/// one fact can be chosen per block avoiding every *conflict pair*
+/// {θ(F), θ(G)}. In the conflict graph G_c (vertices = facts, edges =
+/// block cliques + conflict pairs) that is: α(G_c) == #blocks. For weak
+/// cycles each fact's conflicts lie inside a single opposite block, which
+/// makes G_c claw-free — the structure Kolaitis–Pema exploit via Minty's
+/// algorithm. We solve two regimes:
+///  * conflicts form a partial matching (each fact has at most one
+///    partner): G_c is the line graph of a bipartite multigraph H
+///    (blocks on one side, conflict pairs on the other; facts are edges),
+///    so α(G_c) = ν(H) via Edmonds/blossom matching — polynomial;
+///  * otherwise: exact branch-and-bound MIS on the claw-free G_c
+///    (worst-case exponential; see DESIGN.md §2/§6).
+
+namespace cqa {
+
+class TwoAtomSolver {
+ public:
+  /// Which decision path handled the last call (single-threaded use).
+  enum class Path { kFoRewriting, kMatching, kMis, kSat };
+
+  /// Decides db ∈ CERTAINTY(q). `q` must have exactly two atoms and no
+  /// self-join.
+  static Result<bool> IsCertain(const Database& db, const Query& q);
+
+  static Path last_path() { return last_path_; }
+
+ private:
+  static Path last_path_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SOLVERS_TWO_ATOM_SOLVER_H_

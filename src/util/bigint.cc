@@ -1,0 +1,260 @@
+#include "util/bigint.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace cqa {
+
+namespace {
+constexpr uint64_t kBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t v) : negative_(v < 0) {
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1
+                           : static_cast<uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  Normalize();
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const auto& x = a.limbs_;
+  const auto& y = b.limbs_;
+  size_t n = std::max(x.size(), y.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < x.size()) sum += x[i];
+    if (i < y.size()) sum += y[i];
+    out.limbs_.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  assert(CompareMagnitude(a, b) >= 0);
+  BigInt out;
+  out.limbs_.reserve(a.limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow -
+                   (i < b.limbs_.size() ? b.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<uint32_t>(diff));
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    BigInt out = AddMagnitude(*this, other);
+    out.negative_ = negative_;
+    out.Normalize();
+    return out;
+  }
+  int cmp = CompareMagnitude(*this, other);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) {
+    BigInt out = SubMagnitude(*this, other);
+    out.negative_ = negative_;
+    out.Normalize();
+    return out;
+  }
+  BigInt out = SubMagnitude(other, *this);
+  out.negative_ = other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] +
+                     static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                     carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& other) const {
+  assert(!other.is_zero());
+  // Magnitude-only schoolbook long division, bit by bit.
+  BigInt quotient;
+  BigInt remainder;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // remainder = remainder * 2 + current bit.
+      uint32_t carry = 0;
+      for (size_t k = 0; k < remainder.limbs_.size(); ++k) {
+        uint32_t next = remainder.limbs_[k] >> 31;
+        remainder.limbs_[k] = (remainder.limbs_[k] << 1) | carry;
+        carry = next;
+      }
+      if (carry) remainder.limbs_.push_back(carry);
+      uint32_t in_bit = (limbs_[i] >> bit) & 1u;
+      if (in_bit) {
+        if (remainder.limbs_.empty()) remainder.limbs_.push_back(0);
+        remainder.limbs_[0] |= 1u;
+      }
+      remainder.Normalize();
+      BigInt abs_other = other;
+      abs_other.negative_ = false;
+      if (CompareMagnitude(remainder, abs_other) >= 0) {
+        remainder = SubMagnitude(remainder, abs_other);
+        quotient.limbs_[i] |= (uint32_t{1} << bit);
+      }
+    }
+  }
+  quotient.Normalize();
+  remainder.Normalize();
+  return {quotient, remainder};
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  auto [q, r] = DivMod(other);
+  q.negative_ = !q.is_zero() && (negative_ != other.negative_);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  auto [q, r] = DivMod(other);
+  r.negative_ = !r.is_zero() && negative_;
+  return r;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return negative_ == other.negative_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_;
+  int cmp = CompareMagnitude(*this, other);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+bool BigInt::operator<=(const BigInt& other) const {
+  return *this < other || *this == other;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigInt BigInt::FromString(const std::string& s) {
+  BigInt out;
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    assert(s[i] >= '0' && s[i] <= '9');
+    out = out * ten + BigInt(s[i] - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigInt cur = *this;
+  cur.negative_ = false;
+  BigInt ten(10);
+  while (!cur.is_zero()) {
+    auto [q, r] = cur.DivMod(ten);
+    digits.push_back(static_cast<char>('0' + (r.is_zero() ? 0 : r.limbs_[0])));
+    cur = q;
+  }
+  if (negative_) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + limbs_[i];
+  }
+  return negative_ ? -out : out;
+}
+
+int64_t BigInt::ToInt64() const {
+  if (limbs_.size() > 2) std::abort();
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (!negative_) {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) std::abort();
+    return static_cast<int64_t>(mag);
+  }
+  if (mag > static_cast<uint64_t>(INT64_MAX) + 1) std::abort();
+  return -static_cast<int64_t>(mag - 1) - 1;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace cqa

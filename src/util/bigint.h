@@ -1,0 +1,84 @@
+#ifndef CQA_UTIL_BIGINT_H_
+#define CQA_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Arbitrary-precision signed integers.
+///
+/// The probabilistic machinery (Section 7 of the paper) needs *exact*
+/// rational arithmetic: a database with b blocks of size s has s^b repairs,
+/// which overflows machine words almost immediately. `BigInt` is a compact
+/// sign-magnitude big integer sufficient for that purpose (add, sub, mul,
+/// divmod, gcd, comparisons, decimal I/O).
+
+namespace cqa {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() : negative_(false) {}
+  /* implicit */ BigInt(int64_t v);
+
+  /// Parses a decimal string, e.g. "-12345678901234567890".
+  static BigInt FromString(const std::string& s);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics). `other` must be nonzero.
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const;
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return other <= *this; }
+
+  /// Greatest common divisor of |a| and |b|.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Returns (quotient, remainder) of |this| / |other| (magnitudes).
+  /// `other` must be nonzero.
+  std::pair<BigInt, BigInt> DivMod(const BigInt& other) const;
+
+  /// Decimal rendering.
+  std::string ToString() const;
+
+  /// Lossy conversion to double (for benchmark reporting only).
+  double ToDouble() const;
+
+  /// Exact conversion to int64 if the value fits; aborts otherwise.
+  int64_t ToInt64() const;
+
+ private:
+  void Normalize();
+  // Compares magnitudes: -1, 0, +1.
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  // Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+
+  // Little-endian base-2^32 magnitude; empty means zero.
+  std::vector<uint32_t> limbs_;
+  bool negative_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_BIGINT_H_

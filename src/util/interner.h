@@ -1,0 +1,51 @@
+#ifndef CQA_UTIL_INTERNER_H_
+#define CQA_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Global string interning. Constants, variables and relation names are
+/// represented as dense 32-bit ids so the hot joins/closures never touch
+/// strings.
+
+namespace cqa {
+
+/// Dense id for an interned string. Id 0 is reserved for "the empty symbol".
+using SymbolId = uint32_t;
+
+/// A bidirectional string <-> id table.
+///
+/// Not thread-safe; the library uses one `Interner` per session (see
+/// `GlobalInterner()`), which is the common single-threaded analysis setup.
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the id for `s`, interning it on first use.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the string for `id`. `id` must have been produced by Intern.
+  const std::string& Lookup(SymbolId id) const;
+
+  /// Number of interned symbols (including the reserved empty symbol).
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> strings_;
+};
+
+/// Process-wide interner used by parsers and printers.
+Interner& GlobalInterner();
+
+/// Convenience wrappers over the global interner.
+SymbolId InternSymbol(std::string_view s);
+const std::string& SymbolName(SymbolId id);
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_INTERNER_H_

@@ -1,0 +1,73 @@
+#include "util/rational.h"
+
+#include <cassert>
+
+namespace cqa {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  assert(!den_.is_zero());
+  Reduce();
+}
+
+void Rational::Reduce() {
+  if (den_.is_negative()) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (!(g == BigInt(1))) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  assert(!o.is_zero());
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+bool Rational::operator<=(const Rational& o) const {
+  return num_ * o.den_ <= o.num_ * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+double Rational::ToDouble() const {
+  return num_.ToDouble() / den_.ToDouble();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace cqa

@@ -1,0 +1,66 @@
+#ifndef CQA_UTIL_RATIONAL_H_
+#define CQA_UTIL_RATIONAL_H_
+
+#include <ostream>
+#include <string>
+
+#include "util/bigint.h"
+
+/// \file
+/// Exact rational arithmetic on top of `BigInt`. Always kept in lowest
+/// terms with a positive denominator, so equality is structural.
+
+namespace cqa {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /* implicit */ Rational(int64_t v) : num_(v), den_(1) {}
+  Rational(BigInt num, BigInt den);
+
+  static Rational Zero() { return Rational(); }
+  static Rational One() { return Rational(1); }
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_one() const { return num_ == BigInt(1) && den_ == BigInt(1); }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// `o` must be nonzero.
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const;
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  /// "num/den", or just "num" when den == 1.
+  std::string ToString() const;
+
+  double ToDouble() const;
+
+ private:
+  void Reduce();
+  BigInt num_;
+  BigInt den_;  // Always positive.
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_RATIONAL_H_

@@ -1,0 +1,37 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace cqa {
+
+uint64_t Rng::Next() {
+  // splitmix64.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Chance(uint64_t num, uint64_t den) {
+  assert(den > 0);
+  return Below(den) < num;
+}
+
+}  // namespace cqa

@@ -1,0 +1,47 @@
+#ifndef CQA_UTIL_RNG_H_
+#define CQA_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Small deterministic PRNG (splitmix64/xorshift) so that generators, tests
+/// and benchmarks are reproducible across platforms, independent of libstdc++
+/// distribution implementations.
+
+namespace cqa {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with probability num/den.
+  bool Chance(uint64_t num, uint64_t den);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_RNG_H_

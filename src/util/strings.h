@@ -1,0 +1,27 @@
+#ifndef CQA_UTIL_STRINGS_H_
+#define CQA_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string helpers shared by the parsers and printers.
+
+namespace cqa {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_STRINGS_H_

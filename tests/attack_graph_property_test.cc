@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/attack_graph.h"
+#include "core/cycles.h"
+#include "cq/corpus.h"
+#include "cq/join_tree.h"
+#include "gen/query_gen.h"
+
+namespace cqa {
+namespace {
+
+/// The random-query seeds swept by every property below.
+class AttackGraphProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Query RandomQuery() {
+    QueryGenOptions options;
+    options.seed = GetParam();
+    options.num_atoms = 2 + static_cast<int>(GetParam() % 5);
+    return RandomAcyclicQuery(options);
+  }
+};
+
+// The paper (after Definition 3): distinct join trees of the same query
+// yield identical attack graphs. We therefore compute with one tree and
+// *verify* against all trees here.
+TEST_P(AttackGraphProperty, JoinTreeInvariance) {
+  Query q = RandomQuery();
+  if (q.size() > 6) return;
+  std::vector<JoinTree> trees = EnumerateJoinTrees(q);
+  ASSERT_FALSE(trees.empty()) << q.ToString();
+  Result<AttackGraph> reference = AttackGraph::Compute(q);
+  ASSERT_TRUE(reference.ok());
+  for (const JoinTree& tree : trees) {
+    // Recompute the attack relation from this particular tree.
+    for (int i = 0; i < q.size(); ++i) {
+      for (int j = 0; j < q.size(); ++j) {
+        if (i == j) continue;
+        std::vector<int> path = tree.Path(i, j);
+        bool attack = true;
+        for (size_t p = 0; p + 1 < path.size(); ++p) {
+          const VarSet& label = tree.Label(path[p], path[p + 1]);
+          const VarSet& plus = reference->PlusClosure(i);
+          if (std::includes(plus.begin(), plus.end(), label.begin(),
+                            label.end())) {
+            attack = false;
+            break;
+          }
+        }
+        EXPECT_EQ(attack, reference->Attacks(i, j))
+            << q.ToString() << " atoms " << i << "," << j;
+      }
+    }
+  }
+}
+
+// Lemma 2: F ~> G implies key(G) ⊄ F+ and vars(F) ⊄ F+.
+TEST_P(AttackGraphProperty, Lemma2) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  for (int i = 0; i < q.size(); ++i) {
+    for (int j = 0; j < q.size(); ++j) {
+      if (i == j || !g->Attacks(i, j)) continue;
+      const VarSet& plus = g->PlusClosure(i);
+      VarSet key_j = q.atom(j).KeyVars();
+      VarSet vars_i = q.atom(i).Vars();
+      EXPECT_FALSE(std::includes(plus.begin(), plus.end(), key_j.begin(),
+                                 key_j.end()))
+          << q.ToString();
+      EXPECT_FALSE(std::includes(plus.begin(), plus.end(), vars_i.begin(),
+                                 vars_i.end()))
+          << q.ToString();
+    }
+  }
+}
+
+// Lemma 3: F ~> G ~> H (all distinct) implies F ~> H or G ~> F.
+TEST_P(AttackGraphProperty, Lemma3Transitivity) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  for (int f = 0; f < q.size(); ++f) {
+    for (int gg = 0; gg < q.size(); ++gg) {
+      for (int h = 0; h < q.size(); ++h) {
+        if (f == gg || gg == h || f == h) continue;
+        if (g->Attacks(f, gg) && g->Attacks(gg, h)) {
+          EXPECT_TRUE(g->Attacks(f, h) || g->Attacks(gg, f))
+              << q.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Lemma 4: a strong cycle implies a strong cycle of length 2. Both
+// detector implementations must agree.
+TEST_P(AttackGraphProperty, Lemma4StrongCycleShortcut) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->HasStrongCycle(), g->HasStrongTwoCycle()) << q.ToString();
+}
+
+// Lemma 6: if every cycle is terminal, every cycle has length 2.
+TEST_P(AttackGraphProperty, Lemma6TerminalCyclesHaveLength2) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  if (!g->AllCyclesTerminal()) return;
+  for (const auto& cycle : EnumerateElementaryCycles(g->AsDigraph())) {
+    EXPECT_EQ(cycle.size(), 2u) << q.ToString();
+  }
+}
+
+// The structural AllCyclesTerminal must agree with the definitional
+// check via Johnson enumeration.
+TEST_P(AttackGraphProperty, TerminalCheckAgreesWithDefinition) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  Digraph dg = g->AsDigraph();
+  bool definitional = true;
+  for (const auto& cycle : EnumerateElementaryCycles(dg)) {
+    if (!IsTerminalCycle(dg, cycle)) {
+      definitional = false;
+      break;
+    }
+  }
+  EXPECT_EQ(g->AllCyclesTerminal(), definitional) << q.ToString();
+}
+
+// F+ ⊆ F⊙ always (stated after Definition 5).
+TEST_P(AttackGraphProperty, PlusSubsetOfCirc) {
+  Query q = RandomQuery();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  for (int i = 0; i < q.size(); ++i) {
+    const VarSet& plus = g->PlusClosure(i);
+    const VarSet& circ = g->CircClosure(i);
+    EXPECT_TRUE(
+        std::includes(circ.begin(), circ.end(), plus.begin(), plus.end()))
+        << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackGraphProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{120}));
+
+// Lemma 4 / Lemma 6 also hold on the corpus queries.
+TEST(AttackGraphCorpus, LemmasHoldOnNamedQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    if (!IsAcyclicQuery(q)) continue;
+    Result<AttackGraph> g = AttackGraph::Compute(q);
+    ASSERT_TRUE(g.ok()) << name;
+    EXPECT_EQ(g->HasStrongCycle(), g->HasStrongTwoCycle()) << name;
+  }
+}
+
+// Lemma 7 applies to queries whose attack graph is terminal-cyclic with
+// every atom on a cycle (the Theorem 3 base case):
+//   1. a variable in two distinct cycles lies in the key of every atom
+//      of those cycles;
+//   2. for a weak attack F -> G there, key(G) ⊆ vars(F).
+TEST(AttackGraphCorpus, Lemma7HoldsOnBaseCaseQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    if (!IsAcyclicQuery(q)) continue;
+    Result<AttackGraph> g = AttackGraph::Compute(q);
+    ASSERT_TRUE(g.ok()) << name;
+    if (g->HasStrongCycle() || !g->AllCyclesTerminal()) continue;
+    if (!g->UnattackedAtoms().empty()) continue;
+    auto cycles = g->TwoCycles();
+    if (cycles.empty()) continue;
+    // 1. Shared variables sit in every key of their cycles.
+    for (size_t i = 0; i < cycles.size(); ++i) {
+      for (size_t j = i + 1; j < cycles.size(); ++j) {
+        VarSet vi = q.atom(cycles[i].first).Vars();
+        VarSet more = q.atom(cycles[i].second).Vars();
+        vi.insert(more.begin(), more.end());
+        VarSet vj = q.atom(cycles[j].first).Vars();
+        more = q.atom(cycles[j].second).Vars();
+        vj.insert(more.begin(), more.end());
+        for (SymbolId x : vi) {
+          if (!vj.count(x)) continue;
+          for (int atom : {cycles[i].first, cycles[i].second,
+                           cycles[j].first, cycles[j].second}) {
+            EXPECT_TRUE(q.atom(atom).KeyVars().count(x))
+                << name << " var " << SymbolName(x);
+          }
+        }
+      }
+    }
+    // 2. Weak attacks inside the cycles satisfy key(G) ⊆ vars(F).
+    for (auto [a, b] : cycles) {
+      for (auto [f, gg] : {std::make_pair(a, b), std::make_pair(b, a)}) {
+        if (!g->IsWeakAttack(f, gg)) continue;
+        VarSet key_g = q.atom(gg).KeyVars();
+        VarSet vars_f = q.atom(f).Vars();
+        EXPECT_TRUE(std::includes(vars_f.begin(), vars_f.end(),
+                                  key_g.begin(), key_g.end()))
+            << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "util/bigint.h"
+#include "util/rational.h"
+#include "util/rng.h"
+
+namespace cqa {
+namespace {
+
+/// Randomized differential test of BigInt against native __int128
+/// arithmetic, covering signs, carries and borrow chains.
+TEST(BigIntFuzz, MatchesInt128OnRandomOperands) {
+  Rng rng(2013);
+  for (int round = 0; round < 4000; ++round) {
+    int64_t a = static_cast<int64_t>(rng.Next()) >> (rng.Below(32));
+    int64_t b = static_cast<int64_t>(rng.Next()) >> (rng.Below(32));
+    BigInt ba(a), bb(b);
+    __int128 ia = a, ib = b;
+
+    auto to_string128 = [](__int128 v) {
+      if (v == 0) return std::string("0");
+      bool neg = v < 0;
+      std::string digits;
+      while (v != 0) {
+        int d = static_cast<int>(v % 10);
+        digits.push_back(static_cast<char>('0' + (d < 0 ? -d : d)));
+        v /= 10;
+      }
+      if (neg) digits.push_back('-');
+      return std::string(digits.rbegin(), digits.rend());
+    };
+
+    EXPECT_EQ((ba + bb).ToString(), to_string128(ia + ib)) << a << "+" << b;
+    EXPECT_EQ((ba - bb).ToString(), to_string128(ia - ib)) << a << "-" << b;
+    EXPECT_EQ((ba * bb).ToString(), to_string128(ia * ib)) << a << "*" << b;
+    if (b != 0) {
+      EXPECT_EQ((ba / bb).ToString(), to_string128(ia / ib))
+          << a << "/" << b;
+      EXPECT_EQ((ba % bb).ToString(), to_string128(ia % ib))
+          << a << "%" << b;
+    }
+    EXPECT_EQ(ba < bb, ia < ib);
+    EXPECT_EQ(ba == bb, ia == ib);
+  }
+}
+
+TEST(BigIntFuzz, StringRoundTripRandom) {
+  Rng rng(77);
+  for (int round = 0; round < 500; ++round) {
+    // Compose a large value from several 64-bit words.
+    BigInt v(0);
+    int words = 1 + static_cast<int>(rng.Below(4));
+    for (int w = 0; w < words; ++w) {
+      v = v * BigInt::FromString("18446744073709551616") +
+          BigInt(static_cast<int64_t>(rng.Next() >> 1));
+    }
+    if (rng.Chance(1, 2)) v = -v;
+    EXPECT_EQ(BigInt::FromString(v.ToString()), v);
+  }
+}
+
+TEST(BigIntFuzz, DivModInvariantRandomLarge) {
+  Rng rng(5);
+  for (int round = 0; round < 300; ++round) {
+    BigInt a = BigInt(static_cast<int64_t>(rng.Next() >> 1)) *
+               BigInt(static_cast<int64_t>(rng.Next() >> 1));
+    BigInt b(static_cast<int64_t>((rng.Next() >> 33) + 1));
+    BigInt q = a / b;
+    BigInt r = a % b;
+    EXPECT_EQ(q * b + r, a);
+    // |r| < |b| and r is non-negative for non-negative a.
+    EXPECT_TRUE(r < b);
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+TEST(RationalFuzz, FieldAxiomsOnRandomFractions) {
+  Rng rng(99);
+  for (int round = 0; round < 500; ++round) {
+    auto random_rational = [&]() {
+      int64_t num = static_cast<int64_t>(rng.Next() >> 40) -
+                    (1 << 23);
+      int64_t den = static_cast<int64_t>(rng.Below(1000)) + 1;
+      return Rational(BigInt(num), BigInt(den));
+    };
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational::Zero());
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa

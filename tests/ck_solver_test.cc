@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "gen/instance_gen.h"
+#include "solvers/ck_solver.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/two_atom_solver.h"
+
+namespace cqa {
+namespace {
+
+TEST(CkSolverTest, RejectsNonCkQueries) {
+  Database db;
+  EXPECT_FALSE(CkSolver::IsCertain(db, corpus::Ack(3)).ok());
+  EXPECT_FALSE(CkSolver::IsCertain(db, corpus::Q0()).ok());
+}
+
+TEST(CkSolverTest, SingleTriangleIsCertain) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
+  Result<bool> certain = CkSolver::IsCertain(db, corpus::Ck(3));
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+  EXPECT_TRUE(OracleSolver::IsCertain(db, corpus::Ck(3)));
+}
+
+TEST(CkSolverTest, SixCycleIsNotCertain) {
+  // One elementary 6-cycle in the 3-layered graph: a repair can follow
+  // it and never close a triangle.
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c2"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c2", "a2"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a2", "b2"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b2", "c"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
+  // Close the triangles so facts survive purification: every R1 edge
+  // must lie on *some* 3-cycle for relevance.
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b2", "c2"}, 1)).ok());
+  Result<bool> certain = CkSolver::IsCertain(db, corpus::Ck(3));
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, corpus::Ck(3)));
+  EXPECT_FALSE(*certain);
+}
+
+/// Specialized solver vs oracle on random layered instances.
+class CkVsOracle
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(CkVsOracle, AgreesWithOracle) {
+  auto [k, seed] = GetParam();
+  CkInstanceOptions options;
+  options.k = k;
+  options.layer_size = 2 + static_cast<int>(seed % 2);
+  options.edges_per_vertex = 1 + static_cast<int>(seed % 2);
+  options.seed = seed;
+  Database db = RandomCkDatabase(options);
+  Query q = corpus::Ck(k);
+  if (db.RepairCount() > BigInt(1 << 16)) return;
+  Result<bool> certain = CkSolver::IsCertain(db, q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+      << "k=" << k << " seed=" << seed << "\n"
+      << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CkVsOracle,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Range(uint64_t{1}, uint64_t{50})));
+
+/// Lemma 9 validation: the literal reduction through AC(k) must agree
+/// with the specialized path.
+class Lemma9 : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma9, GenericReductionAgreesWithSpecialized) {
+  for (int k : {2, 3}) {
+    CkInstanceOptions options;
+    options.k = k;
+    options.layer_size = 2;
+    options.edges_per_vertex = 1 + static_cast<int>(GetParam() % 2);
+    options.seed = GetParam();
+    Database db = RandomCkDatabase(options);
+    Query q = corpus::Ck(k);
+    Result<bool> fast = CkSolver::IsCertain(db, q);
+    Result<bool> slow = CkSolver::IsCertainViaLemma9(db, q);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(*fast, *slow) << "k=" << k << " seed=" << GetParam() << "\n"
+                            << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma9,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+/// C(2) is decided by three independent code paths: the Corollary 1
+/// layered solver, the Theorem 3 / two-atom machinery, and the oracle.
+/// All must agree.
+class C2ThreeWay : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(C2ThreeWay, SolversAgree) {
+  CkInstanceOptions options;
+  options.k = 2;
+  options.layer_size = 2 + static_cast<int>(GetParam() % 3);
+  options.edges_per_vertex = 1 + static_cast<int>(GetParam() % 2);
+  options.seed = GetParam();
+  Database db = RandomCkDatabase(options);
+  Query q = corpus::Ck(2);
+  Result<bool> ck = CkSolver::IsCertain(db, q);
+  Result<bool> two_atom = TwoAtomSolver::IsCertain(db, q);
+  ASSERT_TRUE(ck.ok());
+  ASSERT_TRUE(two_atom.ok());
+  EXPECT_EQ(*ck, *two_atom) << "seed=" << GetParam() << "\n"
+                            << db.ToString();
+  if (db.RepairCount() <= BigInt(1 << 16)) {
+    EXPECT_EQ(*ck, OracleSolver::IsCertain(db, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, C2ThreeWay,
+                         ::testing::Range(uint64_t{1}, uint64_t{60}));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/dot_export.h"
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/query_gen.h"
+#include "prob/is_safe.h"
+
+namespace cqa {
+namespace {
+
+TEST(ClassifierTest, RejectsSelfJoins) {
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  q.AddAtom(Atom::Make("R", {"y", "z"}, 1));
+  Result<Classification> cls = ClassifyQuery(q);
+  EXPECT_FALSE(cls.ok());
+  EXPECT_EQ(cls.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ClassifierTest, RejectsCyclicNonCk) {
+  // A triangle with an extra non-cycle atom sharing all vars pairwise,
+  // cyclic but not C(k).
+  Query q = MustParseQuery("R(x | y), S(y | z), T(z | x), U(x, z | y)");
+  if (!IsAcyclicQuery(q)) {
+    EXPECT_FALSE(ClassifyQuery(q).ok());
+  }
+}
+
+TEST(ClassifierTest, C6DecomposesAsCyclicCk) {
+  Result<Classification> cls = ClassifyQuery(corpus::Ck(6));
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->complexity, ComplexityClass::kPtimeCk);
+}
+
+TEST(ClassifierTest, EmptyQueryIsFo) {
+  Result<Classification> cls = ClassifyQuery(Query());
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->complexity, ComplexityClass::kFirstOrder);
+  EXPECT_TRUE(cls->safe);
+}
+
+TEST(ClassifierTest, SingleAtomQueriesAreFo) {
+  // One atom can never attack anything: always FO (matches
+  // Fuxman-Miller's base class).
+  for (const char* text : {"R(x | y)", "R(x, y | z, w)", "R('a' | x)",
+                           "R(x | x)", "R(x, y |)"}) {
+    Result<Classification> cls = ClassifyQuery(MustParseQuery(text));
+    ASSERT_TRUE(cls.ok()) << text;
+    EXPECT_EQ(cls->complexity, ComplexityClass::kFirstOrder) << text;
+  }
+}
+
+TEST(ClassifierTest, TriStatesAreConsistent) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    Result<Classification> cls = ClassifyQuery(q);
+    ASSERT_TRUE(cls.ok()) << name;
+    switch (cls->complexity) {
+      case ComplexityClass::kFirstOrder:
+        EXPECT_TRUE(cls->fo_expressible) << name;
+        EXPECT_EQ(cls->in_ptime, TriState::kYes) << name;
+        EXPECT_FALSE(cls->conp_complete) << name;
+        break;
+      case ComplexityClass::kPtimeTerminalCycles:
+      case ComplexityClass::kPtimeAck:
+      case ComplexityClass::kPtimeCk:
+        EXPECT_FALSE(cls->fo_expressible) << name;
+        EXPECT_EQ(cls->in_ptime, TriState::kYes) << name;
+        break;
+      case ComplexityClass::kConpComplete:
+        EXPECT_TRUE(cls->conp_complete) << name;
+        EXPECT_EQ(cls->in_ptime, TriState::kNo) << name;
+        break;
+      case ComplexityClass::kOpenConjecturedPtime:
+        EXPECT_EQ(cls->in_ptime, TriState::kUnknown) << name;
+        break;
+    }
+    // Theorem 6 invariant, enforced by the classifier itself.
+    if (cls->safe) {
+      EXPECT_TRUE(cls->fo_expressible) << name;
+    }
+  }
+}
+
+TEST(ClassifierTest, ExplanationNamesTheRule) {
+  Result<Classification> q1 = ClassifyQuery(corpus::Q1());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_NE(q1->explanation.find("Theorem 2"), std::string::npos);
+  Result<Classification> fig4 = ClassifyQuery(corpus::Fig4Query());
+  ASSERT_TRUE(fig4.ok());
+  EXPECT_NE(fig4->explanation.find("Theorem 3"), std::string::npos);
+  Result<Classification> c3 = ClassifyQuery(corpus::Ck(3));
+  ASSERT_TRUE(c3.ok());
+  EXPECT_NE(c3->explanation.find("Corollary 1"), std::string::npos);
+}
+
+TEST(CkPatternTest, MatchesRotationsAndOrderings) {
+  // Atom order must not matter.
+  Query q = MustParseQuery("R2(x2 | x3), R3(x3 | x1), R1(x1 | x2)");
+  auto shape = MatchCkPattern(q);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->k, 3);
+}
+
+TEST(CkPatternTest, RejectsNonCkShapes) {
+  EXPECT_FALSE(MatchCkPattern(corpus::PathQuery2()).has_value());  // No cycle.
+  EXPECT_FALSE(MatchCkPattern(corpus::Q0()).has_value());  // Arity 3 atom.
+  // Two disjoint 2-cycles: every atom is binary [2,1] but not a single
+  // cycle.
+  Query two = MustParseQuery("A(x | y), B(y | x), C(u | v), D(v | u)");
+  EXPECT_FALSE(MatchCkPattern(two).has_value());
+  // Repeated variable inside an atom.
+  EXPECT_FALSE(MatchCkPattern(MustParseQuery("R(x | x)")).has_value());
+}
+
+TEST(AckPatternTest, MatchesRotatedSkArguments) {
+  // S3's argument list is a rotation of the cycle: still AC(3).
+  Query q = MustParseQuery(
+      "R1(x1 | x2), R2(x2 | x3), R3(x3 | x1), S3(x2, x3, x1 |)");
+  auto shape = MatchAckPattern(q);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->cycle.k, 3);
+  // The rotated shape must still pair layer i with the key variable at
+  // S's position i.
+  EXPECT_EQ(shape->cycle.var_cycle[0], InternSymbol("x2"));
+}
+
+TEST(AckPatternTest, RejectsReversedCycleDirection) {
+  // S3 lists the cycle anticlockwise relative to the R edges: the
+  // encoded tuples would not be cycles of the digraph, so this is a
+  // different query, not AC(3).
+  Query q = MustParseQuery(
+      "R1(x1 | x2), R2(x2 | x3), R3(x3 | x1), S3(x3, x2, x1 |)");
+  EXPECT_FALSE(MatchAckPattern(q).has_value());
+}
+
+TEST(AckPatternTest, RejectsWrongSkArity) {
+  Query q = MustParseQuery(
+      "R1(x1 | x2), R2(x2 | x3), R3(x3 | x1), S(x1, x2 |)");
+  EXPECT_FALSE(MatchAckPattern(q).has_value());
+}
+
+TEST(DotExportTest, ProducesWellFormedGraphs) {
+  Result<AttackGraph> g = AttackGraph::Compute(corpus::Q1());
+  ASSERT_TRUE(g.ok());
+  std::string dot = AttackGraphToDot(*g);
+  EXPECT_NE(dot.find("digraph attack_graph"), std::string::npos);
+  EXPECT_NE(dot.find("strong"), std::string::npos);
+  EXPECT_NE(dot.find("weak"), std::string::npos);
+  Result<JoinTree> tree = BuildJoinTree(corpus::Q1());
+  ASSERT_TRUE(tree.ok());
+  std::string jt = JoinTreeToDot(*tree, corpus::Q1());
+  EXPECT_NE(jt.find("graph join_tree"), std::string::npos);
+}
+
+/// Random sweep: classification never crashes, tri-states stay
+/// consistent, and Theorem 6 holds (safe => FO).
+class ClassifierSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClassifierSweep, InvariantsHold) {
+  QueryGenOptions options;
+  options.seed = GetParam();
+  options.num_atoms = 2 + static_cast<int>(GetParam() % 5);
+  Query q = RandomAcyclicQuery(options);
+  Result<Classification> cls = ClassifyQuery(q);
+  ASSERT_TRUE(cls.ok()) << q.ToString() << ": " << cls.status();
+  if (IsSafe(q)) {
+    EXPECT_TRUE(cls->fo_expressible) << q.ToString();
+  }
+  if (cls->complexity == ComplexityClass::kConpComplete) {
+    EXPECT_TRUE(cls->attack_graph->HasStrongCycle());
+  }
+  if (cls->complexity == ComplexityClass::kFirstOrder) {
+    EXPECT_TRUE(cls->attack_graph->IsAcyclic());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{200}));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "prob/counting.h"
+#include "prob/is_safe.h"
+
+namespace cqa {
+namespace {
+
+TEST(CountingTest, Fig1ExampleCountsThree) {
+  // #CERTAINTY on Fig. 1: 3 of the 4 repairs satisfy the query.
+  EXPECT_EQ(Counting::CountByOracle(corpus::ConferenceDatabase(),
+                                    corpus::ConferenceQuery())
+                .ToInt64(),
+            3);
+  // The conference query is safe, so the FP path applies too.
+  Result<BigInt> fast = Counting::CountBySafePlan(
+      corpus::ConferenceDatabase(), corpus::ConferenceQuery());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->ToInt64(), 3);
+}
+
+TEST(CountingTest, EmptyQueryCountsAllRepairs) {
+  Database db = corpus::ConferenceDatabase();
+  EXPECT_EQ(Counting::CountByOracle(db, Query()).ToInt64(), 4);
+  Result<BigInt> fast = Counting::CountBySafePlan(db, Query());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast->ToInt64(), 4);
+}
+
+TEST(CountingTest, UnsafeQueryRefusedBySafePlan) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
+  EXPECT_FALSE(Counting::CountBySafePlan(db, corpus::PathQuery2()).ok());
+  EXPECT_EQ(Counting::CountByOracle(db, corpus::PathQuery2()).ToInt64(), 1);
+}
+
+/// #CERTAINTY via the uniform-BID safe plan must equal the exhaustive
+/// count on every safe query and random database.
+class CountingVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CountingVsOracle, ExactAgreement) {
+  std::vector<Query> safe_queries = {
+      MustParseQuery("R(x | y)"),
+      MustParseQuery("R(x | y), S(x | z)"),
+      MustParseQuery("R(x | y), S(u | v)"),
+      corpus::ConferenceQuery(),
+  };
+  for (const Query& q : safe_queries) {
+    ASSERT_TRUE(IsSafe(q));
+    BlockDbGenOptions options;
+    options.seed = GetParam();
+    options.blocks_per_relation = 3;
+    options.max_block_size = 3;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(4096)) continue;
+    Result<BigInt> fast = Counting::CountBySafePlan(db, q);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, Counting::CountByOracle(db, q))
+        << q.ToString() << " seed=" << GetParam() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountingVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{50}));
+
+}  // namespace
+}  // namespace cqa

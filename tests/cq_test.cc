@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/join_tree.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+
+namespace cqa {
+namespace {
+
+TEST(AtomTest, VarsAndKeyVars) {
+  Query q = MustParseQuery("R(x, 'a' | y, x)");
+  const Atom& a = q.atom(0);
+  EXPECT_EQ(a.KeyVars(), VarSet({InternSymbol("x")}));
+  EXPECT_EQ(a.Vars(), VarSet({InternSymbol("x"), InternSymbol("y")}));
+  EXPECT_FALSE(a.IsGround());
+  EXPECT_FALSE(a.IsAllKey());
+}
+
+TEST(AtomTest, MatchesRespectsConstantsAndRepetition) {
+  Query q = MustParseQuery("R(x | x, 'c')");
+  const Atom& a = q.atom(0);
+  EXPECT_TRUE(a.Matches(Fact::Make("R", {"v", "v", "c"}, 1)));
+  EXPECT_FALSE(a.Matches(Fact::Make("R", {"v", "w", "c"}, 1)));
+  EXPECT_FALSE(a.Matches(Fact::Make("R", {"v", "v", "d"}, 1)));
+}
+
+TEST(AtomTest, SubstituteAndRename) {
+  Query q = MustParseQuery("R(x | y)");
+  Atom a = q.atom(0).Substitute(InternSymbol("x"), InternSymbol("a"));
+  EXPECT_EQ(a.ToString(), "R('a' | y)");
+  Atom b = q.atom(0).RenameVar(InternSymbol("y"), InternSymbol("z"));
+  EXPECT_EQ(b.ToString(), "R(x | z)");
+}
+
+TEST(QueryTest, SetSemanticsDedups) {
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_FALSE(q.HasSelfJoin());
+}
+
+TEST(QueryTest, SelfJoinDetection) {
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  q.AddAtom(Atom::Make("R", {"y", "z"}, 1));
+  EXPECT_TRUE(q.HasSelfJoin());
+}
+
+TEST(QueryTest, SubstitutionCanMergeAtoms) {
+  // With a self-join, grounding can merge atoms (set semantics).
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x"}, 1));
+  q.AddAtom(Atom::Make("R", {"y"}, 1));
+  Query ground =
+      q.Substitute(InternSymbol("x"), InternSymbol("c"))
+          .Substitute(InternSymbol("y"), InternSymbol("c"));
+  EXPECT_EQ(ground.size(), 1);
+}
+
+TEST(QueryParserTest, SchemaLookup) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("C", 3, 2).ok());
+  auto q = ParseQuery("C(x, y, 'Rome')", schema);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atom(0).key_arity(), 2);
+}
+
+TEST(QueryParserTest, NumericTokensAreConstants) {
+  Query q = MustParseQuery("C(x, 2016 | y)");
+  EXPECT_EQ(q.atom(0).Vars().size(), 2u);
+  EXPECT_TRUE(q.atom(0).terms()[1].is_const());
+}
+
+TEST(QueryParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseQuery("R(x, y)").ok());  // No '|' and no schema.
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2, 1).ok());
+  EXPECT_FALSE(ParseQuery("R(x, y, z)", schema).ok());  // Arity mismatch.
+  EXPECT_FALSE(ParseQuery("R(x | y), R(x | y | z)", schema).ok());
+}
+
+TEST(MatcherTest, ConferenceQueryHolds) {
+  // The full uncertain database satisfies the Fig. 1 query.
+  EXPECT_TRUE(Satisfies(corpus::ConferenceDatabase(),
+                        corpus::ConferenceQuery()));
+}
+
+TEST(MatcherTest, EmptyQueryAlwaysHolds) {
+  Database empty;
+  EXPECT_TRUE(Satisfies(empty, Query()));
+}
+
+TEST(MatcherTest, RepeatedVariablesConstrain) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  EXPECT_FALSE(Satisfies(db, MustParseQuery("R(x | x)")));
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"c", "c"}, 1)).ok());
+  EXPECT_TRUE(Satisfies(db, MustParseQuery("R(x | x)")));
+}
+
+TEST(MatcherTest, EmbeddingEnumerationIsExactAndDeduped) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a2", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
+  int count = 0;
+  FactIndex index(db);
+  ForEachEmbedding(index, corpus::PathQuery2(), Valuation(),
+                   [&](const Valuation&) {
+                     ++count;
+                     return true;
+                   });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(JoinTreeTest, PathQueryIsAcyclic) {
+  EXPECT_TRUE(IsAcyclicQuery(corpus::PathQuery(5)));
+}
+
+TEST(JoinTreeTest, TriangleIsCyclic) {
+  // C(3) has no join tree (it is the classic cyclic query).
+  EXPECT_FALSE(IsAcyclicQuery(corpus::Ck(3)));
+  EXPECT_FALSE(IsAcyclicQuery(corpus::Ck(4)));
+}
+
+TEST(JoinTreeTest, C2IsAcyclic) { EXPECT_TRUE(IsAcyclicQuery(corpus::Ck(2))); }
+
+TEST(JoinTreeTest, AckIsAcyclicForAllK) {
+  // AC(k) is acyclic because S_k contains every variable (Section 6.2).
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_TRUE(IsAcyclicQuery(corpus::Ack(k))) << "k=" << k;
+  }
+}
+
+TEST(JoinTreeTest, Q1JoinTreeMatchesFig2) {
+  Query q1 = corpus::Q1();
+  Result<JoinTree> tree = BuildJoinTree(q1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->IsValidFor(q1));
+  // Fig. 2's tree: S is adjacent to R, T, and P. Any valid join tree of
+  // q1 must put S in the middle (S shares x with everyone and is the
+  // only atom with y and z together).
+  int s_index = 1;  // Atom order in corpus::Q1.
+  EXPECT_EQ(tree->Neighbors(s_index).size(), 3u);
+}
+
+TEST(JoinTreeTest, LabelsAreVariableIntersections) {
+  Query q = corpus::PathQuery2();
+  Result<JoinTree> tree = BuildJoinTree(q);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Label(0, 1), VarSet({InternSymbol("y")}));
+}
+
+TEST(JoinTreeTest, EnumerationFindsAllValidTrees) {
+  // For the path query R1(x1,x2), R2(x2,x3), R3(x3,x4): the only join
+  // tree is the path itself (any other spanning tree breaks
+  // connectedness of x2 or x3).
+  Query q = corpus::PathQuery(3);
+  std::vector<JoinTree> trees = EnumerateJoinTrees(q);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(trees[0].IsValidFor(q));
+}
+
+TEST(JoinTreeTest, DisconnectedQueriesHaveManyTrees) {
+  // Two atoms with no shared variable: the single edge is a (labelled-
+  // empty) join tree.
+  Query q = MustParseQuery("R(x | y), S(u | v)");
+  std::vector<JoinTree> trees = EnumerateJoinTrees(q);
+  EXPECT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(trees[0].Label(0, 1).empty());
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "solvers/engine.h"
+#include "solvers/oracle_solver.h"
+
+namespace cqa {
+namespace {
+
+TEST(EngineTest, DispatchesFoQueries) {
+  Result<SolveOutcome> outcome =
+      Engine::Solve(corpus::ConferenceDatabase(), corpus::ConferenceQuery());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->certain);
+  EXPECT_EQ(outcome->solver, "fo-rewriting");
+  EXPECT_EQ(outcome->complexity, ComplexityClass::kFirstOrder);
+}
+
+TEST(EngineTest, DispatchesTerminalCycles) {
+  BlockDbGenOptions options;
+  options.seed = 3;
+  Database db = RandomBlockDatabase(corpus::Fig4Query(), options);
+  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Fig4Query());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->solver, "terminal-cycles");
+}
+
+TEST(EngineTest, DispatchesAck) {
+  Result<SolveOutcome> outcome =
+      Engine::Solve(corpus::Fig6Database(), corpus::Ack(3));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->solver, "ack");
+  EXPECT_FALSE(outcome->certain);
+}
+
+TEST(EngineTest, DispatchesCk) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
+  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Ck(3));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->solver, "ck");
+  EXPECT_TRUE(outcome->certain);
+}
+
+TEST(EngineTest, DispatchesConpToSat) {
+  BlockDbGenOptions options;
+  options.seed = 5;
+  Database db = RandomBlockDatabase(corpus::Q0(), options);
+  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Q0());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->solver, "sat");
+  EXPECT_EQ(outcome->complexity, ComplexityClass::kConpComplete);
+}
+
+TEST(EngineTest, SelfJoinFallsBackToSat) {
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  q.AddAtom(Atom::Make("R", {"y", "x"}, 1));
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "a"}, 1)).ok());
+  Result<SolveOutcome> outcome = Engine::Solve(db, q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->solver, "sat");
+  EXPECT_TRUE(outcome->certain);
+}
+
+/// Every dispatch path must agree with the oracle.
+class EngineVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineVsOracle, AllCorpusQueriesAgree) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions options;
+    options.seed = GetParam();
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(4096)) continue;
+    Result<SolveOutcome> outcome = Engine::Solve(db, q);
+    ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.status();
+    EXPECT_EQ(outcome->certain, OracleSolver::IsCertain(db, q))
+        << name << " via " << outcome->solver << " seed=" << GetParam()
+        << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+TEST(EngineTest, FindFalsifyingRepairOnAllClasses) {
+  struct Case {
+    Query q;
+    Database db;
+  };
+  std::vector<Case> cases;
+  cases.push_back({corpus::ConferenceQuery(), corpus::ConferenceDatabase()});
+  cases.push_back({corpus::Ack(3), corpus::Fig6Database()});
+  {
+    BlockDbGenOptions options;
+    options.seed = 21;
+    cases.push_back({corpus::Q0(), RandomBlockDatabase(corpus::Q0(), options)});
+  }
+  for (const Case& c : cases) {
+    Result<SolveOutcome> outcome = Engine::Solve(c.db, c.q);
+    ASSERT_TRUE(outcome.ok());
+    Result<std::optional<std::vector<Fact>>> witness =
+        Engine::FindFalsifyingRepair(c.db, c.q);
+    ASSERT_TRUE(witness.ok());
+    EXPECT_EQ(outcome->certain, !witness->has_value()) << c.q.ToString();
+    if (witness->has_value()) {
+      Database as_db;
+      for (const Fact& f : **witness) ASSERT_TRUE(as_db.AddFact(f).ok());
+      EXPECT_TRUE(as_db.IsConsistent());
+      EXPECT_EQ((*witness)->size(), c.db.blocks().size());
+    }
+  }
+}
+
+TEST(CertainAnswersTest, ConferenceCities) {
+  // Which cities certainly host some A conference? q(c) = C(x, y, c),
+  // R(x, 'A'). Candidate cities: Rome, Paris. Neither is certain on the
+  // Fig. 1 database (PODS city is uncertain, KDD rank is uncertain).
+  Database db = corpus::ConferenceDatabase();
+  Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
+  std::vector<SymbolId> free_vars = {InternSymbol("c")};
+  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  EXPECT_EQ(possible.size(), 2u);  // Rome, Paris.
+  Result<std::vector<std::vector<SymbolId>>> certain =
+      Engine::CertainAnswers(db, q, free_vars);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(certain->empty());
+}
+
+TEST(CertainAnswersTest, MultipleFreeVariables) {
+  // q(conf, city) = C(conf, y, city): which (conference, city) pairs are
+  // certain? Only (KDD, Rome) — PODS's city is uncertain.
+  Database db = corpus::ConferenceDatabase();
+  Query q = MustParseQuery("C(x, y | c)");
+  std::vector<SymbolId> free_vars = {InternSymbol("x"), InternSymbol("c")};
+  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  EXPECT_EQ(possible.size(), 3u);  // (PODS,Rome), (PODS,Paris), (KDD,Rome).
+  Result<std::vector<std::vector<SymbolId>>> certain =
+      Engine::CertainAnswers(db, q, free_vars);
+  ASSERT_TRUE(certain.ok());
+  ASSERT_EQ(certain->size(), 1u);
+  EXPECT_EQ((*certain)[0][0], InternSymbol("KDD"));
+  EXPECT_EQ((*certain)[0][1], InternSymbol("Rome"));
+}
+
+TEST(CertainAnswersTest, CertainCityAppearsAfterConsistentInsert) {
+  Database db = corpus::ConferenceDatabase();
+  ASSERT_TRUE(db.AddFact(Fact::Make("C", {"ICDT", "2018", "Lyon"}, 2)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
+  Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
+  std::vector<SymbolId> free_vars = {InternSymbol("c")};
+  Result<std::vector<std::vector<SymbolId>>> certain =
+      Engine::CertainAnswers(db, q, free_vars);
+  ASSERT_TRUE(certain.ok());
+  ASSERT_EQ(certain->size(), 1u);
+  EXPECT_EQ((*certain)[0][0], InternSymbol("Lyon"));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "fd/fd.h"
+
+namespace cqa {
+namespace {
+
+VarSet Vars(std::initializer_list<const char*> names) {
+  VarSet out;
+  for (const char* n : names) out.insert(InternSymbol(n));
+  return out;
+}
+
+TEST(FdTest, ClosureFixpoint) {
+  FdSet fds;
+  fds.Add({Vars({"a"}), Vars({"b"})});
+  fds.Add({Vars({"b"}), Vars({"c"})});
+  fds.Add({Vars({"c", "d"}), Vars({"e"})});
+  EXPECT_EQ(fds.Closure(Vars({"a"})), Vars({"a", "b", "c"}));
+  EXPECT_EQ(fds.Closure(Vars({"a", "d"})), Vars({"a", "b", "c", "d", "e"}));
+  EXPECT_EQ(fds.Closure(Vars({"e"})), Vars({"e"}));
+}
+
+TEST(FdTest, ImpliesIsClosureMembership) {
+  FdSet fds;
+  fds.Add({Vars({"x"}), Vars({"y", "z"})});
+  EXPECT_TRUE(fds.Implies(Vars({"x"}), InternSymbol("z")));
+  EXPECT_TRUE(fds.Implies(Vars({"x"}), Vars({"y", "z"})));
+  EXPECT_FALSE(fds.Implies(Vars({"y"}), InternSymbol("x")));
+}
+
+TEST(FdTest, EmptyLhsFiresAlways) {
+  FdSet fds;
+  fds.Add({VarSet(), Vars({"u"})});
+  EXPECT_EQ(fds.Closure(VarSet()), Vars({"u"}));
+}
+
+TEST(FdTest, KeyFdsOfQ1MatchExample2) {
+  // Example 2: K(q1 \ {F}) = {y -> xyz, x -> xy, x -> xz}, etc. We
+  // verify via the closures (the paper's abbreviations xy -> zu mean
+  // key -> all vars).
+  Query q1 = corpus::Q1();
+  FdSet without_f = FdSet::KeyFdsWithout(q1, 0);
+  EXPECT_EQ(without_f.Closure(Vars({"u"})), Vars({"u"}));
+  EXPECT_EQ(without_f.Closure(Vars({"y"})), Vars({"x", "y", "z"}));
+  FdSet full = FdSet::KeyFds(q1);
+  EXPECT_EQ(full.Closure(Vars({"u"})), Vars({"u", "x", "y", "z"}));
+}
+
+TEST(FdTest, ConstantsDoNotContributeVariables) {
+  // R(u | 'a', x): key(F) = {u}, vars(F) = {u, x}; the constant 'a'
+  // never shows up as an attribute.
+  Query q = MustParseQuery("R(u | 'a', x)");
+  FdSet fds = FdSet::KeyFds(q);
+  EXPECT_EQ(fds.Closure(Vars({"u"})), Vars({"u", "x"}));
+}
+
+TEST(FdTest, AllKeyAtomsGiveTrivialFds) {
+  Query q = corpus::Ack(3);
+  // S3's FD is x1x2x3 -> x1x2x3: it adds nothing to any closure that
+  // does not already contain all three.
+  EXPECT_EQ(PlusClosure(q, 3), Vars({"x1", "x2", "x3"}));
+}
+
+TEST(FdTest, PlusVsCircOnQ0) {
+  Query q0 = corpus::Q0();
+  // F = R0(x | y): F+ = {x} (S0's FD yz -> xyz never fires), but
+  // F⊙ = {x, y} (own FD x -> xy fires).
+  EXPECT_EQ(PlusClosure(q0, 0), Vars({"x"}));
+  EXPECT_EQ(CircClosure(q0, 0), Vars({"x", "y"}));
+  // G = S0(y, z | x): G+ = {y, z}, G⊙ = {x, y, z}.
+  EXPECT_EQ(PlusClosure(q0, 1), Vars({"y", "z"}));
+  EXPECT_EQ(CircClosure(q0, 1), Vars({"x", "y", "z"}));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "db/parser.h"
+#include "db/printer.h"
+#include "db/sampling.h"
+#include "gen/db_gen.h"
+#include "gen/query_gen.h"
+#include "prob/counting.h"
+#include "prob/worlds.h"
+#include "solvers/engine.h"
+#include "solvers/oracle_solver.h"
+
+namespace cqa {
+namespace {
+
+/// Cross-module invariants tying solvers, counting and probability
+/// together. For every query q and database db:
+///   certain(db, q)  ⟺  #CERTAINTY(db, q) == #repairs(db)
+///   #CERTAINTY / #repairs == Pr_uniform-BID(q)
+/// checked across random corpus instances with three independent
+/// implementations (engine dispatch, decomposition counting, worlds
+/// oracle).
+class CrossModuleInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossModuleInvariants, CountingCertaintyProbabilityAgree) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions options;
+    options.seed = GetParam() * 37 + 11;
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(1024)) continue;
+
+    BigInt total = db.RepairCount();
+    BigInt satisfying = Counting::CountByDecomposition(db, q);
+    Result<SolveOutcome> outcome = Engine::Solve(db, q);
+    ASSERT_TRUE(outcome.ok()) << name;
+
+    // Certainty <=> all repairs satisfy.
+    EXPECT_EQ(outcome->certain, satisfying == total)
+        << name << " seed=" << GetParam() << "\n"
+        << db.ToString();
+
+    // Probability == satisfying / total (uniform-over-repairs BID).
+    BidDatabase bid = BidDatabase::UniformOverRepairs(db);
+    Rational pr = WorldsOracle::Probability(bid, q);
+    EXPECT_EQ(pr, Rational(satisfying, total))
+        << name << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModuleInvariants,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+/// Print -> parse round trips over randomly generated databases,
+/// including constants that need quoting.
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTrip, RandomDatabasesSurvivePrintParse) {
+  QueryGenOptions qopts;
+  qopts.seed = GetParam();
+  qopts.num_atoms = 2 + static_cast<int>(GetParam() % 3);
+  Query q = RandomAcyclicQuery(qopts);
+  DbGenOptions options;
+  options.seed = GetParam();
+  options.facts_per_relation = 10;
+  Database db = RandomDatabase(q, options);
+  Result<Database> reparsed = ParseDatabase(FormatDatabase(db));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), db.ToString());
+  EXPECT_EQ(reparsed->blocks().size(), db.blocks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+TEST(RoundTripSpecials, QuotedConstantsSurvive) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"New York", "a b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"pipe|bar", "dot."}, 1)).ok());
+  Result<Database> reparsed = ParseDatabase(FormatDatabase(db));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), db.ToString());
+}
+
+/// The Monte-Carlo estimator converges towards the exact count ratio.
+TEST(SamplingIntegration, EstimateTracksExactRatio) {
+  Query q = corpus::PathQuery2();
+  BlockDbGenOptions options;
+  options.seed = 4242;
+  options.blocks_per_relation = 4;
+  options.max_block_size = 2;
+  options.domain_size = 3;
+  Database db = RandomBlockDatabase(q, options);
+  Rational exact(Counting::CountByDecomposition(db, q), db.RepairCount());
+  Rng rng(7);
+  Rational estimate = EstimateSatisfactionProbability(db, q, 3000, &rng);
+  Rational diff = estimate > exact ? estimate - exact : exact - estimate;
+  EXPECT_LT(diff, Rational(BigInt(1), BigInt(10)))
+      << "exact=" << exact.ToString()
+      << " estimate=" << estimate.ToString();
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solvers/blossom.h"
+#include "solvers/mis.h"
+#include "util/rng.h"
+
+namespace cqa {
+namespace {
+
+TEST(BlossomTest, PathGraph) {
+  // 0-1-2-3: maximum matching 2.
+  BlossomMatching m(4);
+  m.AddEdge(0, 1);
+  m.AddEdge(1, 2);
+  m.AddEdge(2, 3);
+  EXPECT_EQ(m.Solve(), 2);
+}
+
+TEST(BlossomTest, OddCycleNeedsBlossom) {
+  // Triangle: maximum matching 1; 5-cycle: 2.
+  BlossomMatching tri(3);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(2, 0);
+  EXPECT_EQ(tri.Solve(), 1);
+  BlossomMatching c5(5);
+  for (int i = 0; i < 5; ++i) c5.AddEdge(i, (i + 1) % 5);
+  EXPECT_EQ(c5.Solve(), 2);
+}
+
+TEST(BlossomTest, PetersenGraphHasPerfectMatching) {
+  BlossomMatching m(10);
+  for (int i = 0; i < 5; ++i) {
+    m.AddEdge(i, (i + 1) % 5);          // Outer cycle.
+    m.AddEdge(5 + i, 5 + (i + 2) % 5);  // Inner pentagram.
+    m.AddEdge(i, 5 + i);                // Spokes.
+  }
+  EXPECT_EQ(m.Solve(), 5);
+}
+
+TEST(BlossomTest, MateIsConsistent) {
+  BlossomMatching m(6);
+  m.AddEdge(0, 1);
+  m.AddEdge(2, 3);
+  m.AddEdge(4, 5);
+  m.AddEdge(1, 2);
+  EXPECT_EQ(m.Solve(), 3);
+  for (int v = 0; v < 6; ++v) {
+    ASSERT_NE(m.mate()[v], -1);
+    EXPECT_EQ(m.mate()[m.mate()[v]], v);
+  }
+}
+
+/// Brute-force maximum matching for cross-validation.
+int BruteForceMatching(int n, const std::vector<std::pair<int, int>>& edges) {
+  int best = 0;
+  int m = static_cast<int>(edges.size());
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    std::vector<bool> used(n, false);
+    bool ok = true;
+    int size = 0;
+    for (int e = 0; e < m && ok; ++e) {
+      if (!(mask >> e & 1)) continue;
+      auto [u, v] = edges[e];
+      if (used[u] || used[v]) {
+        ok = false;
+      } else {
+        used[u] = used[v] = true;
+        ++size;
+      }
+    }
+    if (ok) best = std::max(best, size);
+  }
+  return best;
+}
+
+TEST(BlossomTest, RandomGraphsAgreeWithBruteForce) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    int n = 3 + static_cast<int>(rng.Below(6));
+    std::vector<std::pair<int, int>> edges;
+    BlossomMatching m(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Chance(2, 5)) {
+          edges.emplace_back(u, v);
+          m.AddEdge(u, v);
+        }
+      }
+    }
+    if (edges.size() > 14) continue;  // Keep brute force fast.
+    EXPECT_EQ(m.Solve(), BruteForceMatching(n, edges)) << "round " << round;
+  }
+}
+
+/// Brute-force maximum independent set.
+int BruteForceMis(int n, const std::vector<std::pair<int, int>>& edges) {
+  int best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (auto [u, v] : edges) {
+      if ((mask >> u & 1) && (mask >> v & 1)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) best = std::max(best, __builtin_popcount(mask));
+  }
+  return best;
+}
+
+TEST(MisTest, SmallGraphs) {
+  MaxIndependentSet empty(4);
+  EXPECT_EQ(empty.Solve(), 4);
+  MaxIndependentSet tri(3);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(2, 0);
+  EXPECT_EQ(tri.Solve(), 1);
+  MaxIndependentSet c5(5);
+  for (int i = 0; i < 5; ++i) c5.AddEdge(i, (i + 1) % 5);
+  EXPECT_EQ(c5.Solve(), 2);
+}
+
+TEST(MisTest, BestSetIsIndependent) {
+  MaxIndependentSet mis(6);
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {2, 3},
+                                            {3, 4}, {4, 5}, {5, 0}};
+  for (auto [u, v] : edges) mis.AddEdge(u, v);
+  EXPECT_EQ(mis.Solve(), 3);
+  for (int a : mis.best_set()) {
+    for (int b : mis.best_set()) {
+      for (auto [u, v] : edges) {
+        EXPECT_FALSE((a == u && b == v)) << "edge inside independent set";
+      }
+    }
+  }
+}
+
+TEST(MisTest, RandomGraphsAgreeWithBruteForce) {
+  Rng rng(13);
+  for (int round = 0; round < 50; ++round) {
+    int n = 3 + static_cast<int>(rng.Below(8));
+    std::vector<std::pair<int, int>> edges;
+    MaxIndependentSet mis(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Chance(1, 3)) {
+          edges.emplace_back(u, v);
+          mis.AddEdge(u, v);
+        }
+      }
+    }
+    EXPECT_EQ(mis.Solve(), BruteForceMis(n, edges)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace cqa

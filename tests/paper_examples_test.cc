@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "core/attack_graph.h"
+#include "core/classifier.h"
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "db/purify.h"
+#include "fd/fd.h"
+#include "solvers/ack_solver.h"
+#include "solvers/oracle_solver.h"
+
+namespace cqa {
+namespace {
+
+VarSet Vars(std::initializer_list<const char*> names) {
+  VarSet out;
+  for (const char* n : names) out.insert(InternSymbol(n));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// E1: Fig. 1 and the introduction example.
+// ---------------------------------------------------------------------------
+
+TEST(PaperE1, ConferenceDatabaseHasFourRepairs) {
+  EXPECT_EQ(corpus::ConferenceDatabase().RepairCount().ToInt64(), 4);
+}
+
+TEST(PaperE1, QueryTrueInExactlyThreeRepairs) {
+  // "The query ... is true in only three repairs."
+  BigInt count = OracleSolver::CountSatisfyingRepairs(
+      corpus::ConferenceDatabase(), corpus::ConferenceQuery());
+  EXPECT_EQ(count.ToInt64(), 3);
+}
+
+TEST(PaperE1, QueryIsNotCertain) {
+  EXPECT_FALSE(OracleSolver::IsCertain(corpus::ConferenceDatabase(),
+                                       corpus::ConferenceQuery()));
+}
+
+// ---------------------------------------------------------------------------
+// E2: Example 2 — the closures of q1.
+// ---------------------------------------------------------------------------
+
+class Q1Test : public ::testing::Test {
+ protected:
+  Q1Test() : q1_(corpus::Q1()) {
+    // Atom order in corpus::Q1: F=R, G=S, H=T, I=P.
+  }
+  Query q1_;
+  static constexpr int kF = 0, kG = 1, kH = 2, kI = 3;
+};
+
+TEST_F(Q1Test, PlusClosuresMatchExample2) {
+  EXPECT_EQ(PlusClosure(q1_, kF), Vars({"u"}));
+  EXPECT_EQ(PlusClosure(q1_, kG), Vars({"y"}));
+  EXPECT_EQ(PlusClosure(q1_, kH), Vars({"x", "z"}));
+  EXPECT_EQ(PlusClosure(q1_, kI), Vars({"x", "y", "z"}));
+}
+
+TEST_F(Q1Test, CircClosuresMatchExample4) {
+  EXPECT_EQ(CircClosure(q1_, kF), Vars({"u", "x", "y", "z"}));
+  EXPECT_EQ(CircClosure(q1_, kG), Vars({"x", "y", "z"}));
+  EXPECT_EQ(CircClosure(q1_, kH), Vars({"x", "y", "z"}));
+  EXPECT_EQ(CircClosure(q1_, kI), Vars({"x", "y", "z"}));
+}
+
+TEST_F(Q1Test, AttackGraphMatchesFig2) {
+  Result<AttackGraph> g = AttackGraph::Compute(q1_);
+  ASSERT_TRUE(g.ok());
+  // From the closures of Example 2: F (key u, F+ = {u}) attacks all; G
+  // (key y, G+ = {y}) attacks all; H (key x, H+ = {x,z}) attacks only G
+  // (Example 3 works out H ~/~> F); I (key x, I+ = {x,y,z}) attacks
+  // nothing.
+  EXPECT_TRUE(g->Attacks(kF, kG));
+  EXPECT_TRUE(g->Attacks(kF, kH));
+  EXPECT_TRUE(g->Attacks(kF, kI));
+  EXPECT_TRUE(g->Attacks(kG, kF));
+  EXPECT_TRUE(g->Attacks(kG, kH));
+  EXPECT_TRUE(g->Attacks(kG, kI));
+  EXPECT_TRUE(g->Attacks(kH, kG));
+  EXPECT_FALSE(g->Attacks(kH, kF));  // Worked out in Example 3.
+  EXPECT_FALSE(g->Attacks(kH, kI));
+  EXPECT_FALSE(g->Attacks(kI, kF));
+  EXPECT_FALSE(g->Attacks(kI, kG));
+  EXPECT_FALSE(g->Attacks(kI, kH));
+}
+
+TEST_F(Q1Test, StrongAttackIsExactlyGToF) {
+  Result<AttackGraph> g = AttackGraph::Compute(q1_);
+  ASSERT_TRUE(g.ok());
+  // Example 4: "the attack from G to F is the only strong attack".
+  for (int i = 0; i < g->size(); ++i) {
+    for (int j = 0; j < g->size(); ++j) {
+      if (!g->Attacks(i, j)) continue;
+      if (i == kG && j == kF) {
+        EXPECT_TRUE(g->IsStrongAttack(i, j));
+      } else {
+        EXPECT_TRUE(g->IsWeakAttack(i, j)) << i << "~>" << j;
+      }
+    }
+  }
+}
+
+TEST_F(Q1Test, CycleClassificationMatchesExample4) {
+  Result<AttackGraph> g = AttackGraph::Compute(q1_);
+  ASSERT_TRUE(g.ok());
+  // F <-> G is a strong cycle; G <-> H is weak.
+  EXPECT_TRUE(g->HasStrongCycle());
+  EXPECT_TRUE(g->HasStrongTwoCycle());
+  Result<Classification> cls = ClassifyQuery(q1_);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->complexity, ComplexityClass::kConpComplete);
+}
+
+// ---------------------------------------------------------------------------
+// E3: Example 5 / Fig. 4 — all cycles weak and terminal.
+// ---------------------------------------------------------------------------
+
+TEST(PaperE3, Fig4AllCyclesWeakAndTerminal) {
+  Query q = corpus::Fig4Query();
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->IsAcyclic());
+  EXPECT_FALSE(g->HasStrongCycle());
+  EXPECT_TRUE(g->AllCyclesTerminal());
+  // Three 2-cycles: {R1,R2}, {R3,R4}, {R5,R6}.
+  EXPECT_EQ(g->TwoCycles().size(), 3u);
+  Result<Classification> cls = ClassifyQuery(q);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->complexity, ComplexityClass::kPtimeTerminalCycles);
+}
+
+// ---------------------------------------------------------------------------
+// E4: Fig. 5 / Fig. 6 / Fig. 7 — AC(3).
+// ---------------------------------------------------------------------------
+
+TEST(PaperE4, Ac3AttackGraphMatchesFig5) {
+  Query q = corpus::Ack(3);
+  Result<AttackGraph> g = AttackGraph::Compute(q);
+  ASSERT_TRUE(g.ok());
+  // Attom order: R1, R2, R3, S3. Each R attacks every other atom; S3
+  // attacks nothing.
+  int s = 3;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(g->Attacks(i, j)) << i << "~>" << j;
+      EXPECT_TRUE(g->IsWeakAttack(i, j));
+    }
+  }
+  for (int j = 0; j < 3; ++j) EXPECT_FALSE(g->Attacks(s, j));
+  // All cycles weak, none terminal (R1 <-> R2 has the edge R1 -> S3).
+  EXPECT_FALSE(g->HasStrongCycle());
+  EXPECT_FALSE(g->AllCyclesTerminal());
+  Result<Classification> cls = ClassifyQuery(q);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->complexity, ComplexityClass::kPtimeAck);
+}
+
+TEST(PaperE4, Fig6DatabaseIsPurified) {
+  EXPECT_TRUE(IsPurified(corpus::Fig6Database(), corpus::Ack(3)));
+}
+
+TEST(PaperE4, Fig6DatabaseIsNotCertainByOracle) {
+  // Fig. 7 exhibits two falsifying repairs, so the database is not in
+  // CERTAINTY(AC(3)).
+  EXPECT_FALSE(
+      OracleSolver::IsCertain(corpus::Fig6Database(), corpus::Ack(3)));
+}
+
+TEST(PaperE4, Fig6DatabaseIsNotCertainByTheorem4Solver) {
+  Result<bool> certain =
+      AckSolver::IsCertain(corpus::Fig6Database(), corpus::Ack(3));
+  ASSERT_TRUE(certain.ok());
+  EXPECT_FALSE(*certain);
+}
+
+TEST(PaperE4, Fig6FalsifyingRepairIsVerifiable) {
+  Database db = corpus::Fig6Database();
+  Query q = corpus::Ack(3);
+  Result<std::optional<std::vector<Fact>>> witness =
+      AckSolver::FindFalsifyingRepair(db, q);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness->has_value());
+  // The witness must be a repair: one fact per block.
+  EXPECT_EQ((*witness)->size(), db.blocks().size());
+  // ... and must falsify AC(3).
+  Database as_db;
+  for (const Fact& f : **witness) ASSERT_TRUE(as_db.AddFact(f).ok());
+  EXPECT_TRUE(as_db.IsConsistent());
+  EXPECT_FALSE(OracleSolver::IsCertain(as_db, q));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 sanity for the whole corpus: classifier runs everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, EveryNamedQueryClassifies) {
+  for (const auto& [name, query] : corpus::AllNamedQueries()) {
+    Result<Classification> cls = ClassifyQuery(query);
+    EXPECT_TRUE(cls.ok()) << name << ": " << cls.status().ToString();
+  }
+}
+
+TEST(CorpusTest, ExpectedClasses) {
+  auto classify = [](const Query& q) {
+    Result<Classification> cls = ClassifyQuery(q);
+    EXPECT_TRUE(cls.ok()) << cls.status().ToString();
+    return cls.ok() ? cls->complexity : ComplexityClass::kOpenConjecturedPtime;
+  };
+  EXPECT_EQ(classify(corpus::ConferenceQuery()),
+            ComplexityClass::kFirstOrder);
+  EXPECT_EQ(classify(corpus::PathQuery2()), ComplexityClass::kFirstOrder);
+  EXPECT_EQ(classify(corpus::PathQuery(4)), ComplexityClass::kFirstOrder);
+  EXPECT_EQ(classify(corpus::Q1()), ComplexityClass::kConpComplete);
+  EXPECT_EQ(classify(corpus::Q0()), ComplexityClass::kConpComplete);
+  EXPECT_EQ(classify(corpus::Fig4Query()),
+            ComplexityClass::kPtimeTerminalCycles);
+  EXPECT_EQ(classify(corpus::Ck(2)),
+            ComplexityClass::kPtimeTerminalCycles);  // C(2) is acyclic.
+  EXPECT_EQ(classify(corpus::Ck(3)), ComplexityClass::kPtimeCk);
+  EXPECT_EQ(classify(corpus::Ack(2)), ComplexityClass::kPtimeAck);
+  EXPECT_EQ(classify(corpus::Ack(3)), ComplexityClass::kPtimeAck);
+  EXPECT_EQ(classify(corpus::Ack(4)), ComplexityClass::kPtimeAck);
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "db/sampling.h"
+#include "gen/db_gen.h"
+#include "prob/counting.h"
+#include "solvers/oracle_solver.h"
+
+namespace cqa {
+namespace {
+
+TEST(SamplingTest, SampledRepairIsARepair) {
+  Database db = corpus::ConferenceDatabase();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Repair r = SampleRepair(db, &rng);
+    ASSERT_EQ(r.size(), db.blocks().size());
+    Database as_db;
+    for (const Fact* f : r) ASSERT_TRUE(as_db.AddFact(*f).ok());
+    EXPECT_TRUE(as_db.IsConsistent());
+  }
+}
+
+TEST(SamplingTest, DeterministicPerSeed) {
+  Database db = corpus::ConferenceDatabase();
+  Rng a(9), b(9);
+  Rational pa =
+      EstimateSatisfactionProbability(db, corpus::ConferenceQuery(), 200, &a);
+  Rational pb =
+      EstimateSatisfactionProbability(db, corpus::ConferenceQuery(), 200, &b);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(SamplingTest, EstimateConvergesOnFig1) {
+  // Exact probability is 3/4; with 2000 samples the estimate should be
+  // within 1/10 (loose; binomial std dev ~ 0.0097).
+  Database db = corpus::ConferenceDatabase();
+  Rng rng(77);
+  Rational p =
+      EstimateSatisfactionProbability(db, corpus::ConferenceQuery(), 2000,
+                                      &rng);
+  Rational exact(BigInt(3), BigInt(4));
+  Rational diff = p > exact ? p - exact : exact - p;
+  EXPECT_LT(diff, Rational(BigInt(1), BigInt(10))) << p.ToString();
+}
+
+TEST(DecompositionCountingTest, MatchesOracleOnFig1) {
+  EXPECT_EQ(Counting::CountByDecomposition(corpus::ConferenceDatabase(),
+                                           corpus::ConferenceQuery())
+                .ToInt64(),
+            3);
+}
+
+TEST(DecompositionCountingTest, EmptyQueryCountsEverything) {
+  Database db = corpus::ConferenceDatabase();
+  EXPECT_EQ(Counting::CountByDecomposition(db, Query()).ToInt64(), 4);
+}
+
+TEST(DecompositionCountingTest, NoEmbeddingsMeansZero) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  EXPECT_EQ(
+      Counting::CountByDecomposition(db, corpus::PathQuery2()).ToInt64(), 0);
+}
+
+/// Decomposition counting must equal exhaustive counting for *every*
+/// query (safe or not) — the whole point of the feature.
+class DecompositionVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecompositionVsOracle, ExactOnAllCorpusQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions options;
+    options.seed = GetParam();
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(4096)) continue;
+    EXPECT_EQ(Counting::CountByDecomposition(db, q),
+              Counting::CountByOracle(db, q))
+        << name << " seed=" << GetParam() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+TEST(DecompositionCountingTest, ScalesPastTheOracle) {
+  // Many independent components: decomposition is fast even though the
+  // full repair count is astronomically large.
+  Database db;
+  Query q = corpus::PathQuery2();
+  for (int i = 0; i < 40; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    std::string c = "c" + std::to_string(i);
+    ASSERT_TRUE(db.AddFact(Fact::Make("R", {a, b}, 1)).ok());
+    ASSERT_TRUE(db.AddFact(Fact::Make("R", {a, c}, 1)).ok());
+    ASSERT_TRUE(db.AddFact(Fact::Make("S", {b, c}, 1)).ok());
+    ASSERT_TRUE(db.AddFact(Fact::Make("S", {b, a}, 1)).ok());
+  }
+  // 2^80 repairs; per pair i: R-block has 2 options, S-block 2; the
+  // embedding needs R(a,b) & any S(b,*) fact... exact expectation
+  // computed by the decomposition itself; here we just check it runs
+  // and is consistent with the sampled estimate on one component.
+  BigInt count = Counting::CountByDecomposition(db, q);
+  // Per component: R choices {b,c} x S choices over block b: embeddings
+  // {R(a,b),S(b,c)}, {R(a,b),S(b,a)}: falsifying = choices where R != b:
+  // 1 * 2 = 2 of 4 -> 2 satisfying. Total = 2^40 * (4 - 2)^... careful:
+  // the S-block is shared per pair; total per pair = 4, satisfying = 2.
+  // So count = 2^40 * ... actually each pair contributes independently:
+  // count_total = 4^40 - 2^40 ... no: #sat = total - prod(falsifying)
+  // only across components; verify against the closed form:
+  // total = 4^40, falsifying per component = 2, untouched = none.
+  BigInt four_pow(1), two_pow(1);
+  for (int i = 0; i < 40; ++i) {
+    four_pow = four_pow * BigInt(4);
+    two_pow = two_pow * BigInt(2);
+  }
+  EXPECT_EQ(count, four_pow - two_pow);
+}
+
+}  // namespace
+}  // namespace cqa

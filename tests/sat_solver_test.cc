@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/matcher.h"
+#include "gen/db_gen.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/sat/cnf.h"
+#include "solvers/sat/dpll.h"
+#include "solvers/sat_solver.h"
+#include "util/rng.h"
+
+namespace cqa {
+namespace {
+
+TEST(DpllTest, TrivialSat) {
+  Cnf cnf;
+  int a = cnf.AddVar();
+  int b = cnf.AddVar();
+  cnf.AddClause({a, b});
+  cnf.AddClause({-a, b});
+  DpllSolver solver(cnf);
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_TRUE(solver.model()[b - 1]);
+}
+
+TEST(DpllTest, TrivialUnsat) {
+  Cnf cnf;
+  int a = cnf.AddVar();
+  cnf.AddClause({a});
+  cnf.AddClause({-a});
+  DpllSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(DpllTest, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.AddVar();
+  cnf.AddClause({});
+  DpllSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(DpllTest, PigeonHole3Into2IsUnsat) {
+  // Pigeons p in holes h: var(p,h). Classic small UNSAT instance.
+  Cnf cnf;
+  int var[3][2];
+  for (int p = 0; p < 3; ++p) {
+    for (int h = 0; h < 2; ++h) var[p][h] = cnf.AddVar();
+  }
+  for (int p = 0; p < 3; ++p) cnf.AddClause({var[p][0], var[p][1]});
+  for (int h = 0; h < 2; ++h) {
+    for (int p1 = 0; p1 < 3; ++p1) {
+      for (int p2 = p1 + 1; p2 < 3; ++p2) {
+        cnf.AddClause({-var[p1][h], -var[p2][h]});
+      }
+    }
+  }
+  DpllSolver solver(cnf);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(DpllTest, RandomThreeSatAgreesWithBruteForce) {
+  Rng rng(42);
+  for (int round = 0; round < 60; ++round) {
+    Cnf cnf;
+    int n = 6;
+    for (int i = 0; i < n; ++i) cnf.AddVar();
+    int clauses = 3 + static_cast<int>(rng.Below(18));
+    for (int c = 0; c < clauses; ++c) {
+      std::vector<int> clause;
+      for (int l = 0; l < 3; ++l) {
+        int v = 1 + static_cast<int>(rng.Below(n));
+        clause.push_back(rng.Chance(1, 2) ? v : -v);
+      }
+      cnf.AddClause(clause);
+    }
+    // Brute force.
+    bool brute_sat = false;
+    for (int mask = 0; mask < (1 << n) && !brute_sat; ++mask) {
+      bool all = true;
+      for (const auto& clause : cnf.clauses()) {
+        bool sat = false;
+        for (int lit : clause) {
+          int v = std::abs(lit) - 1;
+          bool value = (mask >> v) & 1;
+          if ((lit > 0) == value) {
+            sat = true;
+            break;
+          }
+        }
+        if (!sat) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    DpllSolver solver(cnf);
+    EXPECT_EQ(solver.Solve() == SatResult::kSat, brute_sat)
+        << "round " << round;
+  }
+}
+
+TEST(SatSolverTest, ConferenceExample) {
+  EXPECT_FALSE(SatSolver::IsCertain(corpus::ConferenceDatabase(),
+                                    corpus::ConferenceQuery()));
+}
+
+TEST(SatSolverTest, EmptyQueryIsAlwaysCertain) {
+  Database db = corpus::ConferenceDatabase();
+  EXPECT_TRUE(SatSolver::IsCertain(db, Query()));
+}
+
+TEST(SatSolverTest, EmptyDatabaseFalsifiesNonemptyQuery) {
+  Database db;
+  EXPECT_FALSE(SatSolver::IsCertain(db, corpus::PathQuery2()));
+}
+
+TEST(SatSolverTest, FalsifyingRepairIsARealRepair) {
+  Database db = corpus::ConferenceDatabase();
+  Query q = corpus::ConferenceQuery();
+  auto repair = SatSolver::FindFalsifyingRepair(db, q);
+  ASSERT_TRUE(repair.has_value());
+  EXPECT_EQ(repair->size(), db.blocks().size());
+  Database as_db;
+  for (const Fact& f : *repair) ASSERT_TRUE(as_db.AddFact(f).ok());
+  EXPECT_TRUE(as_db.IsConsistent());
+  EXPECT_FALSE(Satisfies(as_db, q));
+}
+
+/// SAT must agree with the repair-enumeration oracle on every corpus
+/// query over randomized databases — the key soundness sweep for the
+/// engine's generic fallback.
+class SatVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatVsOracle, AgreesOnAllCorpusQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions options;
+    options.seed = GetParam();
+    options.blocks_per_relation = 3;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(4096)) continue;
+    EXPECT_EQ(SatSolver::IsCertain(db, q), OracleSolver::IsCertain(db, q))
+        << name << " seed=" << GetParam() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+}  // namespace
+}  // namespace cqa

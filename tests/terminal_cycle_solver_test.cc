@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/terminal_cycle_solver.h"
+
+namespace cqa {
+namespace {
+
+TEST(TerminalCycleSolverTest, RejectsStrongCycles) {
+  Database db;
+  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Q0()).ok());
+  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Q1()).ok());
+}
+
+TEST(TerminalCycleSolverTest, RejectsNonterminalCycles) {
+  Database db;
+  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Ack(3)).ok());
+}
+
+TEST(TerminalCycleSolverTest, AcceptsFoQueries) {
+  // FO queries have acyclic attack graphs: trivially all-terminal.
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
+  Result<bool> certain =
+      TerminalCycleSolver::IsCertain(db, corpus::PathQuery2());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+}
+
+TEST(TerminalCycleSolverTest, EmptyQueryIsCertain) {
+  Database db;
+  Result<bool> certain = TerminalCycleSolver::IsCertain(db, Query());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+}
+
+TEST(TerminalCycleSolverTest, EmptyDatabaseIsNotCertain) {
+  Database db;
+  Result<bool> certain =
+      TerminalCycleSolver::IsCertain(db, corpus::Fig4Query());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_FALSE(*certain);
+}
+
+/// The main correctness sweep: Theorem 3 solver vs oracle, over the
+/// Fig. 4 query (three interlocking weak terminal cycles), its
+/// source-extended variant (exercises the unattacked-atom induction),
+/// C(2), and a swap pair.
+class TerminalVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TerminalVsOracle, AgreesWithOracle) {
+  std::vector<std::pair<std::string, Query>> queries = {
+      {"c2", corpus::Ck(2)},
+      {"swap2", MustParseQuery("R(x | y, u), S(y | x, u)")},
+      {"fig4", corpus::Fig4Query()},
+      {"fig4src", corpus::Fig4QueryWithSource()},
+  };
+  for (const auto& [name, q] : queries) {
+    BlockDbGenOptions options;
+    options.seed = GetParam();
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database db = RandomBlockDatabase(q, options);
+    if (db.RepairCount() > BigInt(4096)) continue;
+    Result<bool> certain = TerminalCycleSolver::IsCertain(db, q);
+    ASSERT_TRUE(certain.ok()) << name << ": " << certain.status();
+    EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+        << name << " seed=" << GetParam() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TerminalVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{60}));
+
+/// Denser Fig. 4 instances so the partition/⟦db_i⟧ machinery of
+/// Sublemma 5 actually sees shared-variable partitions.
+class TerminalDenseVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TerminalDenseVsOracle, Fig4DenseAgreesWithOracle) {
+  Query q = corpus::Fig4Query();
+  BlockDbGenOptions options;
+  options.seed = GetParam() + 1000;
+  options.blocks_per_relation = 3;
+  options.max_block_size = 2;
+  options.domain_size = 2;  // Small domain: more joins, more conflicts.
+  Database db = RandomBlockDatabase(q, options);
+  if (db.RepairCount() > BigInt(1 << 16)) return;
+  Result<bool> certain = TerminalCycleSolver::IsCertain(db, q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+      << "seed=" << GetParam() << "\n"
+      << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TerminalDenseVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "gen/instance_gen.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/two_atom_solver.h"
+
+namespace cqa {
+namespace {
+
+TEST(TwoAtomSolverTest, RejectsWrongAtomCount) {
+  Database db;
+  EXPECT_FALSE(TwoAtomSolver::IsCertain(db, corpus::Q1()).ok());
+  EXPECT_FALSE(TwoAtomSolver::IsCertain(db, Query()).ok());
+}
+
+TEST(TwoAtomSolverTest, FoPathTakesRewriting) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
+  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::PathQuery2());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kFoRewriting);
+}
+
+TEST(TwoAtomSolverTest, C2CertainInstance) {
+  // One 2-cycle in the digraph sense: R(a,b), S(b,a) both singleton
+  // blocks => every repair keeps both => certain.
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "a"}, 1)).ok());
+  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Ck(2));
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kMatching);
+}
+
+TEST(TwoAtomSolverTest, C2FalsifiableInstance) {
+  // Complete bipartite both ways over {a,a2} x {b,b2}: a repair can
+  // "cross" the pairs and falsify the query.
+  Database db;
+  for (const char* a : {"a", "a2"}) {
+    for (const char* b : {"b", "b2"}) {
+      ASSERT_TRUE(db.AddFact(Fact::Make("R1", {a, b}, 1)).ok());
+      ASSERT_TRUE(db.AddFact(Fact::Make("R2", {b, a}, 1)).ok());
+    }
+  }
+  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Ck(2));
+  ASSERT_TRUE(certain.ok());
+  EXPECT_FALSE(*certain);
+  EXPECT_FALSE(OracleSolver::IsCertain(db, corpus::Ck(2)));
+}
+
+TEST(TwoAtomSolverTest, FanInstancesTakeTheMisPath) {
+  Query q = MustParseQuery("R(x | y), S(y | x, w)");
+  for (int n : {2, 3, 4}) {
+    Database db = FanTwoAtomDatabase(n, 3);
+    Result<bool> certain = TwoAtomSolver::IsCertain(db, q);
+    ASSERT_TRUE(certain.ok());
+    EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kMis)
+        << "n=" << n;
+    if (db.RepairCount() <= BigInt(1 << 16)) {
+      EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q)) << "n=" << n;
+    }
+  }
+}
+
+TEST(TwoAtomSolverTest, StrongCycleFallsBackToSat) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R0", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S0", {"b", "c", "a"}, 2)).ok());
+  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Q0());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kSat);
+}
+
+/// Oracle sweep over every two-atom corpus query and many random
+/// databases; exercises all four paths.
+class TwoAtomVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoAtomVsOracle, AgreesWithOracle) {
+  std::vector<std::pair<std::string, Query>> queries = {
+      {"c2", corpus::Ck(2)},
+      {"path2", corpus::PathQuery2()},
+      {"swap2", MustParseQuery("R(x | y, u), S(y | x, u)")},
+      {"fan2", MustParseQuery("R(x | y), S(y | x, w)")},
+      {"q0", corpus::Q0()},
+  };
+  for (const auto& [name, q] : queries) {
+    for (int blocks = 2; blocks <= 4; ++blocks) {
+      BlockDbGenOptions options;
+      options.seed = GetParam() * 17 + blocks;
+      options.blocks_per_relation = blocks;
+      options.max_block_size = 2;
+      options.domain_size = 3;
+      Database db = RandomBlockDatabase(q, options);
+      if (db.RepairCount() > BigInt(4096)) continue;
+      Result<bool> certain = TwoAtomSolver::IsCertain(db, q);
+      ASSERT_TRUE(certain.ok()) << name;
+      EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+          << name << " seed=" << GetParam() << " blocks=" << blocks << "\n"
+          << db.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoAtomVsOracle,
+                         ::testing::Range(uint64_t{1}, uint64_t{60}));
+
+}  // namespace
+}  // namespace cqa
