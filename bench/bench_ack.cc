@@ -5,7 +5,7 @@
 // the number of non-singleton blocks; the SAT fallback tracks the
 // polynomial solver but with a visible constant-factor gap.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

@@ -5,7 +5,7 @@
 // on growing path queries, star queries, and cycle families, exposing
 // the polynomial scaling.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include <string>
 

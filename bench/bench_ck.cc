@@ -6,7 +6,7 @@
 // fallback — the shape: specialized polynomial, Lemma 9 exponential in
 // k, both returning identical answers.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

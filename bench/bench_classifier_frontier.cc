@@ -6,7 +6,7 @@
 // coNP-complete, OPEN}, plus the Theorem 6 cross-check (every safe
 // query must land in FO). Counters are the table cells.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

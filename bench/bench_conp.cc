@@ -8,7 +8,7 @@
 // past the strong-cycle line there is no polynomial algorithm to be
 // had, only search.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include <algorithm>
 

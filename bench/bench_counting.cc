@@ -4,7 +4,7 @@
 // queries) vs exhaustive enumeration. The counts match exactly — the
 // BigInt/Rational substrate never rounds.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

@@ -7,7 +7,7 @@
 // repair enumeration doubles per uncertain block, while the FO
 // rewriting (Theorem 1) answers the same question in polynomial time.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

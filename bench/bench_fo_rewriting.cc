@@ -6,7 +6,7 @@
 // shape — FO flat, oracle exponential — is the figure this bench
 // regenerates.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

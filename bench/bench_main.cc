@@ -1,0 +1,108 @@
+#include "bench_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cq/matcher.h"
+
+namespace {
+
+std::string JsonPath() {
+  const char* path = std::getenv("CQA_BENCH_JSON");
+  return path != nullptr && *path != '\0' ? path : "BENCH_results.json";
+}
+
+std::string MatcherMode() {
+  // Ask the library, so the label can never diverge from the mode the
+  // matcher actually runs in.
+  return cqa::DefaultMatcherMode() == cqa::MatcherMode::kNaive ? "naive"
+                                                               : "indexed";
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Console output as usual, plus one compact JSON record per benchmark.
+class JsonAppendReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      double wall_s = run.real_accumulated_time / iters;
+      double facts = 0;
+      auto it = run.counters.find("facts");
+      if (it != run.counters.end()) facts = it->second.value;
+      std::ostringstream line;
+      line.precision(6);
+      line << "{\"bench\":\"" << bench_ << "\",\"name\":\""
+           << run.benchmark_name() << "\",\"matcher\":\"" << MatcherMode()
+           << "\",\"wall_ms\":" << wall_s * 1e3 << ",\"facts\":" << facts
+           << ",\"facts_per_sec\":"
+           << (wall_s > 0 ? facts / wall_s : 0) << "}";
+      records_.push_back(line.str());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void set_bench(std::string bench) { bench_ = std::move(bench); }
+
+  /// Rewrites the JSON array: keeps records from other binaries / the
+  /// other matcher mode, replaces this binary's records for this mode.
+  void WriteJson() const {
+    std::string self_key =
+        "\"bench\":\"" + bench_ + "\",";
+    std::string mode_key = "\"matcher\":\"" + MatcherMode() + "\"";
+    std::vector<std::string> kept;
+    std::ifstream in(JsonPath());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] != '{') continue;
+      if (line.find(self_key) != std::string::npos &&
+          line.find(mode_key) != std::string::npos) {
+        continue;
+      }
+      if (line.back() == ',') line.pop_back();
+      kept.push_back(line);
+    }
+    in.close();
+    kept.insert(kept.end(), records_.begin(), records_.end());
+    // Write-then-rename so a reader (or a concurrently finishing bench
+    // binary) never sees a half-written file.
+    std::string tmp = JsonPath() + "." + bench_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << "[\n";
+      for (size_t i = 0; i < kept.size(); ++i) {
+        out << kept[i] << (i + 1 < kept.size() ? "," : "") << "\n";
+      }
+      out << "]\n";
+    }
+    std::rename(tmp.c_str(), JsonPath().c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonAppendReporter reporter;
+  reporter.set_bench(BaseName(argv[0]));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  benchmark::Shutdown();
+  return 0;
+}

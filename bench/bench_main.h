@@ -1,0 +1,28 @@
+#ifndef CQA_BENCH_BENCH_MAIN_H_
+#define CQA_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+/// \file
+/// Shared benchmark harness. Every bench_*.cc includes this header instead
+/// of <benchmark/benchmark.h> and links against `cqa_bench_main`, whose
+/// main() runs the registered benchmarks and appends one machine-readable
+/// record per benchmark to BENCH_results.json (override the path with
+/// CQA_BENCH_JSON). Each record carries:
+///
+///   {"bench": <binary>, "name": <benchmark/arg>, "matcher":
+///    "indexed"|"naive", "wall_ms": <per-iteration wall clock>,
+///    "facts": <facts counter if set>, "facts_per_sec": <derived>}
+///
+/// The "facts" counter is the convention already used by the suite
+/// (state.counters["facts"] = db.size()); facts_per_sec is derived from it
+/// so future PRs can track throughput, not just latency. The "matcher"
+/// field reflects CQA_NAIVE_MATCHER, which flips the query matcher to the
+/// naive scan-based oracle — run the suite once with and once without it
+/// to get before/after numbers for matcher changes.
+///
+/// Records are one JSON object per line inside a top-level array; a rerun
+/// of the same binary under the same matcher mode replaces its previous
+/// records in place, so BENCH_results.json accumulates the whole suite.
+
+#endif  // CQA_BENCH_BENCH_MAIN_H_

@@ -4,7 +4,7 @@
 // exhaustive worlds oracle: FP vs exponential, identical answers. Also
 // reports the Fig. 1 probability 3/4 as a paper-number check.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

@@ -5,7 +5,7 @@
 // regenerates the qualitative figure behind Theorem 3: P vs
 // exponential, with matching answers.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

@@ -4,7 +4,7 @@
 // strong cycles. The matching path is the paper's tractable frontier;
 // the MIS path shows the cost of the general claw-free case.
 
-#include <benchmark/benchmark.h>
+#include "bench_main.h"
 
 #include "cqa.h"
 

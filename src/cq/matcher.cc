@@ -1,8 +1,32 @@
 #include "cq/matcher.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace cqa {
+
+// --------------------------------------------------------------- mode
+
+namespace {
+
+MatcherMode InitialMode() {
+  const char* naive = std::getenv("CQA_NAIVE_MATCHER");
+  return naive != nullptr && *naive != '\0' && *naive != '0'
+             ? MatcherMode::kNaive
+             : MatcherMode::kIndexed;
+}
+
+MatcherMode& ModeSingleton() {
+  static MatcherMode mode = InitialMode();
+  return mode;
+}
+
+}  // namespace
+
+MatcherMode DefaultMatcherMode() { return ModeSingleton(); }
+void SetDefaultMatcherMode(MatcherMode mode) { ModeSingleton() = mode; }
+
+// ---------------------------------------------------------- FactIndex
 
 FactIndex::FactIndex(const Database& db) {
   for (const Fact& f : db.facts()) Add(&f);
@@ -13,16 +37,142 @@ FactIndex::FactIndex(const Repair& repair) {
 }
 
 void FactIndex::Add(const Fact* fact) {
-  by_relation_[fact->relation()].push_back(fact);
-  fact_set_.insert(*fact);
+  Relation& rel = rels_[fact->relation()];
+  if (rel.slots_built) rel.slot.emplace(fact, rel.facts.size());
+  rel.facts.push_back(fact);
+  // Keep already-built lazy indexes coherent.
+  for (auto& [pos, buckets] : rel.by_position) {
+    if (pos < fact->arity()) buckets[fact->values()[pos]].push_back(fact);
+  }
+  for (auto& [len, buckets] : rel.by_prefix) {
+    if (len <= fact->arity()) {
+      std::vector<SymbolId> prefix(fact->values().begin(),
+                                   fact->values().begin() + len);
+      buckets[std::move(prefix)].push_back(fact);
+    }
+  }
+  if (counts_built_) ++fact_counts_[*fact];
   ++total_;
 }
 
-const std::vector<const Fact*>& FactIndex::Facts(SymbolId relation) const {
-  static const std::vector<const Fact*> kEmpty;
-  auto it = by_relation_.find(relation);
-  return it == by_relation_.end() ? kEmpty : it->second;
+bool FactIndex::Contains(const Fact& fact) const {
+  if (!counts_built_) {
+    counts_built_ = true;
+    fact_counts_.clear();
+    for (const auto& [relation, rel] : rels_) {
+      for (const Fact* f : rel.facts) ++fact_counts_[*f];
+    }
+  }
+  return fact_counts_.find(fact) != fact_counts_.end();
 }
+
+void FactIndex::DropFromBucket(Bucket* bucket, const Fact* fact) {
+  auto it = std::find(bucket->begin(), bucket->end(), fact);
+  if (it != bucket->end()) {
+    *it = bucket->back();
+    bucket->pop_back();
+  }
+}
+
+void FactIndex::Remove(const Fact* fact) {
+  auto rel_it = rels_.find(fact->relation());
+  if (rel_it == rels_.end()) return;
+  Relation& rel = rel_it->second;
+  if (!rel.slots_built) {
+    rel.slots_built = true;
+    rel.slot.clear();
+    for (size_t i = 0; i < rel.facts.size(); ++i) {
+      rel.slot.emplace(rel.facts[i], i);
+    }
+  }
+  auto slot_it = rel.slot.find(fact);
+  if (slot_it == rel.slot.end()) return;
+  // Swap-with-last removal from the fact list.
+  size_t slot = slot_it->second;
+  rel.slot.erase(slot_it);
+  if (slot + 1 != rel.facts.size()) {
+    rel.facts[slot] = rel.facts.back();
+    rel.slot[rel.facts[slot]] = slot;
+  }
+  rel.facts.pop_back();
+  for (auto& [pos, buckets] : rel.by_position) {
+    if (pos >= fact->arity()) continue;
+    auto it = buckets.find(fact->values()[pos]);
+    if (it != buckets.end()) DropFromBucket(&it->second, fact);
+  }
+  for (auto& [len, buckets] : rel.by_prefix) {
+    if (len > fact->arity()) continue;
+    std::vector<SymbolId> prefix(fact->values().begin(),
+                                 fact->values().begin() + len);
+    auto it = buckets.find(prefix);
+    if (it != buckets.end()) DropFromBucket(&it->second, fact);
+  }
+  if (counts_built_) {
+    auto count_it = fact_counts_.find(*fact);
+    if (count_it != fact_counts_.end() && --count_it->second == 0) {
+      fact_counts_.erase(count_it);
+    }
+  }
+  --total_;
+}
+
+void FactIndex::SwapFact(const Fact* old_fact, const Fact* new_fact) {
+  if (old_fact == new_fact) return;
+  Remove(old_fact);
+  Add(new_fact);
+}
+
+const FactIndex::Relation* FactIndex::FindRelation(SymbolId relation) const {
+  auto it = rels_.find(relation);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+namespace {
+const std::vector<const Fact*> kEmptyBucket;
+}  // namespace
+
+const std::vector<const Fact*>& FactIndex::Facts(SymbolId relation) const {
+  const Relation* rel = FindRelation(relation);
+  return rel == nullptr ? kEmptyBucket : rel->facts;
+}
+
+const std::vector<const Fact*>& FactIndex::FactsAt(SymbolId relation,
+                                                   int position,
+                                                   SymbolId value) const {
+  const Relation* rel = FindRelation(relation);
+  if (rel == nullptr) return kEmptyBucket;
+  auto [pos_it, fresh] = rel->by_position.try_emplace(position);
+  if (fresh) {
+    for (const Fact* f : rel->facts) {
+      if (position < f->arity()) {
+        pos_it->second[f->values()[position]].push_back(f);
+      }
+    }
+  }
+  auto it = pos_it->second.find(value);
+  return it == pos_it->second.end() ? kEmptyBucket : it->second;
+}
+
+const std::vector<const Fact*>& FactIndex::FactsWithKeyPrefix(
+    SymbolId relation, const std::vector<SymbolId>& prefix) const {
+  const Relation* rel = FindRelation(relation);
+  if (rel == nullptr) return kEmptyBucket;
+  int len = static_cast<int>(prefix.size());
+  auto [len_it, fresh] = rel->by_prefix.try_emplace(len);
+  if (fresh) {
+    for (const Fact* f : rel->facts) {
+      if (len <= f->arity()) {
+        std::vector<SymbolId> p(f->values().begin(),
+                                f->values().begin() + len);
+        len_it->second[std::move(p)].push_back(f);
+      }
+    }
+  }
+  auto it = len_it->second.find(prefix);
+  return it == len_it->second.end() ? kEmptyBucket : it->second;
+}
+
+// ------------------------------------------------------------ matching
 
 namespace {
 
@@ -56,52 +206,190 @@ bool Unify(const Atom& atom, const Fact& fact, Valuation* val,
   return true;
 }
 
+/// Resolves `t` to a constant under `val` (identity on constants).
+bool ResolveTerm(const Term& t, const Valuation& val, SymbolId* out) {
+  std::optional<SymbolId> v = val.Resolve(t);
+  if (!v.has_value()) return false;
+  *out = *v;
+  return true;
+}
+
+/// The smallest candidate set the indexes offer for `atom` under `val`:
+/// the key-prefix bucket when every key position is resolved, else the
+/// best single-position bucket over resolved positions, else the whole
+/// relation. Returned buckets are stable for the duration of a search
+/// (lazy builds only create new map entries).
+const std::vector<const Fact*>* CandidatesFor(
+    const FactIndex& index, const Atom& atom, const Valuation& val,
+    std::vector<SymbolId>* prefix_buf) {
+  const std::vector<const Fact*>* best = &index.Facts(atom.relation());
+  // A length-1 key prefix is the same bucket as position 0, which the
+  // single-position probes below find without hashing a vector.
+  if (atom.key_arity() >= 2 && !best->empty()) {
+    prefix_buf->clear();
+    bool all_key_bound = true;
+    for (int i = 0; i < atom.key_arity() && all_key_bound; ++i) {
+      SymbolId v;
+      if (ResolveTerm(atom.terms()[i], val, &v)) {
+        prefix_buf->push_back(v);
+      } else {
+        all_key_bound = false;
+      }
+    }
+    if (all_key_bound) {
+      const auto& block =
+          index.FactsWithKeyPrefix(atom.relation(), *prefix_buf);
+      if (block.size() < best->size()) best = &block;
+    }
+  }
+  for (int i = 0; i < atom.arity() && best->size() > 1; ++i) {
+    SymbolId v;
+    if (!ResolveTerm(atom.terms()[i], val, &v)) continue;
+    const auto& bucket = index.FactsAt(atom.relation(), i, v);
+    if (bucket.size() < best->size()) best = &bucket;
+  }
+  return best;
+}
+
 struct SearchState {
   const FactIndex& index;
-  std::vector<const Atom*> order;
-  const std::function<bool(const Valuation&)>& fn;
+  /// Atoms in q.atoms() order; `chosen` is aligned with it.
+  std::vector<const Atom*> atoms;
+  std::vector<bool> used;
+  /// Static order (atom indices) for the naive mode.
+  std::vector<int> order;
+  const EmbeddingFactsFn& fn;
   Valuation val;
+  std::vector<const Fact*> chosen;
+  std::vector<SymbolId> prefix_buf;
   bool completed = true;
 };
 
-// Depth-first search over atoms in `order`; returns false to abort early.
-bool Search(SearchState* st, size_t depth) {
-  if (depth == st->order.size()) {
-    if (!st->fn(st->val)) {
+/// Depth-first search with dynamic atom ordering: at every node, match
+/// the unused atom with the fewest index candidates under the current
+/// partial valuation. Returns false to abort the whole enumeration.
+bool SearchIndexed(SearchState* st, size_t remaining) {
+  if (remaining == 0) {
+    if (!st->fn(st->val, st->chosen)) {
       st->completed = false;
       return false;
     }
     return true;
   }
-  const Atom& atom = *st->order[depth];
+  int best = -1;
+  const std::vector<const Fact*>* best_cands = nullptr;
+  for (size_t i = 0; i < st->atoms.size(); ++i) {
+    if (st->used[i]) continue;
+    const std::vector<const Fact*>* cands =
+        CandidatesFor(st->index, *st->atoms[i], st->val, &st->prefix_buf);
+    if (cands->empty()) return true;  // Dead branch: backtrack.
+    if (best_cands == nullptr || cands->size() < best_cands->size()) {
+      best = static_cast<int>(i);
+      best_cands = cands;
+      if (best_cands->size() == 1) break;
+    }
+  }
+  const Atom& atom = *st->atoms[best];
+  st->used[best] = true;
+  bool keep_going = true;
+  std::vector<SymbolId> bound;
+  for (const Fact* fact : *best_cands) {
+    if (fact->arity() != atom.arity()) continue;
+    bound.clear();
+    if (!Unify(atom, *fact, &st->val, &bound)) continue;
+    st->chosen[best] = fact;
+    keep_going = SearchIndexed(st, remaining - 1);
+    // Reverse order: each Unbind is then a pop from the valuation tail.
+    for (size_t bi = bound.size(); bi > 0; --bi) {
+      st->val.Unbind(bound[bi - 1]);
+    }
+    if (!keep_going) break;
+  }
+  st->used[best] = false;
+  return keep_going;
+}
+
+/// The retained pre-index matcher: static selectivity order, full
+/// relation scans. Differential-testing oracle for SearchIndexed.
+bool SearchNaive(SearchState* st, size_t depth) {
+  if (depth == st->order.size()) {
+    if (!st->fn(st->val, st->chosen)) {
+      st->completed = false;
+      return false;
+    }
+    return true;
+  }
+  int ai = st->order[depth];
+  const Atom& atom = *st->atoms[ai];
   for (const Fact* fact : st->index.Facts(atom.relation())) {
     if (fact->arity() != atom.arity()) continue;
     std::vector<SymbolId> bound;
     if (!Unify(atom, *fact, &st->val, &bound)) continue;
-    bool keep_going = Search(st, depth + 1);
-    for (SymbolId v : bound) st->val.Unbind(v);
+    st->chosen[ai] = fact;
+    bool keep_going = SearchNaive(st, depth + 1);
+    for (size_t bi = bound.size(); bi > 0; --bi) {
+      st->val.Unbind(bound[bi - 1]);
+    }
     if (!keep_going) return false;
   }
   return true;
+}
+
+bool RunSearch(const FactIndex& index, const Query& q,
+               const Valuation& initial, const EmbeddingFactsFn& fn,
+               MatcherMode mode) {
+  size_t n = q.atoms().size();
+  std::vector<const Atom*> atoms;
+  atoms.reserve(n);
+  for (const Atom& a : q.atoms()) atoms.push_back(&a);
+  SearchState st{index,
+                 std::move(atoms),
+                 std::vector<bool>(n, false),
+                 {},
+                 fn,
+                 initial,
+                 std::vector<const Fact*>(n, nullptr),
+                 {},
+                 true};
+  if (mode == MatcherMode::kNaive) {
+    // Static order by selectivity: fewest candidate facts first.
+    st.order.resize(n);
+    for (size_t i = 0; i < n; ++i) st.order[i] = static_cast<int>(i);
+    std::stable_sort(st.order.begin(), st.order.end(),
+                     [&](int a, int b) {
+                       return index.Facts(st.atoms[a]->relation()).size() <
+                              index.Facts(st.atoms[b]->relation()).size();
+                     });
+    SearchNaive(&st, 0);
+  } else {
+    SearchIndexed(&st, n);
+  }
+  return st.completed;
 }
 
 }  // namespace
 
 bool ForEachEmbedding(const FactIndex& index, const Query& q,
                       const Valuation& initial,
+                      const std::function<bool(const Valuation&)>& fn,
+                      MatcherMode mode) {
+  EmbeddingFactsFn wrapped = [&fn](const Valuation& val,
+                                   const std::vector<const Fact*>&) {
+    return fn(val);
+  };
+  return RunSearch(index, q, initial, wrapped, mode);
+}
+
+bool ForEachEmbedding(const FactIndex& index, const Query& q,
+                      const Valuation& initial,
                       const std::function<bool(const Valuation&)>& fn) {
-  // Order atoms by selectivity: fewest candidate facts first.
-  std::vector<const Atom*> order;
-  order.reserve(q.atoms().size());
-  for (const Atom& a : q.atoms()) order.push_back(&a);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](const Atom* a, const Atom* b) {
-                     return index.Facts(a->relation()).size() <
-                            index.Facts(b->relation()).size();
-                   });
-  SearchState st{index, std::move(order), fn, initial, true};
-  Search(&st, 0);
-  return st.completed;
+  return ForEachEmbedding(index, q, initial, fn, DefaultMatcherMode());
+}
+
+bool ForEachEmbeddingFacts(const FactIndex& index, const Query& q,
+                           const Valuation& initial,
+                           const EmbeddingFactsFn& fn) {
+  return RunSearch(index, q, initial, fn, DefaultMatcherMode());
 }
 
 bool SatisfiesWith(const FactIndex& index, const Query& q,

@@ -5,35 +5,37 @@
 
 namespace cqa {
 
-std::optional<SymbolId> Valuation::Get(SymbolId var) const {
-  auto it = map_.find(var);
-  if (it == map_.end()) return std::nullopt;
-  return it->second;
+bool Valuation::Bind(SymbolId var, SymbolId value) {
+  for (const auto& [v, existing] : entries_) {
+    if (v == var) return existing == value;
+  }
+  entries_.emplace_back(var, value);
+  return true;
 }
 
-bool Valuation::Bind(SymbolId var, SymbolId value) {
-  auto [it, inserted] = map_.emplace(var, value);
-  return inserted || it->second == value;
+void Valuation::Unbind(SymbolId var) {
+  for (size_t i = entries_.size(); i > 0; --i) {
+    if (entries_[i - 1].first == var) {
+      entries_.erase(entries_.begin() + (i - 1));
+      return;
+    }
+  }
 }
 
 Fact Valuation::Apply(const Atom& atom) const {
   std::vector<SymbolId> values;
   values.reserve(atom.terms().size());
   for (const Term& t : atom.terms()) {
-    if (t.is_const()) {
-      values.push_back(t.id());
-    } else {
-      auto it = map_.find(t.id());
-      assert(it != map_.end() && "valuation must cover the atom");
-      values.push_back(it->second);
-    }
+    std::optional<SymbolId> v = Resolve(t);
+    assert(v.has_value() && "valuation must cover the atom");
+    values.push_back(*v);
   }
   return Fact(atom.relation(), std::move(values), atom.key_arity());
 }
 
 bool Valuation::Covers(const Atom& atom) const {
   for (const Term& t : atom.terms()) {
-    if (t.is_var() && map_.find(t.id()) == map_.end()) return false;
+    if (t.is_var() && !Get(t.id()).has_value()) return false;
   }
   return true;
 }
@@ -42,7 +44,7 @@ std::string Valuation::ToString() const {
   std::ostringstream os;
   os << "{";
   bool first = true;
-  for (const auto& [var, value] : map_) {
+  for (const auto& [var, value] : entries_) {
     if (!first) os << ", ";
     first = false;
     os << SymbolName(var) << "->" << SymbolName(value);

@@ -22,7 +22,7 @@ Status Database::AddFact(const Fact& fact) {
 
   int fact_id = static_cast<int>(facts_.size());
   facts_.push_back(fact);
-  fact_set_.insert(fact);
+  fact_ids_.emplace(fact, fact_id);
   by_relation_[fact.relation()].push_back(fact_id);
 
   auto block_key = std::make_pair(fact.relation(), fact.KeyValues());
@@ -50,6 +50,17 @@ const Database::Block& Database::BlockOf(const Fact& fact) const {
   return blocks_[it->second];
 }
 
+int Database::FactId(const Fact& fact) const {
+  auto it = fact_ids_.find(fact);
+  return it == fact_ids_.end() ? -1 : it->second;
+}
+
+int Database::BlockIdOf(const Fact& fact) const {
+  auto it = block_index_.find(std::make_pair(fact.relation(),
+                                             fact.KeyValues()));
+  return it == block_index_.end() ? -1 : it->second;
+}
+
 bool Database::IsConsistent() const {
   for (const Block& b : blocks_) {
     if (b.fact_ids.size() > 1) return false;
@@ -58,11 +69,9 @@ bool Database::IsConsistent() const {
 }
 
 BigInt Database::RepairCount() const {
-  BigInt out(1);
-  for (const Block& b : blocks_) {
-    out = out * BigInt(static_cast<int64_t>(b.fact_ids.size()));
-  }
-  return out;
+  BigIntProduct out;
+  for (const Block& b : blocks_) out.Multiply(b.fact_ids.size());
+  return out.Value();
 }
 
 std::vector<SymbolId> Database::ActiveDomain() const {

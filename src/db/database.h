@@ -37,8 +37,16 @@ class Database {
   bool empty() const { return facts_.empty(); }
 
   bool Contains(const Fact& fact) const {
-    return fact_set_.find(fact) != fact_set_.end();
+    return fact_ids_.find(fact) != fact_ids_.end();
   }
+
+  /// Index of `fact` in facts(), or -1 when absent. Hash lookup; the hot
+  /// paths (SAT encoding, repair counting) use this instead of building
+  /// their own fact -> id maps.
+  int FactId(const Fact& fact) const;
+
+  /// Index of the block containing `fact` in blocks(), or -1 when absent.
+  int BlockIdOf(const Fact& fact) const;
 
   /// Fact indices (into facts()) of all facts of `relation`.
   const std::vector<int>& FactsOf(SymbolId relation) const;
@@ -83,7 +91,7 @@ class Database {
 
   Schema schema_;
   std::vector<Fact> facts_;
-  std::unordered_set<Fact, FactHash> fact_set_;
+  std::unordered_map<Fact, int, FactHash> fact_ids_;
   std::vector<Block> blocks_;
   std::unordered_map<std::pair<SymbolId, std::vector<SymbolId>>, int,
                      BlockKeyHash>

@@ -1,7 +1,7 @@
 #include "db/purify.h"
 
 #include <cassert>
-#include <unordered_set>
+#include <vector>
 
 #include "cq/matcher.h"
 
@@ -11,9 +11,10 @@ namespace {
 
 /// True iff there is a valuation θ with fact ∈ θ(q) ⊆ db (db given as
 /// index). The fact must be matched by at least one atom, and the match
-/// must extend to a full embedding.
+/// must extend to a full embedding. `rests[i]` is the precomputed
+/// q.WithoutAtom(i).
 bool FactIsRelevant(const FactIndex& index, const Query& q,
-                    const Fact& fact) {
+                    const std::vector<Query>& rests, const Fact& fact) {
   for (int i = 0; i < q.size(); ++i) {
     const Atom& atom = q.atom(i);
     if (atom.relation() != fact.relation() ||
@@ -32,9 +33,16 @@ bool FactIsRelevant(const FactIndex& index, const Query& q,
       }
     }
     if (!ok) continue;
-    if (SatisfiesWith(index, q.WithoutAtom(i), seed)) return true;
+    if (SatisfiesWith(index, rests[i], seed)) return true;
   }
   return false;
+}
+
+std::vector<Query> RestQueries(const Query& q) {
+  std::vector<Query> rests;
+  rests.reserve(q.size());
+  for (int i = 0; i < q.size(); ++i) rests.push_back(q.WithoutAtom(i));
+  return rests;
 }
 
 }  // namespace
@@ -46,45 +54,49 @@ Database Purify(const Database& db, const Query& q) {
 Database Purify(const Database& db, const Query& q,
                 std::vector<Fact>* removed_witnesses) {
   // Iterate to a fixpoint: removing a block can make other facts
-  // irrelevant. Each round removes at least one block, so the number of
-  // rounds is at most the number of blocks (polynomial, as Lemma 1 needs).
-  Database current = db;
-  for (;;) {
-    FactIndex index(current);
-    // Identify all blocks containing an irrelevant fact. Irrelevance is
-    // monotone under removal, so batching whole rounds is equivalent to
-    // the paper's one-block-at-a-time sequence.
-    std::unordered_set<int> doomed_blocks;
-    for (int b = 0; b < static_cast<int>(current.blocks().size()); ++b) {
-      const Database::Block& block = current.blocks()[b];
+  // irrelevant. Irrelevance is monotone under removal, so dropping a
+  // doomed block from the shared index immediately (instead of
+  // rebuilding the database per round, as before) reaches the same
+  // fixpoint as the paper's one-block-at-a-time sequence — each pass
+  // only sees fewer facts, never more.
+  std::vector<Query> rests = RestQueries(q);
+  FactIndex index(db);
+  std::vector<bool> doomed(db.blocks().size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
+      if (doomed[b]) continue;
+      const Database::Block& block = db.blocks()[b];
       for (int fid : block.fact_ids) {
-        if (!FactIsRelevant(index, q, current.facts()[fid])) {
-          doomed_blocks.insert(b);
-          if (removed_witnesses != nullptr) {
-            removed_witnesses->push_back(current.facts()[fid]);
-          }
-          break;
+        if (FactIsRelevant(index, q, rests, db.facts()[fid])) continue;
+        doomed[b] = true;
+        changed = true;
+        if (removed_witnesses != nullptr) {
+          removed_witnesses->push_back(db.facts()[fid]);
         }
+        for (int gone : block.fact_ids) index.Remove(&db.facts()[gone]);
+        break;
       }
     }
-    if (doomed_blocks.empty()) return current;
-    Database next(current.schema());
-    for (int b = 0; b < static_cast<int>(current.blocks().size()); ++b) {
-      if (doomed_blocks.count(b)) continue;
-      for (int fid : current.blocks()[b].fact_ids) {
-        Status st = next.AddFact(current.facts()[fid]);
-        assert(st.ok());
-        (void)st;
-      }
-    }
-    current = std::move(next);
   }
+  Database out(db.schema());
+  for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
+    if (doomed[b]) continue;
+    for (int fid : db.blocks()[b].fact_ids) {
+      Status st = out.AddFact(db.facts()[fid]);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  return out;
 }
 
 bool IsPurified(const Database& db, const Query& q) {
+  std::vector<Query> rests = RestQueries(q);
   FactIndex index(db);
   for (const Fact& f : db.facts()) {
-    if (!FactIsRelevant(index, q, f)) return false;
+    if (!FactIsRelevant(index, q, rests, f)) return false;
   }
   return true;
 }

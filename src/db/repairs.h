@@ -6,6 +6,10 @@
 
 #include "db/database.h"
 
+namespace cqa {
+class FactIndex;
+}
+
 /// \file
 /// Enumeration of repairs. A repair is a maximal consistent subset of an
 /// uncertain database, i.e. one fact per block. The number of repairs is
@@ -27,6 +31,14 @@ class RepairEnumerator {
   ///
   /// The empty database has exactly one repair: the empty set.
   bool ForEach(const std::function<bool(const Repair&)>& fn) const;
+
+  /// Like ForEach, but also maintains ONE FactIndex over the current
+  /// repair, mutated via FactIndex::SwapFact on every block-choice
+  /// change (the odometer flips one block most of the time), instead of
+  /// letting callers rebuild an index per repair. This keeps the lazy
+  /// position / key-prefix indexes warm across the whole enumeration.
+  bool ForEachIndexed(
+      const std::function<bool(const FactIndex&, const Repair&)>& fn) const;
 
   /// Number of repairs (product of block sizes).
   BigInt Count() const { return db_.RepairCount(); }

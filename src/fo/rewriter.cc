@@ -62,8 +62,10 @@ Result<FormulaPtr> RewriteRec(const Query& q, const VarSet& frozen,
     if (t.is_const()) {
       // Every block member must carry the constant here.
       body.push_back(Formula::Equals(Term::Var(u), t));
-    } else if (key_vars.count(t.id())) {
-      // Variable already bound via the key positions.
+    } else if (key_vars.count(t.id()) || frozen.count(t.id())) {
+      // Variable already bound via the key positions, or frozen (a query
+      // parameter / bound by an outer quantifier): it acts as a
+      // constant, so every block member must agree with it.
       body.push_back(Formula::Equals(Term::Var(u), t));
     } else {
       auto [it, inserted] = rename.emplace(t.id(), u);
@@ -98,11 +100,15 @@ Result<FormulaPtr> RewriteRec(const Query& q, const VarSet& frozen,
 }  // namespace
 
 Result<FormulaPtr> CertainRewriting(const Query& q) {
+  return CertainRewriting(q, VarSet());
+}
+
+Result<FormulaPtr> CertainRewriting(const Query& q, const VarSet& params) {
   if (q.HasSelfJoin()) {
     return Status::Unsupported("rewriting assumes a self-join-free query");
   }
   FreshVars fresh;
-  return RewriteRec(q, VarSet(), &fresh);
+  return RewriteRec(q, params, &fresh);
 }
 
 }  // namespace cqa

@@ -26,6 +26,15 @@ namespace cqa {
 /// FO rewriting exists) or `q` has a self-join / is a cyclic CQ.
 Result<FormulaPtr> CertainRewriting(const Query& q);
 
+/// Parameterized variant: variables in `params` are treated as constants
+/// throughout the construction (frozen from the start) and remain free in
+/// the produced formula. Evaluating the formula under a binding θ of the
+/// parameters decides db ∈ CERTAINTY(θ(q)) — one rewriting serves every
+/// grounding of the parameters, which is how Engine::CertainAnswers
+/// compiles a non-Boolean query once. Fails when the attack graph of `q`
+/// with `params` frozen is cyclic.
+Result<FormulaPtr> CertainRewriting(const Query& q, const VarSet& params);
+
 }  // namespace cqa
 
 #endif  // CQA_FO_REWRITER_H_

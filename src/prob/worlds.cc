@@ -12,14 +12,14 @@ Rational WorldsOracle::Probability(const BidDatabase& bid, const Query& q) {
   const auto& blocks = db.blocks();
   size_t n = blocks.size();
   Rational total;
-  std::vector<const Fact*> chosen;  // Facts of the current world.
+  // One shared index over the current partial world, mutated as the
+  // recursion walks the block tree — no per-leaf index rebuild.
+  FactIndex index;
 
   std::function<void(size_t, Rational)> Recurse = [&](size_t i,
                                                       Rational weight) {
     if (weight.is_zero()) return;
     if (i == n) {
-      FactIndex index;
-      for (const Fact* f : chosen) index.Add(f);
       if (Satisfies(index, q)) total += weight;
       return;
     }
@@ -30,9 +30,9 @@ Rational WorldsOracle::Probability(const BidDatabase& bid, const Query& q) {
     Recurse(i + 1, weight * none);
     // Option: exactly one fact.
     for (int fid : block.fact_ids) {
-      chosen.push_back(&db.facts()[fid]);
+      index.Add(&db.facts()[fid]);
       Recurse(i + 1, weight * bid.Probability(db.facts()[fid]));
-      chosen.pop_back();
+      index.Remove(&db.facts()[fid]);
     }
   };
   Recurse(0, Rational::One());

@@ -1,6 +1,8 @@
 #include "solvers/conp_reduction.h"
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "core/attack_graph.h"
 #include "cq/corpus.h"
@@ -74,12 +76,28 @@ Result<Database> ConpReduction::Transform(const Database& db0) const {
   Database purified = Purify(db0, q0);
   Database out;
 
-  auto tuple2 = [](SymbolId a, SymbolId b) {
-    return InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) + ">");
+  // Tuple constants are memoized by id pair/triple: embeddings repeat the
+  // same (a, b, c) projections, and building the "<a,b,c>" spelling just
+  // to rediscover an interned id is the transform's inner-loop cost.
+  std::unordered_map<uint64_t, SymbolId> memo2;
+  auto tuple2 = [&memo2](SymbolId a, SymbolId b) {
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto [it, fresh] = memo2.try_emplace(key, 0);
+    if (fresh) {
+      it->second =
+          InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) + ">");
+    }
+    return it->second;
   };
-  auto tuple3 = [](SymbolId a, SymbolId b, SymbolId c) {
-    return InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) + "," +
-                        SymbolName(c) + ">");
+  std::unordered_map<SymbolId, std::unordered_map<uint64_t, SymbolId>> memo3;
+  auto tuple3 = [&memo3](SymbolId a, SymbolId b, SymbolId c) {
+    uint64_t key = (static_cast<uint64_t>(b) << 32) | c;
+    auto [it, fresh] = memo3[a].try_emplace(key, 0);
+    if (fresh) {
+      it->second = InternSymbol("<" + SymbolName(a) + "," + SymbolName(b) +
+                                "," + SymbolName(c) + ">");
+    }
+    return it->second;
   };
   SymbolId d = InternSymbol("d");
 

@@ -69,17 +69,25 @@ Result<SolveOutcome> Engine::Solve(const Database& db, const Query& q) {
   return Status::Internal("unreachable");
 }
 
-std::vector<std::vector<SymbolId>> Engine::PossibleAnswers(
+Result<std::vector<std::vector<SymbolId>>> Engine::PossibleAnswers(
     const Database& db, const Query& q,
     const std::vector<SymbolId>& free_vars) {
+  VarSet query_vars = q.Vars();
+  for (SymbolId v : free_vars) {
+    if (query_vars.count(v) == 0) {
+      return Status::InvalidArgument(
+          "free variable '" + SymbolName(v) +
+          "' does not occur in the query " + q.ToString());
+    }
+  }
   std::set<std::vector<SymbolId>> answers;
   FactIndex index(db);
   ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
     std::vector<SymbolId> row;
     row.reserve(free_vars.size());
     for (SymbolId v : free_vars) {
-      auto value = theta.Get(v);
-      row.push_back(value.has_value() ? *value : 0);
+      // Occurrence in q guarantees every embedding binds v.
+      row.push_back(*theta.Get(v));
     }
     answers.insert(std::move(row));
     return true;
@@ -96,18 +104,117 @@ Result<std::optional<std::vector<Fact>>> Engine::FindFalsifyingRepair(
       SatSolver::FindFalsifyingRepair(db, q));
 }
 
+namespace {
+
+/// Per-query compile cache for CertainAnswers: classification (and, on
+/// the FO path, the parameterized rewriting) of q with the free
+/// variables frozen. Grounding the parameters cannot add attacks
+/// (Lemma 5), and the attack graph ignores constant identity, so one
+/// classification is valid for every candidate row.
+struct CompiledQuery {
+  /// nullopt: unsupported fragment, every row uses the SAT search.
+  std::optional<ComplexityClass> complexity;
+  /// Set iff the frozen query is FO: one rewriting for all rows.
+  std::optional<FoSolver> fo;
+};
+
+Result<CompiledQuery> CompileForParams(
+    const Query& q, const std::vector<SymbolId>& free_vars) {
+  VarSet params(free_vars.begin(), free_vars.end());
+  Query frozen = q;
+  for (SymbolId v : params) {
+    frozen = frozen.Substitute(v, InternSymbol("$param_" + SymbolName(v)));
+  }
+  CompiledQuery out;
+  Result<Classification> cls = ClassifyQuery(frozen);
+  if (!cls.ok()) {
+    if (cls.status().code() != StatusCode::kUnsupported) {
+      return cls.status();
+    }
+    return out;  // SAT fallback, mirroring Solve.
+  }
+  out.complexity = cls->complexity;
+  if (cls->complexity == ComplexityClass::kFirstOrder) {
+    Result<FoSolver> fo = FoSolver::Create(q, params);
+    if (!fo.ok()) return fo.status();
+    out.fo.emplace(std::move(fo).value());
+  }
+  return out;
+}
+
+/// Decides one ground row with the pre-compiled dispatch (non-FO paths).
+/// A specialized solver whose precondition drifted under grounding falls
+/// back to the full per-query dispatch.
+Result<bool> IsCertainCompiled(const CompiledQuery& compiled,
+                               const Database& db, const Query& ground) {
+  if (compiled.complexity.has_value()) {
+    switch (*compiled.complexity) {
+      case ComplexityClass::kFirstOrder:
+        // CompileForParams always pairs kFirstOrder with a cached
+        // rewriting, and the caller answers FO rows through it.
+        return Status::Internal(
+            "FO row reached the non-FO compiled dispatch");
+      case ComplexityClass::kPtimeTerminalCycles: {
+        Result<bool> r = TerminalCycleSolver::IsCertain(db, ground);
+        if (r.ok()) return r;
+        break;
+      }
+      case ComplexityClass::kPtimeAck: {
+        Result<bool> r = AckSolver::IsCertain(db, ground);
+        if (r.ok()) return r;
+        break;
+      }
+      case ComplexityClass::kPtimeCk: {
+        Result<bool> r = CkSolver::IsCertain(db, ground);
+        if (r.ok()) return r;
+        break;
+      }
+      case ComplexityClass::kConpComplete:
+      case ComplexityClass::kOpenConjecturedPtime:
+        return SatSolver::IsCertain(db, ground);
+    }
+    Result<SolveOutcome> solved = Engine::Solve(db, ground);
+    if (!solved.ok()) return solved.status();
+    return solved->certain;
+  }
+  return SatSolver::IsCertain(db, ground);
+}
+
+}  // namespace
+
 Result<std::vector<std::vector<SymbolId>>> Engine::CertainAnswers(
     const Database& db, const Query& q,
     const std::vector<SymbolId>& free_vars) {
+  Result<std::vector<std::vector<SymbolId>>> possible =
+      PossibleAnswers(db, q, free_vars);
+  if (!possible.ok()) return possible.status();
   std::vector<std::vector<SymbolId>> out;
-  for (const std::vector<SymbolId>& row : PossibleAnswers(db, q, free_vars)) {
-    Query ground = q;
-    for (size_t i = 0; i < free_vars.size(); ++i) {
-      ground = ground.Substitute(free_vars[i], row[i]);
+  if (possible->empty()) return out;
+
+  Result<CompiledQuery> compiled = CompileForParams(q, free_vars);
+  if (!compiled.ok()) return compiled.status();
+  // FO path: one evaluator (and its FactIndex) shared by every row.
+  std::optional<FormulaEvaluator> evaluator;
+  if (compiled->fo.has_value()) evaluator.emplace(db);
+
+  for (const std::vector<SymbolId>& row : *possible) {
+    bool certain;
+    if (compiled->fo.has_value()) {
+      Valuation binding;
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        binding.Bind(free_vars[i], row[i]);
+      }
+      certain = compiled->fo->IsCertain(*evaluator, binding);
+    } else {
+      Query ground = q;
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        ground = ground.Substitute(free_vars[i], row[i]);
+      }
+      Result<bool> r = IsCertainCompiled(*compiled, db, ground);
+      if (!r.ok()) return r.status();
+      certain = *r;
     }
-    Result<SolveOutcome> solved = Solve(db, ground);
-    if (!solved.ok()) return solved.status();
-    if (solved->certain) out.push_back(row);
+    if (certain) out.push_back(row);
   }
   return out;
 }

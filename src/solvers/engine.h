@@ -43,6 +43,12 @@ class Engine {
   /// Certain answers of the non-Boolean query (q, free_vars): all
   /// bindings a⃗ of the free variables such that every repair satisfies
   /// q[free_vars ↦ a⃗]. Sorted lexicographically.
+  ///
+  /// The query is compiled ONCE — classification runs on q with the free
+  /// variables frozen (grounding cannot change the attack graph, only
+  /// the constant names), and on the FO path one parameterized rewriting
+  /// plus one evaluator serve every candidate binding — instead of
+  /// re-running ClassifyQuery + solver construction per row.
   static Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
       const Database& db, const Query& q,
       const std::vector<SymbolId>& free_vars);
@@ -50,8 +56,10 @@ class Engine {
   /// Possible answers: bindings of the free variables holding in the
   /// full uncertain database. This is a superset of the answers of every
   /// repair, hence of the certain answers; useful as the candidate set
-  /// and to contrast certain vs possible in the examples.
-  static std::vector<std::vector<SymbolId>> PossibleAnswers(
+  /// and to contrast certain vs possible in the examples. Fails with
+  /// InvalidArgument when `free_vars` contains a variable that does not
+  /// occur in `q` (it could never be bound by an embedding).
+  static Result<std::vector<std::vector<SymbolId>>> PossibleAnswers(
       const Database& db, const Query& q,
       const std::vector<SymbolId>& free_vars);
 

@@ -1,12 +1,15 @@
 #include "solvers/fo_solver.h"
 
-#include "fo/evaluator.h"
 #include "fo/rewriter.h"
 
 namespace cqa {
 
 Result<FoSolver> FoSolver::Create(const Query& q) {
-  Result<FormulaPtr> rewriting = CertainRewriting(q);
+  return Create(q, VarSet());
+}
+
+Result<FoSolver> FoSolver::Create(const Query& q, const VarSet& params) {
+  Result<FormulaPtr> rewriting = CertainRewriting(q, params);
   if (!rewriting.ok()) return rewriting.status();
   return FoSolver(std::move(rewriting).value());
 }
@@ -14,6 +17,11 @@ Result<FoSolver> FoSolver::Create(const Query& q) {
 bool FoSolver::IsCertain(const Database& db) const {
   FormulaEvaluator evaluator(db);
   return evaluator.Eval(rewriting_);
+}
+
+bool FoSolver::IsCertain(const FormulaEvaluator& evaluator,
+                         const Valuation& params_binding) const {
+  return evaluator.Eval(rewriting_, params_binding);
 }
 
 }  // namespace cqa

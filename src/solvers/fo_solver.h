@@ -2,14 +2,19 @@
 #define CQA_SOLVERS_FO_SOLVER_H_
 
 #include "cq/query.h"
+#include "cq/valuation.h"
 #include "db/database.h"
+#include "fo/evaluator.h"
 #include "fo/formula.h"
 #include "util/status.h"
 
 /// \file
 /// CERTAINTY(q) for queries with an acyclic attack graph, by evaluating
 /// the certain first-order rewriting (Theorem 1). The rewriting is
-/// computed once per query and can be reused across databases.
+/// computed once per query and can be reused across databases — and, via
+/// the parameterized Create overload, across groundings of a fixed set of
+/// free variables (the Engine's per-query compile cache for non-Boolean
+/// queries).
 
 namespace cqa {
 
@@ -18,8 +23,18 @@ class FoSolver {
   /// Fails when q's attack graph is cyclic (Theorem 1: not FO).
   static Result<FoSolver> Create(const Query& q);
 
+  /// Parameterized compile: `params` are kept free in the rewriting and
+  /// must be bound at evaluation time. Fails when the attack graph with
+  /// `params` frozen is cyclic.
+  static Result<FoSolver> Create(const Query& q, const VarSet& params);
+
   /// db ∈ CERTAINTY(q), by formula evaluation — polynomial time.
   bool IsCertain(const Database& db) const;
+
+  /// db ∈ CERTAINTY(θ(q)) for the parameter binding θ, reusing a
+  /// caller-provided evaluator (one FactIndex per database, not per row).
+  bool IsCertain(const FormulaEvaluator& evaluator,
+                 const Valuation& params_binding) const;
 
   const FormulaPtr& rewriting() const { return rewriting_; }
 

@@ -6,16 +6,18 @@ namespace cqa {
 
 bool OracleSolver::IsCertain(const Database& db, const Query& q) {
   RepairEnumerator repairs(db);
-  return repairs.ForEach(
-      [&](const Repair& repair) { return Satisfies(repair, q); });
+  return repairs.ForEachIndexed(
+      [&](const FactIndex& index, const Repair&) {
+        return Satisfies(index, q);
+      });
 }
 
 std::optional<std::vector<Fact>> OracleSolver::FindFalsifyingRepair(
     const Database& db, const Query& q) {
   std::optional<std::vector<Fact>> out;
   RepairEnumerator repairs(db);
-  repairs.ForEach([&](const Repair& repair) {
-    if (Satisfies(repair, q)) return true;
+  repairs.ForEachIndexed([&](const FactIndex& index, const Repair& repair) {
+    if (Satisfies(index, q)) return true;
     std::vector<Fact> copy;
     copy.reserve(repair.size());
     for (const Fact* f : repair) copy.push_back(*f);
@@ -29,8 +31,8 @@ BigInt OracleSolver::CountSatisfyingRepairs(const Database& db,
                                             const Query& q) {
   BigInt count(0);
   RepairEnumerator repairs(db);
-  repairs.ForEach([&](const Repair& repair) {
-    if (Satisfies(repair, q)) count += BigInt(1);
+  repairs.ForEachIndexed([&](const FactIndex& index, const Repair&) {
+    if (Satisfies(index, q)) count += BigInt(1);
     return true;
   });
   return count;

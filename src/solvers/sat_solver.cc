@@ -1,7 +1,5 @@
 #include "solvers/sat_solver.h"
 
-#include <unordered_map>
-
 #include "cq/matcher.h"
 #include "solvers/sat/cnf.h"
 #include "solvers/sat/dpll.h"
@@ -39,26 +37,26 @@ Encoding Encode(const Database& db, const Query& q) {
       }
     }
   }
-  // Forbid every embedding of q.
-  std::unordered_map<Fact, int, FactHash> fact_ids;
-  for (size_t i = 0; i < db.facts().size(); ++i) {
-    fact_ids.emplace(db.facts()[i], static_cast<int>(i));
-  }
+  // Forbid every embedding of q. The matcher hands back the matched
+  // facts; their ids are offsets into db.facts(), no hashing needed.
+  const Fact* base = db.facts().data();
   FactIndex index(db);
-  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
-    std::vector<int> clause;
-    clause.reserve(q.size());
-    for (const Atom& atom : q.atoms()) {
-      int fid = fact_ids.at(theta.Apply(atom));
-      int lit = -enc.fact_var[fid];
-      // Dedup repeated literals (two atoms hitting the same fact).
-      bool dup = false;
-      for (int existing : clause) dup = dup || existing == lit;
-      if (!dup) clause.push_back(lit);
-    }
-    enc.cnf.AddClause(std::move(clause));
-    return true;
-  });
+  ForEachEmbeddingFacts(
+      index, q, Valuation(),
+      [&](const Valuation&, const std::vector<const Fact*>& facts) {
+        std::vector<int> clause;
+        clause.reserve(q.size());
+        for (const Fact* fact : facts) {
+          int fid = static_cast<int>(fact - base);
+          int lit = -enc.fact_var[fid];
+          // Dedup repeated literals (two atoms hitting the same fact).
+          bool dup = false;
+          for (int existing : clause) dup = dup || existing == lit;
+          if (!dup) clause.push_back(lit);
+        }
+        enc.cnf.AddClause(std::move(clause));
+        return true;
+      });
   return enc;
 }
 

@@ -95,30 +95,33 @@ Result<bool> SolveBase(const Database& db, const Query& q,
         }
       }
     }
-    // Partition db_i by the values of x⃗_i.
+    // Partition db_i by the values of x⃗_i. Only the two cycle relations
+    // participate, so iterate their per-relation fact lists instead of
+    // scanning the whole database once per cycle.
     std::map<std::vector<SymbolId>, Database> partitions;
-    for (const Fact& fact : db.facts()) {
-      const Atom* atom = nullptr;
-      if (fact.relation() == f.relation()) atom = &f;
-      if (fact.relation() == g.relation()) atom = &g;
-      if (atom == nullptr) continue;
-      std::map<SymbolId, SymbolId> binding;
-      if (!ExtractBinding(*atom, fact, &binding)) {
-        // Purified databases only hold matchable facts.
-        return Status::Internal("unmatchable fact in purified database");
-      }
-      std::vector<SymbolId> vec;
-      vec.reserve(shared.size());
-      for (SymbolId v : shared) {
-        auto it = binding.find(v);
-        if (it == binding.end()) {
-          return Status::Internal(
-              "shared cycle variable missing from key (Lemma 7)");
+    std::vector<std::pair<const Atom*, const std::vector<int>*>> sources = {
+        {&f, &db.FactsOf(f.relation())}, {&g, &db.FactsOf(g.relation())}};
+    for (const auto& [atom, fact_ids] : sources) {
+      for (int fact_id : *fact_ids) {
+        const Fact& fact = db.facts()[fact_id];
+        std::map<SymbolId, SymbolId> binding;
+        if (!ExtractBinding(*atom, fact, &binding)) {
+          // Purified databases only hold matchable facts.
+          return Status::Internal("unmatchable fact in purified database");
         }
-        vec.push_back(it->second);
+        std::vector<SymbolId> vec;
+        vec.reserve(shared.size());
+        for (SymbolId v : shared) {
+          auto it = binding.find(v);
+          if (it == binding.end()) {
+            return Status::Internal(
+                "shared cycle variable missing from key (Lemma 7)");
+          }
+          vec.push_back(it->second);
+        }
+        Status st = partitions[vec].AddFact(fact);
+        if (!st.ok()) return st;
       }
-      Status st = partitions[vec].AddFact(fact);
-      if (!st.ok()) return st;
     }
     // ⟦db_i⟧: partitions that are certain for q_i.
     for (auto& [vec, part] : partitions) {

@@ -1,7 +1,6 @@
 #include "solvers/two_atom_solver.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "core/attack_graph.h"
@@ -21,16 +20,16 @@ namespace {
 /// Conflict pairs: fact-id pairs {θ(F), θ(G)} over all embeddings θ.
 std::vector<std::pair<int, int>> ConflictPairs(const Database& db,
                                                const Query& q) {
-  std::unordered_map<Fact, int, FactHash> ids;
-  for (int i = 0; i < db.size(); ++i) ids.emplace(db.facts()[i], i);
   std::vector<std::pair<int, int>> pairs;
+  const Fact* base = db.facts().data();
   FactIndex index(db);
-  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
-    int a = ids.at(theta.Apply(q.atom(0)));
-    int b = ids.at(theta.Apply(q.atom(1)));
-    pairs.emplace_back(a, b);
-    return true;
-  });
+  ForEachEmbeddingFacts(
+      index, q, Valuation(),
+      [&](const Valuation&, const std::vector<const Fact*>& facts) {
+        pairs.emplace_back(static_cast<int>(facts[0] - base),
+                           static_cast<int>(facts[1] - base));
+        return true;
+      });
   // Dedup (repeated variables can produce the same pair twice).
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());

@@ -79,6 +79,53 @@ class BigInt {
 
 std::ostream& operator<<(std::ostream& os, const BigInt& v);
 
+/// Product of many machine-word factors (block sizes, component
+/// counts): batches into a uint64 and spills into the BigInt only on
+/// overflow — one big multiply per ~62 bits of product instead of one
+/// allocation per factor. Shared by Database::RepairCount and the
+/// repair-counting paths.
+class BigIntProduct {
+ public:
+  void Multiply(uint64_t factor) {
+    if (factor == 0) {
+      zero_ = true;
+      return;
+    }
+    if (acc_ > (uint64_t{1} << 62) / factor) {
+      spilled_ = true;
+      big_ = big_ * BigInt(static_cast<int64_t>(acc_));
+      acc_ = factor;
+      return;
+    }
+    acc_ *= factor;
+  }
+
+  void Multiply(const BigInt& factor) {
+    spilled_ = true;
+    big_ = big_ * factor;
+  }
+
+  /// True once the running product left the machine-word range (or a
+  /// BigInt factor was multiplied in).
+  bool spilled() const { return spilled_; }
+  bool is_zero() const { return zero_; }
+
+  /// The product so far; 62-bit exact when !spilled().
+  uint64_t small_value() const { return zero_ ? 0 : acc_; }
+
+  BigInt Value() const {
+    if (zero_) return BigInt(0);
+    if (acc_ == 1) return big_;
+    return big_ * BigInt(static_cast<int64_t>(acc_));
+  }
+
+ private:
+  uint64_t acc_ = 1;
+  BigInt big_{1};
+  bool spilled_ = false;
+  bool zero_ = false;
+};
+
 }  // namespace cqa
 
 #endif  // CQA_UTIL_BIGINT_H_

@@ -129,7 +129,8 @@ TEST(CertainAnswersTest, ConferenceCities) {
   Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
   std::vector<SymbolId> free_vars = {InternSymbol("c")};
   auto possible = Engine::PossibleAnswers(db, q, free_vars);
-  EXPECT_EQ(possible.size(), 2u);  // Rome, Paris.
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible->size(), 2u);  // Rome, Paris.
   Result<std::vector<std::vector<SymbolId>>> certain =
       Engine::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
@@ -143,13 +144,53 @@ TEST(CertainAnswersTest, MultipleFreeVariables) {
   Query q = MustParseQuery("C(x, y | c)");
   std::vector<SymbolId> free_vars = {InternSymbol("x"), InternSymbol("c")};
   auto possible = Engine::PossibleAnswers(db, q, free_vars);
-  EXPECT_EQ(possible.size(), 3u);  // (PODS,Rome), (PODS,Paris), (KDD,Rome).
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible->size(), 3u);  // (PODS,Rome), (PODS,Paris), (KDD,Rome).
   Result<std::vector<std::vector<SymbolId>>> certain =
       Engine::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
   ASSERT_EQ(certain->size(), 1u);
   EXPECT_EQ((*certain)[0][0], InternSymbol("KDD"));
   EXPECT_EQ((*certain)[0][1], InternSymbol("Rome"));
+}
+
+TEST(CertainAnswersTest, RejectsFreeVariableNotInQuery) {
+  // A free variable that never occurs in q can never be bound by an
+  // embedding; the old behaviour silently emitted 0 for it.
+  Database db = corpus::ConferenceDatabase();
+  Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
+  std::vector<SymbolId> free_vars = {InternSymbol("nosuchvar")};
+  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  ASSERT_FALSE(possible.ok());
+  EXPECT_EQ(possible.status().code(), StatusCode::kInvalidArgument);
+  auto certain = Engine::CertainAnswers(db, q, free_vars);
+  ASSERT_FALSE(certain.ok());
+  EXPECT_EQ(certain.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CertainAnswersTest, CompiledDispatchMatchesPerRowSolve) {
+  // The compile cache (classify once, one parameterized rewriting) must
+  // agree with the row-at-a-time Solve dispatch on every candidate.
+  Database db = corpus::ConferenceDatabase();
+  ASSERT_TRUE(db.AddFact(Fact::Make("C", {"ICDT", "2018", "Lyon"}, 2)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
+  Query q = MustParseQuery("C(x, y | c), R(x | r)");
+  std::vector<SymbolId> free_vars = {InternSymbol("c"), InternSymbol("r")};
+  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  ASSERT_TRUE(possible.ok());
+  auto certain = Engine::CertainAnswers(db, q, free_vars);
+  ASSERT_TRUE(certain.ok());
+  for (const auto& row : *possible) {
+    Query ground = q;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      ground = ground.Substitute(free_vars[i], row[i]);
+    }
+    Result<SolveOutcome> solved = Engine::Solve(db, ground);
+    ASSERT_TRUE(solved.ok());
+    bool listed = std::find(certain->begin(), certain->end(), row) !=
+                  certain->end();
+    EXPECT_EQ(solved->certain, listed);
+  }
 }
 
 TEST(CertainAnswersTest, CertainCityAppearsAfterConsistentInsert) {

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cq/corpus.h"
+#include "cq/matcher.h"
+#include "cq/parser.h"
+#include "db/repairs.h"
+#include "gen/db_gen.h"
+#include "gen/query_gen.h"
+
+namespace cqa {
+namespace {
+
+/// Embeddings as canonical (sorted) binding lists, independent of the
+/// order in which a matcher binds variables.
+std::multiset<std::vector<std::pair<SymbolId, SymbolId>>> Embeddings(
+    const FactIndex& index, const Query& q, const Valuation& initial,
+    MatcherMode mode) {
+  std::multiset<std::vector<std::pair<SymbolId, SymbolId>>> out;
+  ForEachEmbedding(index, q, initial,
+                   [&](const Valuation& theta) {
+                     std::vector<std::pair<SymbolId, SymbolId>> bindings(
+                         theta.entries().begin(), theta.entries().end());
+                     std::sort(bindings.begin(), bindings.end());
+                     out.insert(std::move(bindings));
+                     return true;
+                   },
+                   mode);
+  return out;
+}
+
+void ExpectMatchersAgree(const Database& db, const Query& q,
+                         const std::string& context) {
+  FactIndex index(db);
+  auto indexed = Embeddings(index, q, Valuation(), MatcherMode::kIndexed);
+  auto naive = Embeddings(index, q, Valuation(), MatcherMode::kNaive);
+  ASSERT_EQ(indexed, naive) << context << "\nquery: " << q.ToString()
+                            << "\ndb:\n"
+                            << db.ToString();
+  // Satisfies must agree too (early-exit path).
+  bool sat_indexed;
+  {
+    SetDefaultMatcherMode(MatcherMode::kIndexed);
+    sat_indexed = Satisfies(index, q);
+  }
+  SetDefaultMatcherMode(MatcherMode::kNaive);
+  bool sat_naive = Satisfies(index, q);
+  SetDefaultMatcherMode(MatcherMode::kIndexed);
+  EXPECT_EQ(sat_indexed, sat_naive) << context;
+  EXPECT_EQ(sat_indexed, !indexed.empty()) << context;
+}
+
+/// The differential property: indexed and naive matchers agree on the
+/// full embedding multiset across >= 1000 random (db, query) pairs.
+class MatcherDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherDifferential, RandomQueriesUniformDb) {
+  uint64_t seed = GetParam();
+  QueryGenOptions qopts;
+  qopts.seed = seed;
+  qopts.num_atoms = 2 + static_cast<int>(seed % 4);
+  qopts.max_arity = 3 + static_cast<int>(seed % 2);
+  qopts.constant_percent = static_cast<int>(seed % 25);
+  Query q = RandomAcyclicQuery(qopts);
+  DbGenOptions dopts;
+  dopts.seed = seed * 31 + 7;
+  dopts.domain_size = 3 + static_cast<int>(seed % 4);
+  dopts.facts_per_relation = 6 + static_cast<int>(seed % 8);
+  ExpectMatchersAgree(RandomDatabase(q, dopts), q, "uniform");
+}
+
+TEST_P(MatcherDifferential, RandomQueriesBlockDb) {
+  uint64_t seed = GetParam();
+  QueryGenOptions qopts;
+  qopts.seed = seed * 13 + 1;
+  qopts.num_atoms = 2 + static_cast<int>(seed % 3);
+  Query q = RandomAcyclicQuery(qopts);
+  BlockDbGenOptions bopts;
+  bopts.seed = seed * 17 + 3;
+  bopts.blocks_per_relation = 3 + static_cast<int>(seed % 3);
+  bopts.max_block_size = 2 + static_cast<int>(seed % 2);
+  bopts.domain_size = 3 + static_cast<int>(seed % 3);
+  ExpectMatchersAgree(RandomBlockDatabase(q, bopts), q, "block");
+}
+
+TEST_P(MatcherDifferential, CorpusQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions bopts;
+    bopts.seed = GetParam() * 7 + 5;
+    bopts.blocks_per_relation = 3;
+    bopts.max_block_size = 2;
+    bopts.domain_size = 4;
+    ExpectMatchersAgree(RandomBlockDatabase(q, bopts), q, name);
+  }
+}
+
+TEST_P(MatcherDifferential, PartialInitialValuation) {
+  uint64_t seed = GetParam();
+  QueryGenOptions qopts;
+  qopts.seed = seed * 3 + 11;
+  qopts.num_atoms = 3;
+  Query q = RandomAcyclicQuery(qopts);
+  DbGenOptions dopts;
+  dopts.seed = seed * 5 + 13;
+  Database db = RandomDatabase(q, dopts);
+  FactIndex index(db);
+  // Seed the search with one variable pinned to each constant in turn.
+  VarSet vars = q.Vars();
+  if (vars.empty()) return;
+  SymbolId var = *vars.begin();
+  for (SymbolId value : db.ActiveDomain()) {
+    Valuation initial;
+    initial.Bind(var, value);
+    auto indexed = Embeddings(index, q, initial, MatcherMode::kIndexed);
+    auto naive = Embeddings(index, q, initial, MatcherMode::kNaive);
+    ASSERT_EQ(indexed, naive)
+        << q.ToString() << " with " << initial.ToString() << "\n"
+        << db.ToString();
+  }
+}
+
+// 350 seeds x (1 uniform + 1 block + |corpus| + partial) >> 1000 pairs.
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherDifferential,
+                         ::testing::Range(uint64_t{1}, uint64_t{351}));
+
+// ------------------------------------------------------- FactIndex units
+
+Database SmallDb() {
+  Database db;
+  EXPECT_TRUE(db.AddFact(Fact::Make("R", {"a", "x"}, 1)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("R", {"a", "y"}, 1)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("R", {"b", "x"}, 1)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("S", {"x", "u", "p"}, 2)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("S", {"x", "u", "q"}, 2)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("S", {"y", "v", "p"}, 2)).ok());
+  return db;
+}
+
+std::multiset<Fact> BucketFacts(const std::vector<const Fact*>& bucket) {
+  std::multiset<Fact> out;
+  for (const Fact* f : bucket) out.insert(*f);
+  return out;
+}
+
+TEST(FactIndexTest, PositionAndKeyPrefixBuckets) {
+  Database db = SmallDb();
+  FactIndex index(db);
+  SymbolId r = InternSymbol("R");
+  SymbolId s = InternSymbol("S");
+  EXPECT_EQ(index.total(), 6u);
+  EXPECT_EQ(index.Facts(r).size(), 3u);
+  EXPECT_EQ(index.FactsAt(r, 0, InternSymbol("a")).size(), 2u);
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("x")).size(), 2u);
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("zz")).size(), 0u);
+  EXPECT_EQ(index.FactsAt(InternSymbol("T"), 0, InternSymbol("a")).size(),
+            0u);
+  // Key-prefix buckets with len == key arity are exactly the blocks.
+  EXPECT_EQ(index
+                .FactsWithKeyPrefix(
+                    s, {InternSymbol("x"), InternSymbol("u")})
+                .size(),
+            2u);
+  EXPECT_EQ(index.FactsWithKeyPrefix(s, {InternSymbol("x")}).size(), 2u);
+  EXPECT_EQ(index.FactsWithKeyPrefix(r, {InternSymbol("b")}).size(), 1u);
+}
+
+TEST(FactIndexTest, SwapFactKeepsLazyIndexesCoherent) {
+  Database db = SmallDb();
+  FactIndex index(db);
+  SymbolId r = InternSymbol("R");
+  const Fact* ax = &db.facts()[0];  // R(a | x)
+  const Fact* ay = &db.facts()[1];  // R(a | y)
+  // Force the lazy indexes into existence before mutating.
+  ASSERT_EQ(index.FactsAt(r, 1, InternSymbol("x")).size(), 2u);
+  ASSERT_EQ(index.FactsWithKeyPrefix(r, {InternSymbol("a")}).size(), 2u);
+
+  index.SwapFact(ax, ax);  // Self-swap is a no-op.
+  EXPECT_EQ(index.total(), 6u);
+
+  index.SwapFact(ay, ay);
+  index.Remove(ay);
+  EXPECT_EQ(index.total(), 5u);
+  EXPECT_FALSE(index.Contains(*ay));
+  EXPECT_EQ(index.Facts(r).size(), 2u);
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("y")).size(), 0u);
+  EXPECT_EQ(index.FactsWithKeyPrefix(r, {InternSymbol("a")}).size(), 1u);
+
+  index.SwapFact(ax, ay);
+  EXPECT_EQ(index.total(), 5u);
+  EXPECT_TRUE(index.Contains(*ay));
+  EXPECT_FALSE(index.Contains(*ax));
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("x")).size(), 1u);
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("y")).size(), 1u);
+
+  // After the mutations, every bucket must equal the one of an index
+  // built from scratch over the same facts.
+  FactIndex fresh;
+  fresh.Add(ay);
+  fresh.Add(&db.facts()[2]);
+  for (int i = 3; i < 6; ++i) fresh.Add(&db.facts()[i]);
+  for (SymbolId rel : {r, InternSymbol("S")}) {
+    EXPECT_EQ(BucketFacts(index.Facts(rel)), BucketFacts(fresh.Facts(rel)));
+    for (int pos = 0; pos < 3; ++pos) {
+      for (SymbolId v : db.ActiveDomain()) {
+        EXPECT_EQ(BucketFacts(index.FactsAt(rel, pos, v)),
+                  BucketFacts(fresh.FactsAt(rel, pos, v)))
+            << SymbolName(rel) << " pos " << pos << " val "
+            << SymbolName(v);
+      }
+    }
+  }
+}
+
+TEST(FactIndexTest, MutationBeforeFirstProbeIsSeenByLazyBuild) {
+  Database db = SmallDb();
+  FactIndex index(db);
+  const Fact* ax = &db.facts()[0];
+  const Fact* ay = &db.facts()[1];
+  // Mutate while no position index exists yet; the later lazy build
+  // must reflect the mutation.
+  index.SwapFact(ax, ax);
+  index.Remove(ay);
+  SymbolId r = InternSymbol("R");
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("y")).size(), 0u);
+  EXPECT_EQ(index.FactsAt(r, 1, InternSymbol("x")).size(), 2u);
+  EXPECT_EQ(index.FactsWithKeyPrefix(r, {InternSymbol("a")}).size(), 1u);
+}
+
+TEST(FactIndexTest, RemoveOfStrangerIsNoOp) {
+  Database db = SmallDb();
+  FactIndex index(db);
+  Fact stranger = Fact::Make("R", {"zz", "zz"}, 1);
+  index.Remove(&stranger);
+  EXPECT_EQ(index.total(), 6u);
+}
+
+TEST(RepairEnumeratorTest, IndexedEnumerationMatchesPlain) {
+  Query q = MustParseQuery("R(x | y), S(y, z | w)");
+  BlockDbGenOptions bopts;
+  bopts.seed = 99;
+  bopts.blocks_per_relation = 3;
+  bopts.max_block_size = 3;
+  bopts.domain_size = 3;
+  Database db = RandomBlockDatabase(q, bopts);
+  RepairEnumerator repairs(db);
+
+  std::vector<std::multiset<Fact>> plain;
+  repairs.ForEach([&](const Repair& repair) {
+    std::multiset<Fact> facts;
+    for (const Fact* f : repair) facts.insert(*f);
+    plain.push_back(std::move(facts));
+    return true;
+  });
+
+  size_t step = 0;
+  repairs.ForEachIndexed([&](const FactIndex& index, const Repair& repair) {
+    EXPECT_LT(step, plain.size());
+    // The incremental index holds exactly the current repair's facts.
+    std::multiset<Fact> from_index;
+    for (const Database::Block& b : db.blocks()) {
+      std::vector<SymbolId> key = b.key;
+      for (const Fact* f : index.FactsWithKeyPrefix(b.relation, key)) {
+        if (f->KeyValues() == key) from_index.insert(*f);
+      }
+    }
+    std::multiset<Fact> from_repair;
+    for (const Fact* f : repair) from_repair.insert(*f);
+    EXPECT_EQ(from_index, from_repair);
+    EXPECT_EQ(from_repair, plain[step]);
+    EXPECT_EQ(index.total(), repair.size());
+    // Spot-check satisfaction parity against a fresh index.
+    EXPECT_EQ(Satisfies(index, q), Satisfies(repair, q));
+    ++step;
+    return true;
+  });
+  EXPECT_EQ(step, plain.size());
+}
+
+}  // namespace
+}  // namespace cqa
