@@ -29,7 +29,7 @@ void BM_Thm4_AckSolver(benchmark::State& state) {
   Database db = AckDb(k, layer, 7);
   Query q = corpus::Ack(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(AckSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(AckSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -47,7 +47,7 @@ void BM_Thm4_Oracle(benchmark::State& state) {
   }
   Query q = corpus::Ack(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -60,7 +60,7 @@ void BM_Thm4_Sat(benchmark::State& state) {
   Database db = AckDb(k, layer, 7);
   Query q = corpus::Ack(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*SatSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }
@@ -72,7 +72,7 @@ void BM_Thm4_WitnessExtraction(benchmark::State& state) {
   Database db = AckDb(3, layer, 11);
   Query q = corpus::Ack(3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(AckSolver::FindFalsifyingRepair(db, q));
+    benchmark::DoNotOptimize(AckSolver(q).FindFalsifyingRepair(db));
   }
   state.counters["facts"] = db.size();
 }
@@ -84,7 +84,7 @@ void BM_Thm4_Fig6PaperInstance(benchmark::State& state) {
   Query q = corpus::Ack(3);
   bool certain = true;
   for (auto _ : state) {
-    certain = *AckSolver::IsCertain(db, q);
+    certain = *AckSolver(q).IsCertain(db);
     benchmark::DoNotOptimize(certain);
   }
   state.counters["certain"] = certain ? 1 : 0;

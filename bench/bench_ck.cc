@@ -29,7 +29,7 @@ void BM_Ck_Specialized(benchmark::State& state) {
   Database db = CkDb(k, layer, 5);
   Query q = corpus::Ck(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(CkSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(CkSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }
@@ -40,7 +40,7 @@ void BM_Ck_Lemma9Reduction(benchmark::State& state) {
   Database db = CkDb(k, 2, 5);
   Query q = corpus::Ck(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(CkSolver::IsCertainViaLemma9(db, q));
+    benchmark::DoNotOptimize(CkSolver(q).IsCertainViaLemma9(db));
   }
   state.counters["facts"] = db.size();
   state.counters["adom"] = static_cast<double>(db.ActiveDomain().size());
@@ -53,7 +53,7 @@ void BM_Ck_Sat(benchmark::State& state) {
   Database db = CkDb(k, layer, 5);
   Query q = corpus::Ck(k);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*SatSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }

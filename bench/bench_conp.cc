@@ -41,13 +41,16 @@ BENCHMARK(BM_Thm2_ReductionTransform)->RangeMultiplier(2)->Range(4, 64);
 
 void BM_Thm2_SatOnQ0(benchmark::State& state) {
   Database db = Q0Db(static_cast<int>(state.range(0)), 3);
-  Query q = corpus::Q0();
+  SatSolver solver(corpus::Q0());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*solver.IsCertain(db));
   }
   state.counters["facts"] = db.size();
-  state.counters["decisions"] =
-      static_cast<double>(SatSolver::last_stats().decisions);
+  // Per-instance stats: average decisions per call across the run.
+  state.counters["decisions"] = static_cast<double>(
+      solver.stats().calls > 0
+          ? solver.stats().sat_decisions / solver.stats().calls
+          : 0);
 }
 BENCHMARK(BM_Thm2_SatOnQ0)->RangeMultiplier(2)->Range(4, 128);
 
@@ -55,9 +58,9 @@ void BM_Thm2_SatOnTransformedQ1(benchmark::State& state) {
   Result<ConpReduction> red = ConpReduction::Create(corpus::Q1());
   Database db0 = Q0Db(static_cast<int>(state.range(0)), 3);
   Result<Database> db = red->Transform(db0);
-  Query q1 = corpus::Q1();
+  SatSolver solver(corpus::Q1());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(*db, q1));
+    benchmark::DoNotOptimize(*solver.IsCertain(*db));
   }
   state.counters["facts"] = db->size();
 }
@@ -67,7 +70,7 @@ void BM_Thm2_OracleOnQ0(benchmark::State& state) {
   Database db = Q0Db(static_cast<int>(state.range(0)), 3);
   Query q = corpus::Q0();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();

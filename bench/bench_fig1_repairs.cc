@@ -38,7 +38,7 @@ void BM_Fig1_OracleEnumeration(benchmark::State& state) {
   Database db = ScaledConferenceDb(n);
   Query q = corpus::ConferenceQuery();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -64,13 +64,13 @@ void BM_Fig1_PaperNumbers(benchmark::State& state) {
   Query q = corpus::ConferenceQuery();
   BigInt holds(0);
   for (auto _ : state) {
-    holds = OracleSolver::CountSatisfyingRepairs(db, q);
+    holds = OracleSolver(q).CountSatisfyingRepairs(db);
     benchmark::DoNotOptimize(holds);
   }
   state.counters["repairs_total"] = db.RepairCount().ToDouble();
   state.counters["repairs_satisfying"] = holds.ToDouble();
   state.counters["certain"] =
-      OracleSolver::IsCertain(db, q) ? 1 : 0;
+      *OracleSolver(q).IsCertain(db) ? 1 : 0;
 }
 BENCHMARK(BM_Fig1_PaperNumbers);
 

@@ -38,7 +38,7 @@ void BM_Fo_PathOracle(benchmark::State& state) {
   Database db = PathDb(static_cast<int>(state.range(0)), 42);
   Query q = corpus::PathQuery2();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -49,7 +49,7 @@ void BM_Fo_PathSat(benchmark::State& state) {
   Database db = PathDb(static_cast<int>(state.range(0)), 42);
   Query q = corpus::PathQuery2();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*SatSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }

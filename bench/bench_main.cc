@@ -1,6 +1,7 @@
 #include "bench_main.h"
 
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -47,7 +48,16 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
            << run.benchmark_name() << "\",\"matcher\":\"" << MatcherMode()
            << "\",\"wall_ms\":" << wall_s * 1e3 << ",\"facts\":" << facts
            << ",\"facts_per_sec\":"
-           << (wall_s > 0 ? facts / wall_s : 0) << "}";
+           << (wall_s > 0 ? facts / wall_s : 0);
+      // Plan-cache and serving counters, when the benchmark sets them.
+      for (const char* key :
+           {"plan_hits", "plan_misses", "hit_rate", "qps", "threads"}) {
+        auto cit = run.counters.find(key);
+        if (cit != run.counters.end()) {
+          line << ",\"" << key << "\":" << cit->second.value;
+        }
+      }
+      line << "}";
       records_.push_back(line.str());
     }
     ConsoleReporter::ReportRuns(runs);
@@ -99,8 +109,27 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   JsonAppendReporter reporter;
   reporter.set_bench(BaseName(argv[0]));
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // `--filter=regex` is shorthand for google benchmark's
+  // --benchmark_filter; rewrite it before Initialize consumes the args.
+  std::vector<std::string> rewritten;
+  rewritten.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--filter=", 0) == 0) {
+      arg = "--benchmark_filter=" + arg.substr(strlen("--filter="));
+    } else if (arg == "--filter" && i + 1 < argc) {
+      arg = std::string("--benchmark_filter=") + argv[++i];
+    }
+    rewritten.push_back(std::move(arg));
+  }
+  std::vector<char*> args;
+  args.reserve(rewritten.size());
+  for (std::string& s : rewritten) args.push_back(s.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks(&reporter);
   reporter.WriteJson();
   benchmark::Shutdown();

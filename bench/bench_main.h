@@ -12,7 +12,12 @@
 ///
 ///   {"bench": <binary>, "name": <benchmark/arg>, "matcher":
 ///    "indexed"|"naive", "wall_ms": <per-iteration wall clock>,
-///    "facts": <facts counter if set>, "facts_per_sec": <derived>}
+///    "facts": <facts counter if set>, "facts_per_sec": <derived>,
+///    "plan_hits"/"plan_misses"/"hit_rate"/"qps"/"threads": <serving and
+///    plan-cache counters, present when the benchmark sets them>}
+///
+/// Every bench binary also accepts `--filter=<regex>` (shorthand for
+/// --benchmark_filter) to run a subset of its benchmarks.
 ///
 /// The "facts" counter is the convention already used by the suite
 /// (state.counters["facts"] = db.size()); facts_per_sec is derived from it

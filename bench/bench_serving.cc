@@ -1,0 +1,195 @@
+// Serving throughput: the payoff of the compile/solve split. A warm
+// PlanCache amortizes classification + attack-graph analysis + FO
+// rewriting across repeated (and α-equivalent) queries; the baseline
+// recompiles per call, which is what Engine::Solve did before the plan
+// layer. Counters report queries/sec and the cache hit-rate, and the
+// plan_hits/plan_misses counters land in BENCH_results.json.
+
+#include "bench_main.h"
+
+#include "cqa.h"
+
+#include <atomic>
+#include <thread>
+
+namespace {
+
+using namespace cqa;
+
+/// A mixed serving workload over one database: FO, terminal-cycle,
+/// AC(k), C(k) and coNP queries plus α-variants, repeated `reps` times.
+std::vector<Query> Workload(int reps) {
+  std::vector<Query> base = {
+      corpus::ConferenceQuery(),
+      MustParseQuery("C(a, b | 'Rome'), R(a | 'A')"),  // α-variant
+      corpus::PathQuery2(),
+      MustParseQuery("Rp(u | v), Sp(v | w)"),  // fresh-name FO path
+      MustParseQuery("P1(a | b), P2(b | c), P3(c | d), P4(d | e), "
+                     "P5(e | f), P6(f | g)"),  // deep FO rewriting
+      MustParseQuery("T1(x, u1 | u2, z), T2(x, u2 | u1, z), "
+                     "T3(x, y, u3 | u4), T4(x, y, u4 | u3), "
+                     "T5(y, u5 | u6), T6(y, u6 | u5)"),  // Theorem 3
+      corpus::Ack(3),
+      corpus::Ck(3),
+      corpus::Q0(),
+  };
+  std::vector<Query> out;
+  out.reserve(base.size() * reps);
+  for (int r = 0; r < reps; ++r) {
+    for (const Query& q : base) out.push_back(q);
+  }
+  return out;
+}
+
+Database ServingDb(int blocks) {
+  Database db = corpus::ConferenceDatabase();
+  for (const Query& q : Workload(1)) {
+    BlockDbGenOptions options;
+    options.seed = 42;
+    options.blocks_per_relation = blocks;
+    options.max_block_size = 2;
+    options.domain_size = blocks;
+    Database extra = RandomBlockDatabase(q, options);
+    for (const Fact& f : extra.facts()) db.AddFact(f).ok();
+  }
+  return db;
+}
+
+/// Baseline: compile-per-call, the pre-plan-layer behavior. No cache,
+/// no plan reuse — every call re-runs classification (and the rewriter
+/// on the FO path).
+void BM_Serving_CompilePerCall(benchmark::State& state) {
+  Database db = ServingDb(2);
+  std::vector<Query> queries = Workload(static_cast<int>(state.range(0)));
+  size_t served = 0;
+  for (auto _ : state) {
+    EvalContext ctx(db);
+    for (const Query& q : queries) {
+      auto plan = QueryPlan::Compile(q);
+      benchmark::DoNotOptimize((*plan)->Solve(ctx));
+      ++served;
+    }
+  }
+  state.counters["facts"] = db.size();
+  state.counters["queries"] = static_cast<double>(queries.size());
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Serving_CompilePerCall)->RangeMultiplier(2)->Range(1, 16);
+
+/// Warm cache, single thread: plans compiled once per α-class, then
+/// every call is a lookup + evaluation.
+void BM_Serving_WarmCache(benchmark::State& state) {
+  Database db = ServingDb(2);
+  std::vector<Query> queries = Workload(static_cast<int>(state.range(0)));
+  PlanCache cache;
+  // Warm up: one pass compiles every class.
+  for (const Query& q : queries) cache.GetOrCompile(q).ok();
+  size_t served = 0;
+  for (auto _ : state) {
+    EvalContext ctx(db);
+    for (const Query& q : queries) {
+      auto plan = cache.GetOrCompile(q);
+      benchmark::DoNotOptimize((*plan)->Solve(ctx));
+      ++served;
+    }
+  }
+  PlanCache::Stats stats = cache.stats();
+  state.counters["facts"] = db.size();
+  state.counters["queries"] = static_cast<double>(queries.size());
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["plan_hits"] = static_cast<double>(stats.hits);
+  state.counters["plan_misses"] = static_cast<double>(stats.misses);
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses > 0
+          ? static_cast<double>(stats.hits) / (stats.hits + stats.misses)
+          : 0;
+}
+BENCHMARK(BM_Serving_WarmCache)->RangeMultiplier(2)->Range(1, 16);
+
+/// The full serving front: SolveBatch over the worker pool with a warm
+/// shared cache. Thread scaling is only visible on multi-core hosts
+/// (single-core containers serialize the workers); the single-thread
+/// row is the portable number.
+void BM_Serving_SolveBatch(benchmark::State& state) {
+  Database db = ServingDb(2);
+  // A serving-sized batch: big enough to amortize worker startup.
+  std::vector<Query> queries = Workload(256);
+  PlanCache cache;
+  for (const Query& q : queries) cache.GetOrCompile(q).ok();
+  BatchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.cache = &cache;
+  size_t served = 0;
+  for (auto _ : state) {
+    auto results = Engine::SolveBatch(db, queries, options);
+    benchmark::DoNotOptimize(results);
+    served += results.size();
+  }
+  PlanCache::Stats stats = cache.stats();
+  state.counters["facts"] = db.size();
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["plan_hits"] = static_cast<double>(stats.hits);
+  state.counters["plan_misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_Serving_SolveBatch)->DenseRange(1, 8, 1)->UseRealTime();
+
+/// Shared pre-compiled plans, no cache lookup on the hot path: the
+/// upper bound of the serving design (what SolveBatch approaches as
+/// lookups get cheaper).
+void BM_Serving_SharedPlansNoLookup(benchmark::State& state) {
+  Database db = ServingDb(2);
+  std::vector<Query> queries = Workload(256);
+  std::vector<std::shared_ptr<const QueryPlan>> plans;
+  plans.reserve(queries.size());
+  for (const Query& q : queries) {
+    plans.push_back(*QueryPlan::Compile(q));
+  }
+  int threads = static_cast<int>(state.range(0));
+  size_t served = 0;
+  for (auto _ : state) {
+    std::atomic<size_t> cursor{0};
+    auto worker = [&] {
+      EvalContext ctx(db);
+      for (size_t i = cursor.fetch_add(1); i < plans.size();
+           i = cursor.fetch_add(1)) {
+        benchmark::DoNotOptimize(plans[i]->Solve(ctx));
+      }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& t : pool) t.join();
+    served += plans.size();
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_Serving_SharedPlansNoLookup)->DenseRange(1, 8, 1)
+    ->UseRealTime();
+
+/// Plan-compile cost in isolation (what the cache saves per miss).
+void BM_Serving_CompileOnly(benchmark::State& state) {
+  Query q = corpus::ConferenceQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryPlan::Compile(q));
+  }
+}
+BENCHMARK(BM_Serving_CompileOnly);
+
+/// Cache lookup cost in isolation (canonicalization + sharded LRU).
+void BM_Serving_CacheLookup(benchmark::State& state) {
+  Query q = corpus::ConferenceQuery();
+  PlanCache cache;
+  cache.GetOrCompile(q).ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetOrCompile(q));
+  }
+}
+BENCHMARK(BM_Serving_CacheLookup);
+
+}  // namespace

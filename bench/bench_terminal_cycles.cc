@@ -26,7 +26,7 @@ void BM_Thm3_TerminalCycleSolver(benchmark::State& state) {
   Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
   Query q = corpus::Fig4Query();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TerminalCycleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(TerminalCycleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -37,7 +37,7 @@ void BM_Thm3_Oracle(benchmark::State& state) {
   Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
   Query q = corpus::Fig4Query();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();
@@ -48,7 +48,7 @@ void BM_Thm3_Sat(benchmark::State& state) {
   Database db = Fig4Db(static_cast<int>(state.range(0)), 1);
   Query q = corpus::Fig4Query();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SatSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*SatSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }
@@ -64,12 +64,13 @@ void BM_Thm3_TwoAtomBase(benchmark::State& state) {
   options.seed = 99;
   Database db = RandomBlockDatabase(corpus::Ck(2), options);
   Query q = corpus::Ck(2);
+  TwoAtomSolver solver(q);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoAtomSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(solver.IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["path"] =
-      static_cast<double>(static_cast<int>(TwoAtomSolver::last_path()));
+      static_cast<double>(static_cast<int>(solver.path()));
 }
 BENCHMARK(BM_Thm3_TwoAtomBase)->RangeMultiplier(2)->Range(4, 64);
 

@@ -24,12 +24,13 @@ Database TwoAtomDb(const Query& q, int blocks, uint64_t seed) {
 void BM_TwoAtom_MatchingPath(benchmark::State& state) {
   Query q = corpus::Ck(2);  // Conflicts form a matching.
   Database db = TwoAtomDb(q, static_cast<int>(state.range(0)), 3);
+  TwoAtomSolver solver(q);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoAtomSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(solver.IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["path_matching"] =
-      TwoAtomSolver::last_path() == TwoAtomSolver::Path::kMatching ? 1 : 0;
+      solver.path() == TwoAtomSolver::Path::kMatching ? 1 : 0;
 }
 BENCHMARK(BM_TwoAtom_MatchingPath)->RangeMultiplier(2)->Range(4, 128);
 
@@ -38,12 +39,13 @@ void BM_TwoAtom_MisPath(benchmark::State& state) {
   // forces non-matching conflict sets, i.e. the exact-MIS branch.
   Query q = MustParseQuery("R(x | y), S(y | x, w)");
   Database db = FanTwoAtomDatabase(static_cast<int>(state.range(0)), 3);
+  TwoAtomSolver solver(q);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoAtomSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(solver.IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["path_mis"] =
-      TwoAtomSolver::last_path() == TwoAtomSolver::Path::kMis ? 1 : 0;
+      solver.path() == TwoAtomSolver::Path::kMis ? 1 : 0;
 }
 BENCHMARK(BM_TwoAtom_MisPath)->RangeMultiplier(2)->Range(4, 32);
 
@@ -55,8 +57,9 @@ void BM_TwoAtom_StrongCycleSat(benchmark::State& state) {
   options.domain_size = 4;
   options.seed = 3;
   Database db = RandomQ0Database(options);
+  TwoAtomSolver solver(q);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoAtomSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(solver.IsCertain(db));
   }
   state.counters["facts"] = db.size();
 }
@@ -66,7 +69,7 @@ void BM_TwoAtom_OracleBaseline(benchmark::State& state) {
   Query q = corpus::Ck(2);
   Database db = TwoAtomDb(q, static_cast<int>(state.range(0)), 3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OracleSolver::IsCertain(db, q));
+    benchmark::DoNotOptimize(*OracleSolver(q).IsCertain(db));
   }
   state.counters["facts"] = db.size();
   state.counters["repairs"] = db.RepairCount().ToDouble();

@@ -18,7 +18,7 @@ void Tour(const char* title, const cqa::Query& q, const cqa::Database& db) {
   Result<Classification> cls = ClassifyQuery(q);
   std::printf("%-28s %-46s certain=%-3s solver=%s\n", title,
               cls.ok() ? ComplexityClassName(cls->complexity) : "?",
-              out->certain ? "yes" : "no", out->solver.c_str());
+              out->certain ? "yes" : "no", ToString(out->solver));
 }
 
 }  // namespace
@@ -74,8 +74,8 @@ int main() {
     Database db0 = RandomBlockDatabase(corpus::Q0(), options);
     Result<ConpReduction> red = ConpReduction::Create(corpus::Q1());
     Result<Database> db1 = red->Transform(db0);
-    bool lhs = SatSolver::IsCertain(db0, corpus::Q0());
-    bool rhs = SatSolver::IsCertain(*db1, corpus::Q1());
+    bool lhs = *SatSolver(corpus::Q0()).IsCertain(db0);
+    bool rhs = *SatSolver(corpus::Q1()).IsCertain(*db1);
     std::printf(
         "\nTheorem 2 reduction: CERTAINTY(q0) instance (%d facts) -> "
         "CERTAINTY(q1) instance (%d facts); answers %s/%s (must match)\n",

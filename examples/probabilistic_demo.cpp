@@ -53,7 +53,7 @@ int main() {
                             P(1, 2));
   Query exists = MustParseQuery("Device(x | 'lab'), Reading(x | t)");
   Database restricted = certain_bid.TotalBlocksRestriction();
-  bool lhs = OracleSolver::IsCertain(restricted, exists);
+  bool lhs = *OracleSolver(exists).IsCertain(restricted);
   bool rhs = WorldsOracle::Probability(certain_bid, exists).is_one();
   std::printf(
       "\nProposition 1 bridge: db' certain = %s, Pr(q) = 1 holds = %s\n",

@@ -45,10 +45,10 @@ int main() {
   // Decide certainty with the dispatched solver.
   Result<SolveOutcome> outcome = Engine::Solve(*db, q);
   std::printf("Certain: %s (solver: %s)\n", outcome->certain ? "yes" : "no",
-              outcome->solver.c_str());
+              ToString(outcome->solver));
 
   // The paper: "true in only three repairs".
-  BigInt holds = OracleSolver::CountSatisfyingRepairs(*db, q);
+  BigInt holds = OracleSolver(q).CountSatisfyingRepairs(*db);
   std::printf("Holds in %s of %s repairs (probability %s)\n",
               holds.ToString().c_str(), db->RepairCount().ToString().c_str(),
               WorldsOracle::Probability(
@@ -57,7 +57,7 @@ int main() {
                   .c_str());
 
   // A falsifying repair, as evidence.
-  auto witness = SatSolver::FindFalsifyingRepair(*db, q);
+  auto witness = *SatSolver(q).FindFalsifyingRepair(*db);
   if (witness.has_value()) {
     std::printf("\nA repair falsifying the query:\n");
     for (const Fact& f : *witness) std::printf("  %s\n", f.ToString().c_str());

@@ -24,10 +24,10 @@ int main() {
   Result<Classification> cls = ClassifyQuery(q);
   std::printf("Classifier: %s\n\n", ComplexityClassName(cls->complexity));
 
-  Result<bool> certain = AckSolver::IsCertain(db, q);
+  Result<bool> certain = AckSolver(q).IsCertain(db);
   std::printf("Certain: %s\n", *certain ? "yes" : "no");
 
-  auto witness = AckSolver::FindFalsifyingRepair(db, q);
+  auto witness = AckSolver(q).FindFalsifyingRepair(db);
   if (witness.ok() && witness->has_value()) {
     std::printf(
         "Falsifying routing configuration (cf. Fig. 7's repairs):\n");
@@ -46,8 +46,8 @@ int main() {
   options.seed = 2013;
   Database big = RandomAckDatabase(options);
   Query q4 = corpus::Ack(4);
-  Result<bool> fast = AckSolver::IsCertain(big, q4);
-  bool sat = SatSolver::IsCertain(big, q4);
+  Result<bool> fast = AckSolver(q4).IsCertain(big);
+  bool sat = *SatSolver(q4).IsCertain(big);
   std::printf(
       "\nRandom AC(4) ring: %d facts, %s repairs -> certain = %s "
       "(Theorem 4) / %s (SAT cross-check)\n",
@@ -61,7 +61,7 @@ int main() {
   ck_options.edges_per_vertex = 2;
   ck_options.seed = 7;
   Database ring = RandomCkDatabase(ck_options);
-  Result<bool> ck_certain = CkSolver::IsCertain(ring, corpus::Ck(4));
+  Result<bool> ck_certain = CkSolver(corpus::Ck(4)).IsCertain(ring);
   std::printf("Random C(4) ring: %d facts -> certain = %s (Corollary 1)\n",
               ring.size(), *ck_certain ? "yes" : "no");
   return 0;

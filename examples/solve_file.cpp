@@ -45,7 +45,7 @@ int SolveAll(const cqa::Database& db, int argc, char** argv, int first) {
     std::printf("%-40s  class=%-40s  certain=%s  solver=%s\n",
                 q->ToString().c_str(),
                 cls.ok() ? ComplexityClassName(cls->complexity) : "n/a",
-                out->certain ? "yes" : "no", out->solver.c_str());
+                out->certain ? "yes" : "no", ToString(out->solver));
   }
   return 0;
 }

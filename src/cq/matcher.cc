@@ -1,6 +1,7 @@
 #include "cq/matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 namespace cqa {
@@ -16,15 +17,21 @@ MatcherMode InitialMode() {
              : MatcherMode::kIndexed;
 }
 
-MatcherMode& ModeSingleton() {
-  static MatcherMode mode = InitialMode();
+// Atomic so concurrent serving workers can read the mode while a test
+// harness flips it between phases.
+std::atomic<MatcherMode>& ModeSingleton() {
+  static std::atomic<MatcherMode> mode{InitialMode()};
   return mode;
 }
 
 }  // namespace
 
-MatcherMode DefaultMatcherMode() { return ModeSingleton(); }
-void SetDefaultMatcherMode(MatcherMode mode) { ModeSingleton() = mode; }
+MatcherMode DefaultMatcherMode() {
+  return ModeSingleton().load(std::memory_order_relaxed);
+}
+void SetDefaultMatcherMode(MatcherMode mode) {
+  ModeSingleton().store(mode, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------- FactIndex
 

@@ -13,11 +13,17 @@
 ///   auto db = cqa::ParseDatabase(text).value();
 ///   auto q  = cqa::ParseQuery("C(x, y, 'Rome'), R(x, 'A')", db.schema());
 ///   auto cls = cqa::ClassifyQuery(*q);          // Theorems 1-4.
-///   auto out = cqa::Engine::Solve(db, *q);      // Dispatches a solver.
+///   auto out = cqa::Engine::Solve(db, *q);      // Cached compiled plan.
+///
+/// For serving workloads, compile once and share:
+///
+///   auto plan = cqa::QueryPlan::Compile(*q).value();   // thread-safe
+///   auto outs = cqa::Engine::SolveBatch(db, queries);  // worker pool
 
 #include "core/attack_graph.h"
 #include "core/classifier.h"
 #include "core/dot_export.h"
+#include "cq/canonicalize.h"
 #include "cq/corpus.h"
 #include "cq/join_tree.h"
 #include "cq/matcher.h"
@@ -36,6 +42,8 @@
 #include "gen/db_gen.h"
 #include "gen/instance_gen.h"
 #include "gen/query_gen.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
 #include "prob/bid.h"
 #include "prob/counting.h"
 #include "prob/is_safe.h"
@@ -48,7 +56,9 @@
 #include "solvers/fo_solver.h"
 #include "solvers/oracle_solver.h"
 #include "solvers/sat_solver.h"
+#include "solvers/solver.h"
 #include "solvers/terminal_cycle_solver.h"
 #include "solvers/two_atom_solver.h"
+#include "util/thread_pool.h"
 
 #endif  // CQA_CQA_H_

@@ -1,0 +1,115 @@
+#include "plan/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cqa {
+
+namespace {
+
+// Shards clamped to the capacity so a small cache is never inflated by
+// the one-entry-per-shard minimum; total capacity is then
+// options.capacity rounded down to a multiple of the shard count
+// (reported exactly by stats().capacity) and never exceeds the request.
+size_t EffectiveShards(const PlanCache::Options& options) {
+  size_t shards = std::max<size_t>(1, options.num_shards);
+  return std::max<size_t>(1, std::min(shards, options.capacity));
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const Options& options)
+    : per_shard_capacity_(
+          std::max<size_t>(1, options.capacity / EffectiveShards(options))),
+      shards_(EffectiveShards(options)) {}
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+PlanCache::Shard& PlanCache::ShardFor(uint64_t hash) const {
+  return shards_[hash % shards_.size()];
+}
+
+Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompile(
+    const Query& q) {
+  return GetOrCompileCanonical(Canonicalize(q));
+}
+
+Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompile(
+    const Query& q, const std::vector<SymbolId>& free_vars) {
+  return GetOrCompileCanonical(Canonicalize(q, free_vars));
+}
+
+Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
+    CanonicalQuery canonical) {
+  Shard& shard = ShardFor(canonical.hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_key.find(canonical.key);
+    if (it != shard.by_key.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Compile outside the lock: plan compilation can run the rewriter.
+  std::string key = canonical.key;
+  Result<std::shared_ptr<const QueryPlan>> compiled =
+      QueryPlan::CompileCanonical(std::move(canonical));
+  if (!compiled.ok()) return compiled.status();
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) {
+    // Lost a compile race; adopt the winner so all callers share one
+    // instance (and one set of stats).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(key, *compiled);
+  shard.by_key.emplace(std::move(key), shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.by_key.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *compiled;
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(const Query& q) const {
+  CanonicalQuery canonical = Canonicalize(q);
+  Shard& shard = ShardFor(canonical.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(canonical.key);
+  if (it == shard.by_key.end()) return nullptr;
+  return it->second->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.by_key.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cqa

@@ -1,0 +1,93 @@
+#ifndef CQA_PLAN_PLAN_CACHE_H_
+#define CQA_PLAN_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/query_plan.h"
+
+/// \file
+/// A bounded, mutex-sharded LRU cache of compiled `QueryPlan`s, keyed by
+/// the query's canonical form — α-equivalent queries (same up to
+/// variable renaming and atom order) share one plan, so classification,
+/// attack-graph analysis and the FO rewriting are paid once per
+/// equivalence class, not once per call. This is where the dichotomy's
+/// compile-time/run-time split turns into serving throughput.
+///
+/// Sharding: the canonical hash picks a shard; each shard has its own
+/// mutex, LRU list and map, so concurrent workers rarely contend.
+/// Compilation runs outside the lock (it can be expensive); when two
+/// threads race to compile the same key, the first insert wins and the
+/// loser adopts the winner's plan.
+
+namespace cqa {
+
+class PlanCache {
+ public:
+  struct Options {
+    /// Total plans kept (split across shards, at least one per shard).
+    size_t capacity = 1024;
+    size_t num_shards = 8;
+  };
+
+  PlanCache() : PlanCache(Options()) {}
+  explicit PlanCache(const Options& options);
+
+  /// The process-wide cache used by Engine's one-shot entry points.
+  static PlanCache& Global();
+
+  /// The plan for `q`, compiling on miss. Compile failures are returned
+  /// and never cached.
+  Result<std::shared_ptr<const QueryPlan>> GetOrCompile(const Query& q);
+
+  /// Parameterized variant (the canonical key embeds the parameter
+  /// positions, so Boolean and parameterized plans never collide).
+  Result<std::shared_ptr<const QueryPlan>> GetOrCompile(
+      const Query& q, const std::vector<SymbolId>& free_vars);
+
+  /// Cache probe without compiling (test/diagnostic hook).
+  std::shared_ptr<const QueryPlan> Lookup(const Query& q) const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  /// Drops all entries and resets the counters.
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, std::shared_ptr<const QueryPlan>>>
+        lru;
+    std::unordered_map<std::string,
+                       decltype(lru)::iterator>
+        by_key;
+  };
+
+  Result<std::shared_ptr<const QueryPlan>> GetOrCompileCanonical(
+      CanonicalQuery canonical);
+  Shard& ShardFor(uint64_t hash) const;
+
+  size_t per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PLAN_PLAN_CACHE_H_

@@ -1,0 +1,188 @@
+#include "plan/query_plan.h"
+
+#include <utility>
+
+namespace cqa {
+
+namespace {
+
+SolverKind KindForComplexity(ComplexityClass complexity) {
+  switch (complexity) {
+    case ComplexityClass::kFirstOrder:
+      return SolverKind::kFoRewriting;
+    case ComplexityClass::kPtimeTerminalCycles:
+      return SolverKind::kTerminalCycles;
+    case ComplexityClass::kPtimeAck:
+      return SolverKind::kAck;
+    case ComplexityClass::kPtimeCk:
+      return SolverKind::kCk;
+    case ComplexityClass::kConpComplete:
+    case ComplexityClass::kOpenConjecturedPtime:
+      return SolverKind::kSat;
+  }
+  return SolverKind::kSat;
+}
+
+/// Freezes the canonical parameters to constants for classification:
+/// grounding cannot add attacks (Lemma 5), and the attack graph ignores
+/// constant identity, so one classification is valid for every row.
+Query FreezeParams(const Query& q, const std::vector<SymbolId>& params) {
+  Query frozen = q;
+  for (SymbolId v : params) {
+    frozen = frozen.Substitute(v, InternSymbol("$param_" + SymbolName(v)));
+  }
+  return frozen;
+}
+
+}  // namespace
+
+const FoSolver* QueryPlan::fo_solver() const { return fo_; }
+
+Result<std::shared_ptr<const QueryPlan>> QueryPlan::Compile(const Query& q) {
+  return CompileCanonical(Canonicalize(q));
+}
+
+Result<std::shared_ptr<const QueryPlan>> QueryPlan::Compile(
+    const Query& q, const std::vector<SymbolId>& free_vars) {
+  return CompileCanonical(Canonicalize(q, free_vars));
+}
+
+Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileCanonical(
+    CanonicalQuery canonical) {
+  std::shared_ptr<QueryPlan> plan(new QueryPlan());
+  plan->canonical_ = std::move(canonical);
+  const CanonicalQuery& c = plan->canonical_;
+
+  Result<Classification> cls = ClassifyQuery(
+      c.params.empty() ? c.query : FreezeParams(c.query, c.params));
+  if (!cls.ok()) {
+    // Unsupported fragment (self-join, non-C(k) cyclic query): compile
+    // to the sound-and-complete SAT search, but report the failure cause
+    // for genuinely malformed queries.
+    if (cls.status().code() != StatusCode::kUnsupported) {
+      return cls.status();
+    }
+    plan->complexity_ = ComplexityClass::kOpenConjecturedPtime;
+    plan->kind_ = SolverKind::kSat;
+    if (c.params.empty()) {
+      Result<std::unique_ptr<Solver>> solver =
+          SolverRegistry::Global().Create(SolverKind::kSat, c.query);
+      if (!solver.ok()) return solver.status();
+      plan->solver_ = std::move(solver).value();
+    } else {
+      plan->row_factory_ = SolverRegistry::Global().Factory(SolverKind::kSat);
+    }
+    return std::shared_ptr<const QueryPlan>(std::move(plan));
+  }
+
+  plan->classification_ = *cls;
+  plan->complexity_ = cls->complexity;
+  plan->kind_ = KindForComplexity(cls->complexity);
+
+  if (plan->kind_ == SolverKind::kFoRewriting) {
+    // The rewriting is compiled over the *unfrozen* canonical query with
+    // the parameters kept free, so one formula serves every binding.
+    VarSet params(c.params.begin(), c.params.end());
+    Result<std::unique_ptr<Solver>> solver = SolverRegistry::Global().Create(
+        SolverKind::kFoRewriting, c.query, params);
+    if (!solver.ok()) return solver.status();
+    plan->solver_ = std::move(solver).value();
+    // dynamic_cast, resolved once: the registry allows substituting the
+    // kFoRewriting factory with a non-FoSolver implementation; such
+    // plans take the generic row path instead of invoking
+    // FoSolver::IsCertainRow on a stranger.
+    plan->fo_ = dynamic_cast<const FoSolver*>(plan->solver_.get());
+    if (!c.params.empty()) {
+      // Row fallback for substituted (non-FoSolver) implementations.
+      plan->row_factory_ =
+          SolverRegistry::Global().Factory(SolverKind::kFoRewriting);
+    }
+  } else if (c.params.empty()) {
+    Result<std::unique_ptr<Solver>> solver =
+        SolverRegistry::Global().Create(plan->kind_, c.query);
+    if (!solver.ok()) return solver.status();
+    plan->solver_ = std::move(solver).value();
+  } else {
+    // Parameterized non-FO plans keep solver_ null: rows are decided by
+    // grounding the canonical query (IsCertainRow) through the factory
+    // captured here, off the registry lock.
+    plan->row_factory_ = SolverRegistry::Global().Factory(plan->kind_);
+  }
+  return std::shared_ptr<const QueryPlan>(std::move(plan));
+}
+
+Result<SolveOutcome> QueryPlan::Solve(const Database& db) const {
+  EvalContext ctx(db);
+  return Solve(ctx);
+}
+
+Result<SolveOutcome> QueryPlan::Solve(EvalContext& ctx) const {
+  if (parameterized()) {
+    return Status::InvalidArgument(
+        "parameterized plan cannot be solved as a Boolean query; use "
+        "IsCertainRow");
+  }
+  Result<SolverCall> call = solver_->Decide(ctx);
+  if (!call.ok()) return call.status();
+  solver_->Record(*call);
+  SolveOutcome out;
+  out.certain = call->certain;
+  out.complexity = complexity_;
+  out.solver = kind_;
+  out.sat_vars = call->sat_vars;
+  out.sat_clauses = call->sat_clauses;
+  out.sat_decisions = call->sat_decisions;
+  return out;
+}
+
+Result<std::optional<std::vector<Fact>>> QueryPlan::FindFalsifyingRepair(
+    const Database& db) const {
+  if (parameterized()) {
+    return Status::InvalidArgument(
+        "parameterized plan has no Boolean falsifying repair");
+  }
+  return solver_->FindFalsifyingRepair(db);
+}
+
+Result<bool> QueryPlan::IsCertainRow(
+    EvalContext& ctx, const std::vector<SymbolId>& row) const {
+  if (!parameterized()) {
+    return Status::InvalidArgument("plan has no parameters; use Solve");
+  }
+  if (row.size() != canonical_.params.size()) {
+    return Status::InvalidArgument("row arity does not match plan params");
+  }
+  if (const FoSolver* fo = fo_solver()) {
+    Valuation binding;
+    for (size_t i = 0; i < row.size(); ++i) {
+      binding.Bind(canonical_.params[i], row[i]);
+    }
+    return fo->IsCertainRow(ctx.evaluator(), binding);
+  }
+  Query ground = canonical_.query;
+  for (size_t i = 0; i < row.size(); ++i) {
+    ground = ground.Substitute(canonical_.params[i], row[i]);
+  }
+  if (row_factory_) {
+    // The compiled kind, built through the factory captured at compile
+    // time (no registry lock per row); for kSat this is exact and
+    // never fails — which also covers the unsupported fragments.
+    Result<std::unique_ptr<Solver>> solver = row_factory_(ground, {});
+    if (solver.ok()) {
+      Result<bool> r = (*solver)->IsCertain(ctx);
+      if (r.ok()) return r;
+      // Precondition drifted under grounding (substitution can merge
+      // atoms); fall through to the full dispatch.
+    }
+  }
+  // Full re-compile of the ground row query — reproduces the complete
+  // dispatch, including the SAT fallback for unsupported fragments.
+  // Uncached on purpose: row constants would thrash the plan cache.
+  Result<std::shared_ptr<const QueryPlan>> fallback = Compile(ground);
+  if (!fallback.ok()) return fallback.status();
+  Result<SolveOutcome> out = (*fallback)->Solve(ctx);
+  if (!out.ok()) return out.status();
+  return out->certain;
+}
+
+}  // namespace cqa

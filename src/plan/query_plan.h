@@ -1,0 +1,122 @@
+#ifndef CQA_PLAN_QUERY_PLAN_H_
+#define CQA_PLAN_QUERY_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "cq/canonicalize.h"
+#include "cq/query.h"
+#include "db/database.h"
+#include "solvers/fo_solver.h"
+#include "solvers/solver.h"
+#include "util/status.h"
+
+/// \file
+/// The compiled form of a query. Wijsen's dichotomy makes CERTAINTY(q) a
+/// *compile-time* question: classification, attack-graph analysis and
+/// (on the FO side) the certain rewriting depend only on q, never on the
+/// database. `QueryPlan::Compile` runs all of it once and bundles the
+/// results into an immutable, thread-shareable object; solving a
+/// database against a plan is then pure evaluation. Plans are produced
+/// from the *canonical* form of the query (see cq/canonicalize.h), so
+/// one plan serves every α-equivalent query — which is what the
+/// `PlanCache` exploits.
+
+namespace cqa {
+
+/// The outcome of one certainty decision.
+struct SolveOutcome {
+  bool certain = false;
+  ComplexityClass complexity = ComplexityClass::kFirstOrder;
+  /// Which solver produced the answer.
+  SolverKind solver = SolverKind::kSat;
+  /// Per-call SAT statistics (zero off the SAT path) — surfaced here
+  /// instead of through solver globals.
+  int64_t sat_vars = 0;
+  int64_t sat_clauses = 0;
+  int64_t sat_decisions = 0;
+};
+
+class QueryPlan {
+ public:
+  /// Compiles a Boolean query: canonicalize, classify (Theorems 1-4),
+  /// build the chosen solver (including the FO rewriting when the attack
+  /// graph is acyclic). Fails only on malformed queries; the unsupported
+  /// fragments (self-joins, non-C(k) cyclic queries) compile to the
+  /// sound-and-complete SAT solver.
+  static Result<std::shared_ptr<const QueryPlan>> Compile(const Query& q);
+
+  /// Parameterized compile for non-Boolean queries: `free_vars` are kept
+  /// free and bound per row at evaluation time. Classification freezes
+  /// the parameters (grounding cannot add attacks, Lemma 5), and on the
+  /// FO path one parameterized rewriting serves every binding.
+  static Result<std::shared_ptr<const QueryPlan>> Compile(
+      const Query& q, const std::vector<SymbolId>& free_vars);
+
+  /// Compile from an already canonicalized query (the PlanCache path —
+  /// avoids canonicalizing twice).
+  static Result<std::shared_ptr<const QueryPlan>> CompileCanonical(
+      CanonicalQuery canonical);
+
+  // ------------------------------------------------- compile-time facts
+  const CanonicalQuery& canonical() const { return canonical_; }
+  const std::string& cache_key() const { return canonical_.key; }
+  ComplexityClass complexity() const { return complexity_; }
+  SolverKind solver_kind() const { return kind_; }
+  bool parameterized() const { return !canonical_.params.empty(); }
+  /// Attack-graph diagnostics; nullopt for the unsupported fragments
+  /// (which fall back to SAT without a classification).
+  const std::optional<Classification>& classification() const {
+    return classification_;
+  }
+  /// The compiled solver instance. Null only for parameterized non-FO
+  /// plans (their rows are decided by grounding, see IsCertainRow).
+  const Solver* solver() const { return solver_.get(); }
+  /// The parameterized FO rewriting, when this is an FO plan built from
+  /// the stock FoSolver (null when a substituted registry factory
+  /// produced something else — those plans use the generic row path).
+  const FoSolver* fo_solver() const;
+
+  // ------------------------------------------------------- evaluation
+  /// Decides db ∈ CERTAINTY(q) for a Boolean plan. Thread-safe: any
+  /// number of threads may Solve one plan concurrently (each with its
+  /// own EvalContext).
+  Result<SolveOutcome> Solve(const Database& db) const;
+  Result<SolveOutcome> Solve(EvalContext& ctx) const;
+
+  /// A repair of db falsifying q, or nullopt when certain. Uses the
+  /// Theorem 4 witness extraction on AC(k) plans and the SAT search
+  /// otherwise.
+  Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      const Database& db) const;
+
+  /// Decides one row of a parameterized plan: `row` binds the canonical
+  /// parameters positionally. FO plans evaluate the shared rewriting
+  /// under the binding; the rest ground the canonical query and run the
+  /// compiled dispatch (falling back to a fresh compile when grounding
+  /// drifts out of the specialized solver's precondition).
+  Result<bool> IsCertainRow(EvalContext& ctx,
+                            const std::vector<SymbolId>& row) const;
+
+ private:
+  QueryPlan() = default;
+
+  CanonicalQuery canonical_;
+  std::optional<Classification> classification_;
+  ComplexityClass complexity_ = ComplexityClass::kOpenConjecturedPtime;
+  SolverKind kind_ = SolverKind::kSat;
+  std::unique_ptr<const Solver> solver_;
+  /// The FoSolver view of solver_, resolved once at compile time (null
+  /// for non-FO plans and for substituted FO implementations).
+  const FoSolver* fo_ = nullptr;
+  /// Captured at compile time for parameterized non-FO plans: builds
+  /// the per-row solver without touching the registry mutex per row.
+  SolverFactory row_factory_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_PLAN_QUERY_PLAN_H_

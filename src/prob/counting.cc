@@ -11,7 +11,7 @@
 namespace cqa {
 
 BigInt Counting::CountByOracle(const Database& db, const Query& q) {
-  return OracleSolver::CountSatisfyingRepairs(db, q);
+  return OracleSolver(q).CountSatisfyingRepairs(db);
 }
 
 namespace {

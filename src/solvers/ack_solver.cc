@@ -223,8 +223,8 @@ struct AckInstance {
   SymbolId s_relation = 0;
 };
 
-Result<AckInstance> BuildInstance(const Database& db, const Query& q) {
-  std::optional<AckShape> shape = MatchAckPattern(q);
+Result<AckInstance> BuildInstance(const Database& db, const Query& q,
+                                  const std::optional<AckShape>& shape) {
   if (!shape.has_value()) {
     return Status::InvalidArgument("query does not match AC(k)");
   }
@@ -252,18 +252,27 @@ Result<AckInstance> BuildInstance(const Database& db, const Query& q) {
 
 }  // namespace
 
-Result<bool> AckSolver::IsCertain(const Database& db, const Query& q) {
-  Result<AckInstance> inst = BuildInstance(db, q);
+AckSolver::AckSolver(Query q)
+    : Solver(std::move(q)), shape_(MatchAckPattern(query_)) {}
+
+Result<SolverCall> AckSolver::Decide(EvalContext& ctx) const {
+  Result<AckInstance> inst = BuildInstance(ctx.db(), query_, shape_);
   if (!inst.ok()) return inst.status();
-  return !inst->solver.FindFalsifyingChoice().has_value();
+  SolverCall call;
+  call.certain = !inst->solver.FindFalsifyingChoice().has_value();
+  return call;
 }
 
 Result<std::optional<std::vector<Fact>>> AckSolver::FindFalsifyingRepair(
-    const Database& db, const Query& q) {
-  Result<AckInstance> inst = BuildInstance(db, q);
+    EvalContext& ctx) const {
+  Result<AckInstance> inst = BuildInstance(ctx.db(), query_, shape_);
   if (!inst.ok()) return inst.status();
+  SolverCall call;
+  call.certain = false;  // updated below once the choice is known
   std::optional<std::vector<int>> choice =
       inst->solver.FindFalsifyingChoice();
+  call.certain = !choice.has_value();
+  stats_.Record(call);
   if (!choice.has_value()) return std::optional<std::vector<Fact>>();
   std::vector<Fact> repair;
   // Chosen R facts (one per R block, i.e. per vertex).

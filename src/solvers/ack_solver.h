@@ -7,8 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/classifier.h"
 #include "cq/query.h"
 #include "db/database.h"
+#include "solvers/solver.h"
 #include "util/status.h"
 
 /// \file
@@ -69,15 +71,26 @@ class LayeredCycleSolver {
 
 }  // namespace internal
 
-class AckSolver {
+class AckSolver final : public Solver {
  public:
-  /// Decides db ∈ CERTAINTY(q); `q` must match AC(k) up to renaming.
-  static Result<bool> IsCertain(const Database& db, const Query& q);
+  /// `q` must match AC(k) up to renaming; the shape is recognized here,
+  /// once, and reused by every Decide/FindFalsifyingRepair call.
+  explicit AckSolver(Query q);
+
+  SolverKind kind() const override { return SolverKind::kAck; }
+
+  /// Decides db ∈ CERTAINTY(q) via condition (5) of Theorem 4.
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
 
   /// A falsifying repair of `db` (one fact per block of the *original*
-  /// database), or nullopt when db is certain.
-  static Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
-      const Database& db, const Query& q);
+  /// database), or nullopt when db is certain — the native Theorem 4
+  /// witness extraction, no SAT fallback.
+  using Solver::FindFalsifyingRepair;
+  Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      EvalContext& ctx) const override;
+
+ private:
+  std::optional<AckShape> shape_;
 };
 
 }  // namespace cqa

@@ -11,13 +11,17 @@
 
 namespace cqa {
 
-Result<bool> CkSolver::IsCertain(const Database& db, const Query& q) {
-  std::optional<CkShape> shape = MatchCkPattern(q);
+CkSolver::CkSolver(Query q)
+    : Solver(std::move(q)), shape_(MatchCkPattern(query_)) {}
+
+Result<SolverCall> CkSolver::Decide(EvalContext& ctx) const {
+  const Query& q = query_;
+  const std::optional<CkShape>& shape = shape_;
   if (!shape.has_value()) {
     return Status::InvalidArgument("query does not match C(k)");
   }
   int k = shape->k;
-  Database purified = Purify(db, q);
+  Database purified = Purify(ctx.db(), q);
 
   internal::LayeredCycleSolver solver(k);
   solver.ForbidAllKCycles();
@@ -31,12 +35,14 @@ Result<bool> CkSolver::IsCertain(const Database& db, const Query& q) {
     if (it == layer_of.end()) continue;
     solver.AddEdge(it->second, f.values()[0], f.values()[1], fid);
   }
-  return !solver.FindFalsifyingChoice().has_value();
+  SolverCall call;
+  call.certain = !solver.FindFalsifyingChoice().has_value();
+  return call;
 }
 
-Result<bool> CkSolver::IsCertainViaLemma9(const Database& db,
-                                          const Query& q) {
-  std::optional<CkShape> shape = MatchCkPattern(q);
+Result<bool> CkSolver::IsCertainViaLemma9(const Database& db) const {
+  const Query& q = query_;
+  const std::optional<CkShape>& shape = shape_;
   if (!shape.has_value()) {
     return Status::InvalidArgument("query does not match C(k)");
   }
@@ -64,7 +70,7 @@ Result<bool> CkSolver::IsCertainViaLemma9(const Database& db,
     return Status::OK();
   };
   CQA_RETURN_NOT_OK(fill(0));
-  return AckSolver::IsCertain(padded, ack);
+  return AckSolver(ack).IsCertain(padded);
 }
 
 }  // namespace cqa

@@ -1,8 +1,12 @@
 #ifndef CQA_SOLVERS_CK_SOLVER_H_
 #define CQA_SOLVERS_CK_SOLVER_H_
 
+#include <optional>
+
+#include "core/classifier.h"
 #include "cq/query.h"
 #include "db/database.h"
+#include "solvers/solver.h"
 #include "util/status.h"
 
 /// \file
@@ -10,7 +14,7 @@
 /// the k >= 3 case — open since Fuxman–Miller — by reducing C(k) to
 /// AC(k): Lemma 9 pads the database with an all-key S_k relation holding
 /// every tuple of D^k. Two implementations are provided:
-///  * `IsCertain`: the specialized solver; with S_k = D^k every k-cycle
+///  * `Decide`: the specialized solver; with S_k = D^k every k-cycle
 ///    is forbidden, so no materialization is needed (the |D|^k blow-up of
 ///    the generic reduction is avoided);
 ///  * `IsCertainViaLemma9`: the literal reduction (materializes S_k);
@@ -18,16 +22,24 @@
 
 namespace cqa {
 
-class CkSolver {
+class CkSolver final : public Solver {
  public:
-  /// Decides db ∈ CERTAINTY(q); `q` must match C(k) up to renaming
-  /// (k >= 2; for k = 2 the query is acyclic but the same algorithm
-  /// applies).
-  static Result<bool> IsCertain(const Database& db, const Query& q);
+  /// `q` must match C(k) up to renaming (k >= 2; for k = 2 the query is
+  /// acyclic but the same algorithm applies). The shape is recognized
+  /// here, once; Decide reuses it per call.
+  explicit CkSolver(Query q);
+
+  SolverKind kind() const override { return SolverKind::kCk; }
+
+  /// Decides db ∈ CERTAINTY(q) without materializing S_k.
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
 
   /// The literal Lemma 9 reduction: pads db with S_k = D^k and runs the
   /// AC(k) solver. Only sensible for small |D| and k.
-  static Result<bool> IsCertainViaLemma9(const Database& db, const Query& q);
+  Result<bool> IsCertainViaLemma9(const Database& db) const;
+
+ private:
+  std::optional<CkShape> shape_;
 };
 
 }  // namespace cqa

@@ -1,76 +1,25 @@
 #include "solvers/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <utility>
 
 #include "cq/matcher.h"
-#include "solvers/ack_solver.h"
-#include "solvers/ck_solver.h"
-#include "solvers/fo_solver.h"
-#include "solvers/sat_solver.h"
-#include "solvers/terminal_cycle_solver.h"
+#include "util/thread_pool.h"
 
 namespace cqa {
 
-Result<SolveOutcome> Engine::Solve(const Database& db, const Query& q) {
-  Result<Classification> cls = ClassifyQuery(q);
-  if (!cls.ok()) {
-    // Unsupported fragment (self-join, non-C(k) cyclic query): fall back
-    // to the sound-and-complete SAT search, but report the failure cause
-    // for genuinely malformed queries.
-    if (cls.status().code() != StatusCode::kUnsupported) {
-      return cls.status();
-    }
-    SolveOutcome out;
-    out.certain = SatSolver::IsCertain(db, q);
-    out.complexity = ComplexityClass::kOpenConjecturedPtime;
-    out.solver = "sat";
-    return out;
-  }
+namespace {
 
-  SolveOutcome out;
-  out.complexity = cls->complexity;
-  switch (cls->complexity) {
-    case ComplexityClass::kFirstOrder: {
-      Result<FoSolver> fo = FoSolver::Create(q);
-      if (!fo.ok()) return fo.status();
-      out.certain = fo->IsCertain(db);
-      out.solver = "fo-rewriting";
-      return out;
-    }
-    case ComplexityClass::kPtimeTerminalCycles: {
-      Result<bool> r = TerminalCycleSolver::IsCertain(db, q);
-      if (!r.ok()) return r.status();
-      out.certain = *r;
-      out.solver = "terminal-cycles";
-      return out;
-    }
-    case ComplexityClass::kPtimeAck: {
-      Result<bool> r = AckSolver::IsCertain(db, q);
-      if (!r.ok()) return r.status();
-      out.certain = *r;
-      out.solver = "ack";
-      return out;
-    }
-    case ComplexityClass::kPtimeCk: {
-      Result<bool> r = CkSolver::IsCertain(db, q);
-      if (!r.ok()) return r.status();
-      out.certain = *r;
-      out.solver = "ck";
-      return out;
-    }
-    case ComplexityClass::kConpComplete:
-    case ComplexityClass::kOpenConjecturedPtime: {
-      out.certain = SatSolver::IsCertain(db, q);
-      out.solver = "sat";
-      return out;
-    }
-  }
-  return Status::Internal("unreachable");
+PlanCache& ResolveCache(const BatchOptions& options) {
+  return options.cache != nullptr ? *options.cache : PlanCache::Global();
 }
 
-Result<std::vector<std::vector<SymbolId>>> Engine::PossibleAnswers(
-    const Database& db, const Query& q,
+/// Candidate bindings of `free_vars` from embeddings of q into the
+/// context's (shared, lazily indexed) view of the database.
+Result<std::vector<std::vector<SymbolId>>> PossibleAnswersImpl(
+    EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars) {
   VarSet query_vars = q.Vars();
   for (SymbolId v : free_vars) {
@@ -81,142 +30,156 @@ Result<std::vector<std::vector<SymbolId>>> Engine::PossibleAnswers(
     }
   }
   std::set<std::vector<SymbolId>> answers;
-  FactIndex index(db);
-  ForEachEmbedding(index, q, Valuation(), [&](const Valuation& theta) {
-    std::vector<SymbolId> row;
-    row.reserve(free_vars.size());
-    for (SymbolId v : free_vars) {
-      // Occurrence in q guarantees every embedding binds v.
-      row.push_back(*theta.Get(v));
-    }
-    answers.insert(std::move(row));
-    return true;
-  });
+  ForEachEmbedding(ctx.fact_index(), q, Valuation(),
+                   [&](const Valuation& theta) {
+                     std::vector<SymbolId> row;
+                     row.reserve(free_vars.size());
+                     for (SymbolId v : free_vars) {
+                       // Occurrence in q guarantees every embedding
+                       // binds v.
+                       row.push_back(*theta.Get(v));
+                     }
+                     answers.insert(std::move(row));
+                     return true;
+                   });
   return std::vector<std::vector<SymbolId>>(answers.begin(), answers.end());
 }
 
-Result<std::optional<std::vector<Fact>>> Engine::FindFalsifyingRepair(
-    const Database& db, const Query& q) {
-  if (MatchAckPattern(q).has_value()) {
-    return AckSolver::FindFalsifyingRepair(db, q);
-  }
-  return std::optional<std::vector<Fact>>(
-      SatSolver::FindFalsifyingRepair(db, q));
-}
-
-namespace {
-
-/// Per-query compile cache for CertainAnswers: classification (and, on
-/// the FO path, the parameterized rewriting) of q with the free
-/// variables frozen. Grounding the parameters cannot add attacks
-/// (Lemma 5), and the attack graph ignores constant identity, so one
-/// classification is valid for every candidate row.
-struct CompiledQuery {
-  /// nullopt: unsupported fragment, every row uses the SAT search.
-  std::optional<ComplexityClass> complexity;
-  /// Set iff the frozen query is FO: one rewriting for all rows.
-  std::optional<FoSolver> fo;
-};
-
-Result<CompiledQuery> CompileForParams(
-    const Query& q, const std::vector<SymbolId>& free_vars) {
-  VarSet params(free_vars.begin(), free_vars.end());
-  Query frozen = q;
-  for (SymbolId v : params) {
-    frozen = frozen.Substitute(v, InternSymbol("$param_" + SymbolName(v)));
-  }
-  CompiledQuery out;
-  Result<Classification> cls = ClassifyQuery(frozen);
-  if (!cls.ok()) {
-    if (cls.status().code() != StatusCode::kUnsupported) {
-      return cls.status();
-    }
-    return out;  // SAT fallback, mirroring Solve.
-  }
-  out.complexity = cls->complexity;
-  if (cls->complexity == ComplexityClass::kFirstOrder) {
-    Result<FoSolver> fo = FoSolver::Create(q, params);
-    if (!fo.ok()) return fo.status();
-    out.fo.emplace(std::move(fo).value());
-  }
-  return out;
-}
-
-/// Decides one ground row with the pre-compiled dispatch (non-FO paths).
-/// A specialized solver whose precondition drifted under grounding falls
-/// back to the full per-query dispatch.
-Result<bool> IsCertainCompiled(const CompiledQuery& compiled,
-                               const Database& db, const Query& ground) {
-  if (compiled.complexity.has_value()) {
-    switch (*compiled.complexity) {
-      case ComplexityClass::kFirstOrder:
-        // CompileForParams always pairs kFirstOrder with a cached
-        // rewriting, and the caller answers FO rows through it.
-        return Status::Internal(
-            "FO row reached the non-FO compiled dispatch");
-      case ComplexityClass::kPtimeTerminalCycles: {
-        Result<bool> r = TerminalCycleSolver::IsCertain(db, ground);
-        if (r.ok()) return r;
-        break;
-      }
-      case ComplexityClass::kPtimeAck: {
-        Result<bool> r = AckSolver::IsCertain(db, ground);
-        if (r.ok()) return r;
-        break;
-      }
-      case ComplexityClass::kPtimeCk: {
-        Result<bool> r = CkSolver::IsCertain(db, ground);
-        if (r.ok()) return r;
-        break;
-      }
-      case ComplexityClass::kConpComplete:
-      case ComplexityClass::kOpenConjecturedPtime:
-        return SatSolver::IsCertain(db, ground);
-    }
-    Result<SolveOutcome> solved = Engine::Solve(db, ground);
-    if (!solved.ok()) return solved.status();
-    return solved->certain;
-  }
-  return SatSolver::IsCertain(db, ground);
-}
-
-}  // namespace
-
-Result<std::vector<std::vector<SymbolId>>> Engine::CertainAnswers(
-    const Database& db, const Query& q,
-    const std::vector<SymbolId>& free_vars) {
+/// The CertainAnswers pipeline against a caller-provided context and
+/// cache (shared by the one-shot and the batched entry points).
+Result<std::vector<std::vector<SymbolId>>> CertainAnswersImpl(
+    EvalContext& ctx, const Query& q,
+    const std::vector<SymbolId>& free_vars, PlanCache& cache) {
   Result<std::vector<std::vector<SymbolId>>> possible =
-      PossibleAnswers(db, q, free_vars);
+      PossibleAnswersImpl(ctx, q, free_vars);
   if (!possible.ok()) return possible.status();
   std::vector<std::vector<SymbolId>> out;
   if (possible->empty()) return out;
 
-  Result<CompiledQuery> compiled = CompileForParams(q, free_vars);
-  if (!compiled.ok()) return compiled.status();
-  // FO path: one evaluator (and its FactIndex) shared by every row.
-  std::optional<FormulaEvaluator> evaluator;
-  if (compiled->fo.has_value()) evaluator.emplace(db);
+  if (free_vars.empty()) {
+    // Boolean semantics: the single (empty) candidate row is a certain
+    // answer iff db ∈ CERTAINTY(q); the plan is a plain Boolean plan.
+    Result<std::shared_ptr<const QueryPlan>> plan = cache.GetOrCompile(q);
+    if (!plan.ok()) return plan.status();
+    Result<SolveOutcome> solved = (*plan)->Solve(ctx);
+    if (!solved.ok()) return solved.status();
+    if (solved->certain) out.push_back({});
+    return out;
+  }
+
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      cache.GetOrCompile(q, free_vars);
+  if (!plan.ok()) return plan.status();
 
   for (const std::vector<SymbolId>& row : *possible) {
-    bool certain;
-    if (compiled->fo.has_value()) {
-      Valuation binding;
-      for (size_t i = 0; i < free_vars.size(); ++i) {
-        binding.Bind(free_vars[i], row[i]);
-      }
-      certain = compiled->fo->IsCertain(*evaluator, binding);
-    } else {
-      Query ground = q;
-      for (size_t i = 0; i < free_vars.size(); ++i) {
-        ground = ground.Substitute(free_vars[i], row[i]);
-      }
-      Result<bool> r = IsCertainCompiled(*compiled, db, ground);
-      if (!r.ok()) return r.status();
-      certain = *r;
-    }
-    if (certain) out.push_back(row);
+    Result<bool> certain = (*plan)->IsCertainRow(ctx, row);
+    if (!certain.ok()) return certain.status();
+    if (*certain) out.push_back(row);
   }
   return out;
+}
+
+/// The shared batch scaffold: `serve(ctx, i)` is called once per item
+/// index over the worker pool (caller-owned via options.pool, or a
+/// transient one), each worker with its own EvalContext for
+/// index/evaluator reuse.
+template <typename ServeFn>
+void RunBatch(const Database& db, size_t n, const BatchOptions& options,
+              const ServeFn& serve) {
+  if (n == 0) return;
+  int threads = options.pool != nullptr ? options.pool->size()
+                : options.num_threads > 0 ? options.num_threads
+                                          : DefaultServingThreads();
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(threads, 1)), n));
+
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    EvalContext ctx(db);
+    for (size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+      serve(ctx, i);
+    }
+  };
+  if (options.pool != nullptr) {
+    for (int t = 0; t < threads; ++t) options.pool->Submit(worker);
+    options.pool->Wait();
+    return;
+  }
+  if (threads <= 1) {
+    worker();
+    return;
+  }
+  ThreadPool pool(threads);
+  for (int t = 0; t < threads; ++t) pool.Submit(worker);
+  pool.Wait();
+}
+
+}  // namespace
+
+Result<SolveOutcome> Engine::Solve(const Database& db, const Query& q) {
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      PlanCache::Global().GetOrCompile(q);
+  if (!plan.ok()) return plan.status();
+  return (*plan)->Solve(db);
+}
+
+Result<std::vector<std::vector<SymbolId>>> Engine::PossibleAnswers(
+    const Database& db, const Query& q,
+    const std::vector<SymbolId>& free_vars) {
+  EvalContext ctx(db);
+  return PossibleAnswersImpl(ctx, q, free_vars);
+}
+
+Result<std::vector<std::vector<SymbolId>>> Engine::CertainAnswers(
+    const Database& db, const Query& q,
+    const std::vector<SymbolId>& free_vars) {
+  EvalContext ctx(db);
+  return CertainAnswersImpl(ctx, q, free_vars, PlanCache::Global());
+}
+
+Result<std::optional<std::vector<Fact>>> Engine::FindFalsifyingRepair(
+    const Database& db, const Query& q) {
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      PlanCache::Global().GetOrCompile(q);
+  if (!plan.ok()) return plan.status();
+  return (*plan)->FindFalsifyingRepair(db);
+}
+
+std::vector<Result<SolveOutcome>> Engine::SolveBatch(
+    const Database& db, const std::vector<Query>& queries,
+    const BatchOptions& options) {
+  PlanCache& cache = ResolveCache(options);
+  std::vector<Result<SolveOutcome>> results(
+      queries.size(),
+      Result<SolveOutcome>(Status::Internal("batch item not served")));
+  RunBatch(db, queries.size(), options,
+           [&](EvalContext& ctx, size_t i) {
+             Result<std::shared_ptr<const QueryPlan>> plan =
+                 cache.GetOrCompile(queries[i]);
+             if (!plan.ok()) {
+               results[i] = plan.status();
+               return;
+             }
+             results[i] = (*plan)->Solve(ctx);
+           });
+  return results;
+}
+
+std::vector<Result<std::vector<std::vector<SymbolId>>>>
+Engine::CertainAnswersBatch(const Database& db,
+                            const std::vector<CertainAnswersRequest>& requests,
+                            const BatchOptions& options) {
+  using Rows = std::vector<std::vector<SymbolId>>;
+  PlanCache& cache = ResolveCache(options);
+  std::vector<Result<Rows>> results(
+      requests.size(),
+      Result<Rows>(Status::Internal("batch item not served")));
+  RunBatch(db, requests.size(), options,
+           [&](EvalContext& ctx, size_t i) {
+             results[i] = CertainAnswersImpl(ctx, requests[i].query,
+                                             requests[i].free_vars, cache);
+           });
+  return results;
 }
 
 }  // namespace cqa

@@ -2,17 +2,21 @@
 #define CQA_SOLVERS_ENGINE_H_
 
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "core/classifier.h"
 #include "cq/query.h"
 #include "db/database.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
 #include "util/status.h"
 
 /// \file
-/// The production entry point: classify CERTAINTY(q) (Theorems 1–4) and
-/// dispatch the best solver —
+/// The production entry point, now a thin wrapper over compiled
+/// `QueryPlan`s: every call resolves its query through the global
+/// `PlanCache` (classification, attack-graph analysis and the FO
+/// rewriting are compile-time artifacts shared across calls and
+/// α-equivalent queries) and evaluates the plan —
 ///   FO            -> certain FO rewriting evaluation
 ///   P/Theorem 3   -> TerminalCycleSolver
 ///   P/AC(k)       -> AckSolver
@@ -23,32 +27,53 @@
 /// Non-Boolean queries are answered by treating free variables as
 /// parameters: candidate bindings come from evaluating q on db (certain
 /// answers are always possible answers), each decided as a Boolean
-/// instance.
+/// instance through a parameterized plan.
+///
+/// The batch entry points serve many queries against one database over a
+/// small worker pool: plans come from a shared cache, and each worker
+/// reuses one `EvalContext` (FactIndex + FO evaluator) across all the
+/// queries it handles.
 
 namespace cqa {
 
-struct SolveOutcome {
-  bool certain = false;
-  ComplexityClass complexity = ComplexityClass::kFirstOrder;
-  /// Which solver produced the answer ("fo-rewriting", "terminal-cycles",
-  /// "ack", "ck", "sat").
-  std::string solver;
+class ThreadPool;
+
+/// Options for the batched serving front.
+struct BatchOptions {
+  /// Worker threads; 0 = DefaultServingThreads() (hardware, capped at 8).
+  /// Ignored when `pool` is set (the pool's size governs).
+  int num_threads = 0;
+  /// Plan cache to resolve queries through; null = PlanCache::Global().
+  PlanCache* cache = nullptr;
+  /// Long-lived worker pool to run on; null = a transient pool per call.
+  /// A serving front issuing many batches should own one pool and pass
+  /// it here to avoid per-batch thread spawn/join. The batch call still
+  /// blocks until its items are done; sharing one pool across
+  /// *concurrent* batch calls serializes their Wait barriers.
+  ThreadPool* pool = nullptr;
+};
+
+/// One non-Boolean query of a CertainAnswersBatch.
+struct CertainAnswersRequest {
+  Query query;
+  std::vector<SymbolId> free_vars;
 };
 
 class Engine {
  public:
-  /// Decides db ∈ CERTAINTY(q) with the classification-driven dispatch.
+  /// Decides db ∈ CERTAINTY(q) via the compiled (and globally cached)
+  /// plan.
   static Result<SolveOutcome> Solve(const Database& db, const Query& q);
 
   /// Certain answers of the non-Boolean query (q, free_vars): all
   /// bindings a⃗ of the free variables such that every repair satisfies
   /// q[free_vars ↦ a⃗]. Sorted lexicographically.
   ///
-  /// The query is compiled ONCE — classification runs on q with the free
-  /// variables frozen (grounding cannot change the attack graph, only
-  /// the constant names), and on the FO path one parameterized rewriting
-  /// plus one evaluator serve every candidate binding — instead of
-  /// re-running ClassifyQuery + solver construction per row.
+  /// The query is compiled ONCE into a parameterized plan —
+  /// classification runs with the free variables frozen (grounding
+  /// cannot change the attack graph, only the constant names), and on
+  /// the FO path one parameterized rewriting plus one evaluator serve
+  /// every candidate binding.
   static Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
       const Database& db, const Query& q,
       const std::vector<SymbolId>& free_vars);
@@ -68,6 +93,24 @@ class Engine {
   /// SAT search otherwise (sound and complete for every query).
   static Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
       const Database& db, const Query& q);
+
+  // --------------------------------------------------------- serving
+  /// Decides a batch of Boolean queries against one database over a
+  /// worker pool. Results are positionally aligned with `queries`; each
+  /// item carries its own status (one malformed query does not fail the
+  /// batch). Plans are shared through `options.cache`, so repeated or
+  /// α-equivalent queries compile once.
+  static std::vector<Result<SolveOutcome>> SolveBatch(
+      const Database& db, const std::vector<Query>& queries,
+      const BatchOptions& options = {});
+
+  /// Batched certain answers: each request is answered as in
+  /// CertainAnswers, with plans shared through the cache and per-worker
+  /// EvalContext reuse.
+  static std::vector<Result<std::vector<std::vector<SymbolId>>>>
+  CertainAnswersBatch(const Database& db,
+                      const std::vector<CertainAnswersRequest>& requests,
+                      const BatchOptions& options = {});
 };
 
 }  // namespace cqa

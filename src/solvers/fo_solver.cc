@@ -11,16 +11,17 @@ Result<FoSolver> FoSolver::Create(const Query& q) {
 Result<FoSolver> FoSolver::Create(const Query& q, const VarSet& params) {
   Result<FormulaPtr> rewriting = CertainRewriting(q, params);
   if (!rewriting.ok()) return rewriting.status();
-  return FoSolver(std::move(rewriting).value());
+  return FoSolver(q, std::move(rewriting).value());
 }
 
-bool FoSolver::IsCertain(const Database& db) const {
-  FormulaEvaluator evaluator(db);
-  return evaluator.Eval(rewriting_);
+Result<SolverCall> FoSolver::Decide(EvalContext& ctx) const {
+  SolverCall call;
+  call.certain = ctx.evaluator().Eval(rewriting_);
+  return call;
 }
 
-bool FoSolver::IsCertain(const FormulaEvaluator& evaluator,
-                         const Valuation& params_binding) const {
+bool FoSolver::IsCertainRow(const FormulaEvaluator& evaluator,
+                            const Valuation& params_binding) const {
   return evaluator.Eval(rewriting_, params_binding);
 }
 

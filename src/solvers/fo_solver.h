@@ -6,19 +6,20 @@
 #include "db/database.h"
 #include "fo/evaluator.h"
 #include "fo/formula.h"
+#include "solvers/solver.h"
 #include "util/status.h"
 
 /// \file
 /// CERTAINTY(q) for queries with an acyclic attack graph, by evaluating
 /// the certain first-order rewriting (Theorem 1). The rewriting is
-/// computed once per query and can be reused across databases — and, via
-/// the parameterized Create overload, across groundings of a fixed set of
-/// free variables (the Engine's per-query compile cache for non-Boolean
-/// queries).
+/// computed once per query — at Create time — and can be reused across
+/// databases and threads; via the parameterized Create overload it also
+/// serves every grounding of a fixed set of free variables (the
+/// QueryPlan compile path for non-Boolean queries).
 
 namespace cqa {
 
-class FoSolver {
+class FoSolver final : public Solver {
  public:
   /// Fails when q's attack graph is cyclic (Theorem 1: not FO).
   static Result<FoSolver> Create(const Query& q);
@@ -28,19 +29,23 @@ class FoSolver {
   /// `params` frozen is cyclic.
   static Result<FoSolver> Create(const Query& q, const VarSet& params);
 
-  /// db ∈ CERTAINTY(q), by formula evaluation — polynomial time.
-  bool IsCertain(const Database& db) const;
+  SolverKind kind() const override { return SolverKind::kFoRewriting; }
+
+  /// db ∈ CERTAINTY(q), by formula evaluation — polynomial time. Reuses
+  /// the context's shared evaluator (one FactIndex per database, not per
+  /// call).
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
 
   /// db ∈ CERTAINTY(θ(q)) for the parameter binding θ, reusing a
   /// caller-provided evaluator (one FactIndex per database, not per row).
-  bool IsCertain(const FormulaEvaluator& evaluator,
-                 const Valuation& params_binding) const;
+  bool IsCertainRow(const FormulaEvaluator& evaluator,
+                    const Valuation& params_binding) const;
 
   const FormulaPtr& rewriting() const { return rewriting_; }
 
  private:
-  explicit FoSolver(FormulaPtr rewriting)
-      : rewriting_(std::move(rewriting)) {}
+  FoSolver(Query q, FormulaPtr rewriting)
+      : Solver(std::move(q)), rewriting_(std::move(rewriting)) {}
   FormulaPtr rewriting_;
 };
 

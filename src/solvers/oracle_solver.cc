@@ -4,35 +4,39 @@
 
 namespace cqa {
 
-bool OracleSolver::IsCertain(const Database& db, const Query& q) {
-  RepairEnumerator repairs(db);
-  return repairs.ForEachIndexed(
+Result<SolverCall> OracleSolver::Decide(EvalContext& ctx) const {
+  RepairEnumerator repairs(ctx.db());
+  SolverCall call;
+  call.certain = repairs.ForEachIndexed(
       [&](const FactIndex& index, const Repair&) {
-        return Satisfies(index, q);
+        return Satisfies(index, query_);
       });
+  return call;
 }
 
-std::optional<std::vector<Fact>> OracleSolver::FindFalsifyingRepair(
-    const Database& db, const Query& q) {
+Result<std::optional<std::vector<Fact>>> OracleSolver::FindFalsifyingRepair(
+    EvalContext& ctx) const {
   std::optional<std::vector<Fact>> out;
-  RepairEnumerator repairs(db);
+  RepairEnumerator repairs(ctx.db());
   repairs.ForEachIndexed([&](const FactIndex& index, const Repair& repair) {
-    if (Satisfies(index, q)) return true;
+    if (Satisfies(index, query_)) return true;
     std::vector<Fact> copy;
     copy.reserve(repair.size());
     for (const Fact* f : repair) copy.push_back(*f);
     out = std::move(copy);
     return false;
   });
+  SolverCall call;
+  call.certain = !out.has_value();
+  stats_.Record(call);
   return out;
 }
 
-BigInt OracleSolver::CountSatisfyingRepairs(const Database& db,
-                                            const Query& q) {
+BigInt OracleSolver::CountSatisfyingRepairs(const Database& db) const {
   BigInt count(0);
   RepairEnumerator repairs(db);
   repairs.ForEachIndexed([&](const FactIndex& index, const Repair&) {
-    if (Satisfies(index, q)) count += BigInt(1);
+    if (Satisfies(index, query_)) count += BigInt(1);
     return true;
   });
   return count;

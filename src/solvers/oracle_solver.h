@@ -2,10 +2,12 @@
 #define CQA_SOLVERS_ORACLE_SOLVER_H_
 
 #include <optional>
+#include <vector>
 
 #include "cq/query.h"
 #include "db/database.h"
 #include "db/repairs.h"
+#include "solvers/solver.h"
 #include "util/bigint.h"
 
 /// \file
@@ -17,17 +19,22 @@
 
 namespace cqa {
 
-class OracleSolver {
+class OracleSolver final : public Solver {
  public:
-  /// True iff every repair of `db` satisfies `q`.
-  static bool IsCertain(const Database& db, const Query& q);
+  explicit OracleSolver(Query q) : Solver(std::move(q)) {}
+
+  SolverKind kind() const override { return SolverKind::kOracle; }
+
+  /// True iff every repair of db satisfies q, by enumeration.
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
 
   /// A repair falsifying q, if one exists (i.e. iff not certain).
-  static std::optional<std::vector<Fact>> FindFalsifyingRepair(
-      const Database& db, const Query& q);
+  using Solver::FindFalsifyingRepair;
+  Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      EvalContext& ctx) const override;
 
   /// Number of repairs satisfying q (the #CERTAINTY oracle).
-  static BigInt CountSatisfyingRepairs(const Database& db, const Query& q);
+  BigInt CountSatisfyingRepairs(const Database& db) const;
 };
 
 }  // namespace cqa

@@ -6,8 +6,6 @@
 
 namespace cqa {
 
-SatSolver::Stats SatSolver::stats_;
-
 namespace {
 
 struct Encoding {
@@ -16,7 +14,8 @@ struct Encoding {
   std::vector<int> fact_var;
 };
 
-Encoding Encode(const Database& db, const Query& q) {
+Encoding Encode(EvalContext& ctx, const Query& q) {
+  const Database& db = ctx.db();
   Encoding enc;
   enc.fact_var.assign(db.facts().size(), 0);
   for (size_t i = 0; i < db.facts().size(); ++i) {
@@ -38,11 +37,12 @@ Encoding Encode(const Database& db, const Query& q) {
     }
   }
   // Forbid every embedding of q. The matcher hands back the matched
-  // facts; their ids are offsets into db.facts(), no hashing needed.
+  // facts; their ids are offsets into db.facts(), no hashing needed. The
+  // index comes from the context, so a batch worker reuses one set of
+  // lazily built buckets across every query it serves.
   const Fact* base = db.facts().data();
-  FactIndex index(db);
   ForEachEmbeddingFacts(
-      index, q, Valuation(),
+      ctx.fact_index(), q, Valuation(),
       [&](const Valuation&, const std::vector<const Fact*>& facts) {
         std::vector<int> clause;
         clause.reserve(q.size());
@@ -62,20 +62,17 @@ Encoding Encode(const Database& db, const Query& q) {
 
 }  // namespace
 
-bool SatSolver::IsCertain(const Database& db, const Query& q) {
-  return !FindFalsifyingRepair(db, q).has_value();
-}
-
-std::optional<std::vector<Fact>> SatSolver::FindFalsifyingRepair(
-    const Database& db, const Query& q) {
+std::optional<std::vector<Fact>> SatSolver::SearchFalsifyingRepair(
+    EvalContext& ctx, const Query& q, SolverCall* call) {
   // An empty database has the single repair {}; it satisfies q only if q
   // is satisfied by the empty fact set (q must be empty).
-  Encoding enc = Encode(db, q);
+  const Database& db = ctx.db();
+  Encoding enc = Encode(ctx, q);
   DpllSolver solver(enc.cnf);
   SatResult result = solver.Solve();
-  stats_.vars = enc.cnf.num_vars();
-  stats_.clauses = static_cast<int>(enc.cnf.clauses().size());
-  stats_.decisions = solver.decisions();
+  call->sat_vars = enc.cnf.num_vars();
+  call->sat_clauses = static_cast<int64_t>(enc.cnf.clauses().size());
+  call->sat_decisions = solver.decisions();
   if (result == SatResult::kUnsat) return std::nullopt;
   std::vector<Fact> repair;
   for (size_t i = 0; i < db.facts().size(); ++i) {
@@ -83,6 +80,22 @@ std::optional<std::vector<Fact>> SatSolver::FindFalsifyingRepair(
       repair.push_back(db.facts()[i]);
     }
   }
+  return repair;
+}
+
+Result<SolverCall> SatSolver::Decide(EvalContext& ctx) const {
+  SolverCall call;
+  call.certain = !SearchFalsifyingRepair(ctx, query_, &call).has_value();
+  return call;
+}
+
+Result<std::optional<std::vector<Fact>>> SatSolver::FindFalsifyingRepair(
+    EvalContext& ctx) const {
+  SolverCall call;
+  std::optional<std::vector<Fact>> repair =
+      SearchFalsifyingRepair(ctx, query_, &call);
+  call.certain = !repair.has_value();
+  stats_.Record(call);
   return repair;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cq/query.h"
 #include "db/database.h"
+#include "solvers/solver.h"
 
 /// \file
 /// Decides CERTAINTY(q) by searching for a falsifying repair with a SAT
@@ -18,28 +19,30 @@
 /// db ∉ CERTAINTY(q). Sound and complete for *every* conjunctive query;
 /// worst-case exponential (as expected: Theorem 2 queries are
 /// coNP-complete), but far faster than enumerating repairs.
+///
+/// Encoding statistics (variables, clauses, DPLL decisions) are reported
+/// per call through `SolverCall` and accumulated per instance — there is
+/// no global mutable state, so one SatSolver can serve many threads.
 
 namespace cqa {
 
-class SatSolver {
+class SatSolver final : public Solver {
  public:
-  /// True iff every repair satisfies q.
-  static bool IsCertain(const Database& db, const Query& q);
+  explicit SatSolver(Query q) : Solver(std::move(q)) {}
 
-  /// A repair falsifying q, if any.
-  static std::optional<std::vector<Fact>> FindFalsifyingRepair(
-      const Database& db, const Query& q);
+  SolverKind kind() const override { return SolverKind::kSat; }
 
-  /// Encoding statistics from the last call (single-threaded use).
-  struct Stats {
-    int vars = 0;
-    int clauses = 0;
-    int64_t decisions = 0;
-  };
-  static const Stats& last_stats() { return stats_; }
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
 
- private:
-  static Stats stats_;
+  using Solver::FindFalsifyingRepair;
+  Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
+      EvalContext& ctx) const override;
+
+  /// The shared encode-and-solve core: a repair of ctx.db() falsifying
+  /// `q`, with the encoding metrics written to `call`. Used by this class
+  /// and as the universal fallback of Solver::FindFalsifyingRepair.
+  static std::optional<std::vector<Fact>> SearchFalsifyingRepair(
+      EvalContext& ctx, const Query& q, SolverCall* call);
 };
 
 }  // namespace cqa

@@ -124,8 +124,9 @@ Result<bool> SolveBase(const Database& db, const Query& q,
       }
     }
     // ⟦db_i⟧: partitions that are certain for q_i.
+    TwoAtomSolver two_atom(qi);
     for (auto& [vec, part] : partitions) {
-      Result<bool> certain = TwoAtomSolver::IsCertain(part, qi);
+      Result<bool> certain = two_atom.IsCertain(part);
       if (!certain.ok()) return certain.status();
       if (*certain) {
         for (const Fact& fact : part.facts()) {
@@ -204,8 +205,9 @@ Result<bool> Solve(const Database& db_in, const Query& q) {
 
 }  // namespace
 
-Result<bool> TerminalCycleSolver::IsCertain(const Database& db,
-                                            const Query& q) {
+namespace {
+
+Status ValidateTheorem3(const Query& q) {
   if (q.HasSelfJoin()) {
     return Status::Unsupported("Theorem 3 assumes no self-join");
   }
@@ -215,7 +217,21 @@ Result<bool> TerminalCycleSolver::IsCertain(const Database& db,
     return Status::InvalidArgument(
         "Theorem 3 needs all attack cycles weak and terminal");
   }
-  return Solve(db, q);
+  return Status::OK();
+}
+
+}  // namespace
+
+TerminalCycleSolver::TerminalCycleSolver(Query q)
+    : Solver(std::move(q)), validation_(ValidateTheorem3(query_)) {}
+
+Result<SolverCall> TerminalCycleSolver::Decide(EvalContext& ctx) const {
+  if (!validation_.ok()) return validation_;
+  Result<bool> certain = Solve(ctx.db(), query_);
+  if (!certain.ok()) return certain.status();
+  SolverCall call;
+  call.certain = *certain;
+  return call;
 }
 
 }  // namespace cqa

@@ -3,6 +3,7 @@
 
 #include "cq/query.h"
 #include "db/database.h"
+#include "solvers/solver.h"
 #include "util/status.h"
 
 /// \file
@@ -27,11 +28,22 @@
 
 namespace cqa {
 
-class TerminalCycleSolver {
+class TerminalCycleSolver final : public Solver {
  public:
+  /// The Theorem 3 precondition (self-join-free, all attack cycles weak
+  /// and terminal) is checked here, once — Decide only replays the
+  /// stored verdict, so a compiled plan pays no per-call attack-graph
+  /// recomputation.
+  explicit TerminalCycleSolver(Query q);
+
+  SolverKind kind() const override { return SolverKind::kTerminalCycles; }
+
   /// Decides db ∈ CERTAINTY(q). Fails unless all cycles of q's attack
   /// graph are weak and terminal (callers should classify first).
-  static Result<bool> IsCertain(const Database& db, const Query& q);
+  Result<SolverCall> Decide(EvalContext& ctx) const override;
+
+ private:
+  Status validation_;
 };
 
 }  // namespace cqa

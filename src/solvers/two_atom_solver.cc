@@ -13,8 +13,6 @@
 
 namespace cqa {
 
-TwoAtomSolver::Path TwoAtomSolver::last_path_ = TwoAtomSolver::Path::kSat;
-
 namespace {
 
 /// Conflict pairs: fact-id pairs {θ(F), θ(G)} over all embeddings θ.
@@ -95,7 +93,8 @@ bool MisPathNotCertain(const Database& db,
 
 }  // namespace
 
-Result<bool> TwoAtomSolver::IsCertain(const Database& db, const Query& q) {
+Result<bool> TwoAtomSolver::IsCertain(const Database& db) {
+  const Query& q = query_;
   if (q.size() != 2) {
     return Status::InvalidArgument("TwoAtomSolver needs exactly two atoms");
   }
@@ -106,7 +105,7 @@ Result<bool> TwoAtomSolver::IsCertain(const Database& db, const Query& q) {
   if (!graph.ok()) return graph.status();
 
   if (graph->IsAcyclic()) {
-    last_path_ = Path::kFoRewriting;
+    path_ = Path::kFoRewriting;
     Result<FoSolver> fo = FoSolver::Create(q);
     if (!fo.ok()) return fo.status();
     return fo->IsCertain(db);
@@ -114,14 +113,14 @@ Result<bool> TwoAtomSolver::IsCertain(const Database& db, const Query& q) {
   bool weak_cycle = graph->IsWeakAttack(0, 1) && graph->IsWeakAttack(1, 0);
   if (!weak_cycle) {
     // Strong cycle: coNP-complete (Theorem 2); decide by SAT search.
-    last_path_ = Path::kSat;
-    return SatSolver::IsCertain(db, q);
+    path_ = Path::kSat;
+    return SatSolver(q).IsCertain(db);
   }
 
   Database purified = Purify(db, q);
   if (purified.empty()) {
     // The empty repair falsifies the (nonempty) query.
-    last_path_ = Path::kMatching;
+    path_ = Path::kMatching;
     return false;
   }
   std::vector<std::pair<int, int>> pairs = ConflictPairs(purified, q);
@@ -136,10 +135,10 @@ Result<bool> TwoAtomSolver::IsCertain(const Database& db, const Query& q) {
   }
   bool not_certain;
   if (is_matching) {
-    last_path_ = Path::kMatching;
+    path_ = Path::kMatching;
     not_certain = MatchingPathNotCertain(purified, pairs);
   } else {
-    last_path_ = Path::kMis;
+    path_ = Path::kMis;
     not_certain = MisPathNotCertain(purified, pairs);
   }
   return !not_certain;

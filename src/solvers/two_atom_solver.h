@@ -29,22 +29,32 @@
 ///    so α(G_c) = ν(H) via Edmonds/blossom matching — polynomial;
 ///  * otherwise: exact branch-and-bound MIS on the claw-free G_c
 ///    (worst-case exponential; see DESIGN.md §2/§6).
+///
+/// Instance-based: each solver owns its query and remembers which
+/// decision path handled the last call on *this* instance — there is no
+/// static mutable state, so distinct instances can run concurrently.
 
 namespace cqa {
 
 class TwoAtomSolver {
  public:
-  /// Which decision path handled the last call (single-threaded use).
+  /// Which decision path handled the last IsCertain call on this
+  /// instance.
   enum class Path { kFoRewriting, kMatching, kMis, kSat };
 
-  /// Decides db ∈ CERTAINTY(q). `q` must have exactly two atoms and no
-  /// self-join.
-  static Result<bool> IsCertain(const Database& db, const Query& q);
+  /// `q` must have exactly two atoms and no self-join (validated at
+  /// IsCertain time).
+  explicit TwoAtomSolver(Query q) : query_(std::move(q)) {}
 
-  static Path last_path() { return last_path_; }
+  /// Decides db ∈ CERTAINTY(q).
+  Result<bool> IsCertain(const Database& db);
+
+  const Query& query() const { return query_; }
+  Path path() const { return path_; }
 
  private:
-  static Path last_path_;
+  Query query_;
+  Path path_ = Path::kSat;
 };
 
 }  // namespace cqa

@@ -1,6 +1,7 @@
 #include "util/interner.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace cqa {
 
@@ -11,17 +12,30 @@ Interner::Interner() {
 }
 
 SymbolId Interner::Intern(std::string_view s) {
-  auto it = ids_.find(std::string(s));
+  std::string key(s);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(strings_.size());
-  strings_.emplace_back(s);
+  strings_.emplace_back(std::move(key));
   ids_.emplace(strings_.back(), id);
   return id;
 }
 
 const std::string& Interner::Lookup(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id < strings_.size());
   return strings_[id];
+}
+
+size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_.size();
 }
 
 Interner& GlobalInterner() {

@@ -2,10 +2,11 @@
 #define CQA_UTIL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 /// \file
 /// Global string interning. Constants, variables and relation names are
@@ -19,8 +20,12 @@ using SymbolId = uint32_t;
 
 /// A bidirectional string <-> id table.
 ///
-/// Not thread-safe; the library uses one `Interner` per session (see
-/// `GlobalInterner()`), which is the common single-threaded analysis setup.
+/// Thread-safe: `Intern` takes an exclusive lock, `Lookup` a shared one.
+/// Strings live in a deque so the reference returned by `Lookup` stays
+/// valid across later `Intern` calls (deque growth never moves existing
+/// elements, and interned strings are immutable). The lock matters for
+/// the serving path: plan compilation interns fresh rewriting variables
+/// and canonical names concurrently from worker threads.
 class Interner {
  public:
   Interner();
@@ -32,11 +37,12 @@ class Interner {
   const std::string& Lookup(SymbolId id) const;
 
   /// Number of interned symbols (including the reserved empty symbol).
-  size_t size() const { return strings_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, SymbolId> ids_;
-  std::vector<std::string> strings_;
+  std::deque<std::string> strings_;
 };
 
 /// Process-wide interner used by parsers and printers.

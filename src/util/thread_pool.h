@@ -1,0 +1,56 @@
+#ifndef CQA_UTIL_THREAD_POOL_H_
+#define CQA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size worker pool for the batched serving front. Tasks
+/// are plain closures; `Wait` blocks until everything submitted so far
+/// has drained. Deliberately minimal — no futures, no work stealing —
+/// the serving path partitions work with an atomic cursor, so each
+/// worker is one long-running task.
+
+namespace cqa {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Joins all workers (after draining the queue).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The default worker count for a serving batch: the hardware
+/// concurrency, clamped to [1, 8] — certainty checks are CPU-bound and
+/// a "small worker pool" is the contract.
+int DefaultServingThreads();
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_THREAD_POOL_H_

@@ -12,20 +12,20 @@ namespace {
 
 TEST(AckSolverTest, RejectsNonAckQueries) {
   Database db;
-  EXPECT_FALSE(AckSolver::IsCertain(db, corpus::Q1()).ok());
-  EXPECT_FALSE(AckSolver::IsCertain(db, corpus::Ck(3)).ok());
+  EXPECT_FALSE(AckSolver(corpus::Q1()).IsCertain(db).ok());
+  EXPECT_FALSE(AckSolver(corpus::Ck(3)).IsCertain(db).ok());
 }
 
 TEST(AckSolverTest, EmptyDatabaseIsNotCertain) {
   Database db;
-  Result<bool> certain = AckSolver::IsCertain(db, corpus::Ack(3));
+  Result<bool> certain = AckSolver(corpus::Ack(3)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
 }
 
 TEST(AckSolverTest, Fig6IsNotCertain) {
   Result<bool> certain =
-      AckSolver::IsCertain(corpus::Fig6Database(), corpus::Ack(3));
+      AckSolver(corpus::Ack(3)).IsCertain(corpus::Fig6Database());
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
 }
@@ -38,10 +38,10 @@ TEST(AckSolverTest, ConsistentFullCycleIsCertain) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S3", {"a", "b", "c"}, 3)).ok());
-  Result<bool> certain = AckSolver::IsCertain(db, corpus::Ack(3));
+  Result<bool> certain = AckSolver(corpus::Ack(3)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
-  EXPECT_TRUE(OracleSolver::IsCertain(db, corpus::Ack(3)));
+  EXPECT_TRUE(*OracleSolver(corpus::Ack(3)).IsCertain(db));
 }
 
 TEST(AckSolverTest, UnencodedCycleIsFalsifiable) {
@@ -53,7 +53,7 @@ TEST(AckSolverTest, UnencodedCycleIsFalsifiable) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
   // No S3 fact at all: purification wipes everything; the empty repair
   // falsifies the query.
-  Result<bool> certain = AckSolver::IsCertain(db, corpus::Ack(3));
+  Result<bool> certain = AckSolver(corpus::Ack(3)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
 }
@@ -68,9 +68,9 @@ TEST(AckSolverTest, OverlappingLayerConstantsAreHandled) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"v", "v"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S3", {"v", "v", "v"}, 3)).ok());
   Query q = corpus::Ack(3);
-  Result<bool> certain = AckSolver::IsCertain(db, q);
+  Result<bool> certain = AckSolver(q).IsCertain(db);
   ASSERT_TRUE(certain.ok());
-  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q));
+  EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db));
   EXPECT_TRUE(*certain);  // Single repair containing the full cycle.
 
   // Now add a second, unencoded alternative for one block: the repair
@@ -78,9 +78,9 @@ TEST(AckSolverTest, OverlappingLayerConstantsAreHandled) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"v", "u"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"u", "v"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S3", {"v", "u", "v"}, 3)).ok());
-  Result<bool> certain2 = AckSolver::IsCertain(db, q);
+  Result<bool> certain2 = AckSolver(q).IsCertain(db);
   ASSERT_TRUE(certain2.ok());
-  EXPECT_EQ(*certain2, OracleSolver::IsCertain(db, q));
+  EXPECT_EQ(*certain2, *OracleSolver(q).IsCertain(db));
 }
 
 /// Random AC(k) instances vs the oracle, k = 2, 3, 4.
@@ -98,9 +98,9 @@ TEST_P(AckVsOracle, AgreesWithOracle) {
   Database db = RandomAckDatabase(options);
   Query q = corpus::Ack(k);
   if (db.RepairCount() > BigInt(1 << 16)) return;
-  Result<bool> certain = AckSolver::IsCertain(db, q);
+  Result<bool> certain = AckSolver(q).IsCertain(db);
   ASSERT_TRUE(certain.ok());
-  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+  EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db))
       << "k=" << k << " seed=" << seed << "\n"
       << db.ToString();
 }
@@ -123,12 +123,12 @@ TEST_P(AckWitness, WitnessFalsifiesAndIsARepair) {
   Database db = RandomAckDatabase(options);
   Query q = corpus::Ack(3);
   Result<std::optional<std::vector<Fact>>> witness =
-      AckSolver::FindFalsifyingRepair(db, q);
+      AckSolver(q).FindFalsifyingRepair(db);
   ASSERT_TRUE(witness.ok());
   if (!witness->has_value()) {
     // Claimed certain; cross-check on small instances.
     if (db.RepairCount() <= BigInt(1 << 16)) {
-      EXPECT_TRUE(OracleSolver::IsCertain(db, q)) << db.ToString();
+      EXPECT_TRUE(*OracleSolver(q).IsCertain(db)) << db.ToString();
     }
     return;
   }

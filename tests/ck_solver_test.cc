@@ -11,8 +11,8 @@ namespace {
 
 TEST(CkSolverTest, RejectsNonCkQueries) {
   Database db;
-  EXPECT_FALSE(CkSolver::IsCertain(db, corpus::Ack(3)).ok());
-  EXPECT_FALSE(CkSolver::IsCertain(db, corpus::Q0()).ok());
+  EXPECT_FALSE(CkSolver(corpus::Ack(3)).IsCertain(db).ok());
+  EXPECT_FALSE(CkSolver(corpus::Q0()).IsCertain(db).ok());
 }
 
 TEST(CkSolverTest, SingleTriangleIsCertain) {
@@ -20,10 +20,10 @@ TEST(CkSolverTest, SingleTriangleIsCertain) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
-  Result<bool> certain = CkSolver::IsCertain(db, corpus::Ck(3));
+  Result<bool> certain = CkSolver(corpus::Ck(3)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
-  EXPECT_TRUE(OracleSolver::IsCertain(db, corpus::Ck(3)));
+  EXPECT_TRUE(*OracleSolver(corpus::Ck(3)).IsCertain(db));
 }
 
 TEST(CkSolverTest, SixCycleIsNotCertain) {
@@ -40,9 +40,9 @@ TEST(CkSolverTest, SixCycleIsNotCertain) {
   // must lie on *some* 3-cycle for relevance.
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b2", "c2"}, 1)).ok());
-  Result<bool> certain = CkSolver::IsCertain(db, corpus::Ck(3));
+  Result<bool> certain = CkSolver(corpus::Ck(3)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
-  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, corpus::Ck(3)));
+  EXPECT_EQ(*certain, *OracleSolver(corpus::Ck(3)).IsCertain(db));
   EXPECT_FALSE(*certain);
 }
 
@@ -60,9 +60,9 @@ TEST_P(CkVsOracle, AgreesWithOracle) {
   Database db = RandomCkDatabase(options);
   Query q = corpus::Ck(k);
   if (db.RepairCount() > BigInt(1 << 16)) return;
-  Result<bool> certain = CkSolver::IsCertain(db, q);
+  Result<bool> certain = CkSolver(q).IsCertain(db);
   ASSERT_TRUE(certain.ok());
-  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+  EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db))
       << "k=" << k << " seed=" << seed << "\n"
       << db.ToString();
 }
@@ -85,8 +85,8 @@ TEST_P(Lemma9, GenericReductionAgreesWithSpecialized) {
     options.seed = GetParam();
     Database db = RandomCkDatabase(options);
     Query q = corpus::Ck(k);
-    Result<bool> fast = CkSolver::IsCertain(db, q);
-    Result<bool> slow = CkSolver::IsCertainViaLemma9(db, q);
+    Result<bool> fast = CkSolver(q).IsCertain(db);
+    Result<bool> slow = CkSolver(q).IsCertainViaLemma9(db);
     ASSERT_TRUE(fast.ok());
     ASSERT_TRUE(slow.ok());
     EXPECT_EQ(*fast, *slow) << "k=" << k << " seed=" << GetParam() << "\n"
@@ -110,14 +110,14 @@ TEST_P(C2ThreeWay, SolversAgree) {
   options.seed = GetParam();
   Database db = RandomCkDatabase(options);
   Query q = corpus::Ck(2);
-  Result<bool> ck = CkSolver::IsCertain(db, q);
-  Result<bool> two_atom = TwoAtomSolver::IsCertain(db, q);
+  Result<bool> ck = CkSolver(q).IsCertain(db);
+  Result<bool> two_atom = TwoAtomSolver(q).IsCertain(db);
   ASSERT_TRUE(ck.ok());
   ASSERT_TRUE(two_atom.ok());
   EXPECT_EQ(*ck, *two_atom) << "seed=" << GetParam() << "\n"
                             << db.ToString();
   if (db.RepairCount() <= BigInt(1 << 16)) {
-    EXPECT_EQ(*ck, OracleSolver::IsCertain(db, q));
+    EXPECT_EQ(*ck, *OracleSolver(q).IsCertain(db));
   }
 }
 

@@ -87,12 +87,12 @@ TEST_P(ReductionEquivalence, PreservesCertainty) {
     if (db0.RepairCount() > BigInt(1024)) continue;
     Result<Database> db = red->Transform(db0);
     ASSERT_TRUE(db.ok()) << name;
-    bool lhs = OracleSolver::IsCertain(db0, q0);
+    bool lhs = *OracleSolver(q0).IsCertain(db0);
     // The transformed instance can be larger; use SAT when the repair
     // count explodes (SAT is itself oracle-validated elsewhere).
     bool rhs = db->RepairCount() <= BigInt(1 << 14)
-                   ? OracleSolver::IsCertain(*db, q)
-                   : SatSolver::IsCertain(*db, q);
+                   ? *OracleSolver(q).IsCertain(*db)
+                   : *SatSolver(q).IsCertain(*db);
     EXPECT_EQ(lhs, rhs) << name << " seed=" << GetParam() << "\ndb0:\n"
                         << db0.ToString() << "db:\n"
                         << db->ToString();
@@ -119,10 +119,10 @@ TEST_P(SelfReduction, Q0ToQ0PreservesCertainty) {
   if (db0.RepairCount() > BigInt(1024)) return;
   Result<Database> db = red->Transform(db0);
   ASSERT_TRUE(db.ok());
-  bool lhs = OracleSolver::IsCertain(db0, q0);
+  bool lhs = *OracleSolver(q0).IsCertain(db0);
   bool rhs = db->RepairCount() <= BigInt(1 << 14)
-                 ? OracleSolver::IsCertain(*db, q0)
-                 : SatSolver::IsCertain(*db, q0);
+                 ? *OracleSolver(q0).IsCertain(*db)
+                 : *SatSolver(q0).IsCertain(*db);
   EXPECT_EQ(lhs, rhs) << "seed=" << GetParam() << "\n" << db0.ToString();
 }
 
@@ -148,10 +148,10 @@ TEST_P(ReductionEquivalenceDense, PreservesCertainty) {
   if (db0.RepairCount() > BigInt(2048)) return;
   Result<Database> db = red->Transform(db0);
   ASSERT_TRUE(db.ok());
-  bool lhs = OracleSolver::IsCertain(db0, q0);
+  bool lhs = *OracleSolver(q0).IsCertain(db0);
   bool rhs = db->RepairCount() <= BigInt(1 << 14)
-                 ? OracleSolver::IsCertain(*db, q1)
-                 : SatSolver::IsCertain(*db, q1);
+                 ? *OracleSolver(q1).IsCertain(*db)
+                 : *SatSolver(q1).IsCertain(*db);
   EXPECT_EQ(lhs, rhs) << "seed=" << GetParam() << "\ndb0:\n"
                       << db0.ToString();
 }

@@ -14,7 +14,7 @@ TEST(EngineTest, DispatchesFoQueries) {
       Engine::Solve(corpus::ConferenceDatabase(), corpus::ConferenceQuery());
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->certain);
-  EXPECT_EQ(outcome->solver, "fo-rewriting");
+  EXPECT_EQ(outcome->solver, SolverKind::kFoRewriting);
   EXPECT_EQ(outcome->complexity, ComplexityClass::kFirstOrder);
 }
 
@@ -24,14 +24,14 @@ TEST(EngineTest, DispatchesTerminalCycles) {
   Database db = RandomBlockDatabase(corpus::Fig4Query(), options);
   Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Fig4Query());
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->solver, "terminal-cycles");
+  EXPECT_EQ(outcome->solver, SolverKind::kTerminalCycles);
 }
 
 TEST(EngineTest, DispatchesAck) {
   Result<SolveOutcome> outcome =
       Engine::Solve(corpus::Fig6Database(), corpus::Ack(3));
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->solver, "ack");
+  EXPECT_EQ(outcome->solver, SolverKind::kAck);
   EXPECT_FALSE(outcome->certain);
 }
 
@@ -42,7 +42,7 @@ TEST(EngineTest, DispatchesCk) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
   Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Ck(3));
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->solver, "ck");
+  EXPECT_EQ(outcome->solver, SolverKind::kCk);
   EXPECT_TRUE(outcome->certain);
 }
 
@@ -52,7 +52,7 @@ TEST(EngineTest, DispatchesConpToSat) {
   Database db = RandomBlockDatabase(corpus::Q0(), options);
   Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Q0());
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->solver, "sat");
+  EXPECT_EQ(outcome->solver, SolverKind::kSat);
   EXPECT_EQ(outcome->complexity, ComplexityClass::kConpComplete);
 }
 
@@ -64,7 +64,7 @@ TEST(EngineTest, SelfJoinFallsBackToSat) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "a"}, 1)).ok());
   Result<SolveOutcome> outcome = Engine::Solve(db, q);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_EQ(outcome->solver, "sat");
+  EXPECT_EQ(outcome->solver, SolverKind::kSat);
   EXPECT_TRUE(outcome->certain);
 }
 
@@ -82,7 +82,7 @@ TEST_P(EngineVsOracle, AllCorpusQueriesAgree) {
     if (db.RepairCount() > BigInt(4096)) continue;
     Result<SolveOutcome> outcome = Engine::Solve(db, q);
     ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.status();
-    EXPECT_EQ(outcome->certain, OracleSolver::IsCertain(db, q))
+    EXPECT_EQ(outcome->certain, *OracleSolver(q).IsCertain(db))
         << name << " via " << outcome->solver << " seed=" << GetParam()
         << "\n"
         << db.ToString();
@@ -152,6 +152,27 @@ TEST(CertainAnswersTest, MultipleFreeVariables) {
   ASSERT_EQ(certain->size(), 1u);
   EXPECT_EQ((*certain)[0][0], InternSymbol("KDD"));
   EXPECT_EQ((*certain)[0][1], InternSymbol("Rome"));
+}
+
+TEST(CertainAnswersTest, EmptyFreeVarsHasBooleanSemantics) {
+  // No free variables: the single empty row is a certain answer iff
+  // db ∈ CERTAINTY(q) — must match the Boolean Solve verdict.
+  Database db = corpus::ConferenceDatabase();
+  for (const char* text :
+       {"C(x, y | c), R(x | 'A')",        // certain: PODS is A-ranked
+        "C(x, y | 'Rome'), R(x | 'A')"})  // not certain: city uncertain
+  {
+    Query q = MustParseQuery(text);
+    auto rows = Engine::CertainAnswers(db, q, {});
+    ASSERT_TRUE(rows.ok()) << text << ": " << rows.status();
+    Result<SolveOutcome> solved = Engine::Solve(db, q);
+    ASSERT_TRUE(solved.ok());
+    EXPECT_EQ(!rows->empty(), solved->certain) << text;
+    if (!rows->empty()) {
+      ASSERT_EQ(rows->size(), 1u);
+      EXPECT_TRUE((*rows)[0].empty());
+    }
+  }
 }
 
 TEST(CertainAnswersTest, RejectsFreeVariableNotInQuery) {

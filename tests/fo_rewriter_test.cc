@@ -90,7 +90,7 @@ TEST(RewriterTest, ConferenceQueryRewriting) {
   // the Fig. 1 database (city of PODS 2016 is uncertain).
   Result<FoSolver> solver = FoSolver::Create(corpus::ConferenceQuery());
   ASSERT_TRUE(solver.ok());
-  EXPECT_FALSE(solver->IsCertain(corpus::ConferenceDatabase()));
+  EXPECT_FALSE(*solver->IsCertain(corpus::ConferenceDatabase()));
 }
 
 TEST(RewriterTest, CertainWhenBlocksAgree) {
@@ -101,8 +101,8 @@ TEST(RewriterTest, CertainWhenBlocksAgree) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
   Result<FoSolver> solver = FoSolver::Create(corpus::ConferenceQuery());
   ASSERT_TRUE(solver.ok());
-  EXPECT_TRUE(solver->IsCertain(db));
-  EXPECT_TRUE(OracleSolver::IsCertain(db, corpus::ConferenceQuery()));
+  EXPECT_TRUE(*solver->IsCertain(db));
+  EXPECT_TRUE(*OracleSolver(corpus::ConferenceQuery()).IsCertain(db));
 }
 
 /// Oracle cross-validation of the rewriting on randomized databases.
@@ -121,7 +121,7 @@ TEST_P(FoVsOracle, RewritingMatchesOracle) {
   options.domain_size = 3;
   Database db = RandomBlockDatabase(q, options);
   if (db.RepairCount() > BigInt(4096)) return;
-  EXPECT_EQ(solver->IsCertain(db), OracleSolver::IsCertain(db, q))
+  EXPECT_EQ(*solver->IsCertain(db), *OracleSolver(q).IsCertain(db))
       << text << " seed=" << seed << "\n"
       << db.ToString();
 }
@@ -163,7 +163,7 @@ TEST_P(FoRandomQuery, RewritingMatchesOracleOnRandomQueries) {
     options.domain_size = 3;
     Database db = RandomBlockDatabase(q, options);
     if (db.RepairCount() > BigInt(4096)) continue;
-    EXPECT_EQ(solver->IsCertain(db), OracleSolver::IsCertain(db, q))
+    EXPECT_EQ(*solver->IsCertain(db), *OracleSolver(q).IsCertain(db))
         << q.ToString() << "\n"
         << db.ToString();
   }

@@ -48,8 +48,8 @@ TEST_P(OpenClassVsOracle, SatFallbackIsCorrectOnWitness) {
   if (db.RepairCount() > BigInt(4096)) return;
   Result<SolveOutcome> out = Engine::Solve(db, q);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->solver, "sat");
-  EXPECT_EQ(out->certain, OracleSolver::IsCertain(db, q))
+  EXPECT_EQ(out->solver, SolverKind::kSat);
+  EXPECT_EQ(out->certain, *OracleSolver(q).IsCertain(db))
       << "seed=" << GetParam() << "\n"
       << db.ToString();
 }
@@ -80,7 +80,7 @@ TEST(OpenClassTest, RandomOpenQueriesAgreeWithOracle) {
       options.domain_size = 3;
       Database db = RandomBlockDatabase(q, options);
       if (db.RepairCount() > BigInt(4096)) continue;
-      EXPECT_EQ(SatSolver::IsCertain(db, q), OracleSolver::IsCertain(db, q))
+      EXPECT_EQ(*SatSolver(q).IsCertain(db), *OracleSolver(q).IsCertain(db))
           << q.ToString() << "\n"
           << db.ToString();
     }

@@ -28,14 +28,12 @@ TEST(PaperE1, ConferenceDatabaseHasFourRepairs) {
 
 TEST(PaperE1, QueryTrueInExactlyThreeRepairs) {
   // "The query ... is true in only three repairs."
-  BigInt count = OracleSolver::CountSatisfyingRepairs(
-      corpus::ConferenceDatabase(), corpus::ConferenceQuery());
+  BigInt count = OracleSolver(corpus::ConferenceQuery()).CountSatisfyingRepairs(corpus::ConferenceDatabase());
   EXPECT_EQ(count.ToInt64(), 3);
 }
 
 TEST(PaperE1, QueryIsNotCertain) {
-  EXPECT_FALSE(OracleSolver::IsCertain(corpus::ConferenceDatabase(),
-                                       corpus::ConferenceQuery()));
+  EXPECT_FALSE(*OracleSolver(corpus::ConferenceQuery()).IsCertain(corpus::ConferenceDatabase()));
 }
 
 // ---------------------------------------------------------------------------
@@ -166,12 +164,12 @@ TEST(PaperE4, Fig6DatabaseIsNotCertainByOracle) {
   // Fig. 7 exhibits two falsifying repairs, so the database is not in
   // CERTAINTY(AC(3)).
   EXPECT_FALSE(
-      OracleSolver::IsCertain(corpus::Fig6Database(), corpus::Ack(3)));
+      *OracleSolver(corpus::Ack(3)).IsCertain(corpus::Fig6Database()));
 }
 
 TEST(PaperE4, Fig6DatabaseIsNotCertainByTheorem4Solver) {
   Result<bool> certain =
-      AckSolver::IsCertain(corpus::Fig6Database(), corpus::Ack(3));
+      AckSolver(corpus::Ack(3)).IsCertain(corpus::Fig6Database());
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
 }
@@ -180,7 +178,7 @@ TEST(PaperE4, Fig6FalsifyingRepairIsVerifiable) {
   Database db = corpus::Fig6Database();
   Query q = corpus::Ack(3);
   Result<std::optional<std::vector<Fact>>> witness =
-      AckSolver::FindFalsifyingRepair(db, q);
+      AckSolver(q).FindFalsifyingRepair(db);
   ASSERT_TRUE(witness.ok());
   ASSERT_TRUE(witness->has_value());
   // The witness must be a repair: one fact per block.
@@ -189,7 +187,7 @@ TEST(PaperE4, Fig6FalsifyingRepairIsVerifiable) {
   Database as_db;
   for (const Fact& f : **witness) ASSERT_TRUE(as_db.AddFact(f).ok());
   EXPECT_TRUE(as_db.IsConsistent());
-  EXPECT_FALSE(OracleSolver::IsCertain(as_db, q));
+  EXPECT_FALSE(*OracleSolver(q).IsCertain(as_db));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "gen/query_gen.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
+#include "solvers/ack_solver.h"
+#include "solvers/ck_solver.h"
+#include "solvers/engine.h"
+#include "solvers/fo_solver.h"
+#include "solvers/oracle_solver.h"
+#include "solvers/sat_solver.h"
+#include "solvers/terminal_cycle_solver.h"
+
+namespace cqa {
+namespace {
+
+std::shared_ptr<const QueryPlan> MustCompile(const Query& q) {
+  Result<std::shared_ptr<const QueryPlan>> plan = QueryPlan::Compile(q);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+TEST(QueryPlanTest, CompileTimeFactsPerClass) {
+  auto fo = MustCompile(corpus::ConferenceQuery());
+  EXPECT_EQ(fo->solver_kind(), SolverKind::kFoRewriting);
+  EXPECT_EQ(fo->complexity(), ComplexityClass::kFirstOrder);
+  ASSERT_TRUE(fo->classification().has_value());
+  EXPECT_TRUE(fo->classification()->fo_expressible);
+  EXPECT_NE(fo->fo_solver(), nullptr);
+  EXPECT_NE(fo->fo_solver()->rewriting(), nullptr);
+
+  auto tc = MustCompile(corpus::Fig4Query());
+  EXPECT_EQ(tc->solver_kind(), SolverKind::kTerminalCycles);
+  EXPECT_EQ(tc->complexity(), ComplexityClass::kPtimeTerminalCycles);
+
+  auto ack = MustCompile(corpus::Ack(3));
+  EXPECT_EQ(ack->solver_kind(), SolverKind::kAck);
+
+  auto ck = MustCompile(corpus::Ck(3));
+  EXPECT_EQ(ck->solver_kind(), SolverKind::kCk);
+
+  auto conp = MustCompile(corpus::Q1());
+  EXPECT_EQ(conp->solver_kind(), SolverKind::kSat);
+  EXPECT_EQ(conp->complexity(), ComplexityClass::kConpComplete);
+
+  // Self-join: unsupported fragment, SAT fallback, no classification.
+  Query self_join;
+  self_join.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  self_join.AddAtom(Atom::Make("R", {"y", "x"}, 1));
+  auto sj = MustCompile(self_join);
+  EXPECT_EQ(sj->solver_kind(), SolverKind::kSat);
+  EXPECT_FALSE(sj->classification().has_value());
+}
+
+TEST(QueryPlanTest, SolveAgreesWithSolverAndSurfacesSatStats) {
+  BlockDbGenOptions options;
+  options.seed = 5;
+  Database db = RandomBlockDatabase(corpus::Q0(), options);
+  auto plan = MustCompile(corpus::Q0());
+  Result<SolveOutcome> out = plan->Solve(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->solver, SolverKind::kSat);
+  EXPECT_GT(out->sat_vars, 0);
+  EXPECT_GT(out->sat_clauses, 0);
+  // Per-instance stats accumulated on the plan's solver.
+  EXPECT_EQ(plan->solver()->stats().calls, 1);
+  EXPECT_EQ(plan->solver()->stats().sat_vars, out->sat_vars);
+}
+
+/// The acceptance differential: Engine::Solve through compiled plans
+/// must agree with the direct per-class dispatch (the pre-refactor
+/// behavior: classify, then run the matching solver on the *original*
+/// query) on the full randomized corpus of matcher_property_test, and
+/// with the repair-enumeration oracle where feasible.
+class PlanDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+Result<bool> DirectDispatch(const Database& db, const Query& q) {
+  Result<Classification> cls = ClassifyQuery(q);
+  if (!cls.ok()) {
+    if (cls.status().code() != StatusCode::kUnsupported) {
+      return cls.status();
+    }
+    return SatSolver(q).IsCertain(db);
+  }
+  switch (cls->complexity) {
+    case ComplexityClass::kFirstOrder: {
+      Result<FoSolver> fo = FoSolver::Create(q);
+      if (!fo.ok()) return fo.status();
+      return fo->IsCertain(db);
+    }
+    case ComplexityClass::kPtimeTerminalCycles:
+      return TerminalCycleSolver(q).IsCertain(db);
+    case ComplexityClass::kPtimeAck:
+      return AckSolver(q).IsCertain(db);
+    case ComplexityClass::kPtimeCk:
+      return CkSolver(q).IsCertain(db);
+    case ComplexityClass::kConpComplete:
+    case ComplexityClass::kOpenConjecturedPtime:
+      return SatSolver(q).IsCertain(db);
+  }
+  return Status::Internal("unreachable");
+}
+
+void ExpectPlanAgrees(const Database& db, const Query& q,
+                      const std::string& context) {
+  Result<SolveOutcome> via_plan = Engine::Solve(db, q);
+  ASSERT_TRUE(via_plan.ok()) << context << ": " << via_plan.status();
+  Result<bool> direct = DirectDispatch(db, q);
+  ASSERT_TRUE(direct.ok()) << context << ": " << direct.status();
+  ASSERT_EQ(via_plan->certain, *direct)
+      << context << "\nquery: " << q.ToString() << "\ndb:\n"
+      << db.ToString();
+  if (db.RepairCount() <= BigInt(4096)) {
+    EXPECT_EQ(via_plan->certain, *OracleSolver(q).IsCertain(db))
+        << context << "\nquery: " << q.ToString() << "\ndb:\n"
+        << db.ToString();
+  }
+}
+
+TEST_P(PlanDifferential, RandomQueriesUniformDb) {
+  uint64_t seed = GetParam();
+  QueryGenOptions qopts;
+  qopts.seed = seed;
+  qopts.num_atoms = 2 + static_cast<int>(seed % 4);
+  qopts.max_arity = 3 + static_cast<int>(seed % 2);
+  qopts.constant_percent = static_cast<int>(seed % 25);
+  Query q = RandomAcyclicQuery(qopts);
+  DbGenOptions dopts;
+  dopts.seed = seed * 31 + 7;
+  dopts.domain_size = 3 + static_cast<int>(seed % 4);
+  dopts.facts_per_relation = 6 + static_cast<int>(seed % 8);
+  ExpectPlanAgrees(RandomDatabase(q, dopts), q, "uniform");
+}
+
+TEST_P(PlanDifferential, RandomQueriesBlockDb) {
+  uint64_t seed = GetParam();
+  QueryGenOptions qopts;
+  qopts.seed = seed * 13 + 1;
+  qopts.num_atoms = 2 + static_cast<int>(seed % 3);
+  Query q = RandomAcyclicQuery(qopts);
+  BlockDbGenOptions bopts;
+  bopts.seed = seed * 17 + 3;
+  bopts.blocks_per_relation = 3 + static_cast<int>(seed % 3);
+  bopts.max_block_size = 2 + static_cast<int>(seed % 2);
+  bopts.domain_size = 3 + static_cast<int>(seed % 3);
+  ExpectPlanAgrees(RandomBlockDatabase(q, bopts), q, "block");
+}
+
+TEST_P(PlanDifferential, CorpusQueries) {
+  for (const auto& [name, q] : corpus::AllNamedQueries()) {
+    BlockDbGenOptions bopts;
+    bopts.seed = GetParam() * 7 + 5;
+    bopts.blocks_per_relation = 3;
+    bopts.max_block_size = 2;
+    bopts.domain_size = 4;
+    ExpectPlanAgrees(RandomBlockDatabase(q, bopts), q, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanDifferential,
+                         ::testing::Range(uint64_t{1}, uint64_t{120}));
+
+TEST(PlanCacheTest, AlphaEquivalentQueriesShareOnePlan) {
+  PlanCache cache;
+  Query a = MustParseQuery("R(x | y), S(y | z)");
+  Query b = MustParseQuery("S(q | w), R(p | q)");
+  auto plan_a = cache.GetOrCompile(a);
+  auto plan_b = cache.GetOrCompile(b);
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  EXPECT_EQ(plan_a->get(), plan_b->get());
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.Lookup(b).get(), plan_a->get());
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.num_shards = 1;
+  PlanCache cache(options);
+  Query a = MustParseQuery("A(x | y)");
+  Query b = MustParseQuery("B(x | y)");
+  Query c = MustParseQuery("C0(x | y)");
+  ASSERT_TRUE(cache.GetOrCompile(a).ok());
+  ASSERT_TRUE(cache.GetOrCompile(b).ok());
+  ASSERT_TRUE(cache.GetOrCompile(a).ok());  // touch a: b is now LRU
+  ASSERT_TRUE(cache.GetOrCompile(c).ok());  // evicts b
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(a), nullptr);
+}
+
+TEST(PlanCacheTest, UnsupportedFragmentCompilesToCachedSatPlan) {
+  PlanCache cache;
+  // Self-join: outside the dichotomy's fragment, compiled to the exact
+  // SAT fallback — and cached like any other plan (the fallback decision
+  // is itself compile-time knowledge).
+  Query q;
+  q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
+  q.AddAtom(Atom::Make("R", {"y", "x"}, 1));
+  auto plan = cache.GetOrCompile(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->solver_kind(), SolverKind::kSat);
+  Query renamed;
+  renamed.AddAtom(Atom::Make("R", {"b", "a"}, 1));
+  renamed.AddAtom(Atom::Make("R", {"a", "b"}, 1));
+  auto again = cache.GetOrCompile(renamed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(plan->get(), again->get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SolverRegistryTest, BuildsEveryKindAndRoundTripsNames) {
+  for (SolverKind kind : SolverRegistry::Global().kinds()) {
+    EXPECT_EQ(SolverKindFromString(ToString(kind)), kind);
+  }
+  Result<std::unique_ptr<Solver>> sat =
+      SolverRegistry::Global().Create(SolverKind::kSat, corpus::Q0());
+  ASSERT_TRUE(sat.ok());
+  EXPECT_EQ((*sat)->kind(), SolverKind::kSat);
+  EXPECT_EQ((*sat)->name(), "sat");
+  // The FO factory validates at compile time: cyclic attack graph fails.
+  EXPECT_FALSE(SolverRegistry::Global()
+                   .Create(SolverKind::kFoRewriting, corpus::Q1())
+                   .ok());
+  Result<std::unique_ptr<Solver>> fo = SolverRegistry::Global().Create(
+      SolverKind::kFoRewriting, corpus::ConferenceQuery());
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(
+      *(*fo)->IsCertain(corpus::ConferenceDatabase()));
+}
+
+TEST(QueryPlanTest, ParameterizedPlanMatchesGroundSolve) {
+  Database db = corpus::ConferenceDatabase();
+  ASSERT_TRUE(db.AddFact(Fact::Make("C", {"ICDT", "2018", "Lyon"}, 2)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
+  Query q = MustParseQuery("C(x, y | c), R(x | r)");
+  std::vector<SymbolId> free_vars = {InternSymbol("c"), InternSymbol("r")};
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      QueryPlan::Compile(q, free_vars);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->parameterized());
+  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  ASSERT_TRUE(possible.ok());
+  ASSERT_FALSE(possible->empty());
+  EvalContext ctx(db);
+  for (const auto& row : *possible) {
+    Result<bool> via_plan = (*plan)->IsCertainRow(ctx, row);
+    ASSERT_TRUE(via_plan.ok());
+    Query ground = q;
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      ground = ground.Substitute(free_vars[i], row[i]);
+    }
+    Result<SolveOutcome> solved = Engine::Solve(db, ground);
+    ASSERT_TRUE(solved.ok());
+    EXPECT_EQ(*via_plan, solved->certain);
+  }
+}
+
+}  // namespace
+}  // namespace cqa

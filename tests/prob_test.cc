@@ -189,7 +189,7 @@ TEST_P(Proposition1, BridgeHolds) {
     }
     if (bid.database().RepairCount() > BigInt(512)) continue;
     Database restricted = bid.TotalBlocksRestriction();
-    bool lhs = OracleSolver::IsCertain(restricted, q);
+    bool lhs = *OracleSolver(q).IsCertain(restricted);
     bool rhs = WorldsOracle::Probability(bid, q).is_one();
     EXPECT_EQ(lhs, rhs) << q.ToString() << " seed=" << GetParam() << "\n"
                         << db.ToString();

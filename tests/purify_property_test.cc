@@ -27,8 +27,8 @@ TEST_P(PurifyProperty, PreservesCertaintyOnRandomQueries) {
   if (db.RepairCount() > BigInt(4096)) return;
   Database pure = Purify(db, q);
   EXPECT_TRUE(IsPurified(pure, q)) << q.ToString();
-  EXPECT_EQ(OracleSolver::IsCertain(db, q),
-            OracleSolver::IsCertain(pure, q))
+  EXPECT_EQ(*OracleSolver(q).IsCertain(db),
+            *OracleSolver(q).IsCertain(pure))
       << q.ToString() << "\n"
       << db.ToString();
   // Idempotence.
@@ -45,8 +45,8 @@ TEST_P(PurifyProperty, PreservesCertaintyOnCorpus) {
     Database db = RandomBlockDatabase(q, options);
     if (db.RepairCount() > BigInt(4096)) continue;
     Database pure = Purify(db, q);
-    EXPECT_EQ(OracleSolver::IsCertain(db, q),
-              OracleSolver::IsCertain(pure, q))
+    EXPECT_EQ(*OracleSolver(q).IsCertain(db),
+              *OracleSolver(q).IsCertain(pure))
         << name << "\n"
         << db.ToString();
   }

@@ -102,30 +102,46 @@ TEST(DpllTest, RandomThreeSatAgreesWithBruteForce) {
 }
 
 TEST(SatSolverTest, ConferenceExample) {
-  EXPECT_FALSE(SatSolver::IsCertain(corpus::ConferenceDatabase(),
-                                    corpus::ConferenceQuery()));
+  SatSolver solver(corpus::ConferenceQuery());
+  EXPECT_FALSE(*solver.IsCertain(corpus::ConferenceDatabase()));
 }
 
 TEST(SatSolverTest, EmptyQueryIsAlwaysCertain) {
   Database db = corpus::ConferenceDatabase();
-  EXPECT_TRUE(SatSolver::IsCertain(db, Query()));
+  EXPECT_TRUE(*SatSolver(Query()).IsCertain(db));
 }
 
 TEST(SatSolverTest, EmptyDatabaseFalsifiesNonemptyQuery) {
   Database db;
-  EXPECT_FALSE(SatSolver::IsCertain(db, corpus::PathQuery2()));
+  EXPECT_FALSE(*SatSolver(corpus::PathQuery2()).IsCertain(db));
 }
 
 TEST(SatSolverTest, FalsifyingRepairIsARealRepair) {
   Database db = corpus::ConferenceDatabase();
   Query q = corpus::ConferenceQuery();
-  auto repair = SatSolver::FindFalsifyingRepair(db, q);
+  auto repair = *SatSolver(q).FindFalsifyingRepair(db);
   ASSERT_TRUE(repair.has_value());
   EXPECT_EQ(repair->size(), db.blocks().size());
   Database as_db;
   for (const Fact& f : *repair) ASSERT_TRUE(as_db.AddFact(f).ok());
   EXPECT_TRUE(as_db.IsConsistent());
   EXPECT_FALSE(Satisfies(as_db, q));
+}
+
+TEST(SatSolverTest, PerInstanceStatsAccumulate) {
+  // The old global SatSolver::stats_ is gone; encoding metrics are
+  // per-instance and per-call.
+  Database db = corpus::ConferenceDatabase();
+  SatSolver solver(corpus::ConferenceQuery());
+  EXPECT_EQ(solver.stats().calls, 0);
+  ASSERT_FALSE(*solver.IsCertain(db));
+  SolverStats::Snapshot after_one = solver.stats();
+  EXPECT_EQ(after_one.calls, 1);
+  EXPECT_GT(after_one.sat_vars, 0);
+  EXPECT_GT(after_one.sat_clauses, 0);
+  ASSERT_FALSE(*solver.IsCertain(db));
+  EXPECT_EQ(solver.stats().calls, 2);
+  EXPECT_EQ(solver.stats().sat_vars, 2 * after_one.sat_vars);
 }
 
 /// SAT must agree with the repair-enumeration oracle on every corpus
@@ -142,7 +158,7 @@ TEST_P(SatVsOracle, AgreesOnAllCorpusQueries) {
     options.domain_size = 3;
     Database db = RandomBlockDatabase(q, options);
     if (db.RepairCount() > BigInt(4096)) continue;
-    EXPECT_EQ(SatSolver::IsCertain(db, q), OracleSolver::IsCertain(db, q))
+    EXPECT_EQ(*SatSolver(q).IsCertain(db), *OracleSolver(q).IsCertain(db))
         << name << " seed=" << GetParam() << "\n"
         << db.ToString();
   }

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cq/corpus.h"
+#include "cq/parser.h"
+#include "gen/db_gen.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
+#include "solvers/engine.h"
+
+namespace cqa {
+namespace {
+
+/// A serving workload: corpus queries plus α-variants (renamed copies),
+/// repeated — the shape the plan cache is built for.
+std::vector<Query> ServingWorkload(int repetitions) {
+  // Note: Fig4Query's R1..R6 clash with Ack's R1 signatures, so the
+  // weak-terminal-cycles representative uses fresh relation names.
+  std::vector<Query> base = {
+      corpus::ConferenceQuery(),
+      MustParseQuery("C(xx, yy | 'Rome'), R(xx | 'A')"),  // α-variant
+      corpus::PathQuery2(),
+      MustParseQuery("T1(x, u1 | u2, z), T2(x, u2 | u1, z), "
+                     "T3(x, y, u3 | u4), T4(x, y, u4 | u3), "
+                     "T5(y, u5 | u6), T6(y, u6 | u5)"),
+      corpus::Ack(3),
+      corpus::Ck(3),
+      corpus::Q0(),
+  };
+  std::vector<Query> out;
+  out.reserve(base.size() * repetitions);
+  for (int r = 0; r < repetitions; ++r) {
+    for (const Query& q : base) out.push_back(q);
+  }
+  return out;
+}
+
+Database ServingDatabase(uint64_t seed) {
+  // One database covering every relation of the workload.
+  Database db = corpus::ConferenceDatabase();
+  for (const Query& q : ServingWorkload(1)) {
+    BlockDbGenOptions options;
+    options.seed = seed;
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    Database extra = RandomBlockDatabase(q, options);
+    for (const Fact& f : extra.facts()) {
+      EXPECT_TRUE(db.AddFact(f).ok());
+    }
+  }
+  return db;
+}
+
+TEST(ServingTest, SolveBatchMatchesSequentialSolve) {
+  Database db = ServingDatabase(7);
+  std::vector<Query> queries = ServingWorkload(12);
+
+  BatchOptions options;
+  options.num_threads = 8;
+  PlanCache cache;
+  options.cache = &cache;
+  std::vector<Result<SolveOutcome>> batch =
+      Engine::SolveBatch(db, queries, options);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status();
+    Result<SolveOutcome> sequential = Engine::Solve(db, queries[i]);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(batch[i]->certain, sequential->certain) << i;
+    EXPECT_EQ(batch[i]->solver, sequential->solver) << i;
+    EXPECT_EQ(batch[i]->complexity, sequential->complexity) << i;
+  }
+
+  // 6 α-classes (two workload entries share one plan). Concurrent
+  // workers may race a first compile, so misses can exceed the class
+  // count, but the cache must deduplicate entries and the workload must
+  // be overwhelmingly hits.
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 6u);
+  EXPECT_GE(stats.misses, 6u);
+  EXPECT_LE(stats.misses, 6u * (1u + 8u));
+  EXPECT_EQ(stats.hits + stats.misses, queries.size());
+}
+
+TEST(ServingTest, EmptyBatchAndSingleThread) {
+  Database db = ServingDatabase(9);
+  EXPECT_TRUE(Engine::SolveBatch(db, {}).empty());
+  BatchOptions options;
+  options.num_threads = 1;
+  std::vector<Query> queries = ServingWorkload(2);
+  std::vector<Result<SolveOutcome>> batch =
+      Engine::SolveBatch(db, queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    EXPECT_EQ(batch[i]->certain, Engine::Solve(db, queries[i])->certain);
+  }
+}
+
+TEST(ServingTest, RepeatedQueriesResolveThroughTheGlobalCache) {
+  Database db = ServingDatabase(3);
+  std::vector<Query> queries = {corpus::ConferenceQuery(),
+                                corpus::PathQuery2(),
+                                corpus::ConferenceQuery()};
+  std::vector<Result<SolveOutcome>> batch = Engine::SolveBatch(db, queries);
+  ASSERT_EQ(batch.size(), 3u);
+  for (const auto& r : batch) EXPECT_TRUE(r.ok());
+  EXPECT_EQ(batch[0]->certain, batch[2]->certain);
+  // The default batch path shares the global cache with Engine::Solve.
+  EXPECT_NE(PlanCache::Global().Lookup(corpus::ConferenceQuery()), nullptr);
+}
+
+/// One compiled plan shared by >= 8 threads, each with its own
+/// EvalContext: results must be identical and stats must add up. Run
+/// under TSan/ASan in CI.
+TEST(ServingTest, OnePlanManyThreads) {
+  Database db = ServingDatabase(11);
+  Result<std::shared_ptr<const QueryPlan>> compiled =
+      QueryPlan::Compile(corpus::ConferenceQuery());
+  ASSERT_TRUE(compiled.ok());
+  std::shared_ptr<const QueryPlan> plan = *compiled;
+
+  Result<SolveOutcome> expected = plan->Solve(db);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  std::atomic<int> disagreements{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      EvalContext ctx(db);
+      for (int i = 0; i < kIterations; ++i) {
+        Result<SolveOutcome> out = plan->Solve(ctx);
+        if (!out.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (out->certain != expected->certain) disagreements.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(disagreements.load(), 0);
+  EXPECT_EQ(plan->solver()->stats().calls, 1 + kThreads * kIterations);
+}
+
+/// One PlanCache hammered by >= 8 threads compiling α-variants of the
+/// same queries: exactly one plan per equivalence class must survive,
+/// and every answer must match the sequential reference.
+TEST(ServingTest, OneCacheManyThreads) {
+  Database db = ServingDatabase(13);
+  std::vector<Query> queries = ServingWorkload(1);
+  std::vector<bool> expected;
+  expected.reserve(queries.size());
+  for (const Query& q : queries) {
+    Result<SolveOutcome> out = Engine::Solve(db, q);
+    ASSERT_TRUE(out.ok());
+    expected.push_back(out->certain);
+  }
+
+  PlanCache cache;
+  constexpr int kThreads = 10;
+  constexpr int kRounds = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      EvalContext ctx(db);
+      for (int r = 0; r < kRounds; ++r) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          auto plan = cache.GetOrCompile(queries[i]);
+          if (!plan.ok()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          Result<SolveOutcome> out = (*plan)->Solve(ctx);
+          if (!out.ok() || out->certain != expected[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  PlanCache::Stats stats = cache.stats();
+  // 6 α-classes in the workload; racing compiles may each count a miss,
+  // but the cache must deduplicate the surviving entries.
+  EXPECT_EQ(stats.entries, 6u);
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(kThreads) * kRounds *
+                                queries.size() -
+                            kThreads * 6);
+}
+
+TEST(ServingTest, CertainAnswersBatchMatchesOneShot) {
+  Database db = corpus::ConferenceDatabase();
+  ASSERT_TRUE(db.AddFact(Fact::Make("C", {"ICDT", "2018", "Lyon"}, 2)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
+  std::vector<CertainAnswersRequest> requests;
+  requests.push_back({MustParseQuery("C(x, y | c), R(x | 'A')"),
+                      {InternSymbol("c")}});
+  requests.push_back({MustParseQuery("C(x, y | c)"),
+                      {InternSymbol("x"), InternSymbol("c")}});
+  requests.push_back({MustParseQuery("C(x, y | c), R(x | r)"),
+                      {InternSymbol("c"), InternSymbol("r")}});
+  // Repeat to exercise plan sharing.
+  requests.push_back(requests[0]);
+  requests.push_back(requests[1]);
+
+  BatchOptions options;
+  options.num_threads = 4;
+  PlanCache cache;
+  options.cache = &cache;
+  auto batch = Engine::CertainAnswersBatch(db, requests, options);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status();
+    auto one_shot =
+        Engine::CertainAnswers(db, requests[i].query, requests[i].free_vars);
+    ASSERT_TRUE(one_shot.ok());
+    EXPECT_EQ(*batch[i], *one_shot) << i;
+  }
+
+  // An invalid request fails alone.
+  requests.push_back({MustParseQuery("C(x, y | c)"),
+                      {InternSymbol("nosuchvar")}});
+  auto with_bad = Engine::CertainAnswersBatch(db, requests, options);
+  EXPECT_FALSE(with_bad.back().ok());
+  EXPECT_EQ(with_bad.back().status().code(), StatusCode::kInvalidArgument);
+  for (size_t i = 0; i + 1 < with_bad.size(); ++i) {
+    EXPECT_TRUE(with_bad[i].ok());
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -11,13 +11,13 @@ namespace {
 
 TEST(TerminalCycleSolverTest, RejectsStrongCycles) {
   Database db;
-  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Q0()).ok());
-  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Q1()).ok());
+  EXPECT_FALSE(TerminalCycleSolver(corpus::Q0()).IsCertain(db).ok());
+  EXPECT_FALSE(TerminalCycleSolver(corpus::Q1()).IsCertain(db).ok());
 }
 
 TEST(TerminalCycleSolverTest, RejectsNonterminalCycles) {
   Database db;
-  EXPECT_FALSE(TerminalCycleSolver::IsCertain(db, corpus::Ack(3)).ok());
+  EXPECT_FALSE(TerminalCycleSolver(corpus::Ack(3)).IsCertain(db).ok());
 }
 
 TEST(TerminalCycleSolverTest, AcceptsFoQueries) {
@@ -26,14 +26,14 @@ TEST(TerminalCycleSolverTest, AcceptsFoQueries) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
   Result<bool> certain =
-      TerminalCycleSolver::IsCertain(db, corpus::PathQuery2());
+      TerminalCycleSolver(corpus::PathQuery2()).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
 }
 
 TEST(TerminalCycleSolverTest, EmptyQueryIsCertain) {
   Database db;
-  Result<bool> certain = TerminalCycleSolver::IsCertain(db, Query());
+  Result<bool> certain = TerminalCycleSolver(Query()).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
 }
@@ -41,7 +41,7 @@ TEST(TerminalCycleSolverTest, EmptyQueryIsCertain) {
 TEST(TerminalCycleSolverTest, EmptyDatabaseIsNotCertain) {
   Database db;
   Result<bool> certain =
-      TerminalCycleSolver::IsCertain(db, corpus::Fig4Query());
+      TerminalCycleSolver(corpus::Fig4Query()).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
 }
@@ -67,9 +67,9 @@ TEST_P(TerminalVsOracle, AgreesWithOracle) {
     options.domain_size = 3;
     Database db = RandomBlockDatabase(q, options);
     if (db.RepairCount() > BigInt(4096)) continue;
-    Result<bool> certain = TerminalCycleSolver::IsCertain(db, q);
+    Result<bool> certain = TerminalCycleSolver(q).IsCertain(db);
     ASSERT_TRUE(certain.ok()) << name << ": " << certain.status();
-    EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+    EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db))
         << name << " seed=" << GetParam() << "\n"
         << db.ToString();
   }
@@ -91,9 +91,9 @@ TEST_P(TerminalDenseVsOracle, Fig4DenseAgreesWithOracle) {
   options.domain_size = 2;  // Small domain: more joins, more conflicts.
   Database db = RandomBlockDatabase(q, options);
   if (db.RepairCount() > BigInt(1 << 16)) return;
-  Result<bool> certain = TerminalCycleSolver::IsCertain(db, q);
+  Result<bool> certain = TerminalCycleSolver(q).IsCertain(db);
   ASSERT_TRUE(certain.ok());
-  EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+  EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db))
       << "seed=" << GetParam() << "\n"
       << db.ToString();
 }

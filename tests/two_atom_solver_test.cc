@@ -12,18 +12,19 @@ namespace {
 
 TEST(TwoAtomSolverTest, RejectsWrongAtomCount) {
   Database db;
-  EXPECT_FALSE(TwoAtomSolver::IsCertain(db, corpus::Q1()).ok());
-  EXPECT_FALSE(TwoAtomSolver::IsCertain(db, Query()).ok());
+  EXPECT_FALSE(TwoAtomSolver(corpus::Q1()).IsCertain(db).ok());
+  EXPECT_FALSE(TwoAtomSolver(Query()).IsCertain(db).ok());
 }
 
 TEST(TwoAtomSolverTest, FoPathTakesRewriting) {
   Database db;
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
-  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::PathQuery2());
+  TwoAtomSolver solver(corpus::PathQuery2());
+  Result<bool> certain = solver.IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
-  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kFoRewriting);
+  EXPECT_EQ(solver.path(), TwoAtomSolver::Path::kFoRewriting);
 }
 
 TEST(TwoAtomSolverTest, C2CertainInstance) {
@@ -32,10 +33,11 @@ TEST(TwoAtomSolverTest, C2CertainInstance) {
   Database db;
   ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "a"}, 1)).ok());
-  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Ck(2));
+  TwoAtomSolver solver(corpus::Ck(2));
+  Result<bool> certain = solver.IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
-  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kMatching);
+  EXPECT_EQ(solver.path(), TwoAtomSolver::Path::kMatching);
 }
 
 TEST(TwoAtomSolverTest, C2FalsifiableInstance) {
@@ -48,22 +50,22 @@ TEST(TwoAtomSolverTest, C2FalsifiableInstance) {
       ASSERT_TRUE(db.AddFact(Fact::Make("R2", {b, a}, 1)).ok());
     }
   }
-  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Ck(2));
+  Result<bool> certain = TwoAtomSolver(corpus::Ck(2)).IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_FALSE(*certain);
-  EXPECT_FALSE(OracleSolver::IsCertain(db, corpus::Ck(2)));
+  EXPECT_FALSE(*OracleSolver(corpus::Ck(2)).IsCertain(db));
 }
 
 TEST(TwoAtomSolverTest, FanInstancesTakeTheMisPath) {
   Query q = MustParseQuery("R(x | y), S(y | x, w)");
   for (int n : {2, 3, 4}) {
     Database db = FanTwoAtomDatabase(n, 3);
-    Result<bool> certain = TwoAtomSolver::IsCertain(db, q);
+    TwoAtomSolver solver(q);
+    Result<bool> certain = solver.IsCertain(db);
     ASSERT_TRUE(certain.ok());
-    EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kMis)
-        << "n=" << n;
+    EXPECT_EQ(solver.path(), TwoAtomSolver::Path::kMis) << "n=" << n;
     if (db.RepairCount() <= BigInt(1 << 16)) {
-      EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q)) << "n=" << n;
+      EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db)) << "n=" << n;
     }
   }
 }
@@ -72,10 +74,11 @@ TEST(TwoAtomSolverTest, StrongCycleFallsBackToSat) {
   Database db;
   ASSERT_TRUE(db.AddFact(Fact::Make("R0", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("S0", {"b", "c", "a"}, 2)).ok());
-  Result<bool> certain = TwoAtomSolver::IsCertain(db, corpus::Q0());
+  TwoAtomSolver solver(corpus::Q0());
+  Result<bool> certain = solver.IsCertain(db);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(*certain);
-  EXPECT_EQ(TwoAtomSolver::last_path(), TwoAtomSolver::Path::kSat);
+  EXPECT_EQ(solver.path(), TwoAtomSolver::Path::kSat);
 }
 
 /// Oracle sweep over every two-atom corpus query and many random
@@ -99,9 +102,9 @@ TEST_P(TwoAtomVsOracle, AgreesWithOracle) {
       options.domain_size = 3;
       Database db = RandomBlockDatabase(q, options);
       if (db.RepairCount() > BigInt(4096)) continue;
-      Result<bool> certain = TwoAtomSolver::IsCertain(db, q);
+      Result<bool> certain = TwoAtomSolver(q).IsCertain(db);
       ASSERT_TRUE(certain.ok()) << name;
-      EXPECT_EQ(*certain, OracleSolver::IsCertain(db, q))
+      EXPECT_EQ(*certain, *OracleSolver(q).IsCertain(db))
           << name << " seed=" << GetParam() << " blocks=" << blocks << "\n"
           << db.ToString();
     }
