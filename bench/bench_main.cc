@@ -1,5 +1,7 @@
 #include "bench_main.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
@@ -10,11 +12,27 @@
 
 #include "cq/matcher.h"
 
+namespace cqa_bench {
+
+bool SmokeMode() {
+  const char* smoke = std::getenv("CQA_BENCH_SMOKE");
+  return smoke != nullptr && *smoke != '\0' && *smoke != '0';
+}
+
+int64_t RangeLimit(int64_t full, int64_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+}  // namespace cqa_bench
+
 namespace {
 
 std::string JsonPath() {
   const char* path = std::getenv("CQA_BENCH_JSON");
-  return path != nullptr && *path != '\0' ? path : "BENCH_results.json";
+  if (path != nullptr && *path != '\0') return path;
+  // Smoke runs land in their own file so they never replace the real
+  // numbers accumulated in BENCH_results.json.
+  return cqa_bench::SmokeMode() ? "BENCH_smoke.json" : "BENCH_results.json";
 }
 
 std::string MatcherMode() {
@@ -107,14 +125,32 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--smoke` must be visible at benchmark *registration* (static init),
+  // which has already happened by now — so the flag re-execs this binary
+  // once with CQA_BENCH_SMOKE set; the second pass sees the variable and
+  // registers the small ranges.
+  bool smoke_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke_flag = smoke_flag || std::strcmp(argv[i], "--smoke") == 0;
+  }
+  if (smoke_flag && !cqa_bench::SmokeMode()) {
+    setenv("CQA_BENCH_SMOKE", "1", 1);
+    execv("/proc/self/exe", argv);  // Linux
+    execv(argv[0], argv);           // fallback: invoked by path
+    std::fprintf(stderr, "bench_main: --smoke re-exec failed\n");
+    return 1;
+  }
+
   JsonAppendReporter reporter;
   reporter.set_bench(BaseName(argv[0]));
   // `--filter=regex` is shorthand for google benchmark's
-  // --benchmark_filter; rewrite it before Initialize consumes the args.
+  // --benchmark_filter; rewrite it (and drop the handled --smoke) before
+  // Initialize consumes the args.
   std::vector<std::string> rewritten;
   rewritten.reserve(argc);
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--smoke") continue;
     if (arg.rfind("--filter=", 0) == 0) {
       arg = "--benchmark_filter=" + arg.substr(strlen("--filter="));
     } else if (arg == "--filter" && i + 1 < argc) {

@@ -17,7 +17,12 @@
 ///    plan-cache counters, present when the benchmark sets them>}
 ///
 /// Every bench binary also accepts `--filter=<regex>` (shorthand for
-/// --benchmark_filter) to run a subset of its benchmarks.
+/// --benchmark_filter) to run a subset of its benchmarks, and `--smoke`
+/// for the CI smoke job: small problem sizes (benchmarks consult
+/// `cqa_bench::RangeLimit` at registration; the flag re-execs the binary
+/// with CQA_BENCH_SMOKE=1 so registration sees it) and a separate
+/// default output file (BENCH_smoke.json) so a smoke run never
+/// overwrites the real numbers in BENCH_results.json.
 ///
 /// The "facts" counter is the convention already used by the suite
 /// (state.counters["facts"] = db.size()); facts_per_sec is derived from it
@@ -29,5 +34,19 @@
 /// Records are one JSON object per line inside a top-level array; a rerun
 /// of the same binary under the same matcher mode replaces its previous
 /// records in place, so BENCH_results.json accumulates the whole suite.
+
+namespace cqa_bench {
+
+/// True when this process runs in smoke mode (CQA_BENCH_SMOKE set, or
+/// `--smoke` passed — the flag re-execs with the variable set). Safe to
+/// call during static initialization, i.e. from BENCHMARK registration
+/// expressions.
+bool SmokeMode();
+
+/// `full` normally, `smoke` in smoke mode — the registration-time hook
+/// for capping `Range(...)` sizes in the CI smoke job.
+int64_t RangeLimit(int64_t full, int64_t smoke);
+
+}  // namespace cqa_bench
 
 #endif  // CQA_BENCH_BENCH_MAIN_H_

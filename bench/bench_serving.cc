@@ -75,7 +75,9 @@ void BM_Serving_CompilePerCall(benchmark::State& state) {
   state.counters["qps"] = benchmark::Counter(
       static_cast<double>(served), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Serving_CompilePerCall)->RangeMultiplier(2)->Range(1, 16);
+BENCHMARK(BM_Serving_CompilePerCall)
+    ->RangeMultiplier(2)
+    ->Range(1, cqa_bench::RangeLimit(16, 2));
 
 /// Warm cache, single thread: plans compiled once per α-class, then
 /// every call is a lookup + evaluation.
@@ -106,7 +108,9 @@ void BM_Serving_WarmCache(benchmark::State& state) {
           ? static_cast<double>(stats.hits) / (stats.hits + stats.misses)
           : 0;
 }
-BENCHMARK(BM_Serving_WarmCache)->RangeMultiplier(2)->Range(1, 16);
+BENCHMARK(BM_Serving_WarmCache)
+    ->RangeMultiplier(2)
+    ->Range(1, cqa_bench::RangeLimit(16, 2));
 
 /// The full serving front: SolveBatch over the worker pool with a warm
 /// shared cache. Thread scaling is only visible on multi-core hosts
@@ -135,7 +139,9 @@ void BM_Serving_SolveBatch(benchmark::State& state) {
   state.counters["plan_hits"] = static_cast<double>(stats.hits);
   state.counters["plan_misses"] = static_cast<double>(stats.misses);
 }
-BENCHMARK(BM_Serving_SolveBatch)->DenseRange(1, 8, 1)->UseRealTime();
+BENCHMARK(BM_Serving_SolveBatch)
+    ->DenseRange(1, cqa_bench::RangeLimit(8, 2), 1)
+    ->UseRealTime();
 
 /// Shared pre-compiled plans, no cache lookup on the hot path: the
 /// upper bound of the serving design (what SolveBatch approaches as
@@ -169,7 +175,8 @@ void BM_Serving_SharedPlansNoLookup(benchmark::State& state) {
       static_cast<double>(served), benchmark::Counter::kIsRate);
   state.counters["threads"] = static_cast<double>(threads);
 }
-BENCHMARK(BM_Serving_SharedPlansNoLookup)->DenseRange(1, 8, 1)
+BENCHMARK(BM_Serving_SharedPlansNoLookup)
+    ->DenseRange(1, cqa_bench::RangeLimit(8, 2), 1)
     ->UseRealTime();
 
 /// Plan-compile cost in isolation (what the cache saves per miss).

@@ -1,0 +1,187 @@
+// The payoff of the serving session: after a small delta over a large
+// database, re-serving certain answers through the session's dirty-row
+// cache (patched per-worker indexes + plan key-pattern pruning) versus
+// recomputing from scratch (fresh index build + all candidate rows
+// re-decided), which is what a stateless Engine::CertainAnswers call
+// does. The workload is the incremental-serving shape: one block
+// replaced per request on a database of `range` R-blocks.
+//
+// Acceptance tracking: BM_Session_DeltaReServe vs
+// BM_Session_FullRecompute at equal sizes in BENCH_results.json — the
+// delta path must win by >= 3x on the larger sizes.
+
+#include "bench_main.h"
+
+#include "cqa.h"
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace cqa;
+
+Query PathQ() { return MustParseQuery("R(x | y), S(y | z)"); }
+
+/// `n` R-blocks R(a_i | b_i) joined to S(b_i | c_i); every seventh
+/// block is uncertain (a second fact pointing at a dangling value), so
+/// ~1/7 of the candidate rows are possible but not certain and the
+/// per-row decision is never trivial.
+Database PathDb(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    std::string c = "c" + std::to_string(i);
+    db.AddFact(Fact::Make("R", {a, b}, 1)).ok();
+    if (i % 7 == 0) {
+      db.AddFact(Fact::Make("R", {a, "dead" + std::to_string(i)}, 1)).ok();
+    }
+    db.AddFact(Fact::Make("S", {b, c}, 1)).ok();
+  }
+  return db;
+}
+
+/// The per-request delta: flip block a_k between its consistent and its
+/// uncertain contents — touches exactly one R block, whose key pins the
+/// answer parameter x.
+Delta FlipDelta(int k, bool make_uncertain) {
+  std::string a = "a" + std::to_string(k);
+  std::string b = "b" + std::to_string(k);
+  std::vector<Fact> facts = {Fact::Make("R", {a, b}, 1)};
+  if (make_uncertain) {
+    facts.push_back(Fact::Make("R", {a, "nowhere"}, 1));
+  }
+  Delta delta;
+  delta.ReplaceBlock(InternSymbol("R"),
+                     {InternSymbol(a)}, std::move(facts));
+  return delta;
+}
+
+void ReportSessionCounters(benchmark::State& state, const Session& session,
+                           size_t rows) {
+  Session::Stats stats = session.stats();
+  state.counters["facts"] = static_cast<double>(session.db().size());
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["rows_decided"] = static_cast<double>(stats.rows_decided);
+  state.counters["rows_reused"] = static_cast<double>(stats.rows_reused);
+  state.counters["deltas"] = static_cast<double>(stats.deltas_applied);
+}
+
+/// Delta path: ApplyDelta patches the worker indexes in place, the
+/// answer cache re-decides only the touched block's row.
+void BM_Session_DeltaReServe(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Session::Options options;
+  options.num_threads = 1;
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(PathDb(n), options);
+  Query q = PathQ();
+  std::vector<SymbolId> fv = {InternSymbol("x")};
+  // Warm: one full compute populates the cache and the worker index.
+  size_t rows = session.CertainAnswers(q, fv)->size();
+  int k = 0;
+  bool uncertain = true;
+  for (auto _ : state) {
+    session.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto served = session.CertainAnswers(q, fv);
+    benchmark::DoNotOptimize(served);
+    rows = served->size();
+    k = (k + 13) % n;
+    uncertain = !uncertain;
+  }
+  ReportSessionCounters(state, session, rows);
+}
+BENCHMARK(BM_Session_DeltaReServe)
+    ->RangeMultiplier(4)
+    ->Range(64, cqa_bench::RangeLimit(4096, 64));
+
+/// Baseline: the same deltas, answered statelessly — every request
+/// rebuilds an EvalContext over the materialized database and decides
+/// every candidate row (the pre-session behavior).
+void BM_Session_FullRecompute(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Session::Options options;
+  options.num_threads = 1;
+  options.answer_cache_capacity = 0;  // the session only applies deltas
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(PathDb(n), options);
+  Query q = PathQ();
+  std::vector<SymbolId> fv = {InternSymbol("x")};
+  size_t rows = 0;
+  int k = 0;
+  bool uncertain = true;
+  for (auto _ : state) {
+    session.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto fresh = Engine::CertainAnswers(session.db(), q, fv);
+    benchmark::DoNotOptimize(fresh);
+    rows = fresh->size();
+    k = (k + 13) % n;
+    uncertain = !uncertain;
+  }
+  Session::Stats stats = session.stats();
+  state.counters["facts"] = static_cast<double>(session.db().size());
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["deltas"] = static_cast<double>(stats.deltas_applied);
+}
+BENCHMARK(BM_Session_FullRecompute)
+    ->RangeMultiplier(4)
+    ->Range(64, cqa_bench::RangeLimit(4096, 64));
+
+/// Delta cost in isolation: transactional validation + database
+/// mutation + in-place patching of one warm worker index.
+void BM_Session_ApplyDeltaOnly(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Session::Options options;
+  options.num_threads = 1;
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(PathDb(n), options);
+  Query q = PathQ();
+  std::vector<SymbolId> fv = {InternSymbol("x")};
+  session.CertainAnswers(q, fv).ok();  // build the worker index
+  int k = 0;
+  bool uncertain = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.ApplyDelta(FlipDelta(k, uncertain)));
+    k = (k + 13) % n;
+    uncertain = !uncertain;
+  }
+  state.counters["facts"] = static_cast<double>(session.db().size());
+}
+BENCHMARK(BM_Session_ApplyDeltaOnly)
+    ->RangeMultiplier(4)
+    ->Range(64, cqa_bench::RangeLimit(4096, 64));
+
+/// Boolean serving across deltas: the relation-level cache keeps
+/// serving a Boolean query whose relations the deltas never touch.
+void BM_Session_BooleanUntouchedRelations(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = PathDb(n);
+  db.AddFact(Fact::Make("Z", {"z", "w"}, 1)).ok();
+  Session::Options options;
+  options.num_threads = 1;
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(std::move(db), options);
+  Query q = PathQ();
+  session.CertainAnswers(q, {}).ok();
+  int i = 0;
+  for (auto _ : state) {
+    Delta delta;
+    delta.ReplaceBlock(InternSymbol("Z"), {InternSymbol("z")},
+                       {Fact::Make("Z", {"z", "w" + std::to_string(i)}, 1)});
+    session.ApplyDelta(delta).ok();
+    auto served = session.CertainAnswers(q, {});
+    benchmark::DoNotOptimize(served);
+    ++i;
+  }
+  ReportSessionCounters(state, session, 0);
+}
+BENCHMARK(BM_Session_BooleanUntouchedRelations)
+    ->RangeMultiplier(4)
+    ->Range(64, cqa_bench::RangeLimit(1024, 64));
+
+}  // namespace

@@ -413,6 +413,22 @@ bool Satisfies(const FactIndex& index, const Query& q) {
   return SatisfiesWith(index, q, Valuation());
 }
 
+void CollectProjections(const FactIndex& index, const Query& q,
+                        const Valuation& initial,
+                        const std::vector<SymbolId>& vars,
+                        std::set<std::vector<SymbolId>>* out) {
+  ForEachEmbedding(index, q, initial, [&](const Valuation& theta) {
+    std::vector<SymbolId> row;
+    row.reserve(vars.size());
+    for (SymbolId v : vars) {
+      // Occurrence in q guarantees every embedding binds v.
+      row.push_back(*theta.Get(v));
+    }
+    out->insert(std::move(row));
+    return true;
+  });
+}
+
 bool Satisfies(const Database& db, const Query& q) {
   return Satisfies(FactIndex(db), q);
 }

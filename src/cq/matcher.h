@@ -2,6 +2,7 @@
 #define CQA_CQ_MATCHER_H_
 
 #include <functional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -172,6 +173,19 @@ bool ForEachEmbeddingFacts(const FactIndex& index, const Query& q,
 /// True iff some embedding of `q` into `index` extends `initial`.
 bool SatisfiesWith(const FactIndex& index, const Query& q,
                    const Valuation& initial);
+
+/// Adds to `out` the distinct projections θ|vars over all embeddings θ
+/// of `q` into `index` extending `initial`. Every variable of `vars`
+/// must occur in q (so every embedding binds it). This is the
+/// candidate-answer enumeration primitive of the answering layers:
+/// `Engine::PossibleAnswers` calls it with an empty seed, and the
+/// serving `Session` seeds `initial` from a dirty block's key values so
+/// the matcher's key-prefix buckets prune the scan to the candidate
+/// tuples that delta could have touched.
+void CollectProjections(const FactIndex& index, const Query& q,
+                        const Valuation& initial,
+                        const std::vector<SymbolId>& vars,
+                        std::set<std::vector<SymbolId>>* out);
 
 }  // namespace cqa
 

@@ -19,6 +19,13 @@
 ///
 ///   auto plan = cqa::QueryPlan::Compile(*q).value();   // thread-safe
 ///   auto outs = cqa::Engine::SolveBatch(db, queries);  // worker pool
+///
+/// For a long-lived service over an evolving database, open a Session
+/// (persistent pool, incremental indexes, transactional deltas):
+///
+///   cqa::Session session(std::move(db));
+///   session.ApplyDelta(cqa::Delta().Insert(fact));     // epoch + 1
+///   auto rows = session.CertainAnswers(*q, free_vars); // dirty-row cache
 
 #include "core/attack_graph.h"
 #include "core/classifier.h"
@@ -45,6 +52,7 @@
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
 #include "prob/bid.h"
+#include "serve/session.h"
 #include "prob/counting.h"
 #include "prob/is_safe.h"
 #include "prob/safe_plan.h"

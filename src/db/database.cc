@@ -7,6 +7,27 @@
 
 namespace cqa {
 
+Database::Database(const Database& o)
+    : schema_(o.schema_),
+      facts_(o.facts_),
+      fact_ids_(o.fact_ids_),
+      rel_slots_(o.rel_slots_),
+      blocks_(o.blocks_),
+      block_index_(o.block_index_),
+      by_relation_(o.by_relation_) {
+  ptr_ids_.reserve(facts_.size());
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    ptr_ids_.emplace(&facts_[i], static_cast<int>(i));
+  }
+}
+
+Database& Database::operator=(const Database& o) {
+  if (this == &o) return *this;
+  Database copy(o);
+  *this = std::move(copy);
+  return *this;
+}
+
 Status Database::AddFact(const Fact& fact) {
   auto sig = schema_.Find(fact.relation());
   if (!sig.has_value()) {
@@ -23,7 +44,10 @@ Status Database::AddFact(const Fact& fact) {
   int fact_id = static_cast<int>(facts_.size());
   facts_.push_back(fact);
   fact_ids_.emplace(fact, fact_id);
-  by_relation_[fact.relation()].push_back(fact_id);
+  ptr_ids_.emplace(&facts_.back(), fact_id);
+  std::vector<int>& rel_ids = by_relation_[fact.relation()];
+  rel_slots_.push_back(static_cast<int>(rel_ids.size()));
+  rel_ids.push_back(fact_id);
 
   auto block_key = std::make_pair(fact.relation(), fact.KeyValues());
   auto it = block_index_.find(block_key);
@@ -35,6 +59,107 @@ Status Database::AddFact(const Fact& fact) {
     blocks_[it->second].fact_ids.push_back(fact_id);
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Swap-with-last removal of one occurrence of `value` from `ids`.
+void DropId(std::vector<int>* ids, int value) {
+  auto it = std::find(ids->begin(), ids->end(), value);
+  assert(it != ids->end());
+  *it = ids->back();
+  ids->pop_back();
+}
+
+/// Replaces one occurrence of `from` by `to` in `ids`.
+void ReplaceId(std::vector<int>* ids, int from, int to) {
+  auto it = std::find(ids->begin(), ids->end(), from);
+  assert(it != ids->end());
+  *it = to;
+}
+
+}  // namespace
+
+Status Database::RemoveFact(const Fact& fact) {
+  auto id_it = fact_ids_.find(fact);
+  if (id_it == fact_ids_.end()) {
+    return Status::NotFound("fact " + fact.ToString() +
+                            " is not in the database");
+  }
+  // `fact` may alias storage this function is about to relocate.
+  Fact removed = fact;
+  int id = id_it->second;
+  int last = static_cast<int>(facts_.size()) - 1;
+
+  // Detach from the block (dropping the block entirely when it empties;
+  // blocks compact swap-with-last too, so block ids stay dense).
+  auto block_key = std::make_pair(removed.relation(), removed.KeyValues());
+  auto block_it = block_index_.find(block_key);
+  assert(block_it != block_index_.end());
+  int bid = block_it->second;
+  DropId(&blocks_[bid].fact_ids, id);
+  if (blocks_[bid].fact_ids.empty()) {
+    block_index_.erase(block_it);
+    int last_bid = static_cast<int>(blocks_.size()) - 1;
+    if (bid != last_bid) {
+      blocks_[bid] = std::move(blocks_[last_bid]);
+      block_index_[std::make_pair(blocks_[bid].relation,
+                                  blocks_[bid].key)] = bid;
+    }
+    blocks_.pop_back();
+  }
+
+  {
+    // Detach from the per-relation id list through the slot map: O(1),
+    // not a scan of the (possibly huge) relation.
+    std::vector<int>& rel_ids = by_relation_[removed.relation()];
+    int slot = rel_slots_[id];
+    int tail_id = rel_ids.back();
+    rel_ids[slot] = tail_id;
+    rel_ids.pop_back();
+    rel_slots_[tail_id] = slot;
+  }
+  fact_ids_.erase(id_it);
+  ptr_ids_.erase(&facts_[id]);
+
+  if (id != last) {
+    // Relocate the last fact into the vacated slot and re-point every
+    // id-bearing structure from `last` to `id`.
+    ptr_ids_.erase(&facts_[last]);
+    facts_[id] = std::move(facts_[last]);
+    const Fact& moved = facts_[id];
+    fact_ids_[moved] = id;
+    ptr_ids_[&facts_[id]] = id;
+    // The relocated fact keeps its slot in its relation's id list; only
+    // the stored id changes (rel_slots_[last] is current even when the
+    // detach above moved it).
+    int slot = rel_slots_[last];
+    by_relation_[moved.relation()][slot] = id;
+    rel_slots_[id] = slot;
+    auto moved_block = block_index_.find(
+        std::make_pair(moved.relation(), moved.KeyValues()));
+    assert(moved_block != block_index_.end());
+    ReplaceId(&blocks_[moved_block->second].fact_ids, last, id);
+  }
+  facts_.pop_back();
+  rel_slots_.pop_back();
+  return Status::OK();
+}
+
+const Database::Block* Database::FindBlock(
+    SymbolId relation, const std::vector<SymbolId>& key) const {
+  auto it = block_index_.find(std::make_pair(relation, key));
+  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+}
+
+int Database::FactIdOf(const Fact* fact) const {
+  auto it = ptr_ids_.find(fact);
+  return it == ptr_ids_.end() ? -1 : it->second;
+}
+
+const Fact* Database::FactPtr(const Fact& fact) const {
+  int id = FactId(fact);
+  return id < 0 ? nullptr : &facts_[id];
 }
 
 const std::vector<int>& Database::FactsOf(SymbolId relation) const {

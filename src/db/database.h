@@ -1,6 +1,7 @@
 #ifndef CQA_DB_DATABASE_H_
 #define CQA_DB_DATABASE_H_
 
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,16 @@
 /// An *uncertain database*: a finite set of facts in which primary keys
 /// need not be satisfied. A *block* is a maximal set of key-equal facts;
 /// a *repair* picks exactly one fact from each block (Section 3).
+///
+/// Facts live in a deque, so a stored fact's address is stable under
+/// AddFact — this is what lets long-lived `FactIndex`es (and the serving
+/// `Session`'s per-worker indexes) reference facts by pointer while the
+/// database keeps growing. RemoveFact compacts by moving the *last* fact
+/// into the vacated slot, so exactly two addresses are affected per
+/// removal (the removed slot, whose contents change, and the popped back
+/// slot, which dies); callers maintaining external indexes read
+/// `FactPtr`/`LastFact` before the removal and patch accordingly (see
+/// serve/session.cc).
 
 namespace cqa {
 
@@ -23,16 +34,29 @@ class Database {
   Database() = default;
   explicit Database(Schema schema) : schema_(std::move(schema)) {}
 
+  // The address->id map must follow the copy's own storage; moves keep
+  // the deque's slots (and thus the handed-out fact addresses) alive.
+  Database(const Database& o);
+  Database& operator=(const Database& o);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
 
   /// Inserts `fact` (no-op when already present). Registers the relation
   /// in the schema when unknown; fails when the fact contradicts a known
-  /// signature.
+  /// signature. Addresses of previously stored facts are unaffected.
   Status AddFact(const Fact& fact);
 
+  /// Removes `fact`. Fails with NotFound when absent. Compacts fact ids
+  /// by relocating the last fact into the removed slot (so ids stay
+  /// dense); the removed slot's contents and the last fact's address are
+  /// the only addresses invalidated — see the file comment.
+  Status RemoveFact(const Fact& fact);
+
   /// All facts, in insertion order.
-  const std::vector<Fact>& facts() const { return facts_; }
+  const std::deque<Fact>& facts() const { return facts_; }
   int size() const { return static_cast<int>(facts_.size()); }
   bool empty() const { return facts_.empty(); }
 
@@ -44,6 +68,25 @@ class Database {
   /// paths (SAT encoding, repair counting) use this instead of building
   /// their own fact -> id maps.
   int FactId(const Fact& fact) const;
+
+  /// Id of a fact referenced by its *storage address* (a pointer handed
+  /// out by FactPtr or observed through a FactIndex over this database);
+  /// -1 for strangers. Pointer-keyed hash lookup — cheaper than hashing
+  /// the fact's values on the embedding-enumeration hot paths.
+  int FactIdOf(const Fact* fact) const;
+
+  /// Storage address of `fact`, or nullptr when absent. Stable until the
+  /// fact is removed (or the last fact is relocated over it).
+  const Fact* FactPtr(const Fact& fact) const;
+
+  /// Storage address of facts()[id] (id must be in range).
+  const Fact* FactPtrAt(int id) const { return &facts_[id]; }
+
+  /// Address of the highest-id fact — the one RemoveFact relocates.
+  /// Null when empty.
+  const Fact* LastFact() const {
+    return facts_.empty() ? nullptr : &facts_.back();
+  }
 
   /// Index of the block containing `fact` in blocks(), or -1 when absent.
   int BlockIdOf(const Fact& fact) const;
@@ -63,6 +106,11 @@ class Database {
 
   /// The block containing `fact` (which must be in the database).
   const Block& BlockOf(const Fact& fact) const;
+
+  /// The block with this relation and key, or nullptr when absent. The
+  /// delta layer's lookup for ReplaceBlock ops.
+  const Block* FindBlock(SymbolId relation,
+                         const std::vector<SymbolId>& key) const;
 
   /// True iff every block is a singleton.
   bool IsConsistent() const;
@@ -90,8 +138,15 @@ class Database {
   };
 
   Schema schema_;
-  std::vector<Fact> facts_;
+  std::deque<Fact> facts_;
   std::unordered_map<Fact, int, FactHash> fact_ids_;
+  /// Storage address -> id, for FactIdOf. Rebuilt entry-wise alongside
+  /// fact_ids_ (deque slots are address-stable until popped).
+  std::unordered_map<const Fact*, int> ptr_ids_;
+  /// rel_slots_[id] = position of `id` inside by_relation_[relation of
+  /// facts_[id]]. Keeps RemoveFact O(block) instead of O(|relation|) —
+  /// the serving session's small-delta-over-large-db contract.
+  std::vector<int> rel_slots_;
   std::vector<Block> blocks_;
   std::unordered_map<std::pair<SymbolId, std::vector<SymbolId>>, int,
                      BlockKeyHash>

@@ -54,7 +54,11 @@ bool UnifyGuard(const Atom& guard, const Fact& fact, Valuation* binding,
 }  // namespace
 
 FormulaEvaluator::FormulaEvaluator(const Database& db)
-    : index_(db), adom_(db.ActiveDomain()) {}
+    : owned_index_(db), index_(&*owned_index_), adom_(db.ActiveDomain()) {}
+
+FormulaEvaluator::FormulaEvaluator(const FactIndex* index,
+                                   std::vector<SymbolId> adom)
+    : index_(index), adom_(std::move(adom)) {}
 
 bool FormulaEvaluator::Eval(const FormulaPtr& formula) const {
   return Eval(formula, Valuation());
@@ -73,7 +77,7 @@ bool FormulaEvaluator::EvalRec(const Formula& f, Valuation* binding) const {
     case Formula::Kind::kFalse:
       return false;
     case Formula::Kind::kAtom:
-      return index_.Contains(binding->Apply(f.atom()));
+      return index_->Contains(binding->Apply(f.atom()));
     case Formula::Kind::kEquals:
       return Resolve(f.lhs(), *binding) == Resolve(f.rhs(), *binding);
     case Formula::Kind::kNot:
@@ -91,7 +95,7 @@ bool FormulaEvaluator::EvalRec(const Formula& f, Valuation* binding) const {
       return false;
     }
     case Formula::Kind::kExistsGuard: {
-      for (const Fact* fact : index_.Facts(f.atom().relation())) {
+      for (const Fact* fact : index_->Facts(f.atom().relation())) {
         std::vector<SymbolId> bound;
         if (!UnifyGuard(f.atom(), *fact, binding, &bound)) continue;
         bool ok = EvalRec(*f.children()[0], binding);
@@ -101,7 +105,7 @@ bool FormulaEvaluator::EvalRec(const Formula& f, Valuation* binding) const {
       return false;
     }
     case Formula::Kind::kForallGuard: {
-      for (const Fact* fact : index_.Facts(f.atom().relation())) {
+      for (const Fact* fact : index_->Facts(f.atom().relation())) {
         std::vector<SymbolId> bound;
         if (!UnifyGuard(f.atom(), *fact, binding, &bound)) continue;
         bool ok = EvalRec(*f.children()[0], binding);

@@ -1,6 +1,7 @@
 #ifndef CQA_FO_EVALUATOR_H_
 #define CQA_FO_EVALUATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "cq/matcher.h"
@@ -19,7 +20,23 @@ namespace cqa {
 
 class FormulaEvaluator {
  public:
+  /// Owning constructor: builds a private index and the active domain
+  /// from `db`.
   explicit FormulaEvaluator(const Database& db);
+
+  /// Borrowing constructor for long-lived serving contexts: evaluates
+  /// over an externally owned index (which the owner keeps current
+  /// across database deltas) with an explicit active domain. `index`
+  /// must outlive the evaluator.
+  FormulaEvaluator(const FactIndex* index, std::vector<SymbolId> adom);
+
+  /// Replaces the active domain — the owner of a borrowed index calls
+  /// this after a delta changed the set of occurring constants (the
+  /// unguarded quantifiers range over adom, and rewritings contain
+  /// negation, so a stale superset is not sound).
+  void SetActiveDomain(std::vector<SymbolId> adom) {
+    adom_ = std::move(adom);
+  }
 
   /// Evaluates a sentence (no free variables outside `binding`).
   bool Eval(const FormulaPtr& formula) const;
@@ -31,7 +48,10 @@ class FormulaEvaluator {
  private:
   bool EvalRec(const Formula& f, Valuation* binding) const;
 
-  FactIndex index_;
+  /// Set only by the owning constructor; `index_` points at it or at
+  /// the borrowed external index.
+  std::optional<FactIndex> owned_index_;
+  const FactIndex* index_;
   std::vector<SymbolId> adom_;
 };
 

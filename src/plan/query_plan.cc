@@ -1,5 +1,6 @@
 #include "plan/query_plan.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace cqa {
@@ -34,6 +35,36 @@ Query FreezeParams(const Query& q, const std::vector<SymbolId>& params) {
   return frozen;
 }
 
+/// Classifies every key position of every canonical atom against the
+/// parameter list (see AtomKeyPattern in the header).
+std::vector<AtomKeyPattern> ComputeKeyPatterns(
+    const Query& q, const std::vector<SymbolId>& params) {
+  std::vector<AtomKeyPattern> patterns;
+  patterns.reserve(q.atoms().size());
+  for (const Atom& atom : q.atoms()) {
+    AtomKeyPattern pattern;
+    pattern.relation = atom.relation();
+    pattern.key.reserve(atom.key_arity());
+    for (int i = 0; i < atom.key_arity(); ++i) {
+      const Term& t = atom.terms()[i];
+      AtomKeyPattern::Slot slot;
+      if (t.is_const()) {
+        slot.kind = AtomKeyPattern::Slot::Kind::kConstant;
+        slot.constant = t.id();
+      } else {
+        auto it = std::find(params.begin(), params.end(), t.id());
+        if (it != params.end()) {
+          slot.kind = AtomKeyPattern::Slot::Kind::kParam;
+          slot.param = static_cast<int>(it - params.begin());
+        }
+      }
+      pattern.key.push_back(slot);
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
 }  // namespace
 
 const FoSolver* QueryPlan::fo_solver() const { return fo_; }
@@ -52,6 +83,7 @@ Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileCanonical(
   std::shared_ptr<QueryPlan> plan(new QueryPlan());
   plan->canonical_ = std::move(canonical);
   const CanonicalQuery& c = plan->canonical_;
+  plan->key_patterns_ = ComputeKeyPatterns(c.query, c.params);
 
   Result<Classification> cls = ClassifyQuery(
       c.params.empty() ? c.query : FreezeParams(c.query, c.params));

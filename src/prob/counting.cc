@@ -152,11 +152,9 @@ BigInt Counting::CountByDecomposition(const Database& db, const Query& q) {
   for (int b = 0; b < static_cast<int>(db.blocks().size()); ++b) {
     for (int fid : db.blocks()[b].fact_ids) block_of[fid] = b;
   }
-  const Fact* base = db.facts().data();
-
   // Collect embeddings as (block, fact) requirement lists and union the
   // blocks each embedding touches. The matcher hands back the matched
-  // facts; their ids are offsets into db.facts().
+  // facts; their ids come from the database's address->id map.
   UnionFind uf(static_cast<int>(db.blocks().size()));
   std::vector<std::vector<std::pair<int, int>>> embeddings;
   FactIndex index(db);
@@ -166,7 +164,7 @@ BigInt Counting::CountByDecomposition(const Database& db, const Query& q) {
     req.reserve(facts.size());
     bool consistent = true;
     for (const Fact* fact : facts) {
-      int fid = static_cast<int>(fact - base);
+      int fid = db.FactIdOf(fact);
       int b = block_of[fid];
       bool dup = false;
       for (auto [eb, ef] : req) {

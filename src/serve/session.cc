@@ -1,0 +1,596 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "cq/matcher.h"
+
+namespace cqa {
+
+// ------------------------------------------------------------- Delta
+
+Delta& Delta::Insert(Fact fact) {
+  Op op;
+  op.kind = Op::Kind::kInsert;
+  op.fact = std::move(fact);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Delta& Delta::Remove(Fact fact) {
+  Op op;
+  op.kind = Op::Kind::kRemove;
+  op.fact = std::move(fact);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Delta& Delta::ReplaceBlock(SymbolId relation, std::vector<SymbolId> key,
+                           std::vector<Fact> facts) {
+  Op op;
+  op.kind = Op::Kind::kReplaceBlock;
+  op.relation = relation;
+  op.key = std::move(key);
+  op.block_facts = std::move(facts);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+namespace {
+
+/// One validated primitive mutation; the apply phase cannot fail.
+struct Action {
+  bool add = false;
+  Fact fact;
+};
+
+using FactSet = std::unordered_set<Fact, FactHash>;
+
+/// Resolves the delta into primitive actions with sequential semantics,
+/// validating every op against the pre-delta database overlaid with the
+/// effect of the earlier ops. Nothing is mutated here — an error
+/// rejects the whole delta.
+Result<std::vector<Action>> ValidateDelta(const Database& db,
+                                          const Delta& delta) {
+  std::vector<Action> actions;
+  FactSet inserted;
+  FactSet removed;
+  // Signatures of relations first introduced by this delta.
+  std::unordered_map<SymbolId, std::pair<int, int>> new_sigs;
+
+  auto contains = [&](const Fact& f) {
+    if (removed.count(f) != 0) return false;
+    if (inserted.count(f) != 0) return true;
+    return db.Contains(f);
+  };
+  auto check_signature = [&](const Fact& f) -> Status {
+    auto sig = db.schema().Find(f.relation());
+    if (sig.has_value()) {
+      if (sig->arity != f.arity() || sig->key_arity != f.key_arity()) {
+        return Status::InvalidArgument(
+            "fact " + f.ToString() + " contradicts signature of relation '" +
+            SymbolName(f.relation()) + "'");
+      }
+      return Status::OK();
+    }
+    auto [it, fresh] = new_sigs.try_emplace(
+        f.relation(), f.arity(), f.key_arity());
+    if (!fresh && (it->second.first != f.arity() ||
+                   it->second.second != f.key_arity())) {
+      return Status::InvalidArgument(
+          "delta introduces relation '" + SymbolName(f.relation()) +
+          "' with two different signatures");
+    }
+    return Status::OK();
+  };
+  auto do_insert = [&](const Fact& f) -> Status {
+    CQA_RETURN_NOT_OK(check_signature(f));
+    if (contains(f)) return Status::OK();  // idempotent upsert
+    removed.erase(f);
+    inserted.insert(f);
+    actions.push_back({true, f});
+    return Status::OK();
+  };
+  auto do_remove = [&](const Fact& f) -> Status {
+    if (!contains(f)) {
+      return Status::NotFound("delta removes absent fact " + f.ToString());
+    }
+    inserted.erase(f);
+    removed.insert(f);
+    actions.push_back({false, f});
+    return Status::OK();
+  };
+
+  for (const Delta::Op& op : delta.ops()) {
+    switch (op.kind) {
+      case Delta::Op::Kind::kInsert:
+        CQA_RETURN_NOT_OK(do_insert(op.fact));
+        break;
+      case Delta::Op::Kind::kRemove:
+        CQA_RETURN_NOT_OK(do_remove(op.fact));
+        break;
+      case Delta::Op::Kind::kReplaceBlock: {
+        FactSet desired;
+        for (const Fact& f : op.block_facts) {
+          if (f.relation() != op.relation ||
+              f.key_arity() != static_cast<int>(op.key.size()) ||
+              f.KeyValues() != op.key) {
+            return Status::InvalidArgument(
+                "ReplaceBlock fact " + f.ToString() +
+                " does not belong to the replaced block");
+          }
+          desired.insert(f);
+        }
+        // The block's live contents under the overlay: its pre-delta
+        // facts plus any overlay inserts landing in it.
+        std::vector<Fact> current;
+        if (const Database::Block* block =
+                db.FindBlock(op.relation, op.key)) {
+          for (int fid : block->fact_ids) {
+            const Fact& f = db.facts()[fid];
+            if (contains(f)) current.push_back(f);
+          }
+        }
+        for (const Fact& f : inserted) {
+          if (f.relation() == op.relation &&
+              f.key_arity() == static_cast<int>(op.key.size()) &&
+              f.KeyValues() == op.key && !db.Contains(f)) {
+            current.push_back(f);
+          }
+        }
+        for (const Fact& f : current) {
+          if (desired.count(f) == 0) CQA_RETURN_NOT_OK(do_remove(f));
+        }
+        for (const Fact& f : op.block_facts) {
+          CQA_RETURN_NOT_OK(do_insert(f));
+        }
+        break;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- Session
+
+Session::Session(Database db) : Session(std::move(db), Options()) {}
+
+Session::Session(Database db, const Options& options)
+    : options_(options),
+      db_(std::move(db)),
+      plan_cache_(options.plan_cache != nullptr ? options.plan_cache
+                                                : &PlanCache::Global()) {
+  for (const Fact& f : db_.facts()) BumpAdomCounts(f, +1);
+  int n = options_.num_threads > 0 ? options_.num_threads
+                                   : DefaultServingThreads();
+  pool_ = std::make_unique<ThreadPool>(n);
+  workers_.reserve(pool_->size());
+  for (int i = 0; i < pool_->size(); ++i) {
+    workers_.push_back(std::make_unique<EvalContext>(db_));
+  }
+}
+
+Session::~Session() = default;
+
+Database Session::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return db_;
+}
+
+Session::Stats Session::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Session::BumpAdomCounts(const Fact& fact, int direction) {
+  for (SymbolId v : fact.values()) {
+    if (direction > 0) {
+      ++adom_counts_[v];
+    } else {
+      auto it = adom_counts_.find(v);
+      assert(it != adom_counts_.end());
+      if (--it->second == 0) adom_counts_.erase(it);
+    }
+  }
+}
+
+void Session::ForEachLiveIndex(const std::function<void(FactIndex&)>& fn) {
+  for (const std::unique_ptr<EvalContext>& worker : workers_) {
+    if (FactIndex* index = worker->fact_index_if_built()) fn(*index);
+  }
+}
+
+void Session::ApplyAdd(const Fact& fact) {
+  Status st = db_.AddFact(fact);
+  assert(st.ok());
+  (void)st;
+  const Fact* added = db_.FactPtr(fact);
+  ForEachLiveIndex([&](FactIndex& index) { index.Add(added); });
+  BumpAdomCounts(fact, +1);
+}
+
+void Session::ApplyRemove(const Fact& fact) {
+  // RemoveFact relocates the last fact into the vacated slot, so live
+  // indexes must drop both affected addresses while their contents are
+  // still valid, and re-add the slot once it holds the relocated fact.
+  const Fact* target = db_.FactPtr(fact);
+  const Fact* last = db_.LastFact();
+  assert(target != nullptr && last != nullptr);
+  ForEachLiveIndex([&](FactIndex& index) {
+    index.Remove(target);
+    if (last != target) index.Remove(last);
+  });
+  Status st = db_.RemoveFact(fact);
+  assert(st.ok());
+  (void)st;
+  if (last != target) {
+    ForEachLiveIndex([&](FactIndex& index) { index.Add(target); });
+  }
+  BumpAdomCounts(fact, -1);
+}
+
+Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+
+  Result<std::vector<Action>> actions = ValidateDelta(db_, delta);
+  if (!actions.ok()) return actions.status();
+
+  bool domain_changed = false;
+  std::vector<std::pair<SymbolId, std::vector<SymbolId>>> blocks;
+  uint64_t added = 0;
+  uint64_t removed = 0;
+  for (const Action& action : *actions) {
+    size_t before = adom_counts_.size();
+    if (action.add) {
+      ApplyAdd(action.fact);
+      ++added;
+    } else {
+      ApplyRemove(action.fact);
+      ++removed;
+    }
+    domain_changed = domain_changed || adom_counts_.size() != before;
+    blocks.emplace_back(action.fact.relation(), action.fact.KeyValues());
+  }
+
+  if (domain_changed) {
+    std::vector<SymbolId> adom;
+    adom.reserve(adom_counts_.size());
+    for (const auto& [constant, count] : adom_counts_) {
+      (void)count;
+      adom.push_back(constant);
+    }
+    std::sort(adom.begin(), adom.end());
+    for (const std::unique_ptr<EvalContext>& worker : workers_) {
+      if (FormulaEvaluator* evaluator = worker->evaluator_if_built()) {
+        evaluator->SetActiveDomain(adom);
+      }
+    }
+  }
+
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+  uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  delta_log_.push_back(DeltaRecord{next, std::move(blocks)});
+  while (delta_log_.size() > options_.delta_log_window) {
+    delta_log_.pop_front();
+  }
+  epoch_.store(next, std::memory_order_release);
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.deltas_applied;
+    stats_.facts_added += added;
+    stats_.facts_removed += removed;
+  }
+  return next;
+}
+
+// ----------------------------------------------------------- serving
+
+void Session::RunOnPool(
+    size_t n, const std::function<void(EvalContext&, size_t)>& serve) {
+  if (n == 0) return;
+  int spawned = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(pool_->size()), n));
+  std::atomic<size_t> cursor{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = spawned;
+  for (int t = 0; t < spawned; ++t) {
+    pool_->Submit([&] {
+      int w = pool_->WorkerIndexHere();
+      assert(w >= 0);
+      EvalContext& ctx = *workers_[w];
+      for (size_t i = cursor.fetch_add(1); i < n;
+           i = cursor.fetch_add(1)) {
+        serve(ctx, i);
+      }
+      // Notify while holding the mutex: the waiter owns these stack
+      // variables and may destroy them as soon as it can observe
+      // remaining == 0, which it cannot before this lock is released.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --remaining;
+      done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+std::vector<Result<SolveOutcome>> Session::SolveBatch(
+    const std::vector<Query>& queries) {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  std::vector<Result<SolveOutcome>> results(
+      queries.size(),
+      Result<SolveOutcome>(Status::Internal("batch item not served")));
+  RunOnPool(queries.size(), [&](EvalContext& ctx, size_t i) {
+    Result<std::shared_ptr<const QueryPlan>> plan =
+        plan_cache_->GetOrCompile(queries[i]);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      return;
+    }
+    results[i] = (*plan)->Solve(ctx);
+  });
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.solves += queries.size();
+  }
+  return results;
+}
+
+Result<SolveOutcome> Session::Solve(const Query& q) {
+  return SolveBatch({q})[0];
+}
+
+std::vector<Result<std::vector<std::vector<SymbolId>>>>
+Session::CertainAnswersBatch(
+    const std::vector<CertainAnswersRequest>& requests) {
+  using Rows = std::vector<std::vector<SymbolId>>;
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  std::vector<Result<Rows>> results(
+      requests.size(),
+      Result<Rows>(Status::Internal("batch item not served")));
+  RunOnPool(requests.size(), [&](EvalContext& ctx, size_t i) {
+    results[i] =
+        ServeCertain(ctx, requests[i].query, requests[i].free_vars);
+  });
+  return results;
+}
+
+Result<std::vector<std::vector<SymbolId>>> Session::CertainAnswers(
+    const Query& q, const std::vector<SymbolId>& free_vars) {
+  return CertainAnswersBatch({{q, free_vars}})[0];
+}
+
+Result<std::vector<std::vector<SymbolId>>> Session::ComputeCertainFull(
+    EvalContext& ctx, const Query& q,
+    const std::vector<SymbolId>& free_vars, const QueryPlan& plan) {
+  std::set<std::vector<SymbolId>> candidates;
+  CollectProjections(ctx.fact_index(), q, Valuation(), free_vars,
+                     &candidates);
+  std::vector<std::vector<SymbolId>> out;
+  if (free_vars.empty()) {
+    // Boolean semantics: q must be possible (certain answers are always
+    // possible answers) and then certain.
+    if (!candidates.empty()) {
+      Result<SolveOutcome> solved = plan.Solve(ctx);
+      if (!solved.ok()) return solved.status();
+      if (solved->certain) out.push_back({});
+    }
+    return out;
+  }
+  uint64_t decided = 0;
+  for (const std::vector<SymbolId>& row : candidates) {
+    Result<bool> certain = plan.IsCertainRow(ctx, row);
+    if (!certain.ok()) return certain.status();
+    ++decided;
+    if (*certain) out.push_back(row);
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.rows_decided += decided;
+  }
+  return out;
+}
+
+std::optional<std::vector<Session::DirtyPattern>>
+Session::DirtyPatternsSince(uint64_t from_epoch,
+                            const QueryPlan& plan) const {
+  // Reads delta_log_ under the shared epoch lock held by the caller
+  // (the log only mutates under the exclusive lock).
+  uint64_t now = epoch_.load(std::memory_order_relaxed);
+  if (from_epoch == now) return std::vector<DirtyPattern>{};
+  if (delta_log_.empty() || delta_log_.front().epoch > from_epoch + 1) {
+    return std::nullopt;  // The log no longer covers the entry's epoch.
+  }
+  std::vector<DirtyPattern> out;
+  for (const DeltaRecord& record : delta_log_) {
+    if (record.epoch <= from_epoch) continue;
+    for (const auto& [relation, key] : record.blocks) {
+      for (const AtomKeyPattern& pattern : plan.key_patterns()) {
+        if (pattern.relation != relation ||
+            pattern.key.size() != key.size()) {
+          continue;
+        }
+        DirtyPattern dirty;
+        bool matches = true;
+        for (size_t i = 0; i < key.size() && matches; ++i) {
+          const AtomKeyPattern::Slot& slot = pattern.key[i];
+          switch (slot.kind) {
+            case AtomKeyPattern::Slot::Kind::kConstant:
+              matches = slot.constant == key[i];
+              break;
+            case AtomKeyPattern::Slot::Kind::kParam: {
+              bool bound = false;
+              for (const auto& [param, value] : dirty.bindings) {
+                if (param == slot.param) {
+                  bound = true;
+                  matches = value == key[i];
+                }
+              }
+              if (!bound) dirty.bindings.emplace_back(slot.param, key[i]);
+              break;
+            }
+            case AtomKeyPattern::Slot::Kind::kWildcard:
+              break;
+          }
+        }
+        if (!matches) continue;
+        if (dirty.bindings.empty()) {
+          // The block reaches every answer row (no key position pins a
+          // parameter): the whole entry is dirty.
+          return std::nullopt;
+        }
+        std::sort(dirty.bindings.begin(), dirty.bindings.end());
+        out.push_back(std::move(dirty));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > options_.max_dirty_patterns) return std::nullopt;
+  return out;
+}
+
+Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
+    EvalContext& ctx, const Query& q,
+    const std::vector<SymbolId>& free_vars) {
+  using Rows = std::vector<std::vector<SymbolId>>;
+  VarSet query_vars = q.Vars();
+  for (SymbolId v : free_vars) {
+    if (query_vars.count(v) == 0) {
+      return Status::InvalidArgument(
+          "free variable '" + SymbolName(v) +
+          "' does not occur in the query " + q.ToString());
+    }
+  }
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      free_vars.empty() ? plan_cache_->GetOrCompile(q)
+                        : plan_cache_->GetOrCompile(q, free_vars);
+  if (!plan.ok()) return plan.status();
+  const std::string& key = (*plan)->cache_key();
+  uint64_t now = epoch_.load(std::memory_order_relaxed);
+
+  std::optional<std::pair<uint64_t, Rows>> cached;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = answers_.find(key);
+    if (it != answers_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      cached.emplace(it->second.epoch, it->second.rows);
+    }
+  }
+  if (cached.has_value() && cached->first == now) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.answers_cached;
+    return cached->second;
+  }
+
+  Rows rows;
+  bool incremental = false;
+  if (cached.has_value() && !free_vars.empty()) {
+    std::optional<std::vector<DirtyPattern>> patterns =
+        DirtyPatternsSince(cached->first, **plan);
+    if (patterns.has_value()) {
+      incremental = true;
+      auto matches_any = [&](const std::vector<SymbolId>& row) {
+        for (const DirtyPattern& pattern : *patterns) {
+          bool all = true;
+          for (const auto& [param, value] : pattern.bindings) {
+            all = all && row[param] == value;
+          }
+          if (all) return true;
+        }
+        return false;
+      };
+      // Rows out of every changed block's reach keep their status.
+      std::set<std::vector<SymbolId>> keep;
+      for (const std::vector<SymbolId>& row : cached->second) {
+        if (!matches_any(row)) keep.insert(row);
+      }
+      uint64_t reused = keep.size();
+      // Dirty candidates: the possible rows matching a pattern, found
+      // by seeding the matcher with the pattern's key values (dropped
+      // cached rows that are no longer possible never re-enter).
+      std::set<std::vector<SymbolId>> candidates;
+      for (const DirtyPattern& pattern : *patterns) {
+        Valuation initial;
+        for (const auto& [param, value] : pattern.bindings) {
+          initial.Bind(free_vars[param], value);
+        }
+        CollectProjections(ctx.fact_index(), q, initial, free_vars,
+                           &candidates);
+      }
+      uint64_t decided = 0;
+      for (const std::vector<SymbolId>& row : candidates) {
+        Result<bool> certain = (*plan)->IsCertainRow(ctx, row);
+        if (!certain.ok()) return certain.status();
+        ++decided;
+        if (*certain) keep.insert(row);
+      }
+      rows.assign(keep.begin(), keep.end());
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.answers_incremental;
+        stats_.rows_reused += reused;
+        stats_.rows_decided += decided;
+      }
+    }
+  } else if (cached.has_value() && free_vars.empty()) {
+    // Boolean entries: clean iff no changed block matches any pattern
+    // (patterns without parameters always force a full recompute, so a
+    // non-null result here is necessarily empty).
+    std::optional<std::vector<DirtyPattern>> patterns =
+        DirtyPatternsSince(cached->first, **plan);
+    if (patterns.has_value() && patterns->empty()) {
+      incremental = true;
+      rows = cached->second;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.answers_incremental;
+    }
+  }
+
+  if (!incremental) {
+    Result<Rows> full = ComputeCertainFull(ctx, q, free_vars, **plan);
+    if (!full.ok()) return full.status();
+    rows = *std::move(full);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.answers_full;
+  }
+
+  if (options_.answer_cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = answers_.find(key);
+    if (it != answers_.end()) {
+      // Keep the freshest result (a concurrent worker may have stored
+      // the same epoch already; both computed identical rows).
+      if (it->second.epoch <= now) {
+        it->second.epoch = now;
+        it->second.rows = rows;
+      }
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    } else {
+      lru_.push_front(key);
+      CacheEntry entry;
+      entry.epoch = now;
+      entry.rows = rows;
+      entry.lru_pos = lru_.begin();
+      answers_.emplace(key, std::move(entry));
+      while (answers_.size() > options_.answer_cache_capacity) {
+        answers_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace cqa

@@ -1,0 +1,257 @@
+#ifndef CQA_SERVE_SESSION_H_
+#define CQA_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
+#include "solvers/engine.h"
+#include "solvers/solver.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// The long-lived serving tier. A `Session` owns ONE uncertain database
+/// and serves CERTAINTY decisions and certain-answer queries against it
+/// over a *persistent* worker pool, while the database evolves through
+/// transactional deltas:
+///
+///   * each pool worker keeps one `EvalContext` whose `FactIndex` (and
+///     borrowed FO evaluator) survives across calls — `ApplyDelta`
+///     patches the already-built indexes in place through the
+///     incremental `FactIndex::Add/Remove` paths instead of letting the
+///     next call reindex the world;
+///   * deltas are transactional (`Insert` / `Remove` / `ReplaceBlock`
+///     ops validate as a unit against the pre-delta state; an invalid
+///     op rejects the whole delta and mutates nothing) and bump the
+///     session *epoch*;
+///   * consistency is reader/writer: serving calls hold the epoch lock
+///     shared for their whole batch, `ApplyDelta` takes it exclusively,
+///     so every solve reads one consistent snapshot and no index is
+///     ever patched mid-search;
+///   * certain-answer results are cached per session and invalidated
+///     *per answer row* by matching the delta's changed blocks against
+///     the compiled plan's key patterns (`AtomKeyPattern`): after a
+///     delta, only rows whose key patterns the changed blocks can reach
+///     are re-decided, and the candidate scan for those rows is seeded
+///     with the touched key values so the matcher's key-prefix buckets
+///     prune the enumeration. Rows out of every changed block's reach
+///     are served straight from the cache — which is what makes a small
+///     delta over a large database cheap to re-serve.
+///
+/// Do not call serving methods from inside the session's own pool
+/// workers (the completion wait would self-deadlock).
+
+namespace cqa {
+
+/// A transactional batch of database mutations. Ops apply in insertion
+/// order with sequential semantics; validation of the whole batch
+/// happens against the pre-delta database before anything mutates.
+class Delta {
+ public:
+  /// Inserts a fact. Inserting an already-present fact is a no-op
+  /// (idempotent upsert); a fact contradicting the relation's signature
+  /// rejects the delta.
+  Delta& Insert(Fact fact);
+
+  /// Removes a fact. Removing an absent fact rejects the delta.
+  Delta& Remove(Fact fact);
+
+  /// Replaces the whole block (relation, key): current facts of the
+  /// block are removed, `facts` (each of which must carry exactly this
+  /// relation and key) are inserted. An empty `facts` deletes the
+  /// block; a missing block makes this a pure insert.
+  Delta& ReplaceBlock(SymbolId relation, std::vector<SymbolId> key,
+                      std::vector<Fact> facts);
+
+  bool empty() const { return ops_.empty(); }
+
+  struct Op {
+    enum class Kind { kInsert, kRemove, kReplaceBlock };
+    Kind kind;
+    Fact fact;                      // kInsert / kRemove
+    SymbolId relation = 0;          // kReplaceBlock
+    std::vector<SymbolId> key;      // kReplaceBlock
+    std::vector<Fact> block_facts;  // kReplaceBlock
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+class Session {
+ public:
+  struct Options {
+    /// Worker threads; 0 = DefaultServingThreads().
+    int num_threads = 0;
+    /// Plan cache to resolve queries through; null = PlanCache::Global().
+    PlanCache* plan_cache = nullptr;
+    /// Certain-answer cache entries kept (per canonical query).
+    size_t answer_cache_capacity = 256;
+    /// Deltas remembered for incremental invalidation; an answer-cache
+    /// entry staler than this many epochs is recomputed in full.
+    size_t delta_log_window = 64;
+    /// Dirty key patterns tolerated per (entry, delta-range) before the
+    /// incremental path gives up and recomputes in full.
+    size_t max_dirty_patterns = 32;
+  };
+
+  /// Takes ownership of the database snapshot.
+  explicit Session(Database db);
+  Session(Database db, const Options& options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Monotone version of the owned database; bumped by every applied
+  /// delta.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// The owned database. Only coherent while no ApplyDelta runs
+  /// concurrently; concurrent callers should use Snapshot().
+  const Database& db() const { return db_; }
+
+  /// A copy of the current database, taken under the epoch lock.
+  Database Snapshot() const;
+
+  /// Applies the delta transactionally: validates every op against the
+  /// pre-delta state, then mutates the database and patches every
+  /// worker's live indexes incrementally. Returns the new epoch. On
+  /// error nothing changed.
+  Result<uint64_t> ApplyDelta(const Delta& delta);
+
+  // --------------------------------------------------------- serving
+  Result<SolveOutcome> Solve(const Query& q);
+  std::vector<Result<SolveOutcome>> SolveBatch(
+      const std::vector<Query>& queries);
+
+  /// Certain answers of (q, free_vars), served from the per-session
+  /// cache when the epoch allows it (fully, or re-deciding only the
+  /// dirty rows). Rows are sorted lexicographically.
+  Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
+      const Query& q, const std::vector<SymbolId>& free_vars);
+  std::vector<Result<std::vector<std::vector<SymbolId>>>>
+  CertainAnswersBatch(const std::vector<CertainAnswersRequest>& requests);
+
+  struct Stats {
+    uint64_t deltas_applied = 0;
+    uint64_t facts_added = 0;
+    uint64_t facts_removed = 0;
+    uint64_t solves = 0;
+    /// CertainAnswers outcomes by path.
+    uint64_t answers_cached = 0;       // served verbatim from cache
+    uint64_t answers_incremental = 0;  // dirty rows re-decided only
+    uint64_t answers_full = 0;         // full recompute
+    /// Row-level accounting across the incremental path.
+    uint64_t rows_reused = 0;
+    uint64_t rows_decided = 0;
+  };
+  Stats stats() const;
+
+  int num_threads() const { return pool_->size(); }
+
+ private:
+  /// One cached certain-answer result, keyed (in answers_) by the
+  /// plan's canonical key — α-variant requests share the entry. The
+  /// serve path re-resolves query and plan from the caller each call,
+  /// so the entry carries only what invalidation needs.
+  struct CacheEntry {
+    uint64_t epoch = 0;
+    std::vector<std::vector<SymbolId>> rows;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// One applied delta: the blocks it touched, at the epoch it created.
+  struct DeltaRecord {
+    uint64_t epoch = 0;
+    /// Deduped (relation, key) pairs.
+    std::vector<std::pair<SymbolId, std::vector<SymbolId>>> blocks;
+  };
+
+  /// A conjunctive constraint on answer rows: row[param] == value for
+  /// every binding. Rows matching any dirty pattern are re-decided.
+  struct DirtyPattern {
+    std::vector<std::pair<int, SymbolId>> bindings;
+    bool operator<(const DirtyPattern& o) const {
+      return bindings < o.bindings;
+    }
+    bool operator==(const DirtyPattern& o) const {
+      return bindings == o.bindings;
+    }
+  };
+
+  /// Runs `serve(ctx, index)` for index in [0, n) over the persistent
+  /// pool (min(n, pool size) cursor workers) and waits for completion
+  /// of exactly these submissions.
+  void RunOnPool(size_t n,
+                 const std::function<void(EvalContext&, size_t)>& serve);
+
+  Result<std::vector<std::vector<SymbolId>>> ServeCertain(
+      EvalContext& ctx, const Query& q,
+      const std::vector<SymbolId>& free_vars);
+
+  /// Full candidate enumeration + per-row decision.
+  Result<std::vector<std::vector<SymbolId>>> ComputeCertainFull(
+      EvalContext& ctx, const Query& q,
+      const std::vector<SymbolId>& free_vars, const QueryPlan& plan);
+
+  /// The dirty patterns accumulated since `from_epoch` for this plan,
+  /// or nullopt when incremental serving is not possible (log gap, an
+  /// unconstrained pattern match, or too many patterns).
+  std::optional<std::vector<DirtyPattern>> DirtyPatternsSince(
+      uint64_t from_epoch, const QueryPlan& plan) const;
+
+  /// Applies one validated primitive action and patches live indexes.
+  void ApplyAdd(const Fact& fact);
+  void ApplyRemove(const Fact& fact);
+  void ForEachLiveIndex(const std::function<void(FactIndex&)>& fn);
+  void BumpAdomCounts(const Fact& fact, int direction);
+
+  Options options_;
+  Database db_;
+  PlanCache* plan_cache_;
+
+  /// Serving holds it shared for a whole call; ApplyDelta exclusively.
+  mutable std::shared_mutex epoch_mu_;
+  std::atomic<uint64_t> epoch_{0};
+
+  /// Constant -> number of occurrences across all fact positions; the
+  /// exact active domain is its key set (rewritings contain negation,
+  /// so a stale superset would be unsound).
+  std::unordered_map<SymbolId, uint64_t> adom_counts_;
+
+  /// Per-worker contexts, index-aligned with the pool's workers.
+  std::vector<std::unique_ptr<EvalContext>> workers_;
+
+  /// Applied-delta history, newest at the back, trimmed to
+  /// options_.delta_log_window.
+  std::deque<DeltaRecord> delta_log_;
+
+  /// Certain-answer cache, keyed by the plan's canonical key.
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, CacheEntry> answers_;
+  std::list<std::string> lru_;  // front = most recent
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  /// Declared last: its destructor joins the workers while the members
+  /// above (which tasks reference) are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_SESSION_H_

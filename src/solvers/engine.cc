@@ -30,18 +30,7 @@ Result<std::vector<std::vector<SymbolId>>> PossibleAnswersImpl(
     }
   }
   std::set<std::vector<SymbolId>> answers;
-  ForEachEmbedding(ctx.fact_index(), q, Valuation(),
-                   [&](const Valuation& theta) {
-                     std::vector<SymbolId> row;
-                     row.reserve(free_vars.size());
-                     for (SymbolId v : free_vars) {
-                       // Occurrence in q guarantees every embedding
-                       // binds v.
-                       row.push_back(*theta.Get(v));
-                     }
-                     answers.insert(std::move(row));
-                     return true;
-                   });
+  CollectProjections(ctx.fact_index(), q, Valuation(), free_vars, &answers);
   return std::vector<std::vector<SymbolId>>(answers.begin(), answers.end());
 }
 

@@ -37,17 +37,16 @@ Encoding Encode(EvalContext& ctx, const Query& q) {
     }
   }
   // Forbid every embedding of q. The matcher hands back the matched
-  // facts; their ids are offsets into db.facts(), no hashing needed. The
-  // index comes from the context, so a batch worker reuses one set of
-  // lazily built buckets across every query it serves.
-  const Fact* base = db.facts().data();
+  // facts; their ids come from the database's address->id map, no value
+  // hashing needed. The index comes from the context, so a batch worker
+  // reuses one set of lazily built buckets across every query it serves.
   ForEachEmbeddingFacts(
       ctx.fact_index(), q, Valuation(),
       [&](const Valuation&, const std::vector<const Fact*>& facts) {
         std::vector<int> clause;
         clause.reserve(q.size());
         for (const Fact* fact : facts) {
-          int fid = static_cast<int>(fact - base);
+          int fid = db.FactIdOf(fact);
           int lit = -enc.fact_var[fid];
           // Dedup repeated literals (two atoms hitting the same fact).
           bool dup = false;

@@ -89,7 +89,13 @@ FactIndex& EvalContext::fact_index() {
 }
 
 const FormulaEvaluator& EvalContext::evaluator() {
-  if (!evaluator_.has_value()) evaluator_.emplace(db_);
+  // Borrow the context's fact index (building it if needed): the
+  // evaluator's guarded quantifiers and atom checks then profit from
+  // buckets warmed by the matcher, and a serving session has only one
+  // structure to patch per delta.
+  if (!evaluator_.has_value()) {
+    evaluator_.emplace(&fact_index(), db_.ActiveDomain());
+  }
   return *evaluator_;
 }
 

@@ -108,8 +108,27 @@ class EvalContext {
   /// Lazily built hash index over db's facts, shared across calls.
   FactIndex& fact_index();
 
-  /// Lazily built FO evaluator (owns its own index + active domain).
+  /// Lazily built FO evaluator. Borrows fact_index() (one set of
+  /// buckets per context, not two) and snapshots the active domain.
   const FormulaEvaluator& evaluator();
+
+  // ----------------------------------------------- serving-session hooks
+  // A long-lived serving `Session` keeps one EvalContext per worker and
+  // patches the lazily built state in place after each database delta
+  // instead of rebuilding it (see serve/session.cc). State that was
+  // never built needs no patching: its first use reads the post-delta
+  // database.
+
+  /// The fact index, when already built (null otherwise).
+  FactIndex* fact_index_if_built() {
+    return index_.has_value() ? &*index_ : nullptr;
+  }
+
+  /// The FO evaluator, when already built (null otherwise). Mutable so
+  /// the session can swap in the post-delta active domain.
+  FormulaEvaluator* evaluator_if_built() {
+    return evaluator_.has_value() ? &*evaluator_ : nullptr;
+  }
 
  private:
   const Database& db_;

@@ -19,13 +19,11 @@ namespace {
 std::vector<std::pair<int, int>> ConflictPairs(const Database& db,
                                                const Query& q) {
   std::vector<std::pair<int, int>> pairs;
-  const Fact* base = db.facts().data();
   FactIndex index(db);
   ForEachEmbeddingFacts(
       index, q, Valuation(),
       [&](const Valuation&, const std::vector<const Fact*>& facts) {
-        pairs.emplace_back(static_cast<int>(facts[0] - base),
-                           static_cast<int>(facts[1] - base));
+        pairs.emplace_back(db.FactIdOf(facts[0]), db.FactIdOf(facts[1]));
         return true;
       });
   // Dedup (repeated variables can produce the same pair twice).

@@ -4,11 +4,23 @@
 
 namespace cqa {
 
+namespace {
+
+/// Which pool (if any) the current thread belongs to, and its index
+/// there. Written once per worker thread before any task runs.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -34,7 +46,13 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::WorkerIndexHere() const {
+  return tls_worker.pool == this ? tls_worker.index : -1;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker.pool = this;
+  tls_worker.index = worker_index;
   while (true) {
     std::function<void()> task;
     {

@@ -9,11 +9,19 @@
 #include <vector>
 
 /// \file
-/// A small fixed-size worker pool for the batched serving front. Tasks
-/// are plain closures; `Wait` blocks until everything submitted so far
-/// has drained. Deliberately minimal — no futures, no work stealing —
-/// the serving path partitions work with an atomic cursor, so each
-/// worker is one long-running task.
+/// A small fixed-size worker pool. Tasks are plain closures; `Wait`
+/// blocks until everything submitted so far has drained. Deliberately
+/// minimal — no futures, no work stealing — the serving paths partition
+/// work with an atomic cursor, so each worker is one long-running task.
+///
+/// The pool is built to be *persistent*: a long-lived serving `Session`
+/// owns one and submits work across its whole lifetime instead of
+/// spawning threads per batch. `WorkerIndexHere` identifies the calling
+/// worker within its pool, which is how per-worker state (a session's
+/// `EvalContext`s) is selected without locks; callers that need a
+/// completion barrier for *their* submissions only (concurrent batches
+/// sharing one pool) count completions themselves rather than using the
+/// global `Wait`.
 
 namespace cqa {
 
@@ -34,8 +42,13 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Index of the calling thread within THIS pool, in [0, size()), or
+  /// -1 when the caller is not one of this pool's workers. Thread-local
+  /// under the hood, so it is race-free by construction.
+  int WorkerIndexHere() const;
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -119,7 +119,9 @@ TEST(SatSolverTest, EmptyDatabaseFalsifiesNonemptyQuery) {
 TEST(SatSolverTest, FalsifyingRepairIsARealRepair) {
   Database db = corpus::ConferenceDatabase();
   Query q = corpus::ConferenceQuery();
-  auto repair = *SatSolver(q).FindFalsifyingRepair(db);
+  auto found = SatSolver(q).FindFalsifyingRepair(db);
+  ASSERT_TRUE(found.ok());
+  const std::optional<std::vector<Fact>>& repair = *found;
   ASSERT_TRUE(repair.has_value());
   EXPECT_EQ(repair->size(), db.blocks().size());
   Database as_db;
