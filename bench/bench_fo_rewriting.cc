@@ -1,10 +1,18 @@
-// E7 — Theorem 1: certain FO rewriting vs the exponential baseline.
+// E7 — Theorem 1: certain FO rewriting vs the exponential baseline,
+// and row-at-a-time interpretation vs set-at-a-time program execution.
 //
 // On path queries (acyclic attack graphs) the rewriting answers
 // CERTAINTY in polynomial time; repair enumeration blows up with the
 // number of uncertain blocks, and SAT sits in between. The crossover
 // shape — FO flat, oracle exponential — is the figure this bench
 // regenerates.
+//
+// The *CertainAnswers{Interpreter,Program} pair is the compiled-
+// execution series: the same parameterized plan deciding the same
+// candidate rows, once through the tree interpreter (one AST descent +
+// full guard-relation scan per row) and once through the FoProgram
+// executor (all rows in one indexed pass). Their ratio at the largest
+// size is the set-at-a-time speedup recorded in BENCH_results.json.
 
 #include "bench_main.h"
 
@@ -22,6 +30,92 @@ Database PathDb(int blocks, uint64_t seed) {
   options.seed = seed;
   return RandomBlockDatabase(corpus::PathQuery2(), options);
 }
+
+/// Shared setup of the certain-answers series: the parameterized plan
+/// for PathQuery2 with free variable x and the candidate rows of `db`.
+struct AnswerBench {
+  std::shared_ptr<const QueryPlan> plan;
+  std::vector<std::vector<SymbolId>> rows;
+
+  static AnswerBench Make(const Database& db) {
+    AnswerBench out;
+    Query q = corpus::PathQuery2();
+    std::vector<SymbolId> fv = {InternSymbol("x")};
+    out.plan = QueryPlan::Compile(q, fv).value();
+    FactIndex index(db);
+    out.rows = CollectProjectionsSorted(index, q, Valuation(), fv);
+    return out;
+  }
+};
+
+void BM_Fo_CertainAnswersInterpreter(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  AnswerBench bench = AnswerBench::Make(db);
+  EvalContext ctx(db);
+  size_t certain = 0;
+  for (auto _ : state) {
+    certain = 0;
+    // Row-at-a-time oracle: one tree descent per candidate row.
+    for (const std::vector<SymbolId>& row : bench.rows) {
+      if (*bench.plan->IsCertainRow(ctx, row)) ++certain;
+    }
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["facts"] = db.size();
+  state.counters["rows"] = static_cast<double>(bench.rows.size());
+  state.counters["certain"] = static_cast<double>(certain);
+}
+BENCHMARK(BM_Fo_CertainAnswersInterpreter)
+    ->RangeMultiplier(4)
+    ->Range(32, cqa_bench::RangeLimit(2048, 128));
+
+void BM_Fo_CertainAnswersProgram(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  AnswerBench bench = AnswerBench::Make(db);
+  EvalContext ctx(db);
+  size_t certain = 0;
+  for (auto _ : state) {
+    // Set-at-a-time: every candidate row in one pass over the index.
+    std::vector<char> decided =
+        bench.plan->IsCertainRows(ctx, bench.rows).value();
+    certain = 0;
+    for (char c : decided) certain += c != 0;
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["facts"] = db.size();
+  state.counters["rows"] = static_cast<double>(bench.rows.size());
+  state.counters["certain"] = static_cast<double>(certain);
+}
+BENCHMARK(BM_Fo_CertainAnswersProgram)
+    ->RangeMultiplier(4)
+    ->Range(32, cqa_bench::RangeLimit(2048, 128));
+
+void BM_Fo_BooleanInterpreter(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  Result<FoSolver> solver = FoSolver::Create(corpus::PathQuery2());
+  EvalContext ctx(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.evaluator().Eval(solver->rewriting()));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Fo_BooleanInterpreter)
+    ->RangeMultiplier(4)
+    ->Range(32, cqa_bench::RangeLimit(2048, 128));
+
+void BM_Fo_BooleanProgram(benchmark::State& state) {
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  Result<FoSolver> solver = FoSolver::Create(corpus::PathQuery2());
+  EvalContext ctx(db);
+  const FoProgram& program = *solver->program();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.EvaluateBool(ctx.fact_index(), {}));
+  }
+  state.counters["facts"] = db.size();
+}
+BENCHMARK(BM_Fo_BooleanProgram)
+    ->RangeMultiplier(4)
+    ->Range(32, cqa_bench::RangeLimit(2048, 128));
 
 void BM_Fo_PathRewriting(benchmark::State& state) {
   Database db = PathDb(static_cast<int>(state.range(0)), 42);

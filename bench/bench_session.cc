@@ -80,14 +80,14 @@ void BM_Session_DeltaReServe(benchmark::State& state) {
   Query q = PathQ();
   std::vector<SymbolId> fv = {InternSymbol("x")};
   // Warm: one full compute populates the cache and the worker index.
-  size_t rows = session.CertainAnswers(q, fv)->size();
+  size_t rows = (*session.CertainAnswers(q, fv))->size();
   int k = 0;
   bool uncertain = true;
   for (auto _ : state) {
     session.ApplyDelta(FlipDelta(k, uncertain)).ok();
     auto served = session.CertainAnswers(q, fv);
     benchmark::DoNotOptimize(served);
-    rows = served->size();
+    rows = (*served)->size();
     k = (k + 13) % n;
     uncertain = !uncertain;
   }

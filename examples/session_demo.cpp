@@ -52,9 +52,9 @@ int main() {
               static_cast<unsigned long long>(session.epoch()));
 
   // -------------------------------------------------- 2. serve + cache
-  auto rows = session.CertainAnswers(q, free_vars).value();
-  PrintRows("certain parts", rows);
-  session.CertainAnswers(q, free_vars).value();  // cache hit
+  auto rows = session.CertainAnswers(q, free_vars).value();  // shared snapshot
+  PrintRows("certain parts", *rows);
+  session.CertainAnswers(q, free_vars).value();  // cache hit (same snapshot)
   std::printf("cache: %llu hit, %llu full computes\n\n",
               static_cast<unsigned long long>(session.stats().answers_cached),
               static_cast<unsigned long long>(session.stats().answers_full));
@@ -68,7 +68,7 @@ int main() {
   std::printf("applied delta -> epoch %llu\n",
               static_cast<unsigned long long>(epoch));
   rows = session.CertainAnswers(q, free_vars).value();
-  PrintRows("certain parts", rows);
+  PrintRows("certain parts", *rows);
 
   // ---------------------------------- 4. incremental re-serve, pruned
   // Resolve p2's supplier conflict by replacing the whole block: a
@@ -80,7 +80,7 @@ int main() {
                    {Fact::Make("S", {"p2", "globex"}, 1)});
   session.ApplyDelta(fix).value();
   rows = session.CertainAnswers(q, free_vars).value();
-  PrintRows("certain parts", rows);
+  PrintRows("certain parts", *rows);
   Session::Stats stats = session.stats();
   std::printf(
       "incremental serves: %llu, rows re-decided: %llu, reused: %llu\n\n",

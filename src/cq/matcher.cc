@@ -429,6 +429,14 @@ void CollectProjections(const FactIndex& index, const Query& q,
   });
 }
 
+std::vector<std::vector<SymbolId>> CollectProjectionsSorted(
+    const FactIndex& index, const Query& q, const Valuation& initial,
+    const std::vector<SymbolId>& vars) {
+  std::set<std::vector<SymbolId>> rows;
+  CollectProjections(index, q, initial, vars, &rows);
+  return std::vector<std::vector<SymbolId>>(rows.begin(), rows.end());
+}
+
 bool Satisfies(const Database& db, const Query& q) {
   return Satisfies(FactIndex(db), q);
 }

@@ -187,6 +187,14 @@ void CollectProjections(const FactIndex& index, const Query& q,
                         const std::vector<SymbolId>& vars,
                         std::set<std::vector<SymbolId>>* out);
 
+/// Convenience form returning the distinct projections as a sorted
+/// vector — the candidate-row shape the batched certainty deciders
+/// (`QueryPlan::IsCertainRows`, the serving session's recompute paths)
+/// consume directly.
+std::vector<std::vector<SymbolId>> CollectProjectionsSorted(
+    const FactIndex& index, const Query& q, const Valuation& initial,
+    const std::vector<SymbolId>& vars);
+
 }  // namespace cqa
 
 #endif  // CQA_CQ_MATCHER_H_

@@ -44,6 +44,7 @@
 #include "db/sampling.h"
 #include "fd/fd.h"
 #include "fo/evaluator.h"
+#include "fo/program.h"
 #include "fo/rewriter.h"
 #include "fo/sql_gen.h"
 #include "gen/db_gen.h"

@@ -38,6 +38,11 @@ class FormulaEvaluator {
     adom_ = std::move(adom);
   }
 
+  /// The active domain the unguarded quantifiers range over. The
+  /// set-at-a-time program executor reads it from here so both execution
+  /// modes always see the same (session-maintained) domain.
+  const std::vector<SymbolId>& adom() const { return adom_; }
+
   /// Evaluates a sentence (no free variables outside `binding`).
   bool Eval(const FormulaPtr& formula) const;
 

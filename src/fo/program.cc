@@ -1,0 +1,652 @@
+#include "fo/program.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+namespace cqa {
+
+// --------------------------------------------------------------- mode
+
+namespace {
+
+FoExecMode InitialExecMode() {
+  const char* interp = std::getenv("CQA_FO_INTERPRETER");
+  return interp != nullptr && *interp != '\0' && *interp != '0'
+             ? FoExecMode::kInterpreter
+             : FoExecMode::kProgram;
+}
+
+// Atomic so concurrent serving workers can read the mode while a test
+// harness flips it between phases (mirrors DefaultMatcherMode).
+std::atomic<FoExecMode>& ExecModeSingleton() {
+  static std::atomic<FoExecMode> mode{InitialExecMode()};
+  return mode;
+}
+
+}  // namespace
+
+FoExecMode DefaultFoExecMode() {
+  return ExecModeSingleton().load(std::memory_order_relaxed);
+}
+void SetDefaultFoExecMode(FoExecMode mode) {
+  ExecModeSingleton().store(mode, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- lowering
+
+namespace {
+
+using Op = FoProgram::Op;
+using Slot = FoProgram::Slot;
+
+/// Recursive lowering state: the op buffer under construction plus the
+/// static binding environment (variable -> register). The environment
+/// mirrors exactly what the interpreter's Valuation would contain at
+/// each node, so "statically bound" and "bound at evaluation time"
+/// coincide on well-scoped formulas.
+class Lowerer {
+ public:
+  Lowerer(std::vector<Op>* ops, int first_free_reg)
+      : ops_(ops), next_reg_(first_free_reg) {}
+
+  std::unordered_map<SymbolId, int>& env() { return env_; }
+  int width() const { return next_reg_; }
+  bool needs_adom() const { return needs_adom_; }
+
+  Result<int> Lower(const Formula& f);
+
+ private:
+  Result<Slot> ReadTerm(const Term& t) const {
+    Slot s;
+    if (t.is_const()) {
+      s.is_const = true;
+      s.value = t.id();
+      return s;
+    }
+    auto it = env_.find(t.id());
+    if (it == env_.end()) {
+      return Status::InvalidArgument(
+          "formula reads unbound variable '" + SymbolName(t.id()) +
+          "' (not quantified and not a program parameter)");
+    }
+    s.reg = it->second;
+    return s;
+  }
+
+  Result<int> LowerGuard(const Formula& f, Op::Kind kind);
+  Result<int> LowerDom(const Formula& f, Op::Kind kind);
+
+  int Emit(Op op) {
+    ops_->push_back(std::move(op));
+    return static_cast<int>(ops_->size()) - 1;
+  }
+
+  std::vector<Op>* ops_;
+  std::unordered_map<SymbolId, int> env_;
+  int next_reg_;
+  bool needs_adom_ = false;
+};
+
+Result<int> Lowerer::LowerGuard(const Formula& f, Op::Kind kind) {
+  const Atom& a = f.atom();
+  Op op;
+  op.kind = kind;
+  op.relation = a.relation();
+  op.key_arity = a.key_arity();
+  op.slots.reserve(a.arity());
+  std::vector<SymbolId> fresh;  // variables this guard binds.
+  // A position can seed an index probe only when its value is known
+  // BEFORE the guard runs: a constant, or a register bound by an outer
+  // scope. A check slot whose register this same atom binds at an
+  // earlier position (repeated variable, e.g. R(x | x)) is verified by
+  // MatchBind but cannot be probed.
+  std::vector<bool> probeable;
+  for (const Term& t : a.terms()) {
+    Slot s;
+    bool can_probe = false;
+    if (t.is_const()) {
+      s.is_const = true;
+      s.value = t.id();
+      can_probe = true;
+    } else if (auto it = env_.find(t.id()); it != env_.end()) {
+      s.reg = it->second;  // Bound: the position is a check.
+      can_probe = std::find(fresh.begin(), fresh.end(), t.id()) ==
+                  fresh.end();
+    } else {
+      s.reg = next_reg_++;
+      s.bind = true;
+      env_.emplace(t.id(), s.reg);
+      fresh.push_back(t.id());
+    }
+    op.slots.push_back(s);
+    probeable.push_back(can_probe);
+  }
+  // Probe plan: a run of >= 2 probeable leading positions is one
+  // key-prefix bucket (a length-1 prefix is the position-0 bucket); all
+  // probeable positions stay candidates for single-position buckets,
+  // and the executor picks the smallest at run time.
+  int leading = 0;
+  while (leading < a.arity() && probeable[leading]) ++leading;
+  op.prefix_len = leading >= 2 ? leading : 0;
+  for (int i = 0; i < a.arity(); ++i) {
+    if (probeable[i]) op.probe_positions.push_back(i);
+  }
+
+  Result<int> child = Lower(*f.children()[0]);
+  for (SymbolId v : fresh) env_.erase(v);
+  if (!child.ok()) return child.status();
+  op.child = *child;
+  return Emit(std::move(op));
+}
+
+Result<int> Lowerer::LowerDom(const Formula& f, Op::Kind kind) {
+  needs_adom_ = true;
+  Op op;
+  op.kind = kind;
+  op.reg = next_reg_++;
+  // Domain quantifiers shadow an existing binding (the interpreter
+  // rebinds the variable), unlike guards which treat it as a check.
+  auto it = env_.find(f.var());
+  std::optional<int> shadowed;
+  if (it != env_.end()) {
+    shadowed = it->second;
+    it->second = op.reg;
+  } else {
+    env_.emplace(f.var(), op.reg);
+  }
+  Result<int> child = Lower(*f.children()[0]);
+  if (shadowed.has_value()) {
+    env_[f.var()] = *shadowed;
+  } else {
+    env_.erase(f.var());
+  }
+  if (!child.ok()) return child.status();
+  op.child = *child;
+  return Emit(std::move(op));
+}
+
+Result<int> Lowerer::Lower(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue: {
+      Op op;
+      op.kind = Op::Kind::kTrue;
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kFalse: {
+      Op op;
+      op.kind = Op::Kind::kFalse;
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kEquals: {
+      Op op;
+      op.kind = Op::Kind::kEquals;
+      Result<Slot> lhs = ReadTerm(f.lhs());
+      if (!lhs.ok()) return lhs.status();
+      Result<Slot> rhs = ReadTerm(f.rhs());
+      if (!rhs.ok()) return rhs.status();
+      op.lhs = *lhs;
+      op.rhs = *rhs;
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kAtom: {
+      Op op;
+      op.kind = Op::Kind::kContains;
+      op.relation = f.atom().relation();
+      op.key_arity = f.atom().key_arity();
+      for (const Term& t : f.atom().terms()) {
+        Result<Slot> s = ReadTerm(t);
+        if (!s.ok()) return s.status();
+        op.slots.push_back(*s);
+      }
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kNot: {
+      Result<int> child = Lower(*f.children()[0]);
+      if (!child.ok()) return child.status();
+      Op op;
+      op.kind = Op::Kind::kNot;
+      op.child = *child;
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      bool conj = f.kind() == Formula::Kind::kAnd;
+      if (f.children().empty()) {
+        Op op;
+        op.kind = conj ? Op::Kind::kTrue : Op::Kind::kFalse;
+        return Emit(std::move(op));
+      }
+      if (f.children().size() == 1) return Lower(*f.children()[0]);
+      Op op;
+      op.kind = conj ? Op::Kind::kAnd : Op::Kind::kOr;
+      for (const FormulaPtr& c : f.children()) {
+        Result<int> child = Lower(*c);
+        if (!child.ok()) return child.status();
+        op.children.push_back(*child);
+      }
+      return Emit(std::move(op));
+    }
+    case Formula::Kind::kExistsGuard:
+      return LowerGuard(f, Op::Kind::kSemiJoin);
+    case Formula::Kind::kForallGuard:
+      return LowerGuard(f, Op::Kind::kAntiJoin);
+    case Formula::Kind::kExistsDom:
+      return LowerDom(f, Op::Kind::kExistsDom);
+    case Formula::Kind::kForallDom:
+      return LowerDom(f, Op::Kind::kForallDom);
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace
+
+Result<FoProgram> FoProgram::Lower(const FormulaPtr& formula,
+                                   const std::vector<SymbolId>& params) {
+  FoProgram prog;
+  prog.params_ = params;
+  Lowerer lowerer(&prog.ops_, static_cast<int>(params.size()));
+  for (size_t i = 0; i < params.size(); ++i) {
+    lowerer.env().emplace(params[i], static_cast<int>(i));
+  }
+  if (lowerer.env().size() != params.size()) {
+    return Status::InvalidArgument("program parameters must be distinct");
+  }
+  Result<int> root = lowerer.Lower(*formula);
+  if (!root.ok()) return root.status();
+  prog.root_ = *root;
+  prog.width_ = std::max(lowerer.width(), 1);
+  prog.needs_adom_ = lowerer.needs_adom();
+  return prog;
+}
+
+// ---------------------------------------------------------- execution
+
+namespace {
+
+/// Chunk sizing for extension batches. The budget starts small and
+/// doubles after every flush: a semijoin whose first extensions already
+/// witness the row (the common certain-database Boolean case) decides
+/// after a handful of child evaluations — the interpreter's
+/// first-witness short-circuit — while large batches quickly reach the
+/// cap where per-chunk dispatch amortizes across hundreds of rows.
+constexpr size_t kChunkInitial = 8;
+constexpr size_t kChunkRows = 512;
+
+using Bucket = std::vector<const Fact*>;
+
+/// A batch of partial bindings: a flat rows x width register matrix.
+struct Table {
+  size_t width = 0;
+  size_t n = 0;
+  std::vector<SymbolId> data;
+
+  SymbolId* row(size_t i) { return data.data() + i * width; }
+  const SymbolId* row(size_t i) const { return data.data() + i * width; }
+};
+
+class Executor {
+ public:
+  Executor(const FoProgram& prog, const FactIndex& index,
+           const std::vector<SymbolId>& adom)
+      : prog_(prog), index_(index), adom_(adom) {}
+
+  /// In-place filter: clears mask[i] for every row of `t` that does not
+  /// satisfy op `op_idx`. Only rows with mask[i] != 0 are examined.
+  void Filter(int op_idx, int depth, Table& t, std::vector<char>& mask);
+
+ private:
+  /// Per-depth scratch: one op invocation per recursion level is live at
+  /// a time, so buffers are reused across the (many) chunk flushes of
+  /// that level without reallocation.
+  struct Scratch {
+    Table chunk;
+    std::vector<int> src;          // chunk row -> source row.
+    std::vector<char> chunk_mask;
+    std::vector<char> decided;     // semijoin: witnessed; antijoin: failed.
+    std::vector<char> tmp, acc, rem;
+    std::vector<SymbolId> prefix;
+    std::vector<SymbolId> values;  // kContains scratch fact.
+  };
+
+  Scratch& At(int depth) {
+    if (static_cast<size_t>(depth) >= scratch_.size()) {
+      scratch_.resize(depth + 1);
+    }
+    if (!scratch_[depth]) scratch_[depth] = std::make_unique<Scratch>();
+    return *scratch_[depth];
+  }
+
+  static SymbolId SlotValue(const Slot& s, const SymbolId* row) {
+    return s.is_const ? s.value : row[s.reg];
+  }
+
+  /// The smallest candidate bucket the index offers for the guard under
+  /// `row`: key-prefix block, best bound-position bucket, or the whole
+  /// relation. Buckets are stable for the duration of an evaluation
+  /// (lazy builds only create new map entries).
+  const Bucket& ProbeBucket(const Op& op, const SymbolId* row, Scratch& s) {
+    const Bucket* best = &index_.Facts(op.relation);
+    if (op.prefix_len > 0 && !best->empty()) {
+      s.prefix.clear();
+      for (int i = 0; i < op.prefix_len; ++i) {
+        s.prefix.push_back(SlotValue(op.slots[i], row));
+      }
+      const Bucket& block = index_.FactsWithKeyPrefix(op.relation, s.prefix);
+      if (block.size() < best->size()) best = &block;
+    }
+    for (int p : op.probe_positions) {
+      if (best->size() <= 1) break;
+      const Bucket& bucket =
+          index_.FactsAt(op.relation, p, SlotValue(op.slots[p], row));
+      if (bucket.size() < best->size()) best = &bucket;
+    }
+    return *best;
+  }
+
+  /// Unifies the guard against `fact` on the extension row `row` (which
+  /// already holds the source row's registers): checks the bound and
+  /// constant positions, writes the binding positions. Mirrors
+  /// UnifyGuard in fo/evaluator.cc, without the Valuation.
+  static bool MatchBind(const Op& op, const Fact& fact, SymbolId* row) {
+    if (fact.arity() != static_cast<int>(op.slots.size())) return false;
+    const std::vector<SymbolId>& vals = fact.values();
+    for (size_t i = 0; i < op.slots.size(); ++i) {
+      const Slot& s = op.slots[i];
+      if (s.bind) {
+        // Later positions repeating this variable read the register the
+        // write just filled, so repeated fresh variables stay consistent.
+        row[s.reg] = vals[i];
+        continue;
+      }
+      if (vals[i] != SlotValue(s, row)) return false;
+    }
+    return true;
+  }
+
+  void FilterJoin(const Op& op, bool anti, int depth, Table& t,
+                  std::vector<char>& mask);
+  void FilterDom(const Op& op, bool anti, int depth, Table& t,
+                 std::vector<char>& mask);
+
+  /// The shared ∃/∀ scaffold: chunked extension materialization with
+  /// adaptive budgets and chunk-granularity short-circuit.
+  /// `enumerate(i, r, append)` is called once per undecided source row
+  /// and must invoke `append(fill)` once per candidate extension, where
+  /// `fill(ext)` writes the extension's new registers (returning false
+  /// to discard the candidate); it should stop early once
+  /// At(depth).decided[i] is set. Semijoin (anti == false): a row
+  /// survives iff some extension passes the child. Antijoin
+  /// (anti == true): a row survives iff no extension fails it.
+  template <typename EnumerateFn>
+  void FilterQuantifier(const Op& op, bool anti, int depth, Table& t,
+                        std::vector<char>& mask,
+                        const EnumerateFn& enumerate) {
+    Scratch& s = At(depth);
+    s.decided.assign(t.n, 0);
+    const size_t W = prog_.width();
+    s.chunk.width = W;
+    s.chunk.data.clear();
+    s.src.clear();
+
+    auto flush = [&] {
+      if (s.src.empty()) return;
+      s.chunk.n = s.src.size();
+      s.chunk_mask.assign(s.chunk.n, 1);
+      Filter(op.child, depth + 1, s.chunk, s.chunk_mask);
+      for (size_t k = 0; k < s.chunk.n; ++k) {
+        // Semijoin: one surviving extension decides the source row.
+        // Antijoin: one failing extension decides (kills) it.
+        if (anti ? !s.chunk_mask[k] : s.chunk_mask[k] != 0) {
+          s.decided[s.src[k]] = 1;
+        }
+      }
+      s.chunk.data.clear();
+      s.src.clear();
+    };
+
+    size_t budget = kChunkInitial;
+    for (size_t i = 0; i < t.n; ++i) {
+      if (!mask[i]) continue;
+      const SymbolId* r = t.row(i);
+      auto append = [&](auto&& fill) {
+        size_t pos = s.chunk.data.size();
+        s.chunk.data.resize(pos + W);
+        SymbolId* ext = s.chunk.data.data() + pos;
+        std::copy(r, r + W, ext);
+        if (!fill(ext)) {
+          s.chunk.data.resize(pos);
+          return;
+        }
+        s.src.push_back(static_cast<int>(i));
+        if (s.src.size() >= budget) {
+          // A flush may decide row i (first witness / first
+          // counterexample — the interpreter's short-circuit at chunk
+          // granularity); `enumerate` observes decided[i] and stops.
+          flush();
+          budget = std::min(budget * 2, kChunkRows);
+        }
+      };
+      enumerate(i, r, append);
+    }
+    flush();
+    for (size_t i = 0; i < t.n; ++i) {
+      if (!mask[i]) continue;
+      mask[i] = anti ? !s.decided[i] : s.decided[i];
+    }
+  }
+
+  const FoProgram& prog_;
+  const FactIndex& index_;
+  const std::vector<SymbolId>& adom_;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+};
+
+void Executor::FilterJoin(const Op& op, bool anti, int depth, Table& t,
+                          std::vector<char>& mask) {
+  Scratch& s = At(depth);
+  FilterQuantifier(
+      op, anti, depth, t, mask,
+      [&](size_t i, const SymbolId* r, auto&& append) {
+        for (const Fact* fact : ProbeBucket(op, r, s)) {
+          if (s.decided[i]) break;
+          append([&](SymbolId* ext) { return MatchBind(op, *fact, ext); });
+        }
+      });
+}
+
+void Executor::FilterDom(const Op& op, bool anti, int depth, Table& t,
+                         std::vector<char>& mask) {
+  Scratch& s = At(depth);
+  FilterQuantifier(op, anti, depth, t, mask,
+                   [&](size_t i, const SymbolId* r, auto&& append) {
+                     (void)r;
+                     for (SymbolId value : adom_) {
+                       if (s.decided[i]) break;
+                       append([&](SymbolId* ext) {
+                         ext[op.reg] = value;
+                         return true;
+                       });
+                     }
+                   });
+}
+
+void Executor::Filter(int op_idx, int depth, Table& t,
+                      std::vector<char>& mask) {
+  const Op& op = prog_.ops()[op_idx];
+  switch (op.kind) {
+    case Op::Kind::kTrue:
+      return;
+    case Op::Kind::kFalse:
+      std::fill(mask.begin(), mask.end(), 0);
+      return;
+    case Op::Kind::kEquals: {
+      for (size_t i = 0; i < t.n; ++i) {
+        if (!mask[i]) continue;
+        const SymbolId* r = t.row(i);
+        if (SlotValue(op.lhs, r) != SlotValue(op.rhs, r)) mask[i] = 0;
+      }
+      return;
+    }
+    case Op::Kind::kContains: {
+      Scratch& s = At(depth);
+      for (size_t i = 0; i < t.n; ++i) {
+        if (!mask[i]) continue;
+        const SymbolId* r = t.row(i);
+        s.values.clear();
+        for (const Slot& slot : op.slots) {
+          s.values.push_back(SlotValue(slot, r));
+        }
+        if (!index_.Contains(Fact(op.relation, s.values, op.key_arity))) {
+          mask[i] = 0;
+        }
+      }
+      return;
+    }
+    case Op::Kind::kNot: {
+      Scratch& s = At(depth);
+      s.tmp = mask;
+      Filter(op.child, depth + 1, t, s.tmp);
+      for (size_t i = 0; i < t.n; ++i) {
+        if (mask[i] && s.tmp[i]) mask[i] = 0;
+      }
+      return;
+    }
+    case Op::Kind::kAnd: {
+      for (int child : op.children) {
+        Filter(child, depth + 1, t, mask);
+      }
+      return;
+    }
+    case Op::Kind::kOr: {
+      Scratch& s = At(depth);
+      s.acc.assign(t.n, 0);
+      s.rem = mask;
+      for (int child : op.children) {
+        s.tmp = s.rem;
+        Filter(child, depth + 1, t, s.tmp);
+        bool any_left = false;
+        for (size_t i = 0; i < t.n; ++i) {
+          if (s.tmp[i]) {
+            s.acc[i] = 1;
+            s.rem[i] = 0;
+          }
+          any_left = any_left || s.rem[i];
+        }
+        if (!any_left) break;
+      }
+      mask = s.acc;
+      return;
+    }
+    case Op::Kind::kSemiJoin:
+      FilterJoin(op, /*anti=*/false, depth, t, mask);
+      return;
+    case Op::Kind::kAntiJoin:
+      FilterJoin(op, /*anti=*/true, depth, t, mask);
+      return;
+    case Op::Kind::kExistsDom:
+      FilterDom(op, /*anti=*/false, depth, t, mask);
+      return;
+    case Op::Kind::kForallDom:
+      FilterDom(op, /*anti=*/true, depth, t, mask);
+      return;
+  }
+}
+
+}  // namespace
+
+bool FoProgram::EvaluateBool(const FactIndex& index,
+                             const std::vector<SymbolId>& adom) const {
+  assert(params_.empty() && "Boolean evaluation of a parameterized program");
+  std::vector<std::vector<SymbolId>> one_row(1);
+  return EvaluateRows(index, adom, one_row)[0] != 0;
+}
+
+std::vector<char> FoProgram::EvaluateRows(
+    const FactIndex& index, const std::vector<SymbolId>& adom,
+    const std::vector<std::vector<SymbolId>>& rows) const {
+  std::vector<char> mask(rows.size(), 1);
+  if (rows.empty()) return mask;
+  Table t;
+  t.width = width_;
+  t.n = rows.size();
+  t.data.assign(t.n * t.width, 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].size() == params_.size() && "row arity != params()");
+    std::copy(rows[i].begin(), rows[i].end(), t.row(i));
+  }
+  Executor exec(*this, index, adom);
+  exec.Filter(root_, 0, t, mask);
+  return mask;
+}
+
+// -------------------------------------------------------------- debug
+
+namespace {
+
+std::string SlotToString(const Slot& s) {
+  if (s.is_const) return "'" + SymbolName(s.value) + "'";
+  return (s.bind ? ">r" : "r") + std::to_string(s.reg);
+}
+
+}  // namespace
+
+std::string FoProgram::ToString() const {
+  std::ostringstream os;
+  os << "program width=" << width_ << " params=" << params_.size()
+     << " root=" << root_ << "\n";
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    os << "  [" << i << "] ";
+    switch (op.kind) {
+      case Op::Kind::kTrue:
+        os << "true";
+        break;
+      case Op::Kind::kFalse:
+        os << "false";
+        break;
+      case Op::Kind::kEquals:
+        os << "eq " << SlotToString(op.lhs) << " " << SlotToString(op.rhs);
+        break;
+      case Op::Kind::kContains:
+      case Op::Kind::kSemiJoin:
+      case Op::Kind::kAntiJoin: {
+        os << (op.kind == Op::Kind::kContains
+                   ? "contains "
+                   : op.kind == Op::Kind::kSemiJoin ? "semijoin " : "antijoin ")
+           << SymbolName(op.relation) << "(";
+        for (size_t j = 0; j < op.slots.size(); ++j) {
+          if (j > 0) os << ",";
+          os << SlotToString(op.slots[j]);
+        }
+        os << ")";
+        if (op.kind != Op::Kind::kContains) {
+          os << " prefix=" << op.prefix_len << " child=" << op.child;
+        }
+        break;
+      }
+      case Op::Kind::kNot:
+        os << "not child=" << op.child;
+        break;
+      case Op::Kind::kAnd:
+      case Op::Kind::kOr: {
+        os << (op.kind == Op::Kind::kAnd ? "and" : "or");
+        for (int c : op.children) os << " " << c;
+        break;
+      }
+      case Op::Kind::kExistsDom:
+      case Op::Kind::kForallDom:
+        os << (op.kind == Op::Kind::kExistsDom ? "exists-dom" : "forall-dom")
+           << " >r" << op.reg << " child=" << op.child;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cqa

@@ -1,6 +1,8 @@
 #include "plan/plan_cache.h"
 
 #include <algorithm>
+#include <functional>
+#include <iterator>
 #include <utility>
 
 namespace cqa {
@@ -34,16 +36,53 @@ PlanCache::Shard& PlanCache::ShardFor(uint64_t hash) const {
 
 Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompile(
     const Query& q) {
-  return GetOrCompileCanonical(Canonicalize(q));
+  return GetOrCompileCanonical(Canonicalize(q), Status::OK());
 }
 
 Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompile(
     const Query& q, const std::vector<SymbolId>& free_vars) {
-  return GetOrCompileCanonical(Canonicalize(q, free_vars));
+  // Validate against the original query so the error names the caller's
+  // variable, then cache the outcome (positive or negative) under the
+  // canonical key.
+  CanonicalQuery canonical = Canonicalize(q, free_vars);
+  if (!free_vars.empty()) {
+    // The canonical rendering cannot distinguish parameter lists whose
+    // oddities leave no trace in the renamed atoms: {x, x} (legal
+    // duplicate projection) and {x, nosuchvar} (malformed) produce the
+    // same key. Append an α-invariant argument signature — per
+    // position, the index of the variable's first occurrence in the
+    // list, with '!' marking variables that do not occur in q — so a
+    // negative entry can never be served to a valid request or vice
+    // versa.
+    VarSet query_vars = q.Vars();
+    std::string sig = ";argsig";
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      size_t first = i;
+      for (size_t j = 0; j < i; ++j) {
+        if (free_vars[j] == free_vars[i]) {
+          first = j;
+          break;
+        }
+      }
+      sig += ":" + std::to_string(first);
+      if (query_vars.count(free_vars[i]) == 0) sig += "!";
+    }
+    canonical.key += sig;
+    canonical.hash ^= std::hash<std::string>{}(sig) * 1099511628211ull;
+  }
+  return GetOrCompileCanonical(std::move(canonical),
+                               ValidateFreeVars(q, free_vars));
 }
 
 Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
-    CanonicalQuery canonical) {
+    CanonicalQuery canonical, Status precheck) {
+  auto serve = [this](const Entry& entry)
+      -> Result<std::shared_ptr<const QueryPlan>> {
+    if (entry.plan != nullptr) return entry.plan;
+    negative_hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry.error;
+  };
+
   Shard& shard = ShardFor(canonical.hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -51,32 +90,57 @@ Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
     if (it != shard.by_key.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->second;
+      return serve(it->second->second);
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   // Compile outside the lock: plan compilation can run the rewriter.
+  // Failures — a precheck rejection or a compile error — become
+  // negative entries under the same key and LRU policy, so repeated
+  // malformed traffic skips recompilation.
   std::string key = canonical.key;
-  Result<std::shared_ptr<const QueryPlan>> compiled =
-      QueryPlan::CompileCanonical(std::move(canonical));
-  if (!compiled.ok()) return compiled.status();
+  Entry entry;
+  if (!precheck.ok()) {
+    entry.error = std::move(precheck);
+  } else {
+    Result<std::shared_ptr<const QueryPlan>> compiled =
+        QueryPlan::CompileCanonical(std::move(canonical));
+    if (compiled.ok()) {
+      entry.plan = *compiled;
+    } else {
+      entry.error = compiled.status();
+    }
+  }
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(key);
   if (it != shard.by_key.end()) {
     // Lost a compile race; adopt the winner so all callers share one
-    // instance (and one set of stats).
+    // instance (and one set of stats). Don't count the loser's own
+    // failure as a served negative hit.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    if (it->second->second.plan != nullptr) return it->second->second.plan;
+    return it->second->second.error;
   }
-  shard.lru.emplace_front(key, *compiled);
+  shard.lru.emplace_front(key, entry);
   shard.by_key.emplace(std::move(key), shard.lru.begin());
   while (shard.lru.size() > per_shard_capacity_) {
-    shard.by_key.erase(shard.lru.back().first);
-    shard.lru.pop_back();
+    // Negative entries are evicted before any compiled plan (oldest
+    // first), so a stream of DISTINCT malformed queries can never flush
+    // hot plans out of the shard — it only cycles the negative entries.
+    auto victim = std::prev(shard.lru.end());
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      if (it->second.plan == nullptr) {
+        victim = std::prev(it.base());
+        break;
+      }
+    }
+    shard.by_key.erase(victim->first);
+    shard.lru.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  return *compiled;
+  if (entry.plan != nullptr) return entry.plan;
+  return entry.error;
 }
 
 std::shared_ptr<const QueryPlan> PlanCache::Lookup(const Query& q) const {
@@ -85,7 +149,7 @@ std::shared_ptr<const QueryPlan> PlanCache::Lookup(const Query& q) const {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(canonical.key);
   if (it == shard.by_key.end()) return nullptr;
-  return it->second->second;
+  return it->second->second.plan;  // null for negative entries.
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -93,10 +157,15 @@ PlanCache::Stats PlanCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   out.capacity = per_shard_capacity_ * shards_.size();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     out.entries += shard.lru.size();
+    for (const auto& [key, entry] : shard.lru) {
+      (void)key;
+      if (entry.plan == nullptr) ++out.negative_entries;
+    }
   }
   return out;
 }
@@ -110,6 +179,7 @@ void PlanCache::Clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  negative_hits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace cqa

@@ -20,11 +20,19 @@
 /// equivalence class, not once per call. This is where the dichotomy's
 /// compile-time/run-time split turns into serving throughput.
 ///
+/// Compile *failures* are cached too (negative entries): a malformed
+/// query — e.g. a free variable that does not occur in the query —
+/// stores its Status under the same canonical key and LRU policy, so
+/// repeated bad traffic is rejected from the cache instead of
+/// re-running validation-plus-compilation every time. When a shard
+/// overflows, negative entries are evicted before any compiled plan, so
+/// distinct-malformed floods cannot flush hot plans.
+///
 /// Sharding: the canonical hash picks a shard; each shard has its own
 /// mutex, LRU list and map, so concurrent workers rarely contend.
 /// Compilation runs outside the lock (it can be expensive); when two
 /// threads race to compile the same key, the first insert wins and the
-/// loser adopts the winner's plan.
+/// loser adopts the winner's entry.
 
 namespace cqa {
 
@@ -43,7 +51,8 @@ class PlanCache {
   static PlanCache& Global();
 
   /// The plan for `q`, compiling on miss. Compile failures are returned
-  /// and never cached.
+  /// AND cached (negative entries), so repeated malformed queries skip
+  /// recompilation.
   Result<std::shared_ptr<const QueryPlan>> GetOrCompile(const Query& q);
 
   /// Parameterized variant (the canonical key embeds the parameter
@@ -58,7 +67,11 @@ class PlanCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Hits served by a cached compile *failure* (subset of `hits`).
+    uint64_t negative_hits = 0;
     size_t entries = 0;
+    /// Entries holding a Status instead of a plan (subset of `entries`).
+    size_t negative_entries = 0;
     size_t capacity = 0;
   };
   Stats stats() const;
@@ -67,18 +80,27 @@ class PlanCache {
   void Clear();
 
  private:
+  /// One cached compile outcome: a plan, or the Status that compilation
+  /// failed with (negative entry; `plan` is null exactly then).
+  struct Entry {
+    std::shared_ptr<const QueryPlan> plan;
+    Status error = Status::OK();
+  };
+
   struct Shard {
     mutable std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<std::string, std::shared_ptr<const QueryPlan>>>
-        lru;
+    std::list<std::pair<std::string, Entry>> lru;
     std::unordered_map<std::string,
                        decltype(lru)::iterator>
         by_key;
   };
 
+  /// `precheck` is a validation failure determined from the ORIGINAL
+  /// query (free-variable occurrence): it is cached as the negative
+  /// entry instead of compiling.
   Result<std::shared_ptr<const QueryPlan>> GetOrCompileCanonical(
-      CanonicalQuery canonical);
+      CanonicalQuery canonical, Status precheck);
   Shard& ShardFor(uint64_t hash) const;
 
   size_t per_shard_capacity_;
@@ -86,6 +108,7 @@ class PlanCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> negative_hits_{0};
 };
 
 }  // namespace cqa

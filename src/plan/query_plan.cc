@@ -67,6 +67,19 @@ std::vector<AtomKeyPattern> ComputeKeyPatterns(
 
 }  // namespace
 
+Status ValidateFreeVars(const Query& q,
+                        const std::vector<SymbolId>& free_vars) {
+  VarSet query_vars = q.Vars();
+  for (SymbolId v : free_vars) {
+    if (query_vars.count(v) == 0) {
+      return Status::InvalidArgument(
+          "free variable '" + SymbolName(v) +
+          "' does not occur in the query " + q.ToString());
+    }
+  }
+  return Status::OK();
+}
+
 const FoSolver* QueryPlan::fo_solver() const { return fo_; }
 
 Result<std::shared_ptr<const QueryPlan>> QueryPlan::Compile(const Query& q) {
@@ -75,6 +88,7 @@ Result<std::shared_ptr<const QueryPlan>> QueryPlan::Compile(const Query& q) {
 
 Result<std::shared_ptr<const QueryPlan>> QueryPlan::Compile(
     const Query& q, const std::vector<SymbolId>& free_vars) {
+  CQA_RETURN_NOT_OK(ValidateFreeVars(q, free_vars));
   return CompileCanonical(Canonicalize(q, free_vars));
 }
 
@@ -83,6 +97,10 @@ Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileCanonical(
   std::shared_ptr<QueryPlan> plan(new QueryPlan());
   plan->canonical_ = std::move(canonical);
   const CanonicalQuery& c = plan->canonical_;
+  // Free-variable occurrence is validated against the ORIGINAL query
+  // (ValidateFreeVars, run by Compile and by the PlanCache) — the
+  // canonical form cannot express it: a duplicated free variable is
+  // legal but leaves its later #p_i placeholders without occurrences.
   plan->key_patterns_ = ComputeKeyPatterns(c.query, c.params);
 
   Result<Classification> cls = ClassifyQuery(
@@ -124,6 +142,21 @@ Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileCanonical(
     // plans take the generic row path instead of invoking
     // FoSolver::IsCertainRow on a stranger.
     plan->fo_ = dynamic_cast<const FoSolver*>(plan->solver_.get());
+    if (plan->fo_ != nullptr) {
+      if (c.params.empty()) {
+        plan->fo_program_ = plan->fo_->program();
+      } else {
+        // The solver's own program orders parameters by SymbolId; the
+        // plan's rows arrive in canonical positional order, so lower a
+        // second program over the same (shared) rewriting with the
+        // positional parameter list. Lowering a rewriting cannot fail.
+        Result<FoProgram> program =
+            FoProgram::Lower(plan->fo_->rewriting(), c.params);
+        if (!program.ok()) return program.status();
+        plan->fo_program_ =
+            std::make_shared<const FoProgram>(std::move(*program));
+      }
+    }
     if (!c.params.empty()) {
       // Row fallback for substituted (non-FoSolver) implementations.
       plan->row_factory_ =
@@ -174,6 +207,33 @@ Result<std::optional<std::vector<Fact>>> QueryPlan::FindFalsifyingRepair(
         "parameterized plan has no Boolean falsifying repair");
   }
   return solver_->FindFalsifyingRepair(db);
+}
+
+Result<std::vector<char>> QueryPlan::IsCertainRows(
+    EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows) const {
+  if (!parameterized()) {
+    return Status::InvalidArgument("plan has no parameters; use Solve");
+  }
+  for (const std::vector<SymbolId>& row : rows) {
+    if (row.size() != canonical_.params.size()) {
+      return Status::InvalidArgument("row arity does not match plan params");
+    }
+  }
+  if (fo_program_ != nullptr && DefaultFoExecMode() == FoExecMode::kProgram) {
+    static const std::vector<SymbolId> kNoAdom;
+    const std::vector<SymbolId>& adom =
+        fo_program_->needs_adom() ? ctx.evaluator().adom() : kNoAdom;
+    return fo_program_->EvaluateRows(ctx.fact_index(), adom, rows);
+  }
+  // Row-at-a-time fallback: non-FO plans, substituted FO
+  // implementations, and the interpreter oracle mode.
+  std::vector<char> out(rows.size(), 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Result<bool> certain = IsCertainRow(ctx, rows[i]);
+    if (!certain.ok()) return certain.status();
+    out[i] = *certain ? 1 : 0;
+  }
+  return out;
 }
 
 Result<bool> QueryPlan::IsCertainRow(

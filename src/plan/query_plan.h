@@ -67,6 +67,16 @@ struct SolveOutcome {
   int64_t sat_decisions = 0;
 };
 
+/// OK iff every variable of `free_vars` occurs in `q` (duplicates are
+/// allowed: a repeated free variable just projects the same column
+/// twice); InvalidArgument naming the offending variable otherwise. A
+/// free variable that never occurs could not be bound by any candidate
+/// embedding, so the request is malformed. Shared by the plan compiler,
+/// the plan cache (which negatively caches the Status) and the
+/// possible-answer enumeration.
+Status ValidateFreeVars(const Query& q,
+                        const std::vector<SymbolId>& free_vars);
+
 class QueryPlan {
  public:
   /// Compiles a Boolean query: canonicalize, classify (Theorems 1-4),
@@ -77,9 +87,10 @@ class QueryPlan {
   static Result<std::shared_ptr<const QueryPlan>> Compile(const Query& q);
 
   /// Parameterized compile for non-Boolean queries: `free_vars` are kept
-  /// free and bound per row at evaluation time. Classification freezes
-  /// the parameters (grounding cannot add attacks, Lemma 5), and on the
-  /// FO path one parameterized rewriting serves every binding.
+  /// free and bound per row at evaluation time (ValidateFreeVars applies).
+  /// Classification freezes the parameters (grounding cannot add
+  /// attacks, Lemma 5), and on the FO path one parameterized rewriting
+  /// serves every binding.
   static Result<std::shared_ptr<const QueryPlan>> Compile(
       const Query& q, const std::vector<SymbolId>& free_vars);
 
@@ -130,11 +141,23 @@ class QueryPlan {
 
   /// Decides one row of a parameterized plan: `row` binds the canonical
   /// parameters positionally. FO plans evaluate the shared rewriting
-  /// under the binding; the rest ground the canonical query and run the
+  /// under the binding via the tree interpreter — this is the
+  /// row-at-a-time oracle; production row traffic goes through
+  /// IsCertainRows. Non-FO plans ground the canonical query and run the
   /// compiled dispatch (falling back to a fresh compile when grounding
   /// drifts out of the specialized solver's precondition).
   Result<bool> IsCertainRow(EvalContext& ctx,
                             const std::vector<SymbolId>& row) const;
+
+  /// Batch row decision, positionally aligned with `rows`. FO plans run
+  /// the compiled set-at-a-time program (fo/program.h): every row is
+  /// decided in ONE pass over the context's FactIndex, with indexed
+  /// probes instead of per-row relation scans. Non-FO plans (and FO
+  /// plans under FoExecMode::kInterpreter) fall back to IsCertainRow
+  /// per row.
+  Result<std::vector<char>> IsCertainRows(
+      EvalContext& ctx,
+      const std::vector<std::vector<SymbolId>>& rows) const;
 
  private:
   QueryPlan() = default;
@@ -148,6 +171,11 @@ class QueryPlan {
   /// The FoSolver view of solver_, resolved once at compile time (null
   /// for non-FO plans and for substituted FO implementations).
   const FoSolver* fo_ = nullptr;
+  /// The set-at-a-time program, cached alongside the rewriting: for
+  /// Boolean FO plans the solver's own program, for parameterized FO
+  /// plans a lowering whose parameters follow the plan's positional
+  /// order (canonical_.params). Null for non-FO / substituted plans.
+  std::shared_ptr<const FoProgram> fo_program_;
   /// Captured at compile time for parameterized non-FO plans: builds
   /// the per-row solver without touching the registry mutex per row.
   SolverFactory row_factory_;

@@ -350,14 +350,14 @@ Result<SolveOutcome> Session::Solve(const Query& q) {
   return SolveBatch({q})[0];
 }
 
-std::vector<Result<std::vector<std::vector<SymbolId>>>>
+std::vector<Result<std::shared_ptr<const Session::RowSet>>>
 Session::CertainAnswersBatch(
     const std::vector<CertainAnswersRequest>& requests) {
-  using Rows = std::vector<std::vector<SymbolId>>;
+  using Snapshot = std::shared_ptr<const RowSet>;
   std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  std::vector<Result<Rows>> results(
+  std::vector<Result<Snapshot>> results(
       requests.size(),
-      Result<Rows>(Status::Internal("batch item not served")));
+      Result<Snapshot>(Status::Internal("batch item not served")));
   RunOnPool(requests.size(), [&](EvalContext& ctx, size_t i) {
     results[i] =
         ServeCertain(ctx, requests[i].query, requests[i].free_vars);
@@ -365,18 +365,17 @@ Session::CertainAnswersBatch(
   return results;
 }
 
-Result<std::vector<std::vector<SymbolId>>> Session::CertainAnswers(
+Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
     const Query& q, const std::vector<SymbolId>& free_vars) {
   return CertainAnswersBatch({{q, free_vars}})[0];
 }
 
-Result<std::vector<std::vector<SymbolId>>> Session::ComputeCertainFull(
+Result<Session::RowSet> Session::ComputeCertainFull(
     EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars, const QueryPlan& plan) {
-  std::set<std::vector<SymbolId>> candidates;
-  CollectProjections(ctx.fact_index(), q, Valuation(), free_vars,
-                     &candidates);
-  std::vector<std::vector<SymbolId>> out;
+  RowSet candidates = CollectProjectionsSorted(ctx.fact_index(), q,
+                                               Valuation(), free_vars);
+  RowSet out;
   if (free_vars.empty()) {
     // Boolean semantics: q must be possible (certain answers are always
     // possible answers) and then certain.
@@ -387,16 +386,16 @@ Result<std::vector<std::vector<SymbolId>>> Session::ComputeCertainFull(
     }
     return out;
   }
-  uint64_t decided = 0;
-  for (const std::vector<SymbolId>& row : candidates) {
-    Result<bool> certain = plan.IsCertainRow(ctx, row);
-    if (!certain.ok()) return certain.status();
-    ++decided;
-    if (*certain) out.push_back(row);
+  // One set-at-a-time execution over the worker's live index decides
+  // every candidate row.
+  Result<std::vector<char>> certain = plan.IsCertainRows(ctx, candidates);
+  if (!certain.ok()) return certain.status();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if ((*certain)[i]) out.push_back(std::move(candidates[i]));
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.rows_decided += decided;
+    stats_.rows_decided += candidates.size();
   }
   return out;
 }
@@ -460,18 +459,12 @@ Session::DirtyPatternsSince(uint64_t from_epoch,
   return out;
 }
 
-Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
+Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
     EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars) {
-  using Rows = std::vector<std::vector<SymbolId>>;
-  VarSet query_vars = q.Vars();
-  for (SymbolId v : free_vars) {
-    if (query_vars.count(v) == 0) {
-      return Status::InvalidArgument(
-          "free variable '" + SymbolName(v) +
-          "' does not occur in the query " + q.ToString());
-    }
-  }
+  // Plan compilation validates the request (including free variables
+  // that do not occur in the query) and negatively caches the Status,
+  // so repeated malformed traffic never recompiles.
   Result<std::shared_ptr<const QueryPlan>> plan =
       free_vars.empty() ? plan_cache_->GetOrCompile(q)
                         : plan_cache_->GetOrCompile(q, free_vars);
@@ -479,7 +472,9 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
   const std::string& key = (*plan)->cache_key();
   uint64_t now = epoch_.load(std::memory_order_relaxed);
 
-  std::optional<std::pair<uint64_t, Rows>> cached;
+  // The snapshot is shared with the cache entry — no row copy on this
+  // read, nor on the cache-hit return below.
+  std::optional<std::pair<uint64_t, std::shared_ptr<const RowSet>>> cached;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = answers_.find(key);
@@ -494,7 +489,7 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
     return cached->second;
   }
 
-  Rows rows;
+  std::shared_ptr<const RowSet> snapshot;
   bool incremental = false;
   if (cached.has_value() && !free_vars.empty()) {
     std::optional<std::vector<DirtyPattern>> patterns =
@@ -513,35 +508,36 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
       };
       // Rows out of every changed block's reach keep their status.
       std::set<std::vector<SymbolId>> keep;
-      for (const std::vector<SymbolId>& row : cached->second) {
+      for (const std::vector<SymbolId>& row : *cached->second) {
         if (!matches_any(row)) keep.insert(row);
       }
       uint64_t reused = keep.size();
       // Dirty candidates: the possible rows matching a pattern, found
       // by seeding the matcher with the pattern's key values (dropped
       // cached rows that are no longer possible never re-enter).
-      std::set<std::vector<SymbolId>> candidates;
+      std::set<std::vector<SymbolId>> candidate_set;
       for (const DirtyPattern& pattern : *patterns) {
         Valuation initial;
         for (const auto& [param, value] : pattern.bindings) {
           initial.Bind(free_vars[param], value);
         }
         CollectProjections(ctx.fact_index(), q, initial, free_vars,
-                           &candidates);
+                           &candidate_set);
       }
-      uint64_t decided = 0;
-      for (const std::vector<SymbolId>& row : candidates) {
-        Result<bool> certain = (*plan)->IsCertainRow(ctx, row);
-        if (!certain.ok()) return certain.status();
-        ++decided;
-        if (*certain) keep.insert(row);
+      // One batched execution re-decides every dirty row.
+      RowSet candidates(candidate_set.begin(), candidate_set.end());
+      Result<std::vector<char>> certain =
+          (*plan)->IsCertainRows(ctx, candidates);
+      if (!certain.ok()) return certain.status();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if ((*certain)[i]) keep.insert(std::move(candidates[i]));
       }
-      rows.assign(keep.begin(), keep.end());
+      snapshot = std::make_shared<const RowSet>(keep.begin(), keep.end());
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.answers_incremental;
         stats_.rows_reused += reused;
-        stats_.rows_decided += decided;
+        stats_.rows_decided += candidates.size();
       }
     }
   } else if (cached.has_value() && free_vars.empty()) {
@@ -552,16 +548,16 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
         DirtyPatternsSince(cached->first, **plan);
     if (patterns.has_value() && patterns->empty()) {
       incremental = true;
-      rows = cached->second;
+      snapshot = cached->second;
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.answers_incremental;
     }
   }
 
   if (!incremental) {
-    Result<Rows> full = ComputeCertainFull(ctx, q, free_vars, **plan);
+    Result<RowSet> full = ComputeCertainFull(ctx, q, free_vars, **plan);
     if (!full.ok()) return full.status();
-    rows = *std::move(full);
+    snapshot = std::make_shared<const RowSet>(*std::move(full));
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.answers_full;
   }
@@ -571,17 +567,18 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
     auto it = answers_.find(key);
     if (it != answers_.end()) {
       // Keep the freshest result (a concurrent worker may have stored
-      // the same epoch already; both computed identical rows).
+      // the same epoch already; both computed identical rows). The old
+      // snapshot stays alive for whoever holds it.
       if (it->second.epoch <= now) {
         it->second.epoch = now;
-        it->second.rows = rows;
+        it->second.rows = snapshot;
       }
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     } else {
       lru_.push_front(key);
       CacheEntry entry;
       entry.epoch = now;
-      entry.rows = rows;
+      entry.rows = snapshot;
       entry.lru_pos = lru_.begin();
       answers_.emplace(key, std::move(entry));
       while (answers_.size() > options_.answer_cache_capacity) {
@@ -590,7 +587,7 @@ Result<std::vector<std::vector<SymbolId>>> Session::ServeCertain(
       }
     }
   }
-  return rows;
+  return snapshot;
 }
 
 }  // namespace cqa

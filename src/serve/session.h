@@ -43,11 +43,19 @@
 ///     *per answer row* by matching the delta's changed blocks against
 ///     the compiled plan's key patterns (`AtomKeyPattern`): after a
 ///     delta, only rows whose key patterns the changed blocks can reach
-///     are re-decided, and the candidate scan for those rows is seeded
-///     with the touched key values so the matcher's key-prefix buckets
-///     prune the enumeration. Rows out of every changed block's reach
-///     are served straight from the cache — which is what makes a small
-///     delta over a large database cheap to re-serve.
+///     are re-decided — in ONE set-at-a-time execution of the plan's
+///     compiled FO program (`QueryPlan::IsCertainRows`), not one
+///     interpreter descent per dirty row — and the candidate scan for
+///     those rows is seeded with the touched key values so the matcher's
+///     key-prefix buckets prune the enumeration. Rows out of every
+///     changed block's reach are served straight from the cache — which
+///     is what makes a small delta over a large database cheap to
+///     re-serve;
+///   * answers are returned as shared, immutable row-set snapshots
+///     (copy-on-write): a cache hit hands back the cached
+///     `shared_ptr` instead of copying every row per serve, and a
+///     recompute installs a fresh snapshot without disturbing the
+///     row sets earlier callers still hold.
 ///
 /// Do not call serving methods from inside the session's own pool
 /// workers (the completion wait would self-deadlock).
@@ -92,6 +100,11 @@ class Delta {
 
 class Session {
  public:
+  /// An answer set: distinct rows, sorted lexicographically. Served as
+  /// shared immutable snapshots — hold the pointer as long as needed;
+  /// later deltas never mutate a snapshot already handed out.
+  using RowSet = std::vector<std::vector<SymbolId>>;
+
   struct Options {
     /// Worker threads; 0 = DefaultServingThreads().
     int num_threads = 0;
@@ -139,11 +152,12 @@ class Session {
 
   /// Certain answers of (q, free_vars), served from the per-session
   /// cache when the epoch allows it (fully, or re-deciding only the
-  /// dirty rows). Rows are sorted lexicographically.
-  Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
+  /// dirty rows). The returned snapshot is shared with the cache
+  /// (copy-on-write): no per-serve row copy.
+  Result<std::shared_ptr<const RowSet>> CertainAnswers(
       const Query& q, const std::vector<SymbolId>& free_vars);
-  std::vector<Result<std::vector<std::vector<SymbolId>>>>
-  CertainAnswersBatch(const std::vector<CertainAnswersRequest>& requests);
+  std::vector<Result<std::shared_ptr<const RowSet>>> CertainAnswersBatch(
+      const std::vector<CertainAnswersRequest>& requests);
 
   struct Stats {
     uint64_t deltas_applied = 0;
@@ -169,7 +183,9 @@ class Session {
   /// so the entry carries only what invalidation needs.
   struct CacheEntry {
     uint64_t epoch = 0;
-    std::vector<std::vector<SymbolId>> rows;
+    /// Immutable shared snapshot; replaced wholesale on refresh, never
+    /// mutated, so callers holding the pointer are unaffected.
+    std::shared_ptr<const RowSet> rows;
     std::list<std::string>::iterator lru_pos;
   };
 
@@ -198,14 +214,14 @@ class Session {
   void RunOnPool(size_t n,
                  const std::function<void(EvalContext&, size_t)>& serve);
 
-  Result<std::vector<std::vector<SymbolId>>> ServeCertain(
+  Result<std::shared_ptr<const RowSet>> ServeCertain(
       EvalContext& ctx, const Query& q,
       const std::vector<SymbolId>& free_vars);
 
-  /// Full candidate enumeration + per-row decision.
-  Result<std::vector<std::vector<SymbolId>>> ComputeCertainFull(
-      EvalContext& ctx, const Query& q,
-      const std::vector<SymbolId>& free_vars, const QueryPlan& plan);
+  /// Full candidate enumeration + one batched (set-at-a-time) decision.
+  Result<RowSet> ComputeCertainFull(EvalContext& ctx, const Query& q,
+                                    const std::vector<SymbolId>& free_vars,
+                                    const QueryPlan& plan);
 
   /// The dirty patterns accumulated since `from_epoch` for this plan,
   /// or nullopt when incremental serving is not possible (log gap, an

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <set>
 #include <utility>
 
 #include "cq/matcher.h"
@@ -21,24 +20,24 @@ PlanCache& ResolveCache(const BatchOptions& options) {
 Result<std::vector<std::vector<SymbolId>>> PossibleAnswersImpl(
     EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars) {
-  VarSet query_vars = q.Vars();
-  for (SymbolId v : free_vars) {
-    if (query_vars.count(v) == 0) {
-      return Status::InvalidArgument(
-          "free variable '" + SymbolName(v) +
-          "' does not occur in the query " + q.ToString());
-    }
-  }
-  std::set<std::vector<SymbolId>> answers;
-  CollectProjections(ctx.fact_index(), q, Valuation(), free_vars, &answers);
-  return std::vector<std::vector<SymbolId>>(answers.begin(), answers.end());
+  CQA_RETURN_NOT_OK(ValidateFreeVars(q, free_vars));
+  return CollectProjectionsSorted(ctx.fact_index(), q, Valuation(),
+                                  free_vars);
 }
 
 /// The CertainAnswers pipeline against a caller-provided context and
-/// cache (shared by the one-shot and the batched entry points).
+/// cache (shared by the one-shot and the batched entry points). The
+/// plan resolves FIRST: malformed requests (a free variable missing
+/// from the query) are rejected straight from the cache's negative
+/// entries, before any database work.
 Result<std::vector<std::vector<SymbolId>>> CertainAnswersImpl(
     EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars, PlanCache& cache) {
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      free_vars.empty() ? cache.GetOrCompile(q)
+                        : cache.GetOrCompile(q, free_vars);
+  if (!plan.ok()) return plan.status();
+
   Result<std::vector<std::vector<SymbolId>>> possible =
       PossibleAnswersImpl(ctx, q, free_vars);
   if (!possible.ok()) return possible.status();
@@ -48,22 +47,18 @@ Result<std::vector<std::vector<SymbolId>>> CertainAnswersImpl(
   if (free_vars.empty()) {
     // Boolean semantics: the single (empty) candidate row is a certain
     // answer iff db ∈ CERTAINTY(q); the plan is a plain Boolean plan.
-    Result<std::shared_ptr<const QueryPlan>> plan = cache.GetOrCompile(q);
-    if (!plan.ok()) return plan.status();
     Result<SolveOutcome> solved = (*plan)->Solve(ctx);
     if (!solved.ok()) return solved.status();
     if (solved->certain) out.push_back({});
     return out;
   }
 
-  Result<std::shared_ptr<const QueryPlan>> plan =
-      cache.GetOrCompile(q, free_vars);
-  if (!plan.ok()) return plan.status();
-
-  for (const std::vector<SymbolId>& row : *possible) {
-    Result<bool> certain = (*plan)->IsCertainRow(ctx, row);
-    if (!certain.ok()) return certain.status();
-    if (*certain) out.push_back(row);
+  // Set-at-a-time: all candidate rows in one pass (FO plans run the
+  // compiled program; the rest decide row by row inside the plan).
+  Result<std::vector<char>> certain = (*plan)->IsCertainRows(ctx, *possible);
+  if (!certain.ok()) return certain.status();
+  for (size_t i = 0; i < possible->size(); ++i) {
+    if ((*certain)[i]) out.push_back((*possible)[i]);
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "solvers/fo_solver.h"
 
+#include <utility>
+
 #include "fo/rewriter.h"
 
 namespace cqa {
@@ -11,12 +13,25 @@ Result<FoSolver> FoSolver::Create(const Query& q) {
 Result<FoSolver> FoSolver::Create(const Query& q, const VarSet& params) {
   Result<FormulaPtr> rewriting = CertainRewriting(q, params);
   if (!rewriting.ok()) return rewriting.status();
-  return FoSolver(q, std::move(rewriting).value());
+  // Lower once at compile time; the rewriter emits well-scoped formulas
+  // whose free variables are exactly `params`, so lowering cannot fail.
+  std::vector<SymbolId> param_order(params.begin(), params.end());
+  Result<FoProgram> program = FoProgram::Lower(*rewriting, param_order);
+  if (!program.ok()) return program.status();
+  return FoSolver(q, std::move(rewriting).value(),
+                  std::make_shared<const FoProgram>(std::move(*program)));
 }
 
 Result<SolverCall> FoSolver::Decide(EvalContext& ctx) const {
   SolverCall call;
-  call.certain = ctx.evaluator().Eval(rewriting_);
+  if (DefaultFoExecMode() == FoExecMode::kProgram && program_->params().empty()) {
+    static const std::vector<SymbolId> kNoAdom;
+    const std::vector<SymbolId>& adom =
+        program_->needs_adom() ? ctx.evaluator().adom() : kNoAdom;
+    call.certain = program_->EvaluateBool(ctx.fact_index(), adom);
+  } else {
+    call.certain = ctx.evaluator().Eval(rewriting_);
+  }
   return call;
 }
 

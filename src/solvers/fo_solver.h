@@ -1,11 +1,15 @@
 #ifndef CQA_SOLVERS_FO_SOLVER_H_
 #define CQA_SOLVERS_FO_SOLVER_H_
 
+#include <memory>
+#include <vector>
+
 #include "cq/query.h"
 #include "cq/valuation.h"
 #include "db/database.h"
 #include "fo/evaluator.h"
 #include "fo/formula.h"
+#include "fo/program.h"
 #include "solvers/solver.h"
 #include "util/status.h"
 
@@ -16,6 +20,12 @@
 /// databases and threads; via the parameterized Create overload it also
 /// serves every grounding of a fixed set of free variables (the
 /// QueryPlan compile path for non-Boolean queries).
+///
+/// Create also lowers the rewriting into a set-at-a-time `FoProgram`
+/// (fo/program.h). `Decide` runs the program by default and the tree
+/// interpreter under `FoExecMode::kInterpreter`; `IsCertainRow` is
+/// always the tree interpreter — it is the per-row differential oracle
+/// the program executor is tested against.
 
 namespace cqa {
 
@@ -31,22 +41,36 @@ class FoSolver final : public Solver {
 
   SolverKind kind() const override { return SolverKind::kFoRewriting; }
 
-  /// db ∈ CERTAINTY(q), by formula evaluation — polynomial time. Reuses
-  /// the context's shared evaluator (one FactIndex per database, not per
-  /// call).
+  /// db ∈ CERTAINTY(q), by compiled-program execution (or formula
+  /// interpretation under FoExecMode::kInterpreter) — polynomial time.
+  /// Reuses the context's shared index (one FactIndex per database, not
+  /// per call).
   Result<SolverCall> Decide(EvalContext& ctx) const override;
 
-  /// db ∈ CERTAINTY(θ(q)) for the parameter binding θ, reusing a
-  /// caller-provided evaluator (one FactIndex per database, not per row).
+  /// db ∈ CERTAINTY(θ(q)) for the parameter binding θ, by tree
+  /// interpretation over a caller-provided evaluator. This is the
+  /// row-at-a-time oracle; batch row traffic runs program() through
+  /// QueryPlan::IsCertainRows.
   bool IsCertainRow(const FormulaEvaluator& evaluator,
                     const Valuation& params_binding) const;
 
   const FormulaPtr& rewriting() const { return rewriting_; }
 
+  /// The lowered set-at-a-time program (never null: lowering a
+  /// rewriting cannot fail). Batch row decisions go through
+  /// QueryPlan::IsCertainRows, which owns the row-arity validation; the
+  /// program's parameters here follow ascending SymbolId order over the
+  /// Create params.
+  std::shared_ptr<const FoProgram> program() const { return program_; }
+
  private:
-  FoSolver(Query q, FormulaPtr rewriting)
-      : Solver(std::move(q)), rewriting_(std::move(rewriting)) {}
+  FoSolver(Query q, FormulaPtr rewriting,
+           std::shared_ptr<const FoProgram> program)
+      : Solver(std::move(q)),
+        rewriting_(std::move(rewriting)),
+        program_(std::move(program)) {}
   FormulaPtr rewriting_;
+  std::shared_ptr<const FoProgram> program_;
 };
 
 }  // namespace cqa

@@ -214,6 +214,26 @@ TEST(CertainAnswersTest, CompiledDispatchMatchesPerRowSolve) {
   }
 }
 
+TEST(CertainAnswersTest, DuplicatedFreeVariablesProjectTheColumnTwice) {
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
+  Query q = MustParseQuery("R(x | y), S(y | z)");
+  SymbolId x = InternSymbol("x");
+  auto rows = Engine::CertainAnswers(db, q, {x, x});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0],
+            (std::vector<SymbolId>{InternSymbol("a"), InternSymbol("a")}));
+
+  // A variable that never occurs is still rejected, naming the caller's
+  // variable (not a canonical placeholder).
+  auto bad = Engine::CertainAnswers(db, q, {InternSymbol("nosuchvar")});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("nosuchvar"), std::string::npos);
+}
+
 TEST(CertainAnswersTest, CertainCityAppearsAfterConsistentInsert) {
   Database db = corpus::ConferenceDatabase();
   ASSERT_TRUE(db.AddFact(Fact::Make("C", {"ICDT", "2018", "Lyon"}, 2)).ok());

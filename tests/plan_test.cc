@@ -223,6 +223,107 @@ TEST(PlanCacheTest, UnsupportedFragmentCompilesToCachedSatPlan) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(PlanCacheTest, MalformedQueriesAreNegativelyCached) {
+  PlanCache cache;
+  // A free variable that does not occur in the query: compile rejects
+  // it, and the Status itself is cached so repeated bad traffic never
+  // recompiles (canonicalization still runs to find the key).
+  Query q = MustParseQuery("R(x | y)");
+  std::vector<SymbolId> bad = {InternSymbol("nosuchvar")};
+  auto first = cache.GetOrCompile(q, bad);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+
+  // The repeat (and any α-variant with the same malformed shape) is a
+  // negative hit: same Status, no second compile.
+  auto again = cache.GetOrCompile(q, bad);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), first.status().code());
+  EXPECT_EQ(again.status().message(), first.status().message());
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+
+  // Lookup never serves a plan from a negative entry.
+  EXPECT_EQ(cache.Lookup(q), nullptr);
+
+  // The same query with a valid parameter list is a distinct key and
+  // compiles fine.
+  auto good = cache.GetOrCompile(q, {InternSymbol("x")});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(cache.stats().negative_entries, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Clear drops negative entries and counters with everything else.
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.negative_hits, 0u);
+}
+
+TEST(PlanCacheTest, DuplicatedFreeVariablesStayValid) {
+  // A repeated free variable projects the same column twice — legal,
+  // and must not be confused with a variable that never occurs (the
+  // later canonical placeholders have no occurrences by construction).
+  PlanCache cache;
+  Query q = MustParseQuery("R(x | y)");
+  SymbolId x = InternSymbol("x");
+  auto plan = cache.GetOrCompile(q, {x, x});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Database db;
+  ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "b"}, 1)).ok());
+  EvalContext ctx(db);
+  Result<std::vector<char>> rows =
+      (*plan)->IsCertainRows(ctx, {{InternSymbol("a"), InternSymbol("a")}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_NE((*rows)[0], 0);
+}
+
+TEST(PlanCacheTest, ArgumentSignatureKeepsValidAndMalformedListsApart) {
+  // {x, x} (legal duplicate) and {x, nosuchvar} (malformed) leave the
+  // same trace in the canonical rendering; the cache's argument
+  // signature must keep their entries apart in BOTH request orders.
+  Query q = MustParseQuery("R(x | y)");
+  SymbolId x = InternSymbol("x");
+  SymbolId bad = InternSymbol("nosuchvar");
+  {
+    PlanCache cache;  // malformed first: must not poison the valid key
+    ASSERT_FALSE(cache.GetOrCompile(q, {x, bad}).ok());
+    auto valid = cache.GetOrCompile(q, {x, x});
+    EXPECT_TRUE(valid.ok()) << valid.status();
+  }
+  {
+    PlanCache cache;  // valid first: must not legitimize the bad list
+    ASSERT_TRUE(cache.GetOrCompile(q, {x, x}).ok());
+    auto invalid = cache.GetOrCompile(q, {x, bad});
+    ASSERT_FALSE(invalid.ok());
+    EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PlanCacheTest, NegativeEntriesAreEvictedBeforePlans) {
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.num_shards = 1;
+  PlanCache cache(options);
+  Query good = MustParseQuery("A(x | y)");
+  ASSERT_TRUE(cache.GetOrCompile(good).ok());
+  // Two distinct malformed parameterized requests: the overflow evicts
+  // the OLDER NEGATIVE entry, never the compiled plan.
+  Query bad1 = MustParseQuery("B(x | y)");
+  Query bad2 = MustParseQuery("C0(x | y)");
+  ASSERT_FALSE(cache.GetOrCompile(bad1, {InternSymbol("zz")}).ok());
+  ASSERT_FALSE(cache.GetOrCompile(bad2, {InternSymbol("zz")}).ok());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(good), nullptr);  // plan survived the flood
+  EXPECT_EQ(cache.stats().negative_entries, 1u);
+}
+
 TEST(SolverRegistryTest, BuildsEveryKindAndRoundTripsNames) {
   for (SolverKind kind : SolverRegistry::Global().kinds()) {
     EXPECT_EQ(SolverKindFromString(ToString(kind)), kind);

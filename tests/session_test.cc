@@ -20,6 +20,14 @@ namespace {
 
 using Rows = std::vector<std::vector<SymbolId>>;
 
+/// Copies a served copy-on-write snapshot into a plain row vector, so
+/// the assertions below keep comparing values (the snapshot-sharing
+/// behaviour itself is covered by AnswerSnapshotsAreSharedCopyOnWrite).
+Result<Rows> Materialize(Result<std::shared_ptr<const Session::RowSet>> r) {
+  if (!r.ok()) return r.status();
+  return Rows(**r);
+}
+
 Fact F(const std::string& relation, const std::vector<std::string>& values,
        int key_arity) {
   return Fact::Make(relation, values, key_arity);
@@ -214,13 +222,13 @@ TEST(SessionTest, CertainAnswersServedFromCacheAcrossUnrelatedDeltas) {
 
   Query q = MustParseQuery("R(x | y), S(y | z)");
   std::vector<SymbolId> fv = {InternSymbol("x")};
-  Result<Rows> first = session.CertainAnswers(q, fv);
+  Result<Rows> first = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(first.ok()) << first.status();
   EXPECT_EQ(first->size(), 8u);
   EXPECT_EQ(session.stats().answers_full, 1u);
 
   // Same epoch: verbatim cache hit.
-  Result<Rows> again = session.CertainAnswers(q, fv);
+  Result<Rows> again = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*again, *first);
   EXPECT_EQ(session.stats().answers_cached, 1u);
@@ -230,7 +238,7 @@ TEST(SessionTest, CertainAnswersServedFromCacheAcrossUnrelatedDeltas) {
   Delta unrelated;
   unrelated.Insert(F("Z", {"y", "y"}, 1));
   ASSERT_TRUE(session.ApplyDelta(unrelated).ok());
-  Result<Rows> after = session.CertainAnswers(q, fv);
+  Result<Rows> after = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(*after, *first);
   Session::Stats stats = session.stats();
@@ -243,7 +251,7 @@ TEST(SessionTest, CertainAnswersServedFromCacheAcrossUnrelatedDeltas) {
                      {InternSymbol("a3")},
                      {F("R", {"a3", "nowhere"}, 1)});
   ASSERT_TRUE(session.ApplyDelta(touch).ok());
-  Result<Rows> pruned = session.CertainAnswers(q, fv);
+  Result<Rows> pruned = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(pruned.ok());
   EXPECT_EQ(pruned->size(), 7u);  // a3 now dangles into no S fact
   stats = session.stats();
@@ -267,7 +275,7 @@ TEST(SessionTest, BooleanAnswersUseRelationLevelInvalidation) {
   Session session(db, options);
   Query q = corpus::ConferenceQuery();
 
-  Result<Rows> base = session.CertainAnswers(q, {});
+  Result<Rows> base = Materialize(session.CertainAnswers(q, {}));
   ASSERT_TRUE(base.ok());
   Result<Rows> expected = Engine::CertainAnswers(session.db(), q, {});
   ASSERT_TRUE(expected.ok());
@@ -276,7 +284,7 @@ TEST(SessionTest, BooleanAnswersUseRelationLevelInvalidation) {
   Delta unrelated;
   unrelated.Insert(F("Z", {"zz"}, 1));
   ASSERT_TRUE(session.ApplyDelta(unrelated).ok());
-  Result<Rows> cached = session.CertainAnswers(q, {});
+  Result<Rows> cached = Materialize(session.CertainAnswers(q, {}));
   ASSERT_TRUE(cached.ok());
   EXPECT_EQ(*cached, *base);
   EXPECT_EQ(session.stats().answers_incremental, 1u);
@@ -286,7 +294,7 @@ TEST(SessionTest, BooleanAnswersUseRelationLevelInvalidation) {
   Delta flip;
   flip.Remove(F("R", {"PODS", "A"}, 1));
   ASSERT_TRUE(session.ApplyDelta(flip).ok());
-  Result<Rows> after = session.CertainAnswers(q, {});
+  Result<Rows> after = Materialize(session.CertainAnswers(q, {}));
   ASSERT_TRUE(after.ok());
   Result<Rows> fresh = Engine::CertainAnswers(session.db(), q, {});
   ASSERT_TRUE(fresh.ok());
@@ -399,7 +407,7 @@ TEST(SessionTest, RandomDeltaSequencesMatchFreshEngine) {
       Result<uint64_t> applied = session.ApplyDelta(delta);
       ASSERT_TRUE(applied.ok()) << applied.status();
 
-      Result<Rows> served = session.CertainAnswers(q, fv);
+      Result<Rows> served = Materialize(session.CertainAnswers(q, fv));
       ASSERT_TRUE(served.ok())
           << seed << "/" << d << ": " << served.status();
       Result<Rows> fresh = Engine::CertainAnswers(session.db(), q, fv);
@@ -436,7 +444,7 @@ TEST(SessionTest, ConcurrentReadersSeeConsistentSnapshots) {
   Session session(db, options);
 
   // State A: R(a0 | b0) (row a0 certain). State B: R(a0 | nowhere).
-  Result<Rows> rows_a = session.CertainAnswers(q, fv);
+  Result<Rows> rows_a = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(rows_a.ok());
   ASSERT_EQ(rows_a->size(), 6u);
   Rows rows_b = *rows_a;
@@ -452,7 +460,7 @@ TEST(SessionTest, ConcurrentReadersSeeConsistentSnapshots) {
       // Bounded (and yielding) so tight reader loops can never starve
       // the writer's exclusive lock on a single-core host.
       for (int it = 0; it < 200 && !stop.load(); ++it) {
-        Result<Rows> got = session.CertainAnswers(q, fv);
+        Result<Rows> got = Materialize(session.CertainAnswers(q, fv));
         if (!got.ok() || (*got != *rows_a && *got != rows_b)) {
           mismatches.fetch_add(1);
         }
@@ -476,9 +484,48 @@ TEST(SessionTest, ConcurrentReadersSeeConsistentSnapshots) {
   EXPECT_EQ(session.epoch(), 40u);
 
   // Settled state: back to A.
-  Result<Rows> settled = session.CertainAnswers(q, fv);
+  Result<Rows> settled = Materialize(session.CertainAnswers(q, fv));
   ASSERT_TRUE(settled.ok());
   EXPECT_EQ(*settled, *rows_a);
+}
+
+TEST(SessionTest, AnswerSnapshotsAreSharedCopyOnWrite) {
+  Database db;
+  for (int i = 0; i < 6; ++i) {
+    std::string a = "a" + std::to_string(i);
+    ASSERT_TRUE(db.AddFact(F("R", {a, "b"}, 1)).ok());
+  }
+  ASSERT_TRUE(db.AddFact(F("S", {"b", "c"}, 1)).ok());
+  Session::Options options;
+  options.num_threads = 2;
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(std::move(db), options);
+  Query q = MustParseQuery("R(x | y), S(y | z)");
+  std::vector<SymbolId> fv = {InternSymbol("x")};
+
+  auto first = session.CertainAnswers(q, fv);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ((*first)->size(), 6u);
+
+  // Same epoch: the cache hit returns the SAME snapshot object — no
+  // per-serve row copy.
+  auto hit = session.CertainAnswers(q, fv);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(first->get(), hit->get());
+
+  // A delta that changes the answers installs a NEW snapshot; the old
+  // one, still held here, is untouched (copy-on-write semantics).
+  Rows before = **first;
+  Delta drop;
+  drop.ReplaceBlock(InternSymbol("R"), {InternSymbol("a0")},
+                    {F("R", {"a0", "nowhere"}, 1)});
+  ASSERT_TRUE(session.ApplyDelta(drop).ok());
+  auto after = session.CertainAnswers(q, fv);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(first->get(), after->get());
+  EXPECT_EQ((*after)->size(), 5u);
+  EXPECT_EQ(**first, before);
 }
 
 TEST(SessionTest, PersistentPoolReusesWorkerIndexesAcrossCalls) {
