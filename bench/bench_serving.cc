@@ -1,7 +1,7 @@
 // Serving throughput: the payoff of the compile/solve split. A warm
 // PlanCache amortizes classification + attack-graph analysis + FO
 // rewriting across repeated (and α-equivalent) queries; the baseline
-// recompiles per call, which is what Engine::Solve did before the plan
+// recompiles per call, which is what every solve paid before the plan
 // layer. Counters report queries/sec and the cache hit-rate, and the
 // plan_hits/plan_misses counters land in BENCH_results.json.
 
@@ -96,7 +96,7 @@ void BM_Serving_WarmCache(benchmark::State& state) {
       ++served;
     }
   }
-  PlanCache::Stats stats = cache.stats();
+  PlanCache::Stats stats = cache.Snapshot();
   state.counters["facts"] = db.size();
   state.counters["queries"] = static_cast<double>(queries.size());
   state.counters["qps"] = benchmark::Counter(
@@ -112,32 +112,37 @@ BENCHMARK(BM_Serving_WarmCache)
     ->RangeMultiplier(2)
     ->Range(1, cqa_bench::RangeLimit(16, 2));
 
-/// The full serving front: SolveBatch over the worker pool with a warm
-/// shared cache. Thread scaling is only visible on multi-core hosts
-/// (single-core containers serialize the workers); the single-thread
-/// row is the portable number.
+/// The full serving front: Service::SolveBatch over the session worker
+/// pool with a warm service plan cache. Thread scaling is only visible
+/// on multi-core hosts (single-core containers serialize the workers);
+/// the single-thread row is the portable number.
 void BM_Serving_SolveBatch(benchmark::State& state) {
-  Database db = ServingDb(2);
+  Service::Options options;
+  options.num_threads = static_cast<int>(state.range(0));
+  Service service(options);
+  service.CreateDatabase("bench", ServingDb(2)).ok();
   // A serving-sized batch: big enough to amortize worker startup.
   std::vector<Query> queries = Workload(256);
-  PlanCache cache;
-  for (const Query& q : queries) cache.GetOrCompile(q).ok();
-  BatchOptions options;
-  options.num_threads = static_cast<int>(state.range(0));
-  options.cache = &cache;
+  std::vector<Service::SolveRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].database = "bench";
+    requests[i].query = queries[i];
+  }
+  // Warm up: one pass compiles every α-class into the service cache.
+  service.SolveBatch(requests);
   size_t served = 0;
   for (auto _ : state) {
-    auto results = Engine::SolveBatch(db, queries, options);
+    auto results = service.SolveBatch(requests);
     benchmark::DoNotOptimize(results);
     served += results.size();
   }
-  PlanCache::Stats stats = cache.stats();
-  state.counters["facts"] = db.size();
+  Service::StatsResponse stats = service.Stats({}).value();
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["qps"] = benchmark::Counter(
       static_cast<double>(served), benchmark::Counter::kIsRate);
-  state.counters["plan_hits"] = static_cast<double>(stats.hits);
-  state.counters["plan_misses"] = static_cast<double>(stats.misses);
+  state.counters["plan_hits"] = static_cast<double>(stats.plan_cache.hits);
+  state.counters["plan_misses"] =
+      static_cast<double>(stats.plan_cache.misses);
 }
 BENCHMARK(BM_Serving_SolveBatch)
     ->DenseRange(1, cqa_bench::RangeLimit(8, 2), 1)

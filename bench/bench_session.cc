@@ -1,9 +1,9 @@
-// The payoff of the serving session: after a small delta over a large
-// database, re-serving certain answers through the session's dirty-row
-// cache (patched per-worker indexes + plan key-pattern pruning) versus
-// recomputing from scratch (fresh index build + all candidate rows
-// re-decided), which is what a stateless Engine::CertainAnswers call
-// does. The workload is the incremental-serving shape: one block
+// The payoff of the serving tier under deltas, measured through the
+// Service front door: after a small DeltaRequest over a large database,
+// re-serving certain answers through the session's dirty-row cache
+// (patched per-worker indexes + plan key-pattern pruning) versus
+// recomputing every row (a service whose sessions keep no answer
+// cache). The workload is the incremental-serving shape: one block
 // replaced per request on a database of `range` R-blocks.
 //
 // Acceptance tracking: BM_Session_DeltaReServe vs
@@ -45,86 +45,102 @@ Database PathDb(int n) {
 /// The per-request delta: flip block a_k between its consistent and its
 /// uncertain contents — touches exactly one R block, whose key pins the
 /// answer parameter x.
-Delta FlipDelta(int k, bool make_uncertain) {
+Service::DeltaRequest FlipDelta(int k, bool make_uncertain) {
   std::string a = "a" + std::to_string(k);
   std::string b = "b" + std::to_string(k);
   std::vector<Fact> facts = {Fact::Make("R", {a, b}, 1)};
   if (make_uncertain) {
     facts.push_back(Fact::Make("R", {a, "nowhere"}, 1));
   }
-  Delta delta;
-  delta.ReplaceBlock(InternSymbol("R"),
-                     {InternSymbol(a)}, std::move(facts));
-  return delta;
+  Service::DeltaRequest request;
+  request.database = "path";
+  request.delta.ReplaceBlock(InternSymbol("R"), {InternSymbol(a)},
+                             std::move(facts));
+  return request;
 }
 
-void ReportSessionCounters(benchmark::State& state, const Session& session,
+/// A single-database service sized for these benches: one worker
+/// thread, service-local plan cache, pages big enough that every
+/// request is a single page (the COW snapshot measured end to end).
+Service::Options PathServiceOptions() {
+  Service::Options options;
+  options.num_threads = 1;
+  options.default_page_size = 1 << 20;
+  options.max_page_size = 1 << 20;
+  return options;
+}
+
+Service::CertainAnswersRequest PathRequest(
+    const PreparedQueryHandle& handle) {
+  Service::CertainAnswersRequest request;
+  request.database = "path";
+  request.prepared = handle;
+  return request;
+}
+
+void ReportServiceCounters(benchmark::State& state, const Service& service,
                            size_t rows) {
-  Session::Stats stats = session.stats();
-  state.counters["facts"] = static_cast<double>(session.db().size());
+  Service::StatsResponse stats = service.Stats({}).value();
   state.counters["rows"] = static_cast<double>(rows);
-  state.counters["rows_decided"] = static_cast<double>(stats.rows_decided);
-  state.counters["rows_reused"] = static_cast<double>(stats.rows_reused);
-  state.counters["deltas"] = static_cast<double>(stats.deltas_applied);
+  state.counters["rows_decided"] =
+      static_cast<double>(stats.session.rows_decided);
+  state.counters["rows_reused"] =
+      static_cast<double>(stats.session.rows_reused);
+  state.counters["deltas"] =
+      static_cast<double>(stats.session.deltas_applied);
 }
 
 /// Delta path: ApplyDelta patches the worker indexes in place, the
 /// answer cache re-decides only the touched block's row.
 void BM_Session_DeltaReServe(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  Session::Options options;
-  options.num_threads = 1;
-  PlanCache cache;
-  options.plan_cache = &cache;
-  Session session(PathDb(n), options);
-  Query q = PathQ();
-  std::vector<SymbolId> fv = {InternSymbol("x")};
+  Service service(PathServiceOptions());
+  service.CreateDatabase("path", PathDb(n)).ok();
+  PreparedQueryHandle handle =
+      service.Prepare(PathQ(), {InternSymbol("x")}).value();
+  Service::CertainAnswersRequest request = PathRequest(handle);
   // Warm: one full compute populates the cache and the worker index.
-  size_t rows = (*session.CertainAnswers(q, fv))->size();
+  size_t rows = service.CertainAnswers(request)->rows.size();
   int k = 0;
   bool uncertain = true;
   for (auto _ : state) {
-    session.ApplyDelta(FlipDelta(k, uncertain)).ok();
-    auto served = session.CertainAnswers(q, fv);
+    service.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto served = service.CertainAnswers(request);
     benchmark::DoNotOptimize(served);
-    rows = (*served)->size();
+    rows = served->rows.size();
     k = (k + 13) % n;
     uncertain = !uncertain;
   }
-  ReportSessionCounters(state, session, rows);
+  ReportServiceCounters(state, service, rows);
 }
 BENCHMARK(BM_Session_DeltaReServe)
     ->RangeMultiplier(4)
     ->Range(64, cqa_bench::RangeLimit(4096, 64));
 
-/// Baseline: the same deltas, answered statelessly — every request
-/// rebuilds an EvalContext over the materialized database and decides
-/// every candidate row (the pre-session behavior).
+/// Baseline: the same deltas answered by a service whose sessions keep
+/// no answer cache — every request re-enumerates the candidates and
+/// re-decides every row over the (persistently indexed) database.
 void BM_Session_FullRecompute(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  Session::Options options;
-  options.num_threads = 1;
-  options.answer_cache_capacity = 0;  // the session only applies deltas
-  PlanCache cache;
-  options.plan_cache = &cache;
-  Session session(PathDb(n), options);
-  Query q = PathQ();
-  std::vector<SymbolId> fv = {InternSymbol("x")};
+  Service::Options options = PathServiceOptions();
+  options.session.answer_cache_capacity = 0;
+  Service service(options);
+  service.CreateDatabase("path", PathDb(n)).ok();
+  PreparedQueryHandle handle =
+      service.Prepare(PathQ(), {InternSymbol("x")}).value();
+  Service::CertainAnswersRequest request = PathRequest(handle);
   size_t rows = 0;
   int k = 0;
   bool uncertain = true;
   for (auto _ : state) {
-    session.ApplyDelta(FlipDelta(k, uncertain)).ok();
-    auto fresh = Engine::CertainAnswers(session.db(), q, fv);
+    service.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto fresh = service.CertainAnswers(request);
     benchmark::DoNotOptimize(fresh);
-    rows = fresh->size();
+    rows = fresh->rows.size();
     k = (k + 13) % n;
     uncertain = !uncertain;
   }
-  Session::Stats stats = session.stats();
-  state.counters["facts"] = static_cast<double>(session.db().size());
-  state.counters["rows"] = static_cast<double>(rows);
-  state.counters["deltas"] = static_cast<double>(stats.deltas_applied);
+  ReportServiceCounters(state, service, rows);
 }
 BENCHMARK(BM_Session_FullRecompute)
     ->RangeMultiplier(4)
@@ -134,22 +150,18 @@ BENCHMARK(BM_Session_FullRecompute)
 /// mutation + in-place patching of one warm worker index.
 void BM_Session_ApplyDeltaOnly(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
-  Session::Options options;
-  options.num_threads = 1;
-  PlanCache cache;
-  options.plan_cache = &cache;
-  Session session(PathDb(n), options);
-  Query q = PathQ();
-  std::vector<SymbolId> fv = {InternSymbol("x")};
-  session.CertainAnswers(q, fv).ok();  // build the worker index
+  Service service(PathServiceOptions());
+  service.CreateDatabase("path", PathDb(n)).ok();
+  PreparedQueryHandle handle =
+      service.Prepare(PathQ(), {InternSymbol("x")}).value();
+  service.CertainAnswers(PathRequest(handle)).ok();  // build the index
   int k = 0;
   bool uncertain = true;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(session.ApplyDelta(FlipDelta(k, uncertain)));
+    benchmark::DoNotOptimize(service.ApplyDelta(FlipDelta(k, uncertain)));
     k = (k + 13) % n;
     uncertain = !uncertain;
   }
-  state.counters["facts"] = static_cast<double>(session.db().size());
 }
 BENCHMARK(BM_Session_ApplyDeltaOnly)
     ->RangeMultiplier(4)
@@ -161,24 +173,23 @@ void BM_Session_BooleanUntouchedRelations(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db = PathDb(n);
   db.AddFact(Fact::Make("Z", {"z", "w"}, 1)).ok();
-  Session::Options options;
-  options.num_threads = 1;
-  PlanCache cache;
-  options.plan_cache = &cache;
-  Session session(std::move(db), options);
-  Query q = PathQ();
-  session.CertainAnswers(q, {}).ok();
+  Service service(PathServiceOptions());
+  service.CreateDatabase("path", std::move(db)).ok();
+  PreparedQueryHandle handle = service.Prepare(PathQ(), {}).value();
+  service.CertainAnswers(PathRequest(handle)).ok();
   int i = 0;
   for (auto _ : state) {
-    Delta delta;
-    delta.ReplaceBlock(InternSymbol("Z"), {InternSymbol("z")},
-                       {Fact::Make("Z", {"z", "w" + std::to_string(i)}, 1)});
-    session.ApplyDelta(delta).ok();
-    auto served = session.CertainAnswers(q, {});
+    Service::DeltaRequest delta;
+    delta.database = "path";
+    delta.delta.ReplaceBlock(
+        InternSymbol("Z"), {InternSymbol("z")},
+        {Fact::Make("Z", {"z", "w" + std::to_string(i)}, 1)});
+    service.ApplyDelta(delta).ok();
+    auto served = service.CertainAnswers(PathRequest(handle));
     benchmark::DoNotOptimize(served);
     ++i;
   }
-  ReportSessionCounters(state, session, 0);
+  ReportServiceCounters(state, service, 0);
 }
 BENCHMARK(BM_Session_BooleanUntouchedRelations)
     ->RangeMultiplier(4)

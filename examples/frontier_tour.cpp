@@ -1,6 +1,8 @@
-// frontier_tour: one query per complexity class, each decided by the
-// engine with its classification-driven solver — a walking tour of the
-// paper's tractability frontier.
+// frontier_tour: one query per complexity class, each decided through
+// the Service front door with its classification-driven solver — a
+// walking tour of the paper's tractability frontier. One Service hosts
+// every tour stop as a named database; the prepared handle carries the
+// classification, so nothing is classified twice.
 
 #include <cstdio>
 
@@ -8,17 +10,34 @@
 
 namespace {
 
-void Tour(const char* title, const cqa::Query& q, const cqa::Database& db) {
+cqa::Service& TourService() {
+  static cqa::Service* service = new cqa::Service();
+  return *service;
+}
+
+void Tour(const char* title, const cqa::Query& q, cqa::Database db) {
   using namespace cqa;
-  Result<SolveOutcome> out = Engine::Solve(db, q);
+  Service& service = TourService();
+  service.CreateDatabase(title, std::move(db)).ok();
+  Result<PreparedQueryHandle> handle = service.Prepare(q);
+  if (!handle.ok()) {
+    std::printf("%-28s %s\n", title, handle.status().ToString().c_str());
+    return;
+  }
+  Service::SolveRequest request;
+  request.database = title;
+  request.prepared = *handle;
+  Result<Service::SolveResponse> out = service.Solve(request);
   if (!out.ok()) {
     std::printf("%-28s %s\n", title, out.status().ToString().c_str());
     return;
   }
-  Result<Classification> cls = ClassifyQuery(q);
   std::printf("%-28s %-46s certain=%-3s solver=%s\n", title,
-              cls.ok() ? ComplexityClassName(cls->complexity) : "?",
-              out->certain ? "yes" : "no", ToString(out->solver));
+              (*handle)->classification().has_value()
+                  ? ComplexityClassName((*handle)->complexity())
+                  : "?",
+              out->outcome.certain ? "yes" : "no",
+              ToString(out->outcome.solver));
 }
 
 }  // namespace

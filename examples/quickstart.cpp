@@ -42,10 +42,17 @@ int main() {
               ComplexityClassName(cls->complexity),
               cls->explanation.c_str());
 
-  // Decide certainty with the dispatched solver.
-  Result<SolveOutcome> outcome = Engine::Solve(*db, q);
-  std::printf("Certain: %s (solver: %s)\n", outcome->certain ? "yes" : "no",
-              ToString(outcome->solver));
+  // Decide certainty through the service front door: register the
+  // database, send a versioned SolveRequest.
+  Service service;
+  service.CreateDatabase("quickstart", *db).ok();
+  Service::SolveRequest solve;
+  solve.database = "quickstart";
+  solve.query = q;
+  Result<Service::SolveResponse> outcome = service.Solve(solve);
+  std::printf("Certain: %s (solver: %s)\n",
+              outcome->outcome.certain ? "yes" : "no",
+              ToString(outcome->outcome.solver));
 
   // The paper: "true in only three repairs".
   BigInt holds = OracleSolver(q).CountSatisfyingRepairs(*db);

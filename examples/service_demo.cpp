@@ -1,0 +1,153 @@
+// The Service walkthrough from the README — one front door for
+// everything the serving stack can do:
+//
+//   1. create named databases in the service registry;
+//   2. prepare queries: deduplicated handles pinning a compiled plan,
+//      with per-handle classification / complexity / solver-kind
+//      introspection;
+//   3. serve Boolean decisions through versioned SolveRequests (and
+//      cross-check one with a forced oracle solver);
+//   4. stream certain answers in pages off a copy-on-write snapshot;
+//   5. apply a transactional DeltaRequest and watch an open cursor keep
+//      serving its old snapshot while new streams see the new epoch;
+//   6. read the unified counters (plan cache / sessions / solvers) and
+//      tour the error taxonomy.
+
+#include <cstdio>
+#include <string>
+
+#include "cqa.h"
+
+using namespace cqa;
+
+namespace {
+
+void PrintPage(const char* label,
+               const Service::CertainAnswersResponse& page) {
+  std::printf("%s: [", label);
+  for (size_t i = 0; i < page.rows.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : " ",
+                SymbolName(page.rows[i][0]).c_str());
+  }
+  std::printf("]  (total %zu, epoch %llu%s)\n", page.total_rows,
+              static_cast<unsigned long long>(page.epoch),
+              page.next_page_token.empty() ? "" : ", more pages");
+}
+
+}  // namespace
+
+int main() {
+  Service service;
+
+  // ------------------------------------------------- 1. the registry
+  // A supplier catalog: S(part | supplier) joined to D(supplier |
+  // depot). Part p2's supplier is uncertain.
+  Database catalog;
+  catalog.AddFact(Fact::Make("S", {"p1", "acme"}, 1)).ok();
+  catalog.AddFact(Fact::Make("S", {"p2", "acme"}, 1)).ok();
+  catalog.AddFact(Fact::Make("S", {"p2", "globex"}, 1)).ok();  // conflict
+  catalog.AddFact(Fact::Make("S", {"p3", "initech"}, 1)).ok();
+  catalog.AddFact(Fact::Make("S", {"p4", "acme"}, 1)).ok();
+  catalog.AddFact(Fact::Make("D", {"acme", "east"}, 1)).ok();
+  catalog.AddFact(Fact::Make("D", {"globex", "west"}, 1)).ok();
+  catalog.AddFact(Fact::Make("D", {"initech", "north"}, 1)).ok();
+
+  service.CreateDatabase("catalog", std::move(catalog)).ok();
+  service.CreateDatabase("conference", corpus::ConferenceDatabase()).ok();
+  std::printf("databases:");
+  for (const std::string& name : service.ListDatabases()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // ------------------------------------------- 2. prepared handles
+  Query q = MustParseQuery("S(part | sup), D(sup | dep)");
+  std::vector<SymbolId> free_vars = {InternSymbol("part")};
+  PreparedQueryHandle parts = service.Prepare(q, free_vars).value();
+  std::printf("prepared   : %s\n", parts->query().ToString().c_str());
+  std::printf("complexity : %s\n", ComplexityClassName(parts->complexity()));
+  std::printf("solver     : %s\n", ToString(parts->solver_kind()));
+
+  // α-equivalent text (renamed variables, swapped atoms) dedupes to the
+  // SAME handle — a fleet of callers converges on one pinned plan.
+  Query variant = MustParseQuery("D(s | d), S(p | s)");
+  PreparedQueryHandle again =
+      service.Prepare(variant, {InternSymbol("p")}).value();
+  std::printf("alpha-variant shares the handle: %s\n\n",
+              again.get() == parts.get() ? "yes" : "no");
+
+  // --------------------------------------- 3. Boolean SolveRequests
+  PreparedQueryHandle conf =
+      service.Prepare(corpus::ConferenceQuery()).value();
+  Service::SolveRequest solve;
+  solve.database = "conference";
+  solve.prepared = conf;
+  Service::SolveResponse decided = service.Solve(solve).value();
+  std::printf("conference query certain: %s (%s)\n",
+              decided.outcome.certain ? "yes" : "no",
+              ToString(decided.outcome.solver));
+
+  // Cross-check through a forced repair-enumeration oracle: same
+  // request shape, different pinned solver.
+  Service::PrepareOptions force;
+  force.force_solver = SolverKind::kOracle;
+  solve.prepared =
+      service.Prepare(corpus::ConferenceQuery(), {}, force).value();
+  Service::SolveResponse oracle = service.Solve(solve).value();
+  std::printf("oracle agrees: %s\n\n",
+              oracle.outcome.certain == decided.outcome.certain ? "yes"
+                                                                : "no");
+
+  // -------------------------------------- 4. paginated answer stream
+  Service::CertainAnswersRequest answers;
+  answers.database = "catalog";
+  answers.prepared = parts;
+  answers.page_size = 2;
+  Service::CertainAnswersResponse page =
+      service.CertainAnswers(answers).value();
+  PrintPage("certain parts, page 1", page);
+
+  // ------------------------- 5. a delta lands mid-stream: the cursor
+  //                              keeps its snapshot, new streams move on
+  Service::DeltaRequest delta;
+  delta.database = "catalog";
+  delta.delta.Remove(Fact::Make("S", {"p4", "acme"}, 1))
+      .ReplaceBlock(InternSymbol("S"), {InternSymbol("p2")},
+                    {Fact::Make("S", {"p2", "globex"}, 1)});
+  uint64_t epoch = service.ApplyDelta(delta).value().epoch;
+  std::printf("applied delta -> epoch %llu\n",
+              static_cast<unsigned long long>(epoch));
+
+  Service::CertainAnswersRequest next;
+  next.database = "catalog";
+  next.page_token = page.next_page_token;
+  PrintPage("  page 2 (old snapshot)", service.CertainAnswers(next).value());
+
+  answers.page_size = 16;
+  PrintPage("  fresh stream (new epoch)",
+            service.CertainAnswers(answers).value());
+
+  // ------------------------------------------- 6. stats + taxonomy
+  Service::StatsResponse stats = service.Stats({}).value();
+  std::printf(
+      "\nstats: %zu dbs, %zu prepared, plan cache %llu hits / %llu "
+      "misses, answers full=%llu incremental=%llu cached=%llu\n",
+      stats.databases, stats.prepared_queries,
+      static_cast<unsigned long long>(stats.plan_cache.hits),
+      static_cast<unsigned long long>(stats.plan_cache.misses),
+      static_cast<unsigned long long>(stats.session.answers_full),
+      static_cast<unsigned long long>(stats.session.answers_incremental),
+      static_cast<unsigned long long>(stats.session.answers_cached));
+
+  Service::SolveRequest bad = solve;
+  bad.database = "nope";
+  std::printf("unknown database    -> %s\n",
+              service.Solve(bad).status().ToString().c_str());
+  std::printf("duplicate create    -> %s\n",
+              service.CreateDatabase("catalog", Database()).ToString().c_str());
+  Service::SolveRequest old = solve;
+  old.api_version = 99;
+  std::printf("wrong api_version   -> %s\n",
+              service.Solve(old).status().ToString().c_str());
+  return 0;
+}

@@ -30,22 +30,36 @@ Dept(sales, f1).
 
 int SolveAll(const cqa::Database& db, int argc, char** argv, int first) {
   using namespace cqa;
+  // One service, one named database, one SolveRequest per query.
+  Service service;
+  service.CreateDatabase("file", db).ok();
   for (int i = first; i < argc; ++i) {
     Result<Query> q = ParseQuery(argv[i], db.schema());
     if (!q.ok()) {
       std::printf("query error: %s\n", q.status().ToString().c_str());
       return 1;
     }
-    Result<Classification> cls = ClassifyQuery(*q);
-    Result<SolveOutcome> out = Engine::Solve(db, *q);
+    Result<PreparedQueryHandle> handle = service.Prepare(*q);
+    if (!handle.ok()) {
+      std::printf("compile error: %s\n",
+                  handle.status().ToString().c_str());
+      return 1;
+    }
+    Service::SolveRequest request;
+    request.database = "file";
+    request.prepared = *handle;
+    Result<Service::SolveResponse> out = service.Solve(request);
     if (!out.ok()) {
       std::printf("solve error: %s\n", out.status().ToString().c_str());
       return 1;
     }
     std::printf("%-40s  class=%-40s  certain=%s  solver=%s\n",
                 q->ToString().c_str(),
-                cls.ok() ? ComplexityClassName(cls->complexity) : "n/a",
-                out->certain ? "yes" : "no", ToString(out->solver));
+                (*handle)->classification().has_value()
+                    ? ComplexityClassName((*handle)->complexity())
+                    : "n/a",
+                out->outcome.certain ? "yes" : "no",
+                ToString(out->outcome.solver));
   }
   return 0;
 }

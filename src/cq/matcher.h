@@ -178,7 +178,7 @@ bool SatisfiesWith(const FactIndex& index, const Query& q,
 /// of `q` into `index` extending `initial`. Every variable of `vars`
 /// must occur in q (so every embedding binds it). This is the
 /// candidate-answer enumeration primitive of the answering layers:
-/// `Engine::PossibleAnswers` calls it with an empty seed, and the
+/// the possible-answer enumeration calls it with an empty seed, and the
 /// serving `Session` seeds `initial` from a dirty block's key values so
 /// the matcher's key-prefix buckets prune the scan to the candidate
 /// tuples that delta could have touched.

@@ -13,19 +13,24 @@
 ///   auto db = cqa::ParseDatabase(text).value();
 ///   auto q  = cqa::ParseQuery("C(x, y, 'Rome'), R(x, 'A')", db.schema());
 ///   auto cls = cqa::ClassifyQuery(*q);          // Theorems 1-4.
-///   auto out = cqa::Engine::Solve(db, *q);      // Cached compiled plan.
-///
-/// For serving workloads, compile once and share:
-///
 ///   auto plan = cqa::QueryPlan::Compile(*q).value();   // thread-safe
-///   auto outs = cqa::Engine::SolveBatch(db, queries);  // worker pool
+///   auto out = plan->Solve(db);                 // one decision
 ///
-/// For a long-lived service over an evolving database, open a Session
-/// (persistent pool, incremental indexes, transactional deltas):
+/// For serving, everything goes through the one front door — a
+/// versioned `Service` owning named databases, prepared-query handles
+/// and paginated answer streams:
 ///
-///   cqa::Session session(std::move(db));
-///   session.ApplyDelta(cqa::Delta().Insert(fact));     // epoch + 1
-///   auto rows = session.CertainAnswers(*q, free_vars); // dirty-row cache
+///   cqa::Service service;
+///   service.CreateDatabase("main", std::move(db)).ok();
+///   auto handle = service.Prepare(*q).value();       // deduped, pinned
+///   cqa::Service::SolveRequest req;
+///   req.database = "main";
+///   req.prepared = handle;
+///   auto out = service.Solve(req);                   // versioned request
+///   // deltas: Service::DeltaRequest -> ApplyDelta -> epoch + 1
+///
+/// (`Engine`'s statics and direct `Session` use remain as deprecated
+/// back-compat shims for one release.)
 
 #include "core/attack_graph.h"
 #include "core/classifier.h"
@@ -53,6 +58,7 @@
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
 #include "prob/bid.h"
+#include "serve/service.h"
 #include "serve/session.h"
 #include "prob/counting.h"
 #include "prob/is_safe.h"

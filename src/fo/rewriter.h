@@ -30,7 +30,7 @@ Result<FormulaPtr> CertainRewriting(const Query& q);
 /// throughout the construction (frozen from the start) and remain free in
 /// the produced formula. Evaluating the formula under a binding θ of the
 /// parameters decides db ∈ CERTAINTY(θ(q)) — one rewriting serves every
-/// grounding of the parameters, which is how Engine::CertainAnswers
+/// grounding of the parameters, which is how certain-answer serving
 /// compiles a non-Boolean query once. Fails when the attack graph of `q`
 /// with `params` frozen is cyclic.
 Result<FormulaPtr> CertainRewriting(const Query& q, const VarSet& params);

@@ -12,7 +12,7 @@ namespace {
 // Shards clamped to the capacity so a small cache is never inflated by
 // the one-entry-per-shard minimum; total capacity is then
 // options.capacity rounded down to a multiple of the shard count
-// (reported exactly by stats().capacity) and never exceeds the request.
+// (reported exactly by Snapshot().capacity) and never exceeds the request.
 size_t EffectiveShards(const PlanCache::Options& options) {
   size_t shards = std::max<size_t>(1, options.num_shards);
   return std::max<size_t>(1, std::min(shards, options.capacity));
@@ -76,24 +76,21 @@ Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompile(
 
 Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
     CanonicalQuery canonical, Status precheck) {
-  auto serve = [this](const Entry& entry)
-      -> Result<std::shared_ptr<const QueryPlan>> {
-    if (entry.plan != nullptr) return entry.plan;
-    negative_hits_.fetch_add(1, std::memory_order_relaxed);
-    return entry.error;
-  };
-
   Shard& shard = ShardFor(canonical.hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.by_key.find(canonical.key);
     if (it != shard.by_key.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return serve(it->second->second);
+      ++shard.hits;
+      if (it->second->second.plan != nullptr) {
+        return it->second->second.plan;
+      }
+      ++shard.negative_hits;
+      return it->second->second.error;
     }
+    ++shard.misses;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
   // Compile outside the lock: plan compilation can run the rewriter.
   // Failures — a precheck rejection or a compile error — become
   // negative entries under the same key and LRU policy, so repeated
@@ -137,7 +134,7 @@ Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
     }
     shard.by_key.erase(victim->first);
     shard.lru.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
   if (entry.plan != nullptr) return entry.plan;
   return entry.error;
@@ -152,15 +149,15 @@ std::shared_ptr<const QueryPlan> PlanCache::Lookup(const Query& q) const {
   return it->second->second.plan;  // null for negative entries.
 }
 
-PlanCache::Stats PlanCache::stats() const {
+PlanCache::Stats PlanCache::Snapshot() const {
   Stats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   out.capacity = per_shard_capacity_ * shards_.size();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.negative_hits += shard.negative_hits;
     out.entries += shard.lru.size();
     for (const auto& [key, entry] : shard.lru) {
       (void)key;
@@ -175,11 +172,11 @@ void PlanCache::Clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.lru.clear();
     shard.by_key.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+    shard.negative_hits = 0;
   }
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  negative_hits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace cqa

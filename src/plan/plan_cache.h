@@ -1,7 +1,6 @@
 #ifndef CQA_PLAN_PLAN_CACHE_H_
 #define CQA_PLAN_PLAN_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -74,7 +73,12 @@ class PlanCache {
     size_t negative_entries = 0;
     size_t capacity = 0;
   };
-  Stats stats() const;
+  /// An atomic snapshot of the counters: every field is read under the
+  /// shard lock that updates it, so within a shard hits/misses/
+  /// negative_hits/entries are mutually consistent (no torn reads of
+  /// independently-advancing atomics). This is what `Service::Stats`
+  /// surfaces.
+  Stats Snapshot() const;
 
   /// Drops all entries and resets the counters.
   void Clear();
@@ -94,6 +98,12 @@ class PlanCache {
     std::unordered_map<std::string,
                        decltype(lru)::iterator>
         by_key;
+    /// Counters live with the data they describe and are only touched
+    /// under `mu`, so `Snapshot()` reads a consistent view per shard.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t negative_hits = 0;
   };
 
   /// `precheck` is a validation failure determined from the ORIGINAL
@@ -105,10 +115,6 @@ class PlanCache {
 
   size_t per_shard_capacity_;
   mutable std::vector<Shard> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> negative_hits_{0};
 };
 
 }  // namespace cqa

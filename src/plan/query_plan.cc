@@ -176,6 +176,40 @@ Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileCanonical(
   return std::shared_ptr<const QueryPlan>(std::move(plan));
 }
 
+Result<std::shared_ptr<const QueryPlan>> QueryPlan::CompileForcedSolver(
+    const Query& q, SolverKind kind) {
+  CanonicalQuery canonical = Canonicalize(q);
+  if (!canonical.params.empty()) {
+    return Status::InvalidArgument(
+        "solver override requires a Boolean query");
+  }
+  std::shared_ptr<QueryPlan> plan(new QueryPlan());
+  plan->canonical_ = std::move(canonical);
+  // Tag the key: everything keyed by cache_key() — the Service's
+  // prepared-handle dedup AND the session answer cache — must keep a
+  // forced plan's results apart from the classifier-chosen plan's.
+  plan->canonical_.key += std::string(";solver=") + ToString(kind);
+  const CanonicalQuery& c = plan->canonical_;
+  plan->key_patterns_ = ComputeKeyPatterns(c.query, c.params);
+  Result<Classification> cls = ClassifyQuery(c.query);
+  if (cls.ok()) {
+    plan->classification_ = *cls;
+    plan->complexity_ = cls->complexity;
+  } else if (cls.status().code() != StatusCode::kUnsupported) {
+    return cls.status();
+  } else {
+    plan->complexity_ = ComplexityClass::kOpenConjecturedPtime;
+  }
+  plan->kind_ = kind;
+  Result<std::unique_ptr<Solver>> solver =
+      SolverRegistry::Global().Create(kind, c.query);
+  if (!solver.ok()) return solver.status();
+  plan->solver_ = std::move(solver).value();
+  plan->fo_ = dynamic_cast<const FoSolver*>(plan->solver_.get());
+  if (plan->fo_ != nullptr) plan->fo_program_ = plan->fo_->program();
+  return std::shared_ptr<const QueryPlan>(std::move(plan));
+}
+
 Result<SolveOutcome> QueryPlan::Solve(const Database& db) const {
   EvalContext ctx(db);
   return Solve(ctx);

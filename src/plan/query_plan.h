@@ -99,6 +99,22 @@ class QueryPlan {
   static Result<std::shared_ptr<const QueryPlan>> CompileCanonical(
       CanonicalQuery canonical);
 
+  /// Compiles a Boolean query with the decision procedure FORCED to
+  /// `kind` instead of the classifier's choice. Classification still
+  /// runs (the plan keeps its diagnostics and true complexity); only
+  /// the solver is overridden. This is how `Service` prepared handles
+  /// reach every registered solver — e.g. pinning `SolverKind::kOracle`
+  /// to cross-check production answers against repair enumeration, or
+  /// `kSat` to exercise the fallback on a tractable query. Fails when
+  /// `kind` cannot decide the query (e.g. forcing `kFoRewriting` onto a
+  /// non-FO query) or when the query is parameterized. The plan's
+  /// `cache_key()` carries a `;solver=` tag so every cache keyed by it
+  /// (the Service's handle dedup, a session's answer cache) keeps
+  /// forced results apart from the classifier-chosen plan's; forced
+  /// plans are still never stored in a `PlanCache`.
+  static Result<std::shared_ptr<const QueryPlan>> CompileForcedSolver(
+      const Query& q, SolverKind kind);
+
   // ------------------------------------------------- compile-time facts
   const CanonicalQuery& canonical() const { return canonical_; }
   const std::string& cache_key() const { return canonical_.key; }

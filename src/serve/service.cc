@@ -1,0 +1,471 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace cqa {
+
+namespace {
+
+Status CheckVersion(int api_version) {
+  if (api_version == Service::kApiVersion) return Status::OK();
+  return Status::InvalidArgument(
+      "unsupported api_version " + std::to_string(api_version) +
+      " (this service speaks version " +
+      std::to_string(Service::kApiVersion) + ")");
+}
+
+std::string PageToken(uint64_t cursor_id, size_t offset) {
+  return "v1:" + std::to_string(cursor_id) + ":" + std::to_string(offset);
+}
+
+/// Inverse of PageToken; false on any malformation (tokens are opaque
+/// to clients — anything we did not mint is InvalidArgument).
+bool ParsePageToken(const std::string& token, uint64_t* cursor_id,
+                    size_t* offset) {
+  if (token.compare(0, 3, "v1:") != 0) return false;
+  size_t sep = token.find(':', 3);
+  if (sep == std::string::npos || sep == 3 || sep + 1 >= token.size()) {
+    return false;
+  }
+  uint64_t id = 0;
+  size_t off = 0;
+  for (size_t i = 3; i < sep; ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    id = id * 10 + static_cast<uint64_t>(token[i] - '0');
+  }
+  for (size_t i = sep + 1; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    off = off * 10 + static_cast<size_t>(token[i] - '0');
+  }
+  *cursor_id = id;
+  *offset = off;
+  return true;
+}
+
+void Accumulate(Session::Stats* into, const Session::Stats& from) {
+  into->deltas_applied += from.deltas_applied;
+  into->facts_added += from.facts_added;
+  into->facts_removed += from.facts_removed;
+  into->solves += from.solves;
+  into->answers_cached += from.answers_cached;
+  into->answers_incremental += from.answers_incremental;
+  into->answers_full += from.answers_full;
+  into->rows_reused += from.rows_reused;
+  into->rows_decided += from.rows_decided;
+}
+
+}  // namespace
+
+Service::Service(const Options& options)
+    : options_(options), plan_cache_(options.plan_cache) {}
+
+Service::~Service() = default;
+
+// --------------------------------------------------- database registry
+
+Status Service::CreateDatabase(const std::string& name, Database db) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  // The session (worker pool and all) is built outside the registry
+  // lock; a lost name race just discards it.
+  Session::Options session_options = options_.session;
+  session_options.num_threads = options_.num_threads;
+  session_options.plan_cache = &plan_cache_;
+  auto session = std::make_shared<Session>(std::move(db), session_options);
+
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (databases_.count(name) != 0) {
+    return Status::FailedPrecondition("database '" + name +
+                                      "' already exists");
+  }
+  if (databases_.size() >= options_.max_databases) {
+    return Status::FailedPrecondition(
+        "database registry is full (" +
+        std::to_string(options_.max_databases) + ")");
+  }
+  databases_.emplace(name, std::move(session));
+  return Status::OK();
+}
+
+Status Service::DropDatabase(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (databases_.erase(name) == 0) {
+      return Status::NotFound("unknown database '" + name + "'");
+    }
+  }
+  // Cursors pinned to the dropped database release their snapshots;
+  // their tokens start failing Unavailable.
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.database == name) {
+      it = cursors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+bool Service::HasDatabase(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return databases_.count(name) != 0;
+}
+
+std::vector<std::string> Service::ListDatabases() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, session] : databases_) {
+    (void)session;
+    names.push_back(name);
+  }
+  return names;  // std::map iterates sorted.
+}
+
+Result<std::shared_ptr<Session>> Service::ResolveSession(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = databases_.find(name);
+  if (it == databases_.end()) {
+    return Status::NotFound("unknown database '" + name + "'");
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------- prepared queries
+
+Result<PreparedQueryHandle> Service::Prepare(
+    const Query& q, const std::vector<SymbolId>& free_vars,
+    const PrepareOptions& options) {
+  std::shared_ptr<const QueryPlan> plan;
+  std::string id;
+  if (options.force_solver.has_value()) {
+    if (!free_vars.empty()) {
+      return Status::InvalidArgument(
+          "solver override requires a Boolean query");
+    }
+    Result<std::shared_ptr<const QueryPlan>> forced =
+        QueryPlan::CompileForcedSolver(q, *options.force_solver);
+    if (!forced.ok()) return forced.status();
+    plan = *forced;
+    id = plan->cache_key();  // already carries the ";solver=" tag
+  } else {
+    Result<std::shared_ptr<const QueryPlan>> compiled =
+        free_vars.empty() ? plan_cache_.GetOrCompile(q)
+                          : plan_cache_.GetOrCompile(q, free_vars);
+    if (!compiled.ok()) return compiled.status();
+    plan = *compiled;
+    id = plan->cache_key();
+  }
+
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  auto it = prepared_.find(id);
+  if (it != prepared_.end()) {
+    if (PreparedQueryHandle live = it->second.lock()) return live;
+  }
+  PreparedQueryHandle handle(
+      new PreparedQuery(q, free_vars, std::move(plan), id));
+  prepared_[id] = handle;
+  // Opportunistic prune: entries whose last handle died stay behind as
+  // expired weak_ptrs; sweep them so the table tracks live handles.
+  for (auto sweep = prepared_.begin(); sweep != prepared_.end();) {
+    if (sweep->second.expired()) {
+      sweep = prepared_.erase(sweep);
+    } else {
+      ++sweep;
+    }
+  }
+  return handle;
+}
+
+// ---------------------------------------------------------------- solve
+
+Result<std::shared_ptr<const QueryPlan>> Service::ResolvePlan(
+    const PreparedQueryHandle& prepared, const std::optional<Query>& query,
+    const std::vector<SymbolId>& free_vars, const Query** q_out,
+    const std::vector<SymbolId>** fv_out) {
+  if ((prepared != nullptr) == query.has_value()) {
+    return Status::InvalidArgument(
+        "exactly one of {prepared, query} must be set");
+  }
+  if (prepared != nullptr) {
+    if (!free_vars.empty()) {
+      return Status::InvalidArgument(
+          "free_vars travels with ad-hoc queries; a prepared handle "
+          "carries its own");
+    }
+    *q_out = &prepared->query();
+    *fv_out = &prepared->free_vars();
+    return prepared->plan();
+  }
+  *q_out = &*query;
+  *fv_out = &free_vars;
+  return free_vars.empty() ? plan_cache_.GetOrCompile(*query)
+                           : plan_cache_.GetOrCompile(*query, free_vars);
+}
+
+std::vector<Result<Service::SolveResponse>> Service::SolveBatch(
+    const std::vector<SolveRequest>& requests) {
+  std::vector<Result<SolveResponse>> results(
+      requests.size(),
+      Result<SolveResponse>(Status::Internal("batch item not served")));
+  // Group by database so each session runs ONE pool pass.
+  struct Group {
+    std::shared_ptr<Session> session;
+    std::vector<size_t> indexes;
+    std::vector<std::shared_ptr<const QueryPlan>> plans;
+  };
+  std::map<std::string, Group> groups;
+  static const std::vector<SymbolId> kNoFreeVars;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const SolveRequest& request = requests[i];
+    Status version = CheckVersion(request.api_version);
+    if (!version.ok()) {
+      results[i] = version;
+      continue;
+    }
+    const Query* q = nullptr;
+    const std::vector<SymbolId>* fv = nullptr;
+    Result<std::shared_ptr<const QueryPlan>> plan =
+        ResolvePlan(request.prepared, request.query, kNoFreeVars, &q, &fv);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      continue;
+    }
+    if ((*plan)->parameterized()) {
+      results[i] = Status::FailedPrecondition(
+          "parameterized query cannot be solved as a Boolean request; "
+          "use CertainAnswers");
+      continue;
+    }
+    Group& group = groups[request.database];
+    if (group.session == nullptr) {
+      Result<std::shared_ptr<Session>> session =
+          ResolveSession(request.database);
+      if (!session.ok()) {
+        results[i] = session.status();
+        continue;
+      }
+      group.session = *session;
+    }
+    group.indexes.push_back(i);
+    group.plans.push_back(*plan);
+  }
+  for (auto& [name, group] : groups) {
+    (void)name;
+    // A group whose session never resolved holds no indexes (each of
+    // its items already carries the NotFound).
+    if (group.session == nullptr) continue;
+    uint64_t epoch = 0;  // read under the epoch gate: exact
+    std::vector<Result<SolveOutcome>> outcomes =
+        group.session->SolveBatch(group.plans, &epoch);
+    for (size_t j = 0; j < group.indexes.size(); ++j) {
+      if (outcomes[j].ok()) {
+        results[group.indexes[j]] = SolveResponse{*outcomes[j], epoch};
+      } else {
+        results[group.indexes[j]] = outcomes[j].status();
+      }
+    }
+  }
+  return results;
+}
+
+Result<Service::SolveResponse> Service::Solve(const SolveRequest& request) {
+  return SolveBatch({request})[0];
+}
+
+// ------------------------------------------------------ certain answers
+
+Service::CertainAnswersResponse Service::MakePage(
+    const std::shared_ptr<const Session::RowSet>& snapshot, uint64_t epoch,
+    size_t offset, size_t end) {
+  const Session::RowSet& rows = *snapshot;
+  CertainAnswersResponse response;
+  response.total_rows = rows.size();
+  response.epoch = epoch;
+  response.rows.assign(rows.begin() + static_cast<ptrdiff_t>(offset),
+                       rows.begin() + static_cast<ptrdiff_t>(end));
+  return response;
+}
+
+Result<Service::CertainAnswersResponse> Service::ContinueStream(
+    const CertainAnswersRequest& request) {
+  if (request.prepared != nullptr || request.query.has_value()) {
+    return Status::InvalidArgument(
+        "page_token continues an existing stream; do not resend the "
+        "query");
+  }
+  uint64_t cursor_id = 0;
+  size_t offset = 0;
+  if (!ParsePageToken(request.page_token, &cursor_id, &offset)) {
+    return Status::InvalidArgument("malformed page token '" +
+                                   request.page_token + "'");
+  }
+  // Under the lock: cursor bookkeeping only (O(1)). The page's rows are
+  // materialized AFTER release — the snapshot is immutable and the
+  // shared_ptr keeps it alive, so concurrent page fetches never queue
+  // behind each other's row copies.
+  std::shared_ptr<const Session::RowSet> snapshot;
+  uint64_t epoch = 0;
+  size_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    auto it = cursors_.find(cursor_id);
+    if (it == cursors_.end()) {
+      return Status::Unavailable(
+          "page token expired: its cursor was evicted or its database "
+          "dropped; restart from the first page");
+    }
+    Cursor& cursor = it->second;
+    if (!request.database.empty() && request.database != cursor.database) {
+      return Status::InvalidArgument(
+          "page token belongs to database '" + cursor.database +
+          "', not '" + request.database + "'");
+    }
+    if (offset > cursor.snapshot->size()) {
+      return Status::InvalidArgument("page token offset out of range");
+    }
+    size_t page_size =
+        request.page_size > 0
+            ? std::min(request.page_size, options_.max_page_size)
+            : cursor.page_size;
+    snapshot = cursor.snapshot;
+    epoch = cursor.epoch;
+    end = std::min(offset + page_size, snapshot->size());
+    if (end >= snapshot->size()) {
+      cursors_.erase(it);  // Stream exhausted; release the snapshot.
+    } else {
+      cursor.last_use = ++cursor_clock_;
+    }
+  }
+  CertainAnswersResponse response = MakePage(snapshot, epoch, offset, end);
+  if (end < snapshot->size()) {
+    response.next_page_token = PageToken(cursor_id, end);
+  }
+  return response;
+}
+
+Result<Service::CertainAnswersResponse> Service::CertainAnswers(
+    const CertainAnswersRequest& request) {
+  CQA_RETURN_NOT_OK(CheckVersion(request.api_version));
+  if (!request.page_token.empty()) return ContinueStream(request);
+
+  Result<std::shared_ptr<Session>> session =
+      ResolveSession(request.database);
+  if (!session.ok()) return session.status();
+  const Query* q = nullptr;
+  const std::vector<SymbolId>* fv = nullptr;
+  Result<std::shared_ptr<const QueryPlan>> plan =
+      ResolvePlan(request.prepared, request.query, request.free_vars, &q,
+                  &fv);
+  if (!plan.ok()) return plan.status();
+
+  uint64_t epoch = 0;
+  Result<std::shared_ptr<const Session::RowSet>> snapshot =
+      (*session)->CertainAnswers(*plan, *q, *fv, &epoch);
+  if (!snapshot.ok()) return snapshot.status();
+
+  size_t page_size =
+      request.page_size > 0
+          ? std::min(request.page_size, options_.max_page_size)
+          : options_.default_page_size;
+  size_t total = (*snapshot)->size();
+  size_t end = std::min(page_size, total);
+  CertainAnswersResponse response = MakePage(*snapshot, epoch, 0, end);
+  if (total <= page_size) {
+    return response;  // Single-page result: no cursor to track.
+  }
+
+  Cursor cursor;
+  cursor.database = request.database;
+  cursor.snapshot = *snapshot;
+  cursor.epoch = epoch;
+  cursor.page_size = page_size;
+  uint64_t cursor_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    cursor_id = next_cursor_id_++;
+    cursor.last_use = ++cursor_clock_;
+    cursors_.emplace(cursor_id, std::move(cursor));
+    while (cursors_.size() > options_.max_open_cursors) {
+      // Evict the least recently used snapshot; its token fails
+      // Unavailable from now on.
+      auto victim = cursors_.begin();
+      for (auto candidate = cursors_.begin(); candidate != cursors_.end();
+           ++candidate) {
+        if (candidate->second.last_use < victim->second.last_use) {
+          victim = candidate;
+        }
+      }
+      cursors_.erase(victim);
+    }
+  }
+  response.next_page_token = PageToken(cursor_id, end);
+  return response;
+}
+
+// ---------------------------------------------------------------- deltas
+
+Result<Service::DeltaResponse> Service::ApplyDelta(
+    const DeltaRequest& request) {
+  CQA_RETURN_NOT_OK(CheckVersion(request.api_version));
+  Result<std::shared_ptr<Session>> session =
+      ResolveSession(request.database);
+  if (!session.ok()) return session.status();
+  Result<uint64_t> epoch = (*session)->ApplyDelta(request.delta);
+  if (!epoch.ok()) return epoch.status();
+  return DeltaResponse{*epoch};
+}
+
+// ----------------------------------------------------------------- stats
+
+Result<Service::StatsResponse> Service::Stats(
+    const StatsRequest& request) const {
+  CQA_RETURN_NOT_OK(CheckVersion(request.api_version));
+  StatsResponse response;
+  response.plan_cache = plan_cache_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (request.database.empty()) {
+      response.databases = databases_.size();
+      for (const auto& [name, session] : databases_) {
+        (void)name;
+        Accumulate(&response.session, session->stats());
+      }
+    } else {
+      auto it = databases_.find(request.database);
+      if (it == databases_.end()) {
+        return Status::NotFound("unknown database '" + request.database +
+                                "'");
+      }
+      response.databases = 1;
+      Accumulate(&response.session, it->second->stats());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    for (const auto& [id, weak] : prepared_) {
+      (void)id;
+      PreparedQueryHandle live = weak.lock();
+      if (live == nullptr) continue;
+      ++response.prepared_queries;
+      const Solver* solver = live->plan()->solver();
+      if (solver == nullptr) continue;
+      SolverStats::Snapshot stats = solver->stats();
+      SolverCounters& counters = response.solvers[live->solver_kind()];
+      counters.calls += stats.calls;
+      counters.certain += stats.certain;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    response.open_cursors = cursors_.size();
+  }
+  return response;
+}
+
+}  // namespace cqa

@@ -1,0 +1,319 @@
+#ifndef CQA_SERVE_SERVICE_H_
+#define CQA_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "plan/plan_cache.h"
+#include "plan/query_plan.h"
+#include "serve/session.h"
+#include "solvers/solver.h"
+#include "util/status.h"
+
+/// \file
+/// One front door. `cqa::Service` is the versioned request/response
+/// façade over the whole serving stack: it owns a registry of named
+/// databases (each backed by a long-lived `Session` with its persistent
+/// worker pool and incremental indexes), a service-local `PlanCache`,
+/// and a table of answer cursors — and every piece of traffic flows
+/// through explicit request structs:
+///
+///   Prepare          -> a deduplicated `PreparedQuery` handle pinning
+///                       the compiled plan (classification, complexity,
+///                       solver kind, FO program) for repeated serving
+///   SolveRequest     -> one Boolean CERTAINTY(q) decision
+///   CertainAnswers-  -> certain answers with cursor-based pagination:
+///     Request           pages stream off the session's copy-on-write
+///                       row-set snapshots, so an open cursor keeps
+///                       serving ONE immutable snapshot no matter how
+///                       many deltas land behind it
+///   DeltaRequest     -> a transactional database mutation
+///   StatsRequest     -> plan-cache / session / solver counters, one
+///                       consistent snapshot in one place
+///
+/// Error taxonomy (every entry point returns `Status` / `Result`):
+///   InvalidArgument    — malformed request: unknown api_version, both
+///                        or neither of {prepared, query}, a bad page
+///                        token, a free variable missing from the query
+///   NotFound           — database name not in the registry (or, from a
+///                        delta, removing an absent fact)
+///   FailedPrecondition — request is well-formed but the current state
+///                        refuses it: creating a database that already
+///                        exists, solving a parameterized handle as a
+///                        Boolean query, registry at capacity
+///   Unavailable        — transient: a page token whose cursor was
+///                        evicted or whose database was dropped; retry
+///                        from the first page
+///
+/// The legacy surfaces remain as thin shims for one release: `Engine`'s
+/// statics (deprecated — see solvers/engine.h) and direct `Session`
+/// construction. Everything they can do is reachable through this
+/// façade, which is the seam future scenarios (sharding, remote
+/// transport, multi-tenant quotas) attach to.
+
+namespace cqa {
+
+class Service;
+
+/// A compiled, immutable, shareable query handle. Handles are
+/// deduplicated by canonical key: preparing the same (or an
+/// α-equivalent) query twice returns the SAME handle, so a fleet of
+/// callers naturally converges on one pinned plan. A handle outlives
+/// databases and even the Service that minted it — it owns its plan.
+class PreparedQuery {
+ public:
+  /// The dedup identity: the plan's canonical cache key (plus the
+  /// forced-solver tag when a solver override was requested).
+  const std::string& id() const { return id_; }
+  /// The query as the caller wrote it (pre-canonicalization).
+  const Query& query() const { return query_; }
+  /// Free variables of a non-Boolean handle; empty for Boolean.
+  const std::vector<SymbolId>& free_vars() const { return free_vars_; }
+
+  // ------------------------------------------- per-handle introspection
+  SolverKind solver_kind() const { return plan_->solver_kind(); }
+  ComplexityClass complexity() const { return plan_->complexity(); }
+  bool parameterized() const { return plan_->parameterized(); }
+  /// Attack-graph diagnostics; nullopt for the SAT-fallback fragments.
+  const std::optional<Classification>& classification() const {
+    return plan_->classification();
+  }
+  /// The pinned compiled plan (cached `QueryPlan` + compiled FO
+  /// program where applicable).
+  const std::shared_ptr<const QueryPlan>& plan() const { return plan_; }
+
+ private:
+  friend class Service;
+  PreparedQuery(Query query, std::vector<SymbolId> free_vars,
+                std::shared_ptr<const QueryPlan> plan, std::string id)
+      : query_(std::move(query)),
+        free_vars_(std::move(free_vars)),
+        plan_(std::move(plan)),
+        id_(std::move(id)) {}
+
+  Query query_;
+  std::vector<SymbolId> free_vars_;
+  std::shared_ptr<const QueryPlan> plan_;
+  std::string id_;
+};
+
+using PreparedQueryHandle = std::shared_ptr<const PreparedQuery>;
+
+class Service {
+ public:
+  /// The wire-contract version spoken by this build. Every request
+  /// carries `api_version` (defaulted so in-process callers never think
+  /// about it); a mismatch is InvalidArgument, which is what lets a
+  /// future version evolve the structs without silent misreads.
+  static constexpr int kApiVersion = 1;
+
+  struct Options {
+    /// Worker threads per database session; 0 = DefaultServingThreads().
+    int num_threads = 0;
+    /// The service-local plan cache (shared by every database and by
+    /// Prepare).
+    PlanCache::Options plan_cache;
+    /// Per-database session tuning. `num_threads` and `plan_cache` in
+    /// here are overridden by the service's own.
+    Session::Options session;
+    /// Registry capacity.
+    size_t max_databases = 64;
+    /// Answer pagination: the page size used when a request leaves
+    /// `page_size` zero, the cap applied to explicit requests, and how
+    /// many cursors (pinned snapshots) may be open before the least
+    /// recently used one is evicted (its token then fails Unavailable).
+    size_t default_page_size = 256;
+    size_t max_page_size = 4096;
+    size_t max_open_cursors = 64;
+  };
+
+  Service() : Service(Options()) {}
+  explicit Service(const Options& options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // ------------------------------------------------- database registry
+  /// Registers `db` under `name` and spins up its serving session.
+  /// FailedPrecondition if the name is taken or the registry is full.
+  Status CreateDatabase(const std::string& name, Database db);
+  /// Unregisters the database; its session dies once in-flight calls
+  /// drain, and every cursor pinned to it starts failing Unavailable.
+  Status DropDatabase(const std::string& name);
+  bool HasDatabase(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> ListDatabases() const;
+
+  // -------------------------------------------------- prepared queries
+  struct PrepareOptions {
+    /// Force the decision procedure instead of the classifier's choice
+    /// (Boolean queries only). `SolverKind::kOracle` turns a handle
+    /// into a repair-enumeration cross-check; `kSat` exercises the
+    /// fallback on a tractable query. Forced plans bypass the plan
+    /// cache and are deduplicated per handle.
+    std::optional<SolverKind> force_solver;
+  };
+  /// Compiles (q, free_vars) through the service plan cache and returns
+  /// the deduplicated handle. α-equivalent queries yield the SAME
+  /// handle (pointer-equal).
+  Result<PreparedQueryHandle> Prepare(const Query& q,
+                                      const std::vector<SymbolId>& free_vars,
+                                      const PrepareOptions& options);
+  Result<PreparedQueryHandle> Prepare(const Query& q) {
+    return Prepare(q, {}, {});
+  }
+  Result<PreparedQueryHandle> Prepare(
+      const Query& q, const std::vector<SymbolId>& free_vars) {
+    return Prepare(q, free_vars, {});
+  }
+
+  // ------------------------------------------------------------ solve
+  struct SolveRequest {
+    int api_version = kApiVersion;
+    std::string database;
+    /// Exactly one of `prepared` / `query` must be set. A prepared
+    /// handle skips canonicalization and cache lookup entirely; an
+    /// ad-hoc query resolves through the service plan cache.
+    PreparedQueryHandle prepared;
+    std::optional<Query> query;
+  };
+  struct SolveResponse {
+    SolveOutcome outcome;
+    /// The session epoch observed when the decision was served.
+    uint64_t epoch = 0;
+  };
+  Result<SolveResponse> Solve(const SolveRequest& request);
+  /// Batched decisions over each database's worker pool. Results align
+  /// positionally; each item carries its own status.
+  std::vector<Result<SolveResponse>> SolveBatch(
+      const std::vector<SolveRequest>& requests);
+
+  // -------------------------------------------------- certain answers
+  struct CertainAnswersRequest {
+    int api_version = kApiVersion;
+    std::string database;
+    /// First page: exactly one of `prepared` / `query` (with
+    /// `free_vars`). Later pages: `page_token` only — the cursor
+    /// remembers everything else.
+    PreparedQueryHandle prepared;
+    std::optional<Query> query;
+    std::vector<SymbolId> free_vars;
+    /// Rows per page; 0 = Options::default_page_size. May vary page to
+    /// page on one cursor.
+    size_t page_size = 0;
+    /// Empty = start a stream; otherwise the `next_page_token` of the
+    /// previous response.
+    std::string page_token;
+  };
+  struct CertainAnswersResponse {
+    /// This page of the answer set (rows sorted lexicographically
+    /// across the whole stream). For a Boolean query the set is empty
+    /// or the single empty row.
+    Session::RowSet rows;
+    /// Non-empty while more pages remain; feed it back verbatim. All
+    /// pages of one stream come from ONE immutable snapshot — deltas
+    /// applied mid-stream never tear the result.
+    std::string next_page_token;
+    /// Total rows in the snapshot the stream serves.
+    size_t total_rows = 0;
+    /// The session epoch the snapshot was cut at.
+    uint64_t epoch = 0;
+  };
+  Result<CertainAnswersResponse> CertainAnswers(
+      const CertainAnswersRequest& request);
+
+  // ------------------------------------------------------------ deltas
+  struct DeltaRequest {
+    int api_version = kApiVersion;
+    std::string database;
+    Delta delta;
+  };
+  struct DeltaResponse {
+    /// The database epoch after the delta.
+    uint64_t epoch = 0;
+  };
+  Result<DeltaResponse> ApplyDelta(const DeltaRequest& request);
+
+  // ------------------------------------------------------------- stats
+  struct StatsRequest {
+    int api_version = kApiVersion;
+    /// Empty = aggregate over every database; a name selects one
+    /// (NotFound if unknown).
+    std::string database;
+  };
+  struct SolverCounters {
+    int64_t calls = 0;
+    int64_t certain = 0;
+  };
+  struct StatsResponse {
+    /// Atomic snapshot of the service plan cache (see
+    /// PlanCache::Snapshot — mutually consistent counters).
+    PlanCache::Stats plan_cache;
+    /// Session counters, summed over the selected database(s).
+    Session::Stats session;
+    size_t databases = 0;
+    /// Live prepared handles and open pagination cursors.
+    size_t prepared_queries = 0;
+    size_t open_cursors = 0;
+    /// Per-kind decision counters aggregated over the live prepared
+    /// handles' pinned solvers.
+    std::map<SolverKind, SolverCounters> solvers;
+  };
+  Result<StatsResponse> Stats(const StatsRequest& request) const;
+
+ private:
+  struct Cursor {
+    std::string database;
+    std::shared_ptr<const Session::RowSet> snapshot;
+    uint64_t epoch = 0;
+    size_t page_size = 0;
+    uint64_t last_use = 0;  // LRU clock tick
+  };
+
+  /// The session serving `name`, or NotFound. The returned shared_ptr
+  /// keeps the session alive across a concurrent DropDatabase.
+  Result<std::shared_ptr<Session>> ResolveSession(
+      const std::string& name) const;
+  /// Resolves the (plan, query, free_vars) triple of a request that
+  /// carries either a prepared handle or an ad-hoc query.
+  Result<std::shared_ptr<const QueryPlan>> ResolvePlan(
+      const PreparedQueryHandle& prepared, const std::optional<Query>& query,
+      const std::vector<SymbolId>& free_vars, const Query** q_out,
+      const std::vector<SymbolId>** fv_out);
+  Result<CertainAnswersResponse> ContinueStream(
+      const CertainAnswersRequest& request);
+  /// Copies rows [offset, end) of the snapshot into a response. Called
+  /// OUTSIDE cursors_mu_ — the snapshot is immutable, so the lock only
+  /// guards the cursor table itself.
+  static CertainAnswersResponse MakePage(
+      const std::shared_ptr<const Session::RowSet>& snapshot,
+      uint64_t epoch, size_t offset, size_t end);
+
+  Options options_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Session>> databases_;
+
+  mutable std::mutex prepared_mu_;
+  std::unordered_map<std::string, std::weak_ptr<const PreparedQuery>>
+      prepared_;
+
+  mutable std::mutex cursors_mu_;
+  std::unordered_map<uint64_t, Cursor> cursors_;
+  uint64_t next_cursor_id_ = 1;
+  uint64_t cursor_clock_ = 0;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_SERVE_SERVICE_H_

@@ -179,7 +179,7 @@ Session::Session(Database db, const Options& options)
 Session::~Session() = default;
 
 Database Session::Snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
   return db_;
 }
 
@@ -236,7 +236,7 @@ void Session::ApplyRemove(const Fact& fact) {
 }
 
 Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
-  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  std::unique_lock<WriterPriorityGate> lock(epoch_mu_);
 
   Result<std::vector<Action>> actions = ValidateDelta(db_, delta);
   if (!actions.ok()) return actions.status();
@@ -326,7 +326,7 @@ void Session::RunOnPool(
 
 std::vector<Result<SolveOutcome>> Session::SolveBatch(
     const std::vector<Query>& queries) {
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
   std::vector<Result<SolveOutcome>> results(
       queries.size(),
       Result<SolveOutcome>(Status::Internal("batch item not served")));
@@ -350,17 +350,54 @@ Result<SolveOutcome> Session::Solve(const Query& q) {
   return SolveBatch({q})[0];
 }
 
+std::vector<Result<SolveOutcome>> Session::SolveBatch(
+    const std::vector<std::shared_ptr<const QueryPlan>>& plans,
+    uint64_t* epoch_out) {
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
+  if (epoch_out != nullptr) {
+    // Exact while the gate is held shared: no delta can commit.
+    *epoch_out = epoch_.load(std::memory_order_relaxed);
+  }
+  std::vector<Result<SolveOutcome>> results(
+      plans.size(),
+      Result<SolveOutcome>(Status::Internal("batch item not served")));
+  RunOnPool(plans.size(), [&](EvalContext& ctx, size_t i) {
+    results[i] = plans[i]->Solve(ctx);
+  });
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.solves += plans.size();
+  }
+  return results;
+}
+
+Result<SolveOutcome> Session::Solve(
+    const std::shared_ptr<const QueryPlan>& plan) {
+  return SolveBatch(std::vector<std::shared_ptr<const QueryPlan>>{plan})[0];
+}
+
 std::vector<Result<std::shared_ptr<const Session::RowSet>>>
 Session::CertainAnswersBatch(
     const std::vector<CertainAnswersRequest>& requests) {
   using Snapshot = std::shared_ptr<const RowSet>;
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
   std::vector<Result<Snapshot>> results(
       requests.size(),
       Result<Snapshot>(Status::Internal("batch item not served")));
   RunOnPool(requests.size(), [&](EvalContext& ctx, size_t i) {
-    results[i] =
-        ServeCertain(ctx, requests[i].query, requests[i].free_vars);
+    // Plan compilation validates the request (including free variables
+    // that do not occur in the query) and negatively caches the Status,
+    // so repeated malformed traffic never recompiles.
+    const CertainAnswersRequest& req = requests[i];
+    Result<std::shared_ptr<const QueryPlan>> plan =
+        req.free_vars.empty()
+            ? plan_cache_->GetOrCompile(req.query)
+            : plan_cache_->GetOrCompile(req.query, req.free_vars);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      return;
+    }
+    results[i] = ServeCertain(ctx, *plan, req.query, req.free_vars);
   });
   return results;
 }
@@ -368,6 +405,22 @@ Session::CertainAnswersBatch(
 Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
     const Query& q, const std::vector<SymbolId>& free_vars) {
   return CertainAnswersBatch({{q, free_vars}})[0];
+}
+
+Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
+    const std::shared_ptr<const QueryPlan>& plan, const Query& q,
+    const std::vector<SymbolId>& free_vars, uint64_t* epoch_out) {
+  using Snapshot = std::shared_ptr<const RowSet>;
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
+  if (epoch_out != nullptr) {
+    // Exact while the gate is held shared: no delta can commit.
+    *epoch_out = epoch_.load(std::memory_order_relaxed);
+  }
+  Result<Snapshot> result = Status::Internal("not served");
+  RunOnPool(1, [&](EvalContext& ctx, size_t) {
+    result = ServeCertain(ctx, plan, q, free_vars);
+  });
+  return result;
 }
 
 Result<Session::RowSet> Session::ComputeCertainFull(
@@ -460,16 +513,9 @@ Session::DirtyPatternsSince(uint64_t from_epoch,
 }
 
 Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
-    EvalContext& ctx, const Query& q,
-    const std::vector<SymbolId>& free_vars) {
-  // Plan compilation validates the request (including free variables
-  // that do not occur in the query) and negatively caches the Status,
-  // so repeated malformed traffic never recompiles.
-  Result<std::shared_ptr<const QueryPlan>> plan =
-      free_vars.empty() ? plan_cache_->GetOrCompile(q)
-                        : plan_cache_->GetOrCompile(q, free_vars);
-  if (!plan.ok()) return plan.status();
-  const std::string& key = (*plan)->cache_key();
+    EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,
+    const Query& q, const std::vector<SymbolId>& free_vars) {
+  const std::string& key = plan->cache_key();
   uint64_t now = epoch_.load(std::memory_order_relaxed);
 
   // The snapshot is shared with the cache entry — no row copy on this
@@ -493,7 +539,7 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
   bool incremental = false;
   if (cached.has_value() && !free_vars.empty()) {
     std::optional<std::vector<DirtyPattern>> patterns =
-        DirtyPatternsSince(cached->first, **plan);
+        DirtyPatternsSince(cached->first, *plan);
     if (patterns.has_value()) {
       incremental = true;
       auto matches_any = [&](const std::vector<SymbolId>& row) {
@@ -527,7 +573,7 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
       // One batched execution re-decides every dirty row.
       RowSet candidates(candidate_set.begin(), candidate_set.end());
       Result<std::vector<char>> certain =
-          (*plan)->IsCertainRows(ctx, candidates);
+          plan->IsCertainRows(ctx, candidates);
       if (!certain.ok()) return certain.status();
       for (size_t i = 0; i < candidates.size(); ++i) {
         if ((*certain)[i]) keep.insert(std::move(candidates[i]));
@@ -545,7 +591,7 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
     // (patterns without parameters always force a full recompute, so a
     // non-null result here is necessarily empty).
     std::optional<std::vector<DirtyPattern>> patterns =
-        DirtyPatternsSince(cached->first, **plan);
+        DirtyPatternsSince(cached->first, *plan);
     if (patterns.has_value() && patterns->empty()) {
       incremental = true;
       snapshot = cached->second;
@@ -555,7 +601,7 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
   }
 
   if (!incremental) {
-    Result<RowSet> full = ComputeCertainFull(ctx, q, free_vars, **plan);
+    Result<RowSet> full = ComputeCertainFull(ctx, q, free_vars, *plan);
     if (!full.ok()) return full.status();
     snapshot = std::make_shared<const RowSet>(*std::move(full));
     std::lock_guard<std::mutex> stats_lock(stats_mu_);

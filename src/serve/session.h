@@ -17,11 +17,18 @@
 #include "plan/query_plan.h"
 #include "solvers/engine.h"
 #include "solvers/solver.h"
+#include "util/rw_gate.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 /// \file
-/// The long-lived serving tier. A `Session` owns ONE uncertain database
+/// The engine room of the serving tier. New code should reach it
+/// through the one front door — `cqa::Service` (serve/service.h), which
+/// owns a registry of named Sessions and speaks versioned request
+/// structs; direct Session construction remains supported for embedding
+/// the serving loop without the façade.
+///
+/// A `Session` owns ONE uncertain database
 /// and serves CERTAINTY decisions and certain-answer queries against it
 /// over a *persistent* worker pool, while the database evolves through
 /// transactional deltas:
@@ -150,6 +157,16 @@ class Session {
   std::vector<Result<SolveOutcome>> SolveBatch(
       const std::vector<Query>& queries);
 
+  /// Plan-resolved serving: the entry points `cqa::Service` routes
+  /// through once it has pinned a compiled plan to a prepared-query
+  /// handle — no canonicalization or cache lookup on the hot path.
+  /// `epoch_out`, when non-null, receives the exact epoch the batch
+  /// was served at (read under the epoch gate).
+  Result<SolveOutcome> Solve(const std::shared_ptr<const QueryPlan>& plan);
+  std::vector<Result<SolveOutcome>> SolveBatch(
+      const std::vector<std::shared_ptr<const QueryPlan>>& plans,
+      uint64_t* epoch_out = nullptr);
+
   /// Certain answers of (q, free_vars), served from the per-session
   /// cache when the epoch allows it (fully, or re-deciding only the
   /// dirty rows). The returned snapshot is shared with the cache
@@ -158,6 +175,16 @@ class Session {
       const Query& q, const std::vector<SymbolId>& free_vars);
   std::vector<Result<std::shared_ptr<const RowSet>>> CertainAnswersBatch(
       const std::vector<CertainAnswersRequest>& requests);
+
+  /// Plan-resolved certain answers. `plan` must be the compiled plan of
+  /// (q, free_vars) — the Service guarantees that by construction of its
+  /// prepared handles. `epoch_out`, when non-null, receives the exact
+  /// epoch the snapshot was served at (read under the epoch gate, so it
+  /// cannot race a concurrent delta).
+  Result<std::shared_ptr<const RowSet>> CertainAnswers(
+      const std::shared_ptr<const QueryPlan>& plan, const Query& q,
+      const std::vector<SymbolId>& free_vars,
+      uint64_t* epoch_out = nullptr);
 
   struct Stats {
     uint64_t deltas_applied = 0;
@@ -215,8 +242,8 @@ class Session {
                  const std::function<void(EvalContext&, size_t)>& serve);
 
   Result<std::shared_ptr<const RowSet>> ServeCertain(
-      EvalContext& ctx, const Query& q,
-      const std::vector<SymbolId>& free_vars);
+      EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,
+      const Query& q, const std::vector<SymbolId>& free_vars);
 
   /// Full candidate enumeration + one batched (set-at-a-time) decision.
   Result<RowSet> ComputeCertainFull(EvalContext& ctx, const Query& q,
@@ -240,7 +267,11 @@ class Session {
   PlanCache* plan_cache_;
 
   /// Serving holds it shared for a whole call; ApplyDelta exclusively.
-  mutable std::shared_mutex epoch_mu_;
+  /// Writer-priority (pending-writer counter + condvar): the moment a
+  /// delta announces itself, new serving calls queue behind it, so
+  /// ApplyDelta cannot starve under saturated read load the way a
+  /// reader-preferring `std::shared_mutex` lets it.
+  mutable WriterPriorityGate epoch_mu_;
   std::atomic<uint64_t> epoch_{0};
 
   /// Constant -> number of occurrences across all fact positions; the

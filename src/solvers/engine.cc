@@ -1,3 +1,6 @@
+// The shim implements the deprecated surface; calling it here is the
+// point.
+#define CQA_ALLOW_DEPRECATED_ENGINE
 #include "solvers/engine.h"
 
 #include <algorithm>

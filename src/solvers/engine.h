@@ -12,8 +12,17 @@
 #include "util/status.h"
 
 /// \file
-/// The production entry point, now a thin wrapper over compiled
-/// `QueryPlan`s: every call resolves its query through the global
+/// DEPRECATED back-compat shim — kept for one release. The production
+/// front door is `cqa::Service` (serve/service.h): a versioned
+/// request/response façade owning named databases, prepared-query
+/// handles and answer pagination. `Engine`'s statics remain as thin
+/// wrappers over the same compiled-plan machinery so existing callers
+/// keep working, but every method is marked deprecated; in-tree code
+/// (src/, examples/, bench/) must not call them — CI builds with
+/// -Werror and checks that only the legacy differential tests opt out
+/// via CQA_ALLOW_DEPRECATED_ENGINE.
+///
+/// What the shim does: every call resolves its query through the global
 /// `PlanCache` (classification, attack-graph analysis and the FO
 /// rewriting are compile-time artifacts shared across calls and
 /// α-equivalent queries) and evaluates the plan —
@@ -33,6 +42,18 @@
 /// small worker pool: plans come from a shared cache, and each worker
 /// reuses one `EvalContext` (FactIndex + FO evaluator) across all the
 /// queries it handles.
+
+/// The deprecation is suppressible per translation unit: the shim's own
+/// implementation and the legacy differential tests (which deliberately
+/// pit Service against Engine) define CQA_ALLOW_DEPRECATED_ENGINE
+/// before including this header. Everything else sees the attribute,
+/// and the CI -Werror build turns a stray call into a build failure.
+#if defined(CQA_ALLOW_DEPRECATED_ENGINE)
+#define CQA_ENGINE_DEPRECATED
+#else
+#define CQA_ENGINE_DEPRECATED \
+  [[deprecated("use cqa::Service (serve/service.h), the one front door")]]
+#endif
 
 namespace cqa {
 
@@ -63,6 +84,7 @@ class Engine {
  public:
   /// Decides db ∈ CERTAINTY(q) via the compiled (and globally cached)
   /// plan.
+  CQA_ENGINE_DEPRECATED
   static Result<SolveOutcome> Solve(const Database& db, const Query& q);
 
   /// Certain answers of the non-Boolean query (q, free_vars): all
@@ -74,6 +96,7 @@ class Engine {
   /// cannot change the attack graph, only the constant names), and on
   /// the FO path one parameterized rewriting plus one evaluator serve
   /// every candidate binding.
+  CQA_ENGINE_DEPRECATED
   static Result<std::vector<std::vector<SymbolId>>> CertainAnswers(
       const Database& db, const Query& q,
       const std::vector<SymbolId>& free_vars);
@@ -84,6 +107,7 @@ class Engine {
   /// and to contrast certain vs possible in the examples. Fails with
   /// InvalidArgument when `free_vars` contains a variable that does not
   /// occur in `q` (it could never be bound by an embedding).
+  CQA_ENGINE_DEPRECATED
   static Result<std::vector<std::vector<SymbolId>>> PossibleAnswers(
       const Database& db, const Query& q,
       const std::vector<SymbolId>& free_vars);
@@ -91,6 +115,7 @@ class Engine {
   /// A repair of `db` falsifying `q`, or nullopt when db ∈ CERTAINTY(q).
   /// Uses the Theorem 4 witness extraction for AC(k) queries and the
   /// SAT search otherwise (sound and complete for every query).
+  CQA_ENGINE_DEPRECATED
   static Result<std::optional<std::vector<Fact>>> FindFalsifyingRepair(
       const Database& db, const Query& q);
 
@@ -100,6 +125,7 @@ class Engine {
   /// item carries its own status (one malformed query does not fail the
   /// batch). Plans are shared through `options.cache`, so repeated or
   /// α-equivalent queries compile once.
+  CQA_ENGINE_DEPRECATED
   static std::vector<Result<SolveOutcome>> SolveBatch(
       const Database& db, const std::vector<Query>& queries,
       const BatchOptions& options = {});
@@ -107,6 +133,7 @@ class Engine {
   /// Batched certain answers: each request is answered as in
   /// CertainAnswers, with plans shared through the cache and per-worker
   /// EvalContext reuse.
+  CQA_ENGINE_DEPRECATED
   static std::vector<Result<std::vector<std::vector<SymbolId>>>>
   CertainAnswersBatch(const Database& db,
                       const std::vector<CertainAnswersRequest>& requests,

@@ -1,0 +1,55 @@
+#include "util/rw_gate.h"
+
+namespace cqa {
+
+void WriterPriorityGate::lock_shared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Queue behind every announced writer, not just the active one: this
+  // is the writer-priority inversion.
+  reader_cv_.wait(lock,
+                  [&] { return !writer_active_ && pending_writers_ == 0; });
+  ++active_readers_;
+}
+
+bool WriterPriorityGate::try_lock_shared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_active_ || pending_writers_ > 0) return false;
+  ++active_readers_;
+  return true;
+}
+
+void WriterPriorityGate::unlock_shared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--active_readers_ == 0 && pending_writers_ > 0) {
+    writer_cv_.notify_one();
+  }
+}
+
+void WriterPriorityGate::lock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++pending_writers_;
+  writer_cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
+  --pending_writers_;
+  writer_active_ = true;
+}
+
+bool WriterPriorityGate::try_lock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_active_ || active_readers_ > 0) return false;
+  writer_active_ = true;
+  return true;
+}
+
+void WriterPriorityGate::unlock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_active_ = false;
+  if (pending_writers_ > 0) {
+    // Hand off writer-to-writer first; readers drain once no writer is
+    // announced.
+    writer_cv_.notify_one();
+  } else {
+    reader_cv_.notify_all();
+  }
+}
+
+}  // namespace cqa

@@ -1,0 +1,53 @@
+#ifndef CQA_UTIL_RW_GATE_H_
+#define CQA_UTIL_RW_GATE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file
+/// A small writer-priority reader/writer gate. `std::shared_mutex` on
+/// glibc is reader-preferring: under saturated read load (a serving
+/// session whose workers hold the lock shared back to back) a writer
+/// can wait unboundedly because new readers keep acquiring while it is
+/// parked. This gate inverts the policy with a pending-writer counter:
+/// the moment a writer announces itself, new readers queue behind it,
+/// so writer latency is bounded by the readers already inside (plus any
+/// earlier writers) — exactly what `Session::ApplyDelta` needs to stay
+/// responsive while solve traffic saturates the shared side.
+///
+/// The member names follow the SharedMutex requirements, so
+/// `std::shared_lock<WriterPriorityGate>` and
+/// `std::unique_lock<WriterPriorityGate>` work unchanged. Not
+/// recursive; a thread must not upgrade (acquire exclusive while
+/// holding shared).
+
+namespace cqa {
+
+class WriterPriorityGate {
+ public:
+  WriterPriorityGate() = default;
+  WriterPriorityGate(const WriterPriorityGate&) = delete;
+  WriterPriorityGate& operator=(const WriterPriorityGate&) = delete;
+
+  // ------------------------------------------------------ shared side
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  // --------------------------------------------------- exclusive side
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  int active_readers_ = 0;
+  int pending_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_RW_GATE_H_

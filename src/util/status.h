@@ -13,7 +13,13 @@
 
 namespace cqa {
 
-/// Status codes used across the library.
+/// Status codes used across the library. The serving façade
+/// (serve/service.h) maps every failure onto this taxonomy:
+/// InvalidArgument (malformed request), NotFound (unknown database /
+/// absent fact), FailedPrecondition (request valid but the current
+/// state refuses it, e.g. creating a database that already exists),
+/// Unavailable (transient: an expired answer cursor whose snapshot was
+/// released — retry from the first page).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -21,6 +27,8 @@ enum class StatusCode {
   kNotFound,
   kUnsupported,
   kInternal,
+  kFailedPrecondition,
+  kUnavailable,
 };
 
 /// A cheap success/error value carrying a code and a message.
@@ -46,6 +54,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,3 +1,7 @@
+// This suite deliberately exercises the deprecated legacy Engine
+// surface (it is the differential baseline the Service is checked
+// against), so it opts out of the deprecation attribute.
+#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include "core/classifier.h"

@@ -1,3 +1,7 @@
+// This suite deliberately exercises the deprecated legacy Engine
+// surface (it is the differential baseline the Service is checked
+// against), so it opts out of the deprecation attribute.
+#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -175,7 +179,7 @@ TEST(PlanCacheTest, AlphaEquivalentQueriesShareOnePlan) {
   ASSERT_TRUE(plan_a.ok());
   ASSERT_TRUE(plan_b.ok());
   EXPECT_EQ(plan_a->get(), plan_b->get());
-  PlanCache::Stats stats = cache.stats();
+  PlanCache::Stats stats = cache.Snapshot();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.entries, 1u);
@@ -197,9 +201,9 @@ TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.Lookup(a), nullptr);
   EXPECT_EQ(cache.Lookup(b), nullptr);
   EXPECT_NE(cache.Lookup(c), nullptr);
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
   cache.Clear();
-  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Snapshot().entries, 0u);
   EXPECT_EQ(cache.Lookup(a), nullptr);
 }
 
@@ -220,7 +224,7 @@ TEST(PlanCacheTest, UnsupportedFragmentCompilesToCachedSatPlan) {
   auto again = cache.GetOrCompile(renamed);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(plan->get(), again->get());
-  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.Snapshot().hits, 1u);
 }
 
 TEST(PlanCacheTest, MalformedQueriesAreNegativelyCached) {
@@ -233,7 +237,7 @@ TEST(PlanCacheTest, MalformedQueriesAreNegativelyCached) {
   auto first = cache.GetOrCompile(q, bad);
   ASSERT_FALSE(first.ok());
   EXPECT_EQ(first.status().code(), StatusCode::kInvalidArgument);
-  PlanCache::Stats stats = cache.stats();
+  PlanCache::Stats stats = cache.Snapshot();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.negative_entries, 1u);
@@ -244,7 +248,7 @@ TEST(PlanCacheTest, MalformedQueriesAreNegativelyCached) {
   ASSERT_FALSE(again.ok());
   EXPECT_EQ(again.status().code(), first.status().code());
   EXPECT_EQ(again.status().message(), first.status().message());
-  stats = cache.stats();
+  stats = cache.Snapshot();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.negative_hits, 1u);
@@ -256,12 +260,12 @@ TEST(PlanCacheTest, MalformedQueriesAreNegativelyCached) {
   // compiles fine.
   auto good = cache.GetOrCompile(q, {InternSymbol("x")});
   ASSERT_TRUE(good.ok());
-  EXPECT_EQ(cache.stats().negative_entries, 1u);
-  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.Snapshot().negative_entries, 1u);
+  EXPECT_EQ(cache.Snapshot().entries, 2u);
 
   // Clear drops negative entries and counters with everything else.
   cache.Clear();
-  stats = cache.stats();
+  stats = cache.Snapshot();
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.negative_hits, 0u);
 }
@@ -319,9 +323,9 @@ TEST(PlanCacheTest, NegativeEntriesAreEvictedBeforePlans) {
   Query bad2 = MustParseQuery("C0(x | y)");
   ASSERT_FALSE(cache.GetOrCompile(bad1, {InternSymbol("zz")}).ok());
   ASSERT_FALSE(cache.GetOrCompile(bad2, {InternSymbol("zz")}).ok());
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
   EXPECT_NE(cache.Lookup(good), nullptr);  // plan survived the flood
-  EXPECT_EQ(cache.stats().negative_entries, 1u);
+  EXPECT_EQ(cache.Snapshot().negative_entries, 1u);
 }
 
 TEST(SolverRegistryTest, BuildsEveryKindAndRoundTripsNames) {

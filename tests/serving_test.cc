@@ -1,3 +1,7 @@
+// This suite deliberately exercises the deprecated legacy Engine
+// surface (it is the differential baseline the Service is checked
+// against), so it opts out of the deprecation attribute.
+#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -80,7 +84,7 @@ TEST(ServingTest, SolveBatchMatchesSequentialSolve) {
   // workers may race a first compile, so misses can exceed the class
   // count, but the cache must deduplicate entries and the workload must
   // be overwhelmingly hits.
-  PlanCache::Stats stats = cache.stats();
+  PlanCache::Stats stats = cache.Snapshot();
   EXPECT_EQ(stats.entries, 6u);
   EXPECT_GE(stats.misses, 6u);
   EXPECT_LE(stats.misses, 6u * (1u + 8u));
@@ -192,7 +196,7 @@ TEST(ServingTest, OneCacheManyThreads) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
-  PlanCache::Stats stats = cache.stats();
+  PlanCache::Stats stats = cache.Snapshot();
   // 6 α-classes in the workload; racing compiles may each count a miss,
   // but the cache must deduplicate the surviving entries.
   EXPECT_EQ(stats.entries, 6u);

@@ -1,3 +1,7 @@
+// This suite deliberately exercises the deprecated legacy Engine
+// surface (it is the differential baseline the Service is checked
+// against), so it opts out of the deprecation attribute.
+#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -14,6 +18,11 @@
 #include "serve/session.h"
 #include "solvers/engine.h"
 #include "util/rng.h"
+#include "util/rw_gate.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 
 namespace cqa {
 namespace {
@@ -559,6 +568,106 @@ TEST(SessionTest, PersistentPoolReusesWorkerIndexesAcrossCalls) {
   }
   EXPECT_EQ(session.epoch(), 5u);
   EXPECT_EQ(session.stats().facts_added, 5u);
+}
+
+// ------------------------------------------- writer-priority epoch gate
+
+/// The deterministic writer-priority property: once a writer is
+/// PENDING on the gate, a newly arriving reader must queue behind it
+/// instead of slipping in alongside the readers already inside — the
+/// inversion of glibc's reader-preferring rwlock that lets ApplyDelta
+/// starve.
+TEST(SessionTest, WriterPriorityGateBlocksNewReadersBehindPendingWriter) {
+  WriterPriorityGate gate;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool writer_done = false;
+  std::atomic<bool> late_reader_entered{false};
+
+  gate.lock_shared();  // reader A is inside
+
+  std::thread writer([&] {
+    gate.lock();  // pends behind A until A leaves
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      writer_done = true;
+    }
+    cv.notify_all();
+    gate.unlock();
+  });
+
+  // Give the writer time to announce itself, then verify a NEW reader
+  // cannot acquire while it is pending.
+  while (gate.try_lock_shared()) {
+    // The writer has not pended yet; undo and retry.
+    gate.unlock_shared();
+    std::this_thread::yield();
+  }
+  std::thread late_reader([&] {
+    gate.lock_shared();
+    late_reader_entered.store(true);
+    gate.unlock_shared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(late_reader_entered.load())
+      << "a new reader entered past a pending writer";
+
+  gate.unlock_shared();  // A leaves; the writer (not the reader) is next
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return writer_done; });
+  }
+  late_reader.join();
+  writer.join();
+  EXPECT_TRUE(late_reader_entered.load());
+
+  // try_lock on a free gate works and excludes readers.
+  ASSERT_TRUE(gate.try_lock());
+  EXPECT_FALSE(gate.try_lock_shared());
+  gate.unlock();
+}
+
+/// The regression the gate exists for (TSan-checked via the concurrency
+/// label): ApplyDelta keeps making progress while reader threads
+/// saturate the epoch gate with back-to-back serving calls.
+TEST(SessionTest, ApplyDeltaProgressesUnderSaturatedReadLoad) {
+  Database db;
+  for (int i = 0; i < 16; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    ASSERT_TRUE(db.AddFact(F("R", {a, b}, 1)).ok());
+    ASSERT_TRUE(db.AddFact(F("S", {b, "c"}, 1)).ok());
+  }
+  Session::Options options;
+  options.num_threads = 2;
+  PlanCache cache;
+  options.plan_cache = &cache;
+  Session session(std::move(db), options);
+  Query q = MustParseQuery("R(x | y), S(y | z)");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(session.Solve(q).ok());
+      }
+    });
+  }
+
+  // Every delta must land; with the old reader-preferring lock this
+  // loop could stall arbitrarily under the reader storm above.
+  constexpr int kDeltas = 50;
+  for (int i = 0; i < kDeltas; ++i) {
+    Delta delta;
+    delta.ReplaceBlock(InternSymbol("R"), {InternSymbol("a0")},
+                       {F("R", {"a0", i % 2 == 0 ? "b0" : "elsewhere"}, 1)});
+    ASSERT_TRUE(session.ApplyDelta(delta).ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(session.epoch(), static_cast<uint64_t>(kDeltas));
+  EXPECT_EQ(session.stats().deltas_applied, static_cast<uint64_t>(kDeltas));
 }
 
 }  // namespace
