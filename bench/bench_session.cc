@@ -146,6 +146,48 @@ BENCHMARK(BM_Session_FullRecompute)
     ->RangeMultiplier(4)
     ->Range(64, cqa_bench::RangeLimit(4096, 64));
 
+/// The durability tax on the delta re-serve path: identical workload to
+/// BM_Session_DeltaReServe, but every delta goes through the
+/// write-ahead log first (group-commit kNever policy, in-memory Env so
+/// the number isolates the encode+frame+append overhead rather than
+/// this machine's disk).
+///
+/// Acceptance tracking: at equal sizes this must stay within 15% of
+/// BM_Session_DeltaReServe in BENCH_results.json.
+void BM_Session_DurableDeltaReServe(benchmark::State& state) {
+  static store::MemEnv* env = new store::MemEnv();
+  int n = static_cast<int>(state.range(0));
+  Service::Options options = PathServiceOptions();
+  options.durability.dir =
+      "/bench-durable-" + std::to_string(state.range(0));
+  options.durability.env = env;
+  options.durability.wal.policy = store::Wal::SyncPolicy::kNever;
+  Service service(options);
+  env->RemoveDirRecursive(options.durability.dir).ok();
+  service.CreateDatabase("path", PathDb(n)).ok();
+  PreparedQueryHandle handle =
+      service.Prepare(PathQ(), {InternSymbol("x")}).value();
+  Service::CertainAnswersRequest request = PathRequest(handle);
+  size_t rows = service.CertainAnswers(request)->rows.size();
+  int k = 0;
+  bool uncertain = true;
+  for (auto _ : state) {
+    service.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto served = service.CertainAnswers(request);
+    benchmark::DoNotOptimize(served);
+    rows = served->rows.size();
+    k = (k + 13) % n;
+    uncertain = !uncertain;
+  }
+  ReportServiceCounters(state, service, rows);
+  Service::StatsResponse stats = service.Stats({}).value();
+  state.counters["wal_appends"] =
+      static_cast<double>(stats.store.wal_appends);
+}
+BENCHMARK(BM_Session_DurableDeltaReServe)
+    ->RangeMultiplier(4)
+    ->Range(64, cqa_bench::RangeLimit(4096, 64));
+
 /// Delta cost in isolation: transactional validation + database
 /// mutation + in-place patching of one warm worker index.
 void BM_Session_ApplyDeltaOnly(benchmark::State& state) {

@@ -29,8 +29,11 @@
 ///   auto out = service.Solve(req);                   // versioned request
 ///   // deltas: Service::DeltaRequest -> ApplyDelta -> epoch + 1
 ///
-/// (`Engine`'s statics and direct `Session` use remain as deprecated
-/// back-compat shims for one release.)
+/// With `Service::Options::durability.dir` set, databases are durable:
+/// deltas hit a per-database write-ahead log before they apply, the log
+/// compacts into checksummed snapshots, and `OpenStore` recovers a
+/// database after a crash (see store/store.h). Direct `Session` use
+/// remains supported for embedding the serving loop without the façade.
 
 #include "core/attack_graph.h"
 #include "core/classifier.h"
@@ -60,6 +63,11 @@
 #include "prob/bid.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "store/io.h"
+#include "store/record.h"
+#include "store/snapshot.h"
+#include "store/store.h"
+#include "store/wal.h"
 #include "prob/counting.h"
 #include "prob/is_safe.h"
 #include "prob/safe_plan.h"
@@ -67,7 +75,6 @@
 #include "solvers/ack_solver.h"
 #include "solvers/ck_solver.h"
 #include "solvers/conp_reduction.h"
-#include "solvers/engine.h"
 #include "solvers/fo_solver.h"
 #include "solvers/oracle_solver.h"
 #include "solvers/sat_solver.h"

@@ -56,6 +56,65 @@ void Accumulate(Session::Stats* into, const Session::Stats& from) {
   into->rows_decided += from.rows_decided;
 }
 
+void AccumulateStore(Service::StoreStats* into,
+                     const store::DbStore::Stats& from) {
+  ++into->durable_databases;
+  if (from.read_only) ++into->read_only_databases;
+  into->wal_appends += from.appends;
+  into->wal_appended_bytes += from.appended_bytes;
+  into->wal_bytes += from.wal_bytes;
+  into->snapshots_written += from.snapshots_written;
+  into->compaction_failures += from.compaction_failures;
+  into->torn_tails_recovered += from.torn_tails_recovered;
+  into->snapshots_skipped += from.snapshots_skipped;
+}
+
+/// Database names are arbitrary strings; directory names are not.
+/// [A-Za-z0-9._-] pass through, everything else becomes %XX — an
+/// injective map, so distinct names never collide on disk.
+std::string EscapeDbName(const std::string& name) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (unsigned char c : name) {
+    bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    // '%' itself must escape (injectivity), and a leading '.' must not
+    // produce "." / ".." path components.
+    if (plain && c != '%' && !(c == '.' && out.empty())) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> UnescapeDbName(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    if (i + 2 >= escaped.size()) return std::nullopt;
+    int hi = nibble(escaped[i + 1]);
+    int lo = nibble(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
 }  // namespace
 
 Service::Service(const Options& options)
@@ -65,17 +124,47 @@ Service::~Service() = default;
 
 // --------------------------------------------------- database registry
 
-Status Service::CreateDatabase(const std::string& name, Database db) {
-  if (name.empty()) {
-    return Status::InvalidArgument("database name must be non-empty");
-  }
-  // The session (worker pool and all) is built outside the registry
-  // lock; a lost name race just discards it.
+store::Env* Service::store_env() const {
+  return options_.durability.env != nullptr ? options_.durability.env
+                                            : store::Env::Default();
+}
+
+std::string Service::StorePath(const std::string& name) const {
+  return store::JoinPath(options_.durability.dir, EscapeDbName(name));
+}
+
+store::DbStore::Options Service::StoreOptions() const {
+  store::DbStore::Options out;
+  out.wal = options_.durability.wal;
+  out.compaction_threshold_bytes =
+      options_.durability.compaction_threshold_bytes;
+  return out;
+}
+
+std::shared_ptr<Session> Service::MakeSession(
+    Database db, const std::shared_ptr<store::DbStore>& db_store,
+    uint64_t initial_epoch) {
   Session::Options session_options = options_.session;
   session_options.num_threads = options_.num_threads;
   session_options.plan_cache = &plan_cache_;
-  auto session = std::make_shared<Session>(std::move(db), session_options);
+  session_options.initial_epoch = initial_epoch;
+  if (db_store != nullptr) {
+    // Write-ahead ordering lives here: the commit hook runs after
+    // validation and before any in-memory mutation, under the session's
+    // exclusive epoch gate.
+    session_options.commit_hook = [db_store](const Delta& delta,
+                                             uint64_t epoch) {
+      return db_store->AppendDelta(delta, epoch);
+    };
+    session_options.post_commit_hook = [db_store](const Database& post,
+                                                  uint64_t epoch) {
+      db_store->MaybeCompact(post, epoch);
+    };
+  }
+  return std::make_shared<Session>(std::move(db), session_options);
+}
 
+Status Service::RegisterEntry(const std::string& name, Entry entry) {
   std::lock_guard<std::mutex> lock(registry_mu_);
   if (databases_.count(name) != 0) {
     return Status::FailedPrecondition("database '" + name +
@@ -86,16 +175,67 @@ Status Service::CreateDatabase(const std::string& name, Database db) {
         "database registry is full (" +
         std::to_string(options_.max_databases) + ")");
   }
-  databases_.emplace(name, std::move(session));
+  databases_.emplace(name, std::move(entry));
   return Status::OK();
 }
 
+Status Service::CreateDatabase(const std::string& name, Database db) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  Entry entry;
+  if (durable()) {
+    // The store's exclusive mkdir is the cross-restart existence check;
+    // the initial snapshot + empty WAL are durable before the session
+    // (or the registry) ever sees the database.
+    CQA_RETURN_NOT_OK(store_env()->CreateDirs(options_.durability.dir));
+    Result<std::unique_ptr<store::DbStore>> created = store::DbStore::Create(
+        store_env(), StorePath(name), db, /*epoch=*/0, StoreOptions());
+    if (!created.ok()) {
+      if (created.status().code() == StatusCode::kFailedPrecondition) {
+        return Status::FailedPrecondition(
+            "database '" + name +
+            "' already has durable state; use OpenStore to recover it "
+            "or DropDatabase to delete it");
+      }
+      return created.status();
+    }
+    entry.store = std::move(*created);
+  }
+  // The session (worker pool and all) is built outside the registry
+  // lock; a lost name race just discards it.
+  entry.session = MakeSession(std::move(db), entry.store,
+                              /*initial_epoch=*/0);
+  Status registered = RegisterEntry(name, std::move(entry));
+  if (!registered.ok() && durable()) {
+    // The name was live in memory; do not leave a second copy on disk.
+    Status cleanup = store_env()->RemoveDirRecursive(StorePath(name));
+    (void)cleanup;
+  }
+  return registered;
+}
+
 Status Service::DropDatabase(const std::string& name) {
+  Entry dropped;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    if (databases_.erase(name) == 0) {
+    auto it = databases_.find(name);
+    if (it == databases_.end()) {
       return Status::NotFound("unknown database '" + name + "'");
     }
+    dropped = std::move(it->second);
+    databases_.erase(it);
+  }
+  // Strictly order against in-flight deltas: MarkDefunct takes the
+  // session's exclusive epoch gate, so a delta that resolved this
+  // session before the drop either committed already or will now fail
+  // NotFound instead of landing on a zombie.
+  dropped.session->MarkDefunct();
+  if (dropped.store != nullptr) {
+    std::string dir = dropped.store->dir();
+    dropped.store.reset();  // only the session's hooks may remain
+    Status cleanup = store_env()->RemoveDirRecursive(dir);
+    (void)cleanup;  // best effort: a dead store dir cannot resurrect
   }
   // Cursors pinned to the dropped database release their snapshots;
   // their tokens start failing Unavailable.
@@ -110,6 +250,58 @@ Status Service::DropDatabase(const std::string& name) {
   return Status::OK();
 }
 
+Result<Service::OpenStoreResponse> Service::OpenStore(
+    const std::string& name) {
+  if (!durable()) {
+    return Status::FailedPrecondition(
+        "OpenStore requires Options::durability.dir");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  if (HasDatabase(name)) {
+    return Status::FailedPrecondition("database '" + name +
+                                      "' is already open");
+  }
+  std::string dir = StorePath(name);
+  if (!store_env()->DirExists(dir)) {
+    return Status::NotFound("no store for database '" + name + "' under '" +
+                            options_.durability.dir + "'");
+  }
+  Result<store::DbStore::Recovered> recovered =
+      store::DbStore::Open(store_env(), dir, StoreOptions());
+  if (!recovered.ok()) return recovered.status();
+
+  Entry entry;
+  entry.store = std::move(recovered->store);
+  // Resume the epoch chain where the WAL left off, so post-recovery
+  // deltas append with the epochs a future recovery expects.
+  entry.session = MakeSession(std::move(recovered->db), entry.store,
+                              recovered->epoch);
+  CQA_RETURN_NOT_OK(RegisterEntry(name, std::move(entry)));
+
+  OpenStoreResponse response;
+  response.epoch = recovered->epoch;
+  response.replayed = recovered->replayed;
+  response.torn_tail_recovered = recovered->torn_tail;
+  return response;
+}
+
+std::vector<std::string> Service::ListStores() const {
+  std::vector<std::string> names;
+  if (!durable()) return names;
+  Result<std::vector<std::string>> children =
+      store_env()->ListDir(options_.durability.dir);
+  if (!children.ok()) return names;
+  for (const std::string& child : *children) {
+    if (std::optional<std::string> name = UnescapeDbName(child)) {
+      names.push_back(*std::move(name));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 bool Service::HasDatabase(const std::string& name) const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   return databases_.count(name) != 0;
@@ -119,8 +311,8 @@ std::vector<std::string> Service::ListDatabases() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   std::vector<std::string> names;
   names.reserve(databases_.size());
-  for (const auto& [name, session] : databases_) {
-    (void)session;
+  for (const auto& [name, entry] : databases_) {
+    (void)entry;
     names.push_back(name);
   }
   return names;  // std::map iterates sorted.
@@ -133,7 +325,7 @@ Result<std::shared_ptr<Session>> Service::ResolveSession(
   if (it == databases_.end()) {
     return Status::NotFound("unknown database '" + name + "'");
   }
-  return it->second;
+  return it->second.session;
 }
 
 // ---------------------------------------------------- prepared queries
@@ -430,11 +622,17 @@ Result<Service::StatsResponse> Service::Stats(
   response.plan_cache = plan_cache_.Snapshot();
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
+    auto fold = [&response](const Entry& entry) {
+      Accumulate(&response.session, entry.session->stats());
+      if (entry.store != nullptr) {
+        AccumulateStore(&response.store, entry.store->stats());
+      }
+    };
     if (request.database.empty()) {
       response.databases = databases_.size();
-      for (const auto& [name, session] : databases_) {
+      for (const auto& [name, entry] : databases_) {
         (void)name;
-        Accumulate(&response.session, session->stats());
+        fold(entry);
       }
     } else {
       auto it = databases_.find(request.database);
@@ -443,7 +641,7 @@ Result<Service::StatsResponse> Service::Stats(
                                 "'");
       }
       response.databases = 1;
-      Accumulate(&response.session, it->second->stats());
+      fold(it->second);
     }
   }
   {

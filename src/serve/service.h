@@ -16,6 +16,7 @@
 #include "plan/query_plan.h"
 #include "serve/session.h"
 #include "solvers/solver.h"
+#include "store/store.h"
 #include "util/status.h"
 
 /// \file
@@ -49,15 +50,25 @@
 ///                        refuses it: creating a database that already
 ///                        exists, solving a parameterized handle as a
 ///                        Boolean query, registry at capacity
-///   Unavailable        — transient: a page token whose cursor was
-///                        evicted or whose database was dropped; retry
-///                        from the first page
+///   Unavailable        — transient or degraded: a page token whose
+///                        cursor was evicted or whose database was
+///                        dropped (retry from the first page), or a
+///                        delta against a database whose WAL failed and
+///                        is now read-only (reads keep serving)
+///   DataLoss           — durable state failed validation on recovery
+///                        (mid-log checksum mismatch, broken epoch
+///                        chain, no loadable snapshot)
 ///
-/// The legacy surfaces remain as thin shims for one release: `Engine`'s
-/// statics (deprecated — see solvers/engine.h) and direct `Session`
-/// construction. Everything they can do is reachable through this
-/// façade, which is the seam future scenarios (sharding, remote
-/// transport, multi-tenant quotas) attach to.
+/// With `Options::durability.dir` set, every database the service
+/// creates is durable: deltas are appended to a per-database
+/// write-ahead log BEFORE they mutate the session (store/store.h), the
+/// WAL is compacted into checksummed snapshots as it grows, and
+/// `OpenStore` recovers a database from disk after a restart — newest
+/// valid snapshot plus WAL tail replay, resuming the epoch chain where
+/// it left off. Direct `Session` construction remains supported for
+/// embedding the serving loop without the façade; this is the seam
+/// future scenarios (sharding, remote transport, multi-tenant quotas)
+/// attach to.
 
 namespace cqa {
 
@@ -133,6 +144,22 @@ class Service {
     size_t default_page_size = 256;
     size_t max_page_size = 4096;
     size_t max_open_cursors = 64;
+    /// Durable storage. With `dir` empty (the default) databases live
+    /// in memory only and the rest of this struct is ignored.
+    struct Durability {
+      /// Root directory; each database stores under
+      /// `<dir>/<escaped name>/`.
+      std::string dir;
+      /// Filesystem to store through; null = store::Env::Default().
+      /// Tests inject a MemEnv or FaultInjectingEnv here.
+      store::Env* env = nullptr;
+      /// WAL sync policy and buffering (see store/wal.h).
+      store::Wal::Options wal;
+      /// Snapshot-compact once a WAL exceeds this many bytes; 0
+      /// disables compaction.
+      uint64_t compaction_threshold_bytes = 4 * 1024 * 1024;
+    };
+    Durability durability;
   };
 
   Service() : Service(Options()) {}
@@ -145,10 +172,34 @@ class Service {
   // ------------------------------------------------- database registry
   /// Registers `db` under `name` and spins up its serving session.
   /// FailedPrecondition if the name is taken or the registry is full.
+  /// With durability on, the database (WAL + initial snapshot) is on
+  /// disk before this returns, and the on-disk directory doubles as the
+  /// existence check across restarts.
   Status CreateDatabase(const std::string& name, Database db);
-  /// Unregisters the database; its session dies once in-flight calls
-  /// drain, and every cursor pinned to it starts failing Unavailable.
+  /// Unregisters the database. The session is marked defunct under its
+  /// exclusive epoch gate first, so a delta racing the drop either
+  /// commits before it or fails NotFound — never lands on a zombie
+  /// session. Every cursor pinned to the database starts failing
+  /// Unavailable, and with durability on the on-disk store is deleted.
   Status DropDatabase(const std::string& name);
+
+  /// Recovers a durable database from disk (newest valid snapshot +
+  /// WAL tail replay) and registers it under `name`. A torn final WAL
+  /// record — the signature of a crash mid-append — is truncated and
+  /// reported; checksum corruption anywhere else fails DataLoss.
+  /// FailedPrecondition when durability is off or the name is live;
+  /// NotFound when no store exists for `name`.
+  struct OpenStoreResponse {
+    /// Epoch the database resumed at.
+    uint64_t epoch = 0;
+    /// Deltas replayed from the WAL tail on top of the snapshot.
+    uint64_t replayed = 0;
+    bool torn_tail_recovered = false;
+  };
+  Result<OpenStoreResponse> OpenStore(const std::string& name);
+  /// Names (unescaped) of the stores under the durability root, sorted;
+  /// empty when durability is off.
+  std::vector<std::string> ListStores() const;
   bool HasDatabase(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> ListDatabases() const;
@@ -254,12 +305,28 @@ class Service {
     int64_t calls = 0;
     int64_t certain = 0;
   };
+  /// Durable-store counters, summed over the selected database(s).
+  struct StoreStats {
+    size_t durable_databases = 0;
+    /// Databases degraded to read-only by a WAL failure.
+    size_t read_only_databases = 0;
+    uint64_t wal_appends = 0;
+    uint64_t wal_appended_bytes = 0;
+    /// Live WAL bytes (the distance to the next compaction).
+    uint64_t wal_bytes = 0;
+    uint64_t snapshots_written = 0;
+    uint64_t compaction_failures = 0;
+    uint64_t torn_tails_recovered = 0;
+    uint64_t snapshots_skipped = 0;
+  };
   struct StatsResponse {
     /// Atomic snapshot of the service plan cache (see
     /// PlanCache::Snapshot — mutually consistent counters).
     PlanCache::Stats plan_cache;
     /// Session counters, summed over the selected database(s).
     Session::Stats session;
+    /// Durability counters (all zero when durability is off).
+    StoreStats store;
     size_t databases = 0;
     /// Live prepared handles and open pagination cursors.
     size_t prepared_queries = 0;
@@ -279,10 +346,32 @@ class Service {
     uint64_t last_use = 0;  // LRU clock tick
   };
 
+  /// One registered database: its serving session plus, with
+  /// durability on, the store its commit hooks write through. The
+  /// session's hooks hold the store shared_ptr, so the store outlives
+  /// every in-flight delta even across a concurrent drop.
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::shared_ptr<store::DbStore> store;
+  };
+
   /// The session serving `name`, or NotFound. The returned shared_ptr
   /// keeps the session alive across a concurrent DropDatabase.
   Result<std::shared_ptr<Session>> ResolveSession(
       const std::string& name) const;
+  bool durable() const { return !options_.durability.dir.empty(); }
+  store::Env* store_env() const;
+  /// `<durability root>/<escaped name>`.
+  std::string StorePath(const std::string& name) const;
+  store::DbStore::Options StoreOptions() const;
+  /// Builds the session for `db` with its commit hooks bound to
+  /// `db_store` (null for a memory-only database).
+  std::shared_ptr<Session> MakeSession(
+      Database db, const std::shared_ptr<store::DbStore>& db_store,
+      uint64_t initial_epoch);
+  /// Registers the entry; on failure (name taken / registry full) the
+  /// caller still owns the discarded session and store.
+  Status RegisterEntry(const std::string& name, Entry entry);
   /// Resolves the (plan, query, free_vars) triple of a request that
   /// carries either a prepared handle or an ad-hoc query.
   Result<std::shared_ptr<const QueryPlan>> ResolvePlan(
@@ -302,7 +391,7 @@ class Service {
   PlanCache plan_cache_;
 
   mutable std::mutex registry_mu_;
-  std::map<std::string, std::shared_ptr<Session>> databases_;
+  std::map<std::string, Entry> databases_;
 
   mutable std::mutex prepared_mu_;
   std::unordered_map<std::string, std::weak_ptr<const PreparedQuery>>

@@ -157,6 +157,17 @@ Result<std::vector<Action>> ValidateDelta(const Database& db,
 
 }  // namespace
 
+Status ApplyDeltaToDatabase(const Delta& delta, Database* db) {
+  Result<std::vector<Action>> actions = ValidateDelta(*db, delta);
+  if (!actions.ok()) return actions.status();
+  for (const Action& action : *actions) {
+    Status st = action.add ? db->AddFact(action.fact)
+                           : db->RemoveFact(action.fact);
+    CQA_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
 // ----------------------------------------------------------- Session
 
 Session::Session(Database db) : Session(std::move(db), Options()) {}
@@ -166,6 +177,7 @@ Session::Session(Database db, const Options& options)
       db_(std::move(db)),
       plan_cache_(options.plan_cache != nullptr ? options.plan_cache
                                                 : &PlanCache::Global()) {
+  epoch_.store(options_.initial_epoch, std::memory_order_release);
   for (const Fact& f : db_.facts()) BumpAdomCounts(f, +1);
   int n = options_.num_threads > 0 ? options_.num_threads
                                    : DefaultServingThreads();
@@ -235,11 +247,26 @@ void Session::ApplyRemove(const Fact& fact) {
   BumpAdomCounts(fact, -1);
 }
 
+void Session::MarkDefunct() {
+  std::unique_lock<WriterPriorityGate> lock(epoch_mu_);
+  defunct_.store(true, std::memory_order_release);
+}
+
 Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
   std::unique_lock<WriterPriorityGate> lock(epoch_mu_);
+  if (defunct_.load(std::memory_order_relaxed)) {
+    return Status::NotFound("database was dropped");
+  }
 
   Result<std::vector<Action>> actions = ValidateDelta(db_, delta);
   if (!actions.ok()) return actions.status();
+
+  uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  if (options_.commit_hook) {
+    // Write-ahead point: the delta must be durable (or durably refused)
+    // before any in-memory state changes.
+    CQA_RETURN_NOT_OK(options_.commit_hook(delta, next));
+  }
 
   bool domain_changed = false;
   std::vector<std::pair<SymbolId, std::vector<SymbolId>>> blocks;
@@ -276,7 +303,6 @@ Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
   std::sort(blocks.begin(), blocks.end());
   blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
 
-  uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
   delta_log_.push_back(DeltaRecord{next, std::move(blocks)});
   while (delta_log_.size() > options_.delta_log_window) {
     delta_log_.pop_front();
@@ -289,6 +315,7 @@ Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
     stats_.facts_added += added;
     stats_.facts_removed += removed;
   }
+  if (options_.post_commit_hook) options_.post_commit_hook(db_, next);
   return next;
 }
 

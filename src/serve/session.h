@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -15,7 +16,6 @@
 #include "db/database.h"
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
-#include "solvers/engine.h"
 #include "solvers/solver.h"
 #include "util/rw_gate.h"
 #include "util/status.h"
@@ -105,6 +105,20 @@ class Delta {
   std::vector<Op> ops_;
 };
 
+/// One certain-answer request: the certain answers of `query` projected
+/// onto `free_vars` (empty = Boolean certainty).
+struct CertainAnswersRequest {
+  Query query;
+  std::vector<SymbolId> free_vars;
+};
+
+/// Validates and applies `delta` to a bare database — no indexes, no
+/// epochs, no pool. This is the replay primitive: recovery re-applies a
+/// WAL tail with exactly the semantics `Session::ApplyDelta` committed
+/// it under, and differential tests use it as the trivially-correct
+/// oracle for the session's incremental path.
+Status ApplyDeltaToDatabase(const Delta& delta, Database* db);
+
 class Session {
  public:
   /// An answer set: distinct rows, sorted lexicographically. Served as
@@ -125,6 +139,19 @@ class Session {
     /// Dirty key patterns tolerated per (entry, delta-range) before the
     /// incremental path gives up and recomputes in full.
     size_t max_dirty_patterns = 32;
+    /// First epoch value; a session recovered from durable storage
+    /// resumes the epoch chain its WAL left off at instead of
+    /// restarting from 0.
+    uint64_t initial_epoch = 0;
+    /// Called under the exclusive epoch gate after a delta validates
+    /// and BEFORE anything mutates, with the epoch the delta will
+    /// commit as. A non-OK return rejects the delta untouched — this is
+    /// where a durable store appends to its write-ahead log.
+    std::function<Status(const Delta&, uint64_t)> commit_hook;
+    /// Called under the exclusive epoch gate after the mutation, with
+    /// the post-delta database and its epoch — where a durable store
+    /// triggers snapshot compaction against a consistent view.
+    std::function<void(const Database&, uint64_t)> post_commit_hook;
   };
 
   /// Takes ownership of the database snapshot.
@@ -151,6 +178,13 @@ class Session {
   /// worker's live indexes incrementally. Returns the new epoch. On
   /// error nothing changed.
   Result<uint64_t> ApplyDelta(const Delta& delta);
+
+  /// Marks the session dropped (taken off a registry). Acquires the
+  /// exclusive epoch gate, so it strictly orders against every
+  /// in-flight ApplyDelta: a delta racing a drop either commits before
+  /// the drop or fails NotFound — never lands silently on a zombie.
+  void MarkDefunct();
+  bool defunct() const { return defunct_.load(std::memory_order_acquire); }
 
   // --------------------------------------------------------- serving
   Result<SolveOutcome> Solve(const Query& q);
@@ -273,6 +307,7 @@ class Session {
   /// reader-preferring `std::shared_mutex` lets it.
   mutable WriterPriorityGate epoch_mu_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<bool> defunct_{false};
 
   /// Constant -> number of occurrences across all fact positions; the
   /// exact active domain is its key set (rewritings contain negation,

@@ -1,0 +1,493 @@
+#include "store/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cqa {
+namespace store {
+
+namespace {
+
+Status IoError(const std::string& what, const std::string& path, int err) {
+  return Status::Internal(what + " '" + path + "': " +
+                          std::strerror(err));
+}
+
+}  // namespace
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+// ------------------------------------------------------------ PosixEnv
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write", path_, errno);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return IoError("fsync", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return IoError("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, fd));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file '" + path + "'");
+      }
+      return IoError("open", path, errno);
+    }
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return IoError("read", path, err);
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return IoError("stat", path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoError("truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename", from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return IoError("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      if (errno == EEXIST) {
+        return Status::FailedPrecondition("directory '" + path +
+                                          "' already exists");
+      }
+      return IoError("mkdir", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::string prefix;
+    size_t i = 0;
+    while (i < path.size()) {
+      size_t next = path.find('/', i + 1);
+      prefix = path.substr(0, next == std::string::npos ? path.size() : next);
+      if (!prefix.empty() && prefix != "/" &&
+          ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return IoError("mkdir", prefix, errno);
+      }
+      if (next == std::string::npos) break;
+      i = next;
+    }
+    return Status::OK();
+  }
+
+  bool DirExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status RemoveDirRecursive(const std::string& dir) override {
+    Result<std::vector<std::string>> names = ListDir(dir);
+    if (!names.ok()) return names.status();
+    for (const std::string& name : *names) {
+      std::string path = JoinPath(dir, name);
+      if (DirExists(path)) {
+        CQA_RETURN_NOT_OK(RemoveDirRecursive(path));
+      } else {
+        CQA_RETURN_NOT_OK(RemoveFile(path));
+      }
+    }
+    if (::rmdir(dir.c_str()) != 0) return IoError("rmdir", dir, errno);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// -------------------------------------------------------------- MemEnv
+
+/// Writes against the env's shared state by key, so a rename or crash
+/// between Appends is observed by the handle (like an fd would).
+/// Not in an anonymous namespace: it must match MemEnv's friend
+/// declaration.
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string key)
+      : env_(env), key_(std::move(key)) {}
+
+  Status Append(const void* data, size_t n) override;
+  Status Sync() override;
+
+ private:
+  MemEnv* env_;
+  std::string key_;
+};
+
+std::string MemEnv::Normalize(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (c == '/' && !out.empty() && out.back() == '/') continue;
+    out.push_back(c);
+  }
+  while (!out.empty() && out.back() == '/') out.pop_back();
+  return out;
+}
+
+Status MemWritableFile::Append(const void* data, size_t n) {
+  std::lock_guard<std::mutex> lock(env_->mu_);
+  auto it = env_->files_.find(key_);
+  if (it == env_->files_.end()) {
+    return Status::NotFound("file '" + key_ + "' was removed");
+  }
+  it->second.data.append(static_cast<const char*>(data), n);
+  return Status::OK();
+}
+
+Status MemWritableFile::Sync() {
+  std::lock_guard<std::mutex> lock(env_->mu_);
+  auto it = env_->files_.find(key_);
+  if (it == env_->files_.end()) {
+    return Status::NotFound("file '" + key_ + "' was removed");
+  }
+  it->second.durable_size = it->second.data.size();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.try_emplace(key);  // appends to existing content
+  return std::unique_ptr<WritableFile>(new MemWritableFile(this, key));
+}
+
+Result<std::string> MemEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  return it->second.data;
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(Normalize(path)) != 0;
+}
+
+Result<uint64_t> MemEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  return static_cast<uint64_t>(it->second.data.size());
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(Normalize(path));
+  if (it == files_.end()) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  if (size < it->second.data.size()) {
+    it->second.data.resize(size);
+    it->second.durable_size = std::min<uint64_t>(it->second.durable_size,
+                                                 size);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(Normalize(from));
+  if (it == files_.end()) {
+    return Status::NotFound("no such file '" + from + "'");
+  }
+  FileState state = std::move(it->second);
+  files_.erase(it);
+  files_[Normalize(to)] = std::move(state);
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(Normalize(path)) == 0) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Normalize(path);
+  if (dirs_.count(key) != 0) {
+    return Status::FailedPrecondition("directory '" + path +
+                                      "' already exists");
+  }
+  dirs_[key] = true;
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = Normalize(path);
+  size_t i = 0;
+  while (i != std::string::npos && !key.empty()) {
+    size_t next = key.find('/', i + 1);
+    dirs_[key.substr(0, next == std::string::npos ? key.size() : next)] =
+        true;
+    i = next;
+  }
+  return Status::OK();
+}
+
+bool MemEnv::DirExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirs_.count(Normalize(path)) != 0;
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = Normalize(dir);
+  if (dirs_.count(prefix) == 0) {
+    return Status::NotFound("no such directory '" + dir + "'");
+  }
+  prefix += '/';
+  std::vector<std::string> names;
+  auto collect = [&](const std::string& key) {
+    if (key.compare(0, prefix.size(), prefix) != 0) return;
+    std::string rest = key.substr(prefix.size());
+    size_t slash = rest.find('/');
+    if (slash != std::string::npos) rest.resize(slash);
+    if (!rest.empty() &&
+        std::find(names.begin(), names.end(), rest) == names.end()) {
+      names.push_back(rest);
+    }
+  };
+  for (const auto& [key, state] : files_) {
+    (void)state;
+    collect(key);
+  }
+  for (const auto& [key, exists] : dirs_) {
+    if (exists) collect(key);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status MemEnv::RemoveDirRecursive(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = Normalize(dir);
+  dirs_.erase(prefix);
+  prefix += '/';
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+void MemEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, state] : files_) {
+    (void)key;
+    state.data.resize(state.durable_size);
+  }
+}
+
+Result<std::string> MemEnv::FileContent(const std::string& path) {
+  return ReadFile(path);
+}
+
+Status MemEnv::SetFileContent(const std::string& path, std::string content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[Normalize(path)];
+  state.data = std::move(content);
+  state.durable_size = state.data.size();
+  return Status::OK();
+}
+
+// ---------------------------------------------------- FaultInjectingEnv
+
+/// Not in an anonymous namespace: it must match FaultInjectingEnv's
+/// friend declaration.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    FaultInjectingEnv::Counters& c = env_->counters_;
+    const FaultPlan& plan = env_->plan_;
+    ++c.appends;
+    std::string payload(static_cast<const char*>(data), n);
+    if (plan.flip_bits && !payload.empty()) {
+      payload[0] = static_cast<char>(payload[0] ^ 1);
+    }
+    if (plan.short_write_at != 0 && c.appends == plan.short_write_at) {
+      ++c.injected_failures;
+      size_t half = payload.size() / 2;
+      c.appended_bytes += half;
+      Status ignored = base_->Append(payload.data(), half);
+      (void)ignored;
+      return Status::Internal("injected short write (I/O error)");
+    }
+    if (plan.enospc_after_bytes != 0 &&
+        c.appended_bytes + payload.size() > plan.enospc_after_bytes) {
+      ++c.injected_failures;
+      size_t room = plan.enospc_after_bytes > c.appended_bytes
+                        ? plan.enospc_after_bytes - c.appended_bytes
+                        : 0;
+      c.appended_bytes += room;
+      Status ignored = base_->Append(payload.data(), room);
+      (void)ignored;
+      return Status::Internal("injected ENOSPC: no space left on device");
+    }
+    c.appended_bytes += payload.size();
+    return base_->Append(payload.data(), payload.size());
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    FaultInjectingEnv::Counters& c = env_->counters_;
+    ++c.syncs;
+    if (env_->plan_.fail_sync_at != 0 &&
+        c.syncs >= env_->plan_.fail_sync_at) {
+      ++c.injected_failures;
+      return Status::Internal("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::Counters FaultInjectingEnv::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  Result<std::unique_ptr<WritableFile>> base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingFile(this, std::move(*base)));
+}
+
+}  // namespace store
+}  // namespace cqa

@@ -1,0 +1,227 @@
+#ifndef CQA_STORE_IO_H_
+#define CQA_STORE_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// The pluggable file layer under the durability subsystem (store/).
+/// Everything the WAL and snapshot code does to stable storage goes
+/// through `Env` — a deliberately small surface (append-only writable
+/// files, whole-file reads, atomic rename, directory listing) so that
+/// three implementations cover every need:
+///
+///   * `Env::Default()` — POSIX files, the production path;
+///   * `MemEnv` — an in-memory filesystem with *explicit* durability:
+///     appended bytes become durable only on `Sync()`, and
+///     `SimulateCrash()` rolls every file back to its durable prefix.
+///     This is what lets the recovery tests "crash" a process at any
+///     point without forking one;
+///   * `FaultInjectingEnv` — wraps another Env and injects the failure
+///     modes real disks exhibit (short writes, failed fsync, ENOSPC),
+///     so recovery is provably correct under faults, not assumed.
+///
+/// Durability contract (matches POSIX): bytes written through
+/// `WritableFile::Append` reach the OS; only `Sync()` makes them
+/// survive a crash. Metadata operations (create/rename/remove) are
+/// treated as immediately durable — the store layer's
+/// write-temp-then-rename commit protocol relies on rename atomicity,
+/// not on ordering against data writes it has already synced.
+
+namespace cqa {
+namespace store {
+
+/// An append-only file handle. Not thread-safe; the store layer
+/// serializes all writes per database under the session's writer gate.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes. On error the file may contain a *prefix* of the
+  /// data (a short write) — exactly what a torn tail looks like after a
+  /// crash, and what recovery must tolerate.
+  virtual Status Append(const void* data, size_t n) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Makes every appended byte durable (fsync).
+  virtual Status Sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it when absent. Existing
+  /// contents are preserved (recovery reopens a truncated WAL tail).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file. WAL and snapshot files are bounded by the
+  /// compaction threshold, so whole-file reads are the simple and fast
+  /// recovery path.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (drops a torn WAL tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Atomically replaces `to` with `from` — the commit point of the
+  /// snapshot protocol.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates one directory level; fails FailedPrecondition when it
+  /// already exists (the store dir doubles as a creation lock).
+  virtual Status CreateDir(const std::string& path) = 0;
+  /// Creates the whole path, existing levels tolerated.
+  virtual Status CreateDirs(const std::string& path) = 0;
+  virtual bool DirExists(const std::string& path) = 0;
+  /// Child names (not paths) of `dir`, sorted; "." and ".." excluded.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  /// Removes `dir` and everything under it (DropDatabase).
+  virtual Status RemoveDirRecursive(const std::string& dir) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// In-memory Env for tests: files are strings with an explicit durable
+/// prefix. Thread-safe (the recovery tests race deltas against drops).
+class MemEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool DirExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status RemoveDirRecursive(const std::string& dir) override;
+
+  /// Rolls every file back to its durable (synced) prefix — what the
+  /// disk holds after a power cut. Open handles keep working (they
+  /// model a NEW process's view; tests drop the old Service first).
+  void SimulateCrash();
+
+  /// Test hooks: raw durable content access, for tearing tails and
+  /// flipping bits without going through the API under test.
+  Result<std::string> FileContent(const std::string& path);
+  Status SetFileContent(const std::string& path, std::string content);
+
+ private:
+  friend class MemWritableFile;
+  struct FileState {
+    std::string data;
+    size_t durable_size = 0;  // prefix surviving SimulateCrash
+  };
+  /// Normalized lookup key; also validates the parent dir exists.
+  static std::string Normalize(const std::string& path);
+
+  std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  std::map<std::string, bool> dirs_;  // normalized path -> exists
+};
+
+/// Deterministic fault plan for `FaultInjectingEnv`. Counters are
+/// 1-based call ordinals over the whole Env (all files), 0 = disabled.
+struct FaultPlan {
+  /// The Nth Append writes only the first half of its payload and then
+  /// fails — a torn write.
+  uint64_t short_write_at = 0;
+  /// The Nth Sync fails (and every one after it: a device that failed
+  /// an fsync cannot be trusted again).
+  uint64_t fail_sync_at = 0;
+  /// Appends fail with "no space" once total appended bytes would
+  /// exceed this budget; the write is applied up to the boundary.
+  uint64_t enospc_after_bytes = 0;
+  /// Every Append flips the lowest bit of its first payload byte —
+  /// silent media corruption the checksums must catch.
+  bool flip_bits = false;
+};
+
+/// Wraps a base Env and injects faults into the files it hands out.
+/// Metadata operations pass through untouched.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  FaultPlan& plan() { return plan_; }
+
+  struct Counters {
+    uint64_t appends = 0;
+    uint64_t syncs = 0;
+    uint64_t appended_bytes = 0;
+    uint64_t injected_failures = 0;
+  };
+  Counters counters() const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    return base_->CreateDirs(path);
+  }
+  bool DirExists(const std::string& path) override {
+    return base_->DirExists(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status RemoveDirRecursive(const std::string& dir) override {
+    return base_->RemoveDirRecursive(dir);
+  }
+
+ private:
+  friend class FaultInjectingFile;
+  Env* base_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  Counters counters_;
+};
+
+/// Joins path components with '/' (no trailing separator handling
+/// beyond collapsing a trailing '/' on `dir`).
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_IO_H_

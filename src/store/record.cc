@@ -1,0 +1,365 @@
+#include "store/record.h"
+
+#include <cstring>
+
+#include "util/interner.h"
+
+namespace cqa {
+namespace store {
+
+// --------------------------------------------------------------- CRC32C
+
+namespace {
+
+/// Table for the Castagnoli polynomial (reflected 0x82F63B78), built
+/// once at first use.
+const uint32_t* Crc32cTable() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = ~seed;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ------------------------------------------------------- little-endian IO
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutSymbol(std::string* out, SymbolId id) {
+  PutString(out, SymbolName(id));
+}
+
+/// Cursor-style decoder; every getter fails soft so codecs can return a
+/// clean Status instead of reading out of bounds.
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Take(size_t n, const char** p) {
+    if (failed || data.size() - pos < n) {
+      failed = true;
+      return false;
+    }
+    *p = data.data() + pos;
+    pos += n;
+    return true;
+  }
+  uint8_t U8() {
+    const char* p;
+    if (!Take(1, &p)) return 0;
+    return static_cast<uint8_t>(*p);
+  }
+  uint32_t U32() {
+    const char* p;
+    if (!Take(4, &p)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    const char* p;
+    if (!Take(8, &p)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    return v;
+  }
+  std::string_view String() {
+    uint32_t n = U32();
+    const char* p;
+    if (!Take(n, &p)) return {};
+    return std::string_view(p, n);
+  }
+  SymbolId Symbol() { return InternSymbol(String()); }
+  bool done() const { return !failed && pos == data.size(); }
+};
+
+void PutFact(std::string* out, const Fact& f) {
+  PutSymbol(out, f.relation());
+  PutU32(out, static_cast<uint32_t>(f.arity()));
+  PutU32(out, static_cast<uint32_t>(f.key_arity()));
+  for (SymbolId v : f.values()) PutSymbol(out, v);
+}
+
+Fact GetFact(Cursor* c) {
+  SymbolId relation = c->Symbol();
+  uint32_t arity = c->U32();
+  uint32_t key_arity = c->U32();
+  if (c->failed || arity > (1u << 20) || key_arity > arity) {
+    c->failed = true;
+    return Fact();
+  }
+  std::vector<SymbolId> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) values.push_back(c->Symbol());
+  return Fact(relation, std::move(values), static_cast<int>(key_arity));
+}
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("malformed ") + what + " payload");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- file header
+
+void AppendFileHeader(std::string* out, const char* magic) {
+  out->append(magic, 6);
+  PutU16(out, kFormatVersion);
+}
+
+Status CheckFileHeader(std::string_view file, const char* magic,
+                       size_t* offset) {
+  if (file.size() < kFileHeaderSize) {
+    return Status::DataLoss("store file shorter than its header");
+  }
+  if (std::memcmp(file.data(), magic, 6) != 0) {
+    return Status::DataLoss("store file has wrong magic");
+  }
+  uint16_t version = static_cast<uint8_t>(file[6]) |
+                     (static_cast<uint16_t>(static_cast<uint8_t>(file[7]))
+                      << 8);
+  if (version != kFormatVersion) {
+    return Status::Unsupported("store file format version " +
+                               std::to_string(version) +
+                               " (this build speaks " +
+                               std::to_string(kFormatVersion) + ")");
+  }
+  *offset = kFileHeaderSize;
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- framing
+
+void AppendRecord(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload));
+  out->append(payload.data(), payload.size());
+}
+
+ReadStatus RecordReader::Next(std::string_view* payload) {
+  if (offset_ == data_.size()) return ReadStatus::kEof;
+  if (data_.size() - offset_ < 8) return ReadStatus::kTornTail;
+  auto u32_at = [&](size_t pos) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  uint32_t length = u32_at(offset_);
+  uint32_t crc = u32_at(offset_ + 4);
+  if (data_.size() - offset_ - 8 < length) {
+    // The payload runs past EOF: the classic torn final append.
+    return ReadStatus::kTornTail;
+  }
+  std::string_view body = data_.substr(offset_ + 8, length);
+  if (Crc32c(body) != crc) return ReadStatus::kCorrupt;
+  offset_ += 8 + length;
+  *payload = body;
+  return ReadStatus::kOk;
+}
+
+// --------------------------------------------------------- delta payload
+
+std::string EncodeDeltaPayload(const Delta& delta, uint64_t epoch) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kDelta));
+  PutU64(&out, epoch);
+  PutU32(&out, static_cast<uint32_t>(delta.ops().size()));
+  for (const Delta::Op& op : delta.ops()) {
+    out.push_back(static_cast<char>(op.kind));
+    switch (op.kind) {
+      case Delta::Op::Kind::kInsert:
+      case Delta::Op::Kind::kRemove:
+        PutFact(&out, op.fact);
+        break;
+      case Delta::Op::Kind::kReplaceBlock:
+        PutSymbol(&out, op.relation);
+        PutU32(&out, static_cast<uint32_t>(op.key.size()));
+        for (SymbolId k : op.key) PutSymbol(&out, k);
+        PutU32(&out, static_cast<uint32_t>(op.block_facts.size()));
+        for (const Fact& f : op.block_facts) PutFact(&out, f);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<DecodedDelta> DecodeDeltaPayload(std::string_view payload) {
+  Cursor c{payload};
+  if (c.U8() != static_cast<uint8_t>(RecordType::kDelta)) {
+    return Malformed("delta");
+  }
+  DecodedDelta out;
+  out.epoch = c.U64();
+  uint32_t ops = c.U32();
+  for (uint32_t i = 0; i < ops && !c.failed; ++i) {
+    uint8_t kind = c.U8();
+    switch (static_cast<Delta::Op::Kind>(kind)) {
+      case Delta::Op::Kind::kInsert:
+        out.delta.Insert(GetFact(&c));
+        break;
+      case Delta::Op::Kind::kRemove:
+        out.delta.Remove(GetFact(&c));
+        break;
+      case Delta::Op::Kind::kReplaceBlock: {
+        SymbolId relation = c.Symbol();
+        uint32_t key_size = c.U32();
+        if (c.failed || key_size > (1u << 20)) return Malformed("delta");
+        std::vector<SymbolId> key;
+        key.reserve(key_size);
+        for (uint32_t k = 0; k < key_size; ++k) key.push_back(c.Symbol());
+        uint32_t fact_count = c.U32();
+        if (c.failed || fact_count > (1u << 26)) return Malformed("delta");
+        std::vector<Fact> facts;
+        facts.reserve(fact_count);
+        for (uint32_t f = 0; f < fact_count; ++f) {
+          facts.push_back(GetFact(&c));
+        }
+        out.delta.ReplaceBlock(relation, std::move(key), std::move(facts));
+        break;
+      }
+      default:
+        return Malformed("delta");
+    }
+  }
+  if (!c.done()) return Malformed("delta");
+  return out;
+}
+
+// ------------------------------------------------------ snapshot payloads
+
+std::string EncodeSnapshotMetaPayload(const Database& db, uint64_t epoch) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kSnapshotMeta));
+  PutU64(&out, epoch);
+  const std::vector<SymbolId>& relations = db.schema().relations();
+  PutU32(&out, static_cast<uint32_t>(relations.size()));
+  for (SymbolId r : relations) {
+    Signature sig = *db.schema().Find(r);
+    PutSymbol(&out, r);
+    PutU32(&out, static_cast<uint32_t>(sig.arity));
+    PutU32(&out, static_cast<uint32_t>(sig.key_arity));
+  }
+  PutU64(&out, static_cast<uint64_t>(db.size()));
+  return out;
+}
+
+std::string EncodeFactBatchPayload(const Database& db, size_t begin,
+                                   size_t end) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kFactBatch));
+  PutU32(&out, static_cast<uint32_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    PutFact(&out, db.facts()[i]);
+  }
+  return out;
+}
+
+std::string EncodeSnapshotFooterPayload(uint64_t epoch,
+                                        uint64_t fact_count) {
+  std::string out;
+  out.push_back(static_cast<char>(RecordType::kSnapshotFooter));
+  PutU64(&out, epoch);
+  PutU64(&out, fact_count);
+  return out;
+}
+
+Status SnapshotDecoder::Consume(std::string_view payload) {
+  Cursor c{payload};
+  switch (static_cast<RecordType>(c.U8())) {
+    case RecordType::kSnapshotMeta: {
+      if (have_meta_) return Malformed("snapshot (duplicate meta)");
+      epoch_ = c.U64();
+      uint32_t relations = c.U32();
+      for (uint32_t i = 0; i < relations && !c.failed; ++i) {
+        SymbolId name = c.Symbol();
+        uint32_t arity = c.U32();
+        uint32_t key_arity = c.U32();
+        if (c.failed) break;
+        CQA_RETURN_NOT_OK(db_.mutable_schema()->AddRelation(
+            name, static_cast<int>(arity), static_cast<int>(key_arity)));
+      }
+      declared_facts_ = c.U64();
+      if (!c.done()) return Malformed("snapshot meta");
+      have_meta_ = true;
+      return Status::OK();
+    }
+    case RecordType::kFactBatch: {
+      if (!have_meta_ || complete_) return Malformed("snapshot (stray batch)");
+      uint32_t count = c.U32();
+      for (uint32_t i = 0; i < count && !c.failed; ++i) {
+        Fact f = GetFact(&c);
+        if (c.failed) break;
+        CQA_RETURN_NOT_OK(db_.AddFact(f));
+        ++seen_facts_;
+      }
+      if (!c.done()) return Malformed("snapshot fact batch");
+      return Status::OK();
+    }
+    case RecordType::kSnapshotFooter: {
+      if (!have_meta_ || complete_) return Malformed("snapshot footer");
+      uint64_t epoch = c.U64();
+      uint64_t facts = c.U64();
+      if (!c.done() || epoch != epoch_ || facts != declared_facts_ ||
+          facts != seen_facts_) {
+        return Status::DataLoss("snapshot footer disagrees with contents");
+      }
+      complete_ = true;
+      return Status::OK();
+    }
+    default:
+      return Malformed("snapshot record");
+  }
+}
+
+}  // namespace store
+}  // namespace cqa

@@ -1,0 +1,139 @@
+#ifndef CQA_STORE_RECORD_H_
+#define CQA_STORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+/// \file
+/// The durable record format shared by the WAL and snapshot files
+/// (store/). Files are a fixed header followed by length-prefixed,
+/// CRC32C-checksummed records:
+///
+///   file   := magic(6) version(u16) record*
+///   record := length(u32) crc32c(u32) payload(length bytes)
+///
+/// All integers little-endian. The CRC covers the payload only; the
+/// length field is validated structurally (a record must fit in the
+/// remaining bytes). The reader distinguishes three failure shapes,
+/// which recovery treats very differently:
+///
+///   * `kTornTail` — the final record is incomplete (its header or
+///     payload runs past EOF). That is what a crash mid-append leaves
+///     behind; recovery TRUNCATES at the last valid record and keeps
+///     serving.
+///   * `kCorrupt` — a structurally complete record whose checksum does
+///     not match (a flipped bit, an overwritten region). The log's
+///     suffix cannot be trusted; recovery fails loudly with DataLoss
+///     rather than silently dropping committed deltas.
+///
+/// Payloads are self-describing (first byte = type) and encode symbols
+/// as strings, never as `SymbolId`s — interner ids are process-local
+/// and would not survive a restart.
+
+namespace cqa {
+namespace store {
+
+/// Software CRC32C (Castagnoli). `seed` chains incremental updates.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+// ----------------------------------------------------------- file header
+
+/// Format version stamped into every store file; bump on any layout
+/// change so an old binary refuses a new file instead of misreading it.
+constexpr uint16_t kFormatVersion = 1;
+constexpr char kWalMagic[] = "cqawal";
+constexpr char kSnapshotMagic[] = "cqasnp";
+constexpr size_t kFileHeaderSize = 8;  // magic(6) + version(u16)
+
+void AppendFileHeader(std::string* out, const char* magic);
+/// Validates magic and version; on success `*offset` is the first
+/// record's offset.
+Status CheckFileHeader(std::string_view file, const char* magic,
+                       size_t* offset);
+
+// -------------------------------------------------------------- framing
+
+void AppendRecord(std::string* out, std::string_view payload);
+
+enum class ReadStatus { kOk, kEof, kTornTail, kCorrupt };
+
+/// Sequential reader over the record region of a file (header already
+/// skipped by the caller).
+class RecordReader {
+ public:
+  RecordReader(std::string_view data, size_t offset)
+      : data_(data), offset_(offset) {}
+
+  /// Advances to the next record. On kOk, `*payload` views into the
+  /// underlying buffer. On kTornTail/kCorrupt the reader stops;
+  /// `offset()` stays at the start of the offending record — the
+  /// truncation point for a tolerated torn tail.
+  ReadStatus Next(std::string_view* payload);
+
+  /// Offset of the next unread (or first invalid) byte region.
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_;
+};
+
+// ----------------------------------------------------- payload codecs
+
+enum class RecordType : uint8_t {
+  kDelta = 1,
+  kSnapshotMeta = 2,
+  kFactBatch = 3,
+  kSnapshotFooter = 4,
+};
+
+/// One WAL entry: the delta plus the epoch it produced.
+std::string EncodeDeltaPayload(const Delta& delta, uint64_t epoch);
+struct DecodedDelta {
+  Delta delta;
+  uint64_t epoch = 0;
+};
+Result<DecodedDelta> DecodeDeltaPayload(std::string_view payload);
+
+/// Snapshot payloads. A snapshot file is:
+///   header, kSnapshotMeta(epoch, relations, fact_count),
+///   kFactBatch*, kSnapshotFooter(epoch, fact_count)
+/// The footer double-checks completeness (every batch arrived) on top
+/// of the per-record checksums.
+std::string EncodeSnapshotMetaPayload(const Database& db, uint64_t epoch);
+std::string EncodeFactBatchPayload(const Database& db, size_t begin,
+                                   size_t end);
+std::string EncodeSnapshotFooterPayload(uint64_t epoch, uint64_t fact_count);
+
+/// Streaming snapshot decoder: feed payloads in file order.
+class SnapshotDecoder {
+ public:
+  /// Returns InvalidArgument/DataLoss on any malformation.
+  Status Consume(std::string_view payload);
+  /// True once the footer arrived and validated.
+  bool complete() const { return complete_; }
+  uint64_t epoch() const { return epoch_; }
+  /// Moves the decoded database out; only valid when complete().
+  Database TakeDatabase() { return std::move(db_); }
+
+ private:
+  Database db_;
+  uint64_t epoch_ = 0;
+  uint64_t declared_facts_ = 0;
+  uint64_t seen_facts_ = 0;
+  bool have_meta_ = false;
+  bool complete_ = false;
+};
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_RECORD_H_

@@ -1,0 +1,143 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+
+#include "store/record.h"
+
+namespace cqa {
+namespace store {
+
+namespace {
+
+/// Facts per kFactBatch record: bounds single-record size while keeping
+/// the per-record framing overhead negligible.
+constexpr size_t kFactsPerBatch = 512;
+
+std::string EpochName(const char* prefix, uint64_t epoch) {
+  std::string digits = std::to_string(epoch);
+  std::string out = prefix;
+  out += '-';
+  out.append(20 - std::min<size_t>(20, digits.size()), '0');
+  out += digits;
+  return out;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t epoch) {
+  return EpochName("snapshot", epoch);
+}
+
+std::string WalFileName(uint64_t epoch) { return EpochName("wal", epoch); }
+
+std::optional<uint64_t> ParseEpochFileName(const std::string& name,
+                                           const char* prefix) {
+  std::string p = prefix;
+  p += '-';
+  if (name.compare(0, p.size(), p) != 0) return std::nullopt;
+  uint64_t epoch = 0;
+  if (name.size() == p.size()) return std::nullopt;
+  for (size_t i = p.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    epoch = epoch * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return epoch;
+}
+
+Status WriteSnapshot(Env* env, const std::string& dir, const Database& db,
+                     uint64_t epoch) {
+  std::string final_path = JoinPath(dir, SnapshotFileName(epoch));
+  std::string temp_path = final_path + ".tmp";
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(temp_path);
+  if (!file.ok()) return file.status();
+
+  auto write = [&]() -> Status {
+    std::string buf;
+    AppendFileHeader(&buf, kSnapshotMagic);
+    AppendRecord(&buf, EncodeSnapshotMetaPayload(db, epoch));
+    CQA_RETURN_NOT_OK((*file)->Append(buf));
+    size_t n = static_cast<size_t>(db.size());
+    for (size_t begin = 0; begin < n; begin += kFactsPerBatch) {
+      size_t end = std::min(begin + kFactsPerBatch, n);
+      buf.clear();
+      AppendRecord(&buf, EncodeFactBatchPayload(db, begin, end));
+      CQA_RETURN_NOT_OK((*file)->Append(buf));
+    }
+    buf.clear();
+    AppendRecord(&buf, EncodeSnapshotFooterPayload(
+                           epoch, static_cast<uint64_t>(db.size())));
+    CQA_RETURN_NOT_OK((*file)->Append(buf));
+    // The temp file must be fully durable BEFORE the rename commits it:
+    // rename-then-crash with lazy data would leave a complete-looking
+    // name over a hole.
+    return (*file)->Sync();
+  };
+
+  Status st = write();
+  if (st.ok()) st = env->RenameFile(temp_path, final_path);
+  if (!st.ok()) {
+    Status cleanup = env->RemoveFile(temp_path);
+    (void)cleanup;  // best effort; a stray .tmp is ignored by recovery
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadSnapshotFile(Env* env, const std::string& path,
+                                  uint64_t* epoch_out) {
+  Result<std::string> data = env->ReadFile(path);
+  if (!data.ok()) return data.status();
+  size_t offset = 0;
+  CQA_RETURN_NOT_OK(CheckFileHeader(*data, kSnapshotMagic, &offset));
+  RecordReader reader(*data, offset);
+  SnapshotDecoder decoder;
+  std::string_view payload;
+  while (true) {
+    ReadStatus rs = reader.Next(&payload);
+    if (rs == ReadStatus::kEof) break;
+    if (rs != ReadStatus::kOk) {
+      return Status::DataLoss("snapshot '" + path +
+                              "' is truncated or corrupt at offset " +
+                              std::to_string(reader.offset()));
+    }
+    CQA_RETURN_NOT_OK(decoder.Consume(payload));
+  }
+  if (!decoder.complete()) {
+    return Status::DataLoss("snapshot '" + path + "' is missing its footer");
+  }
+  if (epoch_out != nullptr) *epoch_out = decoder.epoch();
+  return decoder.TakeDatabase();
+}
+
+Result<LoadedSnapshot> LoadNewestSnapshot(Env* env, const std::string& dir) {
+  Result<std::vector<std::string>> names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> epochs;
+  for (const std::string& name : *names) {
+    if (std::optional<uint64_t> e = ParseEpochFileName(name, "snapshot")) {
+      epochs.push_back(*e);
+    }
+  }
+  if (epochs.empty()) {
+    return Status::NotFound("no snapshot in '" + dir + "'");
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  LoadedSnapshot out;
+  for (uint64_t epoch : epochs) {
+    uint64_t stamped = 0;
+    Result<Database> db = LoadSnapshotFile(
+        env, JoinPath(dir, SnapshotFileName(epoch)), &stamped);
+    if (db.ok() && stamped == epoch) {
+      out.db = std::move(*db);
+      out.epoch = epoch;
+      return out;
+    }
+    out.skipped.push_back(epoch);
+  }
+  return Status::DataLoss("every snapshot in '" + dir +
+                          "' failed validation");
+}
+
+}  // namespace store
+}  // namespace cqa

@@ -1,0 +1,60 @@
+#ifndef CQA_STORE_SNAPSHOT_H_
+#define CQA_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "store/io.h"
+#include "util/status.h"
+
+/// \file
+/// Full-database snapshots: the compaction half of the store. A
+/// snapshot file (`snapshot-<epoch>`) holds the whole database as
+/// checksummed records (meta, fact batches, footer — store/record.h)
+/// and is committed by write-temp-then-rename: readers either see the
+/// complete old state or the complete new state, never a half-written
+/// file. The WAL that continues `snapshot-<E>` is `wal-<E>`, holding
+/// exactly the deltas with epochs > E.
+
+namespace cqa {
+namespace store {
+
+/// File names. Epochs are zero-padded so lexicographic = numeric order.
+std::string SnapshotFileName(uint64_t epoch);
+std::string WalFileName(uint64_t epoch);
+/// Parses "<prefix>-<epoch>"; nullopt for foreign files.
+std::optional<uint64_t> ParseEpochFileName(const std::string& name,
+                                           const char* prefix);
+
+/// Writes `db` at `epoch` into `dir` atomically (temp + sync + rename).
+/// On failure the temp file is best-effort removed and the directory is
+/// unchanged.
+Status WriteSnapshot(Env* env, const std::string& dir, const Database& db,
+                     uint64_t epoch);
+
+struct LoadedSnapshot {
+  Database db;
+  uint64_t epoch = 0;
+  /// Epochs of newer snapshot files that failed validation and were
+  /// skipped (surfaced so the store can count and clean them).
+  std::vector<uint64_t> skipped;
+};
+
+/// Loads the newest snapshot in `dir` that validates end to end
+/// (header, every checksum, footer). Invalid newer files are skipped —
+/// media corruption of the latest snapshot must not take out a tenant
+/// whose previous snapshot plus WAL still reconstructs the state.
+/// NotFound when the directory holds no loadable snapshot.
+Result<LoadedSnapshot> LoadNewestSnapshot(Env* env, const std::string& dir);
+
+/// Loads one specific snapshot file end to end.
+Result<Database> LoadSnapshotFile(Env* env, const std::string& path,
+                                  uint64_t* epoch_out);
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_SNAPSHOT_H_

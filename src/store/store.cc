@@ -1,0 +1,237 @@
+#include "store/store.h"
+
+#include <utility>
+
+#include "serve/session.h"
+#include "store/record.h"
+
+namespace cqa {
+namespace store {
+
+DbStore::DbStore(Env* env, std::string dir, const Options& options,
+                 std::unique_ptr<Wal> wal, uint64_t wal_epoch)
+    : env_(env),
+      dir_(std::move(dir)),
+      options_(options),
+      wal_(std::move(wal)),
+      wal_epoch_(wal_epoch),
+      last_compact_attempt_bytes_(wal_->bytes()) {
+  stats_.epoch = wal_epoch;
+  stats_.wal_bytes = wal_->bytes();
+}
+
+DbStore::~DbStore() {
+  // Clean shutdown drains the group-commit buffer so even
+  // SyncPolicy::kNever loses data only on a crash, not on exit.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    Status st = wal_->Sync();
+    (void)st;
+  }
+}
+
+Result<std::unique_ptr<DbStore>> DbStore::Create(Env* env,
+                                                 const std::string& dir,
+                                                 const Database& initial,
+                                                 uint64_t epoch,
+                                                 const Options& options) {
+  // The exclusive mkdir doubles as the "does this tenant already have
+  // durable state" check.
+  CQA_RETURN_NOT_OK(env->CreateDir(dir));
+  auto seed = [&]() -> Result<std::unique_ptr<Wal>> {
+    // WAL before snapshot rename (invariant 2): the moment
+    // `snapshot-<E>` exists, `wal-<E>` is already durable.
+    Result<std::unique_ptr<Wal>> wal =
+        Wal::Create(env, JoinPath(dir, WalFileName(epoch)), options.wal);
+    if (!wal.ok()) return wal.status();
+    CQA_RETURN_NOT_OK(WriteSnapshot(env, dir, initial, epoch));
+    return wal;
+  };
+  Result<std::unique_ptr<Wal>> wal = seed();
+  if (!wal.ok()) {
+    Status cleanup = env->RemoveDirRecursive(dir);
+    (void)cleanup;  // best effort: leave no half-created tenant behind
+    return wal.status();
+  }
+  return std::unique_ptr<DbStore>(
+      new DbStore(env, dir, options, std::move(*wal), epoch));
+}
+
+Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
+                                         const Options& options) {
+  Result<LoadedSnapshot> snap = LoadNewestSnapshot(env, dir);
+  if (!snap.ok()) return snap.status();
+
+  Recovered out;
+  out.db = std::move(snap->db);
+  uint64_t base_epoch = snap->epoch;
+
+  std::string wal_path = JoinPath(dir, WalFileName(base_epoch));
+  uint64_t wal_bytes = 0;
+  if (env->FileExists(wal_path)) {
+    Result<WalScan> scan = ScanWal(env, wal_path);
+    if (!scan.ok()) return scan.status();
+    uint64_t expected = base_epoch;
+    for (const std::string& payload : scan->payloads) {
+      Result<DecodedDelta> decoded = DecodeDeltaPayload(payload);
+      if (!decoded.ok()) return decoded.status();
+      ++expected;
+      if (decoded->epoch != expected) {
+        return Status::DataLoss(
+            "WAL '" + wal_path + "' epoch chain broken: expected " +
+            std::to_string(expected) + ", found " +
+            std::to_string(decoded->epoch));
+      }
+      Status applied = ApplyDeltaToDatabase(decoded->delta, &out.db);
+      if (!applied.ok()) {
+        return Status::DataLoss("WAL '" + wal_path +
+                                "' holds a delta that no longer applies: " +
+                                applied.message());
+      }
+      ++out.replayed;
+    }
+    if (scan->torn_tail) {
+      // A crash mid-append left an incomplete final record. Everything
+      // before it is intact; cut the tail so the reopened log stays
+      // parseable.
+      CQA_RETURN_NOT_OK(env->TruncateFile(wal_path, scan->valid_bytes));
+      out.torn_tail = true;
+    }
+    wal_bytes = scan->valid_bytes;
+  }
+
+  std::unique_ptr<Wal> wal;
+  if (wal_bytes == 0 && !env->FileExists(wal_path)) {
+    // Invariant 2 makes this near-impossible, but an empty fresh log is
+    // strictly better than refusing to serve a valid snapshot.
+    Result<std::unique_ptr<Wal>> created =
+        Wal::Create(env, wal_path, options.wal);
+    if (!created.ok()) return created.status();
+    wal = std::move(*created);
+  } else {
+    Result<std::unique_ptr<Wal>> opened =
+        Wal::OpenExisting(env, wal_path, options.wal, wal_bytes);
+    if (!opened.ok()) return opened.status();
+    wal = std::move(*opened);
+  }
+
+  out.epoch = base_epoch + out.replayed;
+  out.store = std::unique_ptr<DbStore>(
+      new DbStore(env, dir, options, std::move(wal), base_epoch));
+  {
+    std::lock_guard<std::mutex> lock(out.store->mu_);
+    out.store->stats_.torn_tails_recovered = out.torn_tail ? 1 : 0;
+    out.store->stats_.snapshots_skipped = snap->skipped.size();
+    out.store->stats_.epoch = out.epoch;
+  }
+  out.store->RemoveObsoleteFiles(base_epoch);
+  return out;
+}
+
+Status DbStore::AppendDelta(const Delta& delta, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) {
+    return Status::Unavailable("database is read-only after a WAL failure");
+  }
+  std::string payload = EncodeDeltaPayload(delta, epoch);
+  Status st = wal_->Append(payload);
+  if (!st.ok()) {
+    // The log may now end in a torn record; stop appending so committed
+    // history stays a clean prefix. Reads keep serving from memory.
+    read_only_ = true;
+    stats_.read_only = true;
+    return Status::Unavailable("WAL append failed, database is now read-only: " +
+                               st.message());
+  }
+  ++stats_.appends;
+  stats_.appended_bytes += payload.size();
+  stats_.epoch = epoch;
+  stats_.wal_bytes = wal_->bytes();
+  return Status::OK();
+}
+
+void DbStore::MaybeCompact(const Database& db, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_ || options_.compaction_threshold_bytes == 0) return;
+  if (wal_->bytes() < options_.compaction_threshold_bytes) return;
+  // Back off after a failed attempt: retry only once the WAL has grown
+  // by another threshold, not on every subsequent delta.
+  if (wal_->bytes() < last_compact_attempt_bytes_ +
+                          options_.compaction_threshold_bytes &&
+      last_compact_attempt_bytes_ > 0) {
+    return;
+  }
+  last_compact_attempt_bytes_ = wal_->bytes();
+
+  std::string new_wal_path = JoinPath(dir_, WalFileName(epoch));
+  if (env_->FileExists(new_wal_path)) {
+    // Leftover from an interrupted attempt in a previous process life.
+    Status st = env_->RemoveFile(new_wal_path);
+    (void)st;
+  }
+  Result<std::unique_ptr<Wal>> new_wal =
+      Wal::Create(env_, new_wal_path, options_.wal);
+  if (!new_wal.ok()) {
+    ++stats_.compaction_failures;
+    return;
+  }
+  // The rename inside WriteSnapshot is the commit point: before it the
+  // old pair recovers (the new WAL is an orphan recovery deletes);
+  // after it the new pair does.
+  Status st = WriteSnapshot(env_, dir_, db, epoch);
+  if (!st.ok()) {
+    ++stats_.compaction_failures;
+    Status cleanup = env_->RemoveFile(new_wal_path);
+    (void)cleanup;
+    return;
+  }
+  uint64_t old_epoch = wal_epoch_;
+  wal_ = std::move(*new_wal);
+  wal_epoch_ = epoch;
+  last_compact_attempt_bytes_ = wal_->bytes();
+  ++stats_.snapshots_written;
+  stats_.wal_bytes = wal_->bytes();
+  RemoveObsoleteFiles(epoch);
+  (void)old_epoch;
+}
+
+Status DbStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) {
+    return Status::Unavailable("database is read-only after a WAL failure");
+  }
+  return wal_->Sync();
+}
+
+bool DbStore::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
+}
+
+DbStore::Stats DbStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DbStore::RemoveObsoleteFiles(uint64_t live_epoch) {
+  Result<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    bool obsolete = false;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      obsolete = true;
+    } else if (std::optional<uint64_t> e =
+                   ParseEpochFileName(name, "snapshot")) {
+      obsolete = *e != live_epoch;
+    } else if (std::optional<uint64_t> e = ParseEpochFileName(name, "wal")) {
+      obsolete = *e != live_epoch;
+    }
+    if (obsolete) {
+      Status st = env_->RemoveFile(JoinPath(dir_, name));
+      (void)st;
+    }
+  }
+}
+
+}  // namespace store
+}  // namespace cqa

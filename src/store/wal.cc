@@ -1,0 +1,101 @@
+#include "store/wal.h"
+
+#include <utility>
+
+namespace cqa {
+namespace store {
+
+Result<std::unique_ptr<Wal>> Wal::Create(Env* env, const std::string& path,
+                                         const Options& options) {
+  if (env->FileExists(path)) {
+    return Status::FailedPrecondition("WAL '" + path + "' already exists");
+  }
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  std::string header;
+  AppendFileHeader(&header, kWalMagic);
+  CQA_RETURN_NOT_OK((*file)->Append(header));
+  CQA_RETURN_NOT_OK((*file)->Sync());
+  return std::unique_ptr<Wal>(
+      new Wal(path, std::move(*file), options, header.size()));
+}
+
+Result<std::unique_ptr<Wal>> Wal::OpenExisting(Env* env,
+                                               const std::string& path,
+                                               const Options& options,
+                                               uint64_t bytes) {
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<Wal>(
+      new Wal(path, std::move(*file), options, bytes));
+}
+
+Status Wal::Append(std::string_view payload) {
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  AppendRecord(&framed, payload);
+  bytes_ += framed.size();
+  unsynced_bytes_ += framed.size();
+  switch (options_.policy) {
+    case SyncPolicy::kAlways:
+      CQA_RETURN_NOT_OK(file_->Append(framed));
+      return Sync();
+    case SyncPolicy::kInterval:
+      CQA_RETURN_NOT_OK(file_->Append(framed));
+      if (unsynced_bytes_ >= options_.sync_interval_bytes) return Sync();
+      return Status::OK();
+    case SyncPolicy::kNever:
+      buffer_ += framed;
+      if (buffer_.size() >= options_.buffer_bytes) return Flush();
+      return Status::OK();
+  }
+  return Status::Internal("unreachable sync policy");
+}
+
+Status Wal::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  Status st = file_->Append(buffer_);
+  // Drop the buffer even on failure: a torn tail is already in the
+  // file and retrying whole-buffer appends would interleave garbage.
+  buffer_.clear();
+  return st;
+}
+
+Status Wal::Sync() {
+  CQA_RETURN_NOT_OK(Flush());
+  CQA_RETURN_NOT_OK(file_->Sync());
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<WalScan> ScanWal(Env* env, const std::string& path) {
+  Result<std::string> data = env->ReadFile(path);
+  if (!data.ok()) return data.status();
+  size_t offset = 0;
+  CQA_RETURN_NOT_OK(CheckFileHeader(*data, kWalMagic, &offset));
+  WalScan scan;
+  RecordReader reader(*data, offset);
+  std::string_view payload;
+  while (true) {
+    switch (reader.Next(&payload)) {
+      case ReadStatus::kOk:
+        scan.payloads.emplace_back(payload);
+        continue;
+      case ReadStatus::kEof:
+        scan.valid_bytes = reader.offset();
+        return scan;
+      case ReadStatus::kTornTail:
+        scan.valid_bytes = reader.offset();
+        scan.torn_tail = true;
+        return scan;
+      case ReadStatus::kCorrupt:
+        return Status::DataLoss(
+            "WAL '" + path + "' has a corrupt record at offset " +
+            std::to_string(reader.offset()) +
+            " (checksum mismatch before end of log)");
+    }
+  }
+}
+
+}  // namespace store
+}  // namespace cqa

@@ -1,0 +1,111 @@
+#ifndef CQA_STORE_WAL_H_
+#define CQA_STORE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/io.h"
+#include "store/record.h"
+#include "util/status.h"
+
+/// \file
+/// The per-database write-ahead log. One `Wal` owns one append-only
+/// file of checksummed delta records (store/record.h). The durability
+/// knob is the sync policy:
+///
+///   kAlways   — fsync after every append: a delta acknowledged is a
+///               delta on disk. The safe default for real tenants.
+///   kInterval — write-through on every append (the OS has the bytes),
+///               fsync once per `sync_interval_bytes`. A crash loses at
+///               most one interval of acknowledged deltas; an OS that
+///               stays up loses nothing.
+///   kNever    — group-commit: appends coalesce in a user-space buffer
+///               and reach the OS in `buffer_bytes` chunks; no fsync.
+///               The throughput end of the spectrum, for tenants whose
+///               deltas are re-derivable.
+///
+/// Appends are serialized by the caller (the session's writer gate), so
+/// the Wal itself carries no lock.
+
+namespace cqa {
+namespace store {
+
+class Wal {
+ public:
+  enum class SyncPolicy { kAlways, kInterval, kNever };
+
+  struct Options {
+    SyncPolicy policy = SyncPolicy::kInterval;
+    /// kInterval: bytes of appended records between fsyncs.
+    size_t sync_interval_bytes = 64 * 1024;
+    /// kNever: user-space group-commit buffer size.
+    size_t buffer_bytes = 16 * 1024;
+  };
+
+  /// Creates a fresh WAL at `path` (header written and synced — an
+  /// empty-but-valid log is durable before any delta lands in it).
+  static Result<std::unique_ptr<Wal>> Create(Env* env,
+                                             const std::string& path,
+                                             const Options& options);
+
+  /// Reopens an existing (already scanned and, if torn, truncated) WAL
+  /// for appending. `bytes` is its current valid size.
+  static Result<std::unique_ptr<Wal>> OpenExisting(
+      Env* env, const std::string& path, const Options& options,
+      uint64_t bytes);
+
+  /// Frames and appends one record; buffers / writes / syncs per the
+  /// policy. On an I/O failure the file may hold a torn tail — the
+  /// caller transitions to read-only and recovery truncates it.
+  Status Append(std::string_view payload);
+
+  /// Drains the group-commit buffer to the OS.
+  Status Flush();
+  /// Flush + fsync, regardless of policy (graceful shutdown).
+  Status Sync();
+
+  /// Total bytes framed into the log (including the header; counts
+  /// buffered bytes). The compaction trigger.
+  uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, std::unique_ptr<WritableFile> file,
+      const Options& options, uint64_t bytes)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        options_(options),
+        bytes_(bytes) {}
+
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  Options options_;
+  uint64_t bytes_;
+  uint64_t unsynced_bytes_ = 0;
+  std::string buffer_;
+};
+
+/// Result of scanning a WAL file during recovery.
+struct WalScan {
+  /// Valid record payloads, in append order.
+  std::vector<std::string> payloads;
+  /// Offset just past the last valid record — where a torn tail is
+  /// truncated before reopening for append.
+  uint64_t valid_bytes = 0;
+  /// True when trailing garbage (an incomplete final append) was
+  /// dropped.
+  bool torn_tail = false;
+};
+
+/// Reads and validates `path`. A torn FINAL record is tolerated and
+/// reported; a checksum mismatch on a structurally complete record is
+/// DataLoss — the caller must refuse to open rather than silently skip
+/// committed history.
+Result<WalScan> ScanWal(Env* env, const std::string& path);
+
+}  // namespace store
+}  // namespace cqa
+
+#endif  // CQA_STORE_WAL_H_

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

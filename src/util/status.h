@@ -19,7 +19,10 @@ namespace cqa {
 /// absent fact), FailedPrecondition (request valid but the current
 /// state refuses it, e.g. creating a database that already exists),
 /// Unavailable (transient: an expired answer cursor whose snapshot was
-/// released — retry from the first page).
+/// released — retry from the first page; or a database whose WAL went
+/// read-only), DataLoss (durable state is unrecoverably corrupt — a
+/// mid-log checksum mismatch, a snapshot that fails validation; see
+/// store/).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -29,6 +32,7 @@ enum class StatusCode {
   kInternal,
   kFailedPrecondition,
   kUnavailable,
+  kDataLoss,
 };
 
 /// A cheap success/error value carrying a code and a message.
@@ -60,6 +64,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,7 +13,7 @@
 #include "plan/plan_cache.h"
 #include "gen/db_gen.h"
 #include "gen/query_gen.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 
 /// Differential tests for the set-at-a-time FO program executor: the
 /// compiled program must agree with the tree-walking interpreter
@@ -140,8 +136,8 @@ TEST_P(ProgramDifferential, ParameterizedRewritingsDecideRowBatches) {
 
 TEST_P(ProgramDifferential, CorpusFoQueriesEndToEnd) {
   // The FO-rewritable subset of the named corpus, end to end through
-  // the plan layer: Engine::CertainAnswers under the program must equal
-  // Engine::CertainAnswers under the interpreter oracle.
+  // the plan layer: testutil::CertainAnswers under the program must equal
+  // testutil::CertainAnswers under the interpreter oracle.
   for (const auto& [name, q] : corpus::AllNamedQueries()) {
     if (!CertainRewriting(q).ok()) continue;  // not FO-rewritable
     BlockDbGenOptions bopts;
@@ -158,13 +154,13 @@ TEST_P(ProgramDifferential, CorpusFoQueriesEndToEnd) {
     std::vector<std::vector<SymbolId>> with_interpreter;
     {
       ScopedExecMode mode(FoExecMode::kProgram);
-      auto rows = Engine::CertainAnswers(db, q, free_vars);
+      auto rows = testutil::CertainAnswers(db, q, free_vars);
       ASSERT_TRUE(rows.ok()) << name << ": " << rows.status();
       with_program = *rows;
     }
     {
       ScopedExecMode mode(FoExecMode::kInterpreter);
-      auto rows = Engine::CertainAnswers(db, q, free_vars);
+      auto rows = testutil::CertainAnswers(db, q, free_vars);
       ASSERT_TRUE(rows.ok()) << name << ": " << rows.status();
       with_interpreter = *rows;
     }

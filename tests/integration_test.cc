@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include "cq/corpus.h"
@@ -12,7 +8,7 @@
 #include "gen/query_gen.h"
 #include "prob/counting.h"
 #include "prob/worlds.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "solvers/oracle_solver.h"
 
 namespace cqa {
@@ -39,7 +35,7 @@ TEST_P(CrossModuleInvariants, CountingCertaintyProbabilityAgree) {
 
     BigInt total = db.RepairCount();
     BigInt satisfying = Counting::CountByDecomposition(db, q);
-    Result<SolveOutcome> outcome = Engine::Solve(db, q);
+    Result<SolveOutcome> outcome = testutil::Solve(db, q);
     ASSERT_TRUE(outcome.ok()) << name;
 
     // Certainty <=> all repairs satisfy.

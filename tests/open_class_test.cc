@@ -1,14 +1,10 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include "core/classifier.h"
 #include "cq/parser.h"
 #include "gen/db_gen.h"
 #include "gen/query_gen.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "solvers/oracle_solver.h"
 #include "solvers/sat_solver.h"
 
@@ -50,7 +46,7 @@ TEST_P(OpenClassVsOracle, SatFallbackIsCorrectOnWitness) {
   options.domain_size = 2;
   Database db = RandomBlockDatabase(q, options);
   if (db.RepairCount() > BigInt(4096)) return;
-  Result<SolveOutcome> out = Engine::Solve(db, q);
+  Result<SolveOutcome> out = testutil::Solve(db, q);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->solver, SolverKind::kSat);
   EXPECT_EQ(out->certain, *OracleSolver(q).IsCertain(db))

@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,7 +11,7 @@
 #include "plan/query_plan.h"
 #include "solvers/ack_solver.h"
 #include "solvers/ck_solver.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "solvers/fo_solver.h"
 #include "solvers/oracle_solver.h"
 #include "solvers/sat_solver.h"
@@ -77,7 +73,7 @@ TEST(QueryPlanTest, SolveAgreesWithSolverAndSurfacesSatStats) {
   EXPECT_EQ(plan->solver()->stats().sat_vars, out->sat_vars);
 }
 
-/// The acceptance differential: Engine::Solve through compiled plans
+/// The acceptance differential: testutil::Solve through compiled plans
 /// must agree with the direct per-class dispatch (the pre-refactor
 /// behavior: classify, then run the matching solver on the *original*
 /// query) on the full randomized corpus of matcher_property_test, and
@@ -113,7 +109,7 @@ Result<bool> DirectDispatch(const Database& db, const Query& q) {
 
 void ExpectPlanAgrees(const Database& db, const Query& q,
                       const std::string& context) {
-  Result<SolveOutcome> via_plan = Engine::Solve(db, q);
+  Result<SolveOutcome> via_plan = testutil::Solve(db, q);
   ASSERT_TRUE(via_plan.ok()) << context << ": " << via_plan.status();
   Result<bool> direct = DirectDispatch(db, q);
   ASSERT_TRUE(direct.ok()) << context << ": " << direct.status();
@@ -358,7 +354,7 @@ TEST(QueryPlanTest, ParameterizedPlanMatchesGroundSolve) {
       QueryPlan::Compile(q, free_vars);
   ASSERT_TRUE(plan.ok());
   EXPECT_TRUE((*plan)->parameterized());
-  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  auto possible = testutil::PossibleAnswers(db, q, free_vars);
   ASSERT_TRUE(possible.ok());
   ASSERT_FALSE(possible->empty());
   EvalContext ctx(db);
@@ -369,7 +365,7 @@ TEST(QueryPlanTest, ParameterizedPlanMatchesGroundSolve) {
     for (size_t i = 0; i < free_vars.size(); ++i) {
       ground = ground.Substitute(free_vars[i], row[i]);
     }
-    Result<SolveOutcome> solved = Engine::Solve(db, ground);
+    Result<SolveOutcome> solved = testutil::Solve(db, ground);
     ASSERT_TRUE(solved.ok());
     EXPECT_EQ(*via_plan, solved->certain);
   }

@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,7 +12,7 @@
 #include "db/database.h"
 #include "gen/db_gen.h"
 #include "serve/service.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "solvers/oracle_solver.h"
 #include "util/bigint.h"
 
@@ -451,13 +447,13 @@ TEST_P(ServiceDifferential, MatchesLegacyEngineOnCorpus) {
     const std::string db_name = name + "@" + std::to_string(seed);
     ASSERT_TRUE(service.CreateDatabase(db_name, db).ok());
 
-    // Boolean: ad-hoc request vs deprecated Engine::Solve.
+    // Boolean: ad-hoc request vs deprecated testutil::Solve.
     Service::SolveRequest solve;
     solve.database = db_name;
     solve.query = q;
     Result<Service::SolveResponse> via_service = service.Solve(solve);
     ASSERT_TRUE(via_service.ok()) << name << ": " << via_service.status();
-    Result<SolveOutcome> via_engine = Engine::Solve(db, q);
+    Result<SolveOutcome> via_engine = testutil::Solve(db, q);
     ASSERT_TRUE(via_engine.ok()) << name;
     ASSERT_EQ(via_service->outcome.certain, via_engine->certain)
         << name << "\nquery: " << q.ToString() << "\ndb:\n"
@@ -477,7 +473,7 @@ TEST_P(ServiceDifferential, MatchesLegacyEngineOnCorpus) {
       Result<Session::RowSet> via_pages = Reassemble(service, req);
       ASSERT_TRUE(via_pages.ok()) << name << ": " << via_pages.status();
       Result<Session::RowSet> legacy =
-          Engine::CertainAnswers(db, q, free_vars);
+          testutil::CertainAnswers(db, q, free_vars);
       ASSERT_TRUE(legacy.ok()) << name;
       ASSERT_EQ(*via_pages, *legacy)
           << name << "\nquery: " << q.ToString() << "\ndb:\n"

@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,7 +9,8 @@
 #include "gen/db_gen.h"
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
-#include "solvers/engine.h"
+#include "serve/session.h"
+#include "solve_helpers.h"
 
 namespace cqa {
 namespace {
@@ -63,17 +60,17 @@ TEST(ServingTest, SolveBatchMatchesSequentialSolve) {
   Database db = ServingDatabase(7);
   std::vector<Query> queries = ServingWorkload(12);
 
-  BatchOptions options;
-  options.num_threads = 8;
   PlanCache cache;
-  options.cache = &cache;
-  std::vector<Result<SolveOutcome>> batch =
-      Engine::SolveBatch(db, queries, options);
+  Session::Options options;
+  options.num_threads = 8;
+  options.plan_cache = &cache;
+  Session session(db, options);
+  std::vector<Result<SolveOutcome>> batch = session.SolveBatch(queries);
   ASSERT_EQ(batch.size(), queries.size());
 
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status();
-    Result<SolveOutcome> sequential = Engine::Solve(db, queries[i]);
+    Result<SolveOutcome> sequential = testutil::Solve(db, queries[i]);
     ASSERT_TRUE(sequential.ok());
     EXPECT_EQ(batch[i]->certain, sequential->certain) << i;
     EXPECT_EQ(batch[i]->solver, sequential->solver) << i;
@@ -93,15 +90,15 @@ TEST(ServingTest, SolveBatchMatchesSequentialSolve) {
 
 TEST(ServingTest, EmptyBatchAndSingleThread) {
   Database db = ServingDatabase(9);
-  EXPECT_TRUE(Engine::SolveBatch(db, {}).empty());
-  BatchOptions options;
+  Session::Options options;
   options.num_threads = 1;
+  Session session(db, options);
+  EXPECT_TRUE(session.SolveBatch(std::vector<Query>{}).empty());
   std::vector<Query> queries = ServingWorkload(2);
-  std::vector<Result<SolveOutcome>> batch =
-      Engine::SolveBatch(db, queries, options);
+  std::vector<Result<SolveOutcome>> batch = session.SolveBatch(queries);
   for (size_t i = 0; i < queries.size(); ++i) {
     ASSERT_TRUE(batch[i].ok());
-    EXPECT_EQ(batch[i]->certain, Engine::Solve(db, queries[i])->certain);
+    EXPECT_EQ(batch[i]->certain, testutil::Solve(db, queries[i])->certain);
   }
 }
 
@@ -110,11 +107,12 @@ TEST(ServingTest, RepeatedQueriesResolveThroughTheGlobalCache) {
   std::vector<Query> queries = {corpus::ConferenceQuery(),
                                 corpus::PathQuery2(),
                                 corpus::ConferenceQuery()};
-  std::vector<Result<SolveOutcome>> batch = Engine::SolveBatch(db, queries);
+  Session session(db);
+  std::vector<Result<SolveOutcome>> batch = session.SolveBatch(queries);
   ASSERT_EQ(batch.size(), 3u);
   for (const auto& r : batch) EXPECT_TRUE(r.ok());
   EXPECT_EQ(batch[0]->certain, batch[2]->certain);
-  // The default batch path shares the global cache with Engine::Solve.
+  // The default batch path shares the global cache with testutil::Solve.
   EXPECT_NE(PlanCache::Global().Lookup(corpus::ConferenceQuery()), nullptr);
 }
 
@@ -165,7 +163,7 @@ TEST(ServingTest, OneCacheManyThreads) {
   std::vector<bool> expected;
   expected.reserve(queries.size());
   for (const Query& q : queries) {
-    Result<SolveOutcome> out = Engine::Solve(db, q);
+    Result<SolveOutcome> out = testutil::Solve(db, q);
     ASSERT_TRUE(out.ok());
     expected.push_back(out->certain);
   }
@@ -220,24 +218,25 @@ TEST(ServingTest, CertainAnswersBatchMatchesOneShot) {
   requests.push_back(requests[0]);
   requests.push_back(requests[1]);
 
-  BatchOptions options;
-  options.num_threads = 4;
   PlanCache cache;
-  options.cache = &cache;
-  auto batch = Engine::CertainAnswersBatch(db, requests, options);
+  Session::Options options;
+  options.num_threads = 4;
+  options.plan_cache = &cache;
+  Session session(db, options);
+  auto batch = session.CertainAnswersBatch(requests);
   ASSERT_EQ(batch.size(), requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status();
     auto one_shot =
-        Engine::CertainAnswers(db, requests[i].query, requests[i].free_vars);
+        testutil::CertainAnswers(db, requests[i].query, requests[i].free_vars);
     ASSERT_TRUE(one_shot.ok());
-    EXPECT_EQ(*batch[i], *one_shot) << i;
+    EXPECT_EQ(**batch[i], *one_shot) << i;
   }
 
   // An invalid request fails alone.
   requests.push_back({MustParseQuery("C(x, y | c)"),
                       {InternSymbol("nosuchvar")}});
-  auto with_bad = Engine::CertainAnswersBatch(db, requests, options);
+  auto with_bad = session.CertainAnswersBatch(requests);
   EXPECT_FALSE(with_bad.back().ok());
   EXPECT_EQ(with_bad.back().status().code(), StatusCode::kInvalidArgument);
   for (size_t i = 0; i + 1 < with_bad.size(); ++i) {

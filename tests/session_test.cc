@@ -1,7 +1,3 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,7 +12,7 @@
 #include "gen/db_gen.h"
 #include "gen/query_gen.h"
 #include "serve/session.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "util/rng.h"
 #include "util/rw_gate.h"
 
@@ -198,7 +194,7 @@ TEST(SessionTest, SolveAndBatchMatchEngineAcrossDeltas) {
     for (size_t i = 0; i < queries.size(); ++i) {
       ASSERT_TRUE(batch[i].ok()) << batch[i].status();
       Result<SolveOutcome> expected =
-          Engine::Solve(session.db(), queries[i]);
+          testutil::Solve(session.db(), queries[i]);
       ASSERT_TRUE(expected.ok());
       EXPECT_EQ(batch[i]->certain, expected->certain) << i;
       EXPECT_EQ(batch[i]->solver, expected->solver) << i;
@@ -269,7 +265,7 @@ TEST(SessionTest, CertainAnswersServedFromCacheAcrossUnrelatedDeltas) {
   EXPECT_EQ(stats.rows_reused, 8u + 7u);
 
   // Differential against a fresh engine on the materialized database.
-  Result<Rows> expected = Engine::CertainAnswers(session.db(), q, fv);
+  Result<Rows> expected = testutil::CertainAnswers(session.db(), q, fv);
   ASSERT_TRUE(expected.ok());
   EXPECT_EQ(*pruned, *expected);
 }
@@ -286,7 +282,7 @@ TEST(SessionTest, BooleanAnswersUseRelationLevelInvalidation) {
 
   Result<Rows> base = Materialize(session.CertainAnswers(q, {}));
   ASSERT_TRUE(base.ok());
-  Result<Rows> expected = Engine::CertainAnswers(session.db(), q, {});
+  Result<Rows> expected = testutil::CertainAnswers(session.db(), q, {});
   ASSERT_TRUE(expected.ok());
   EXPECT_EQ(*base, *expected);
 
@@ -305,7 +301,7 @@ TEST(SessionTest, BooleanAnswersUseRelationLevelInvalidation) {
   ASSERT_TRUE(session.ApplyDelta(flip).ok());
   Result<Rows> after = Materialize(session.CertainAnswers(q, {}));
   ASSERT_TRUE(after.ok());
-  Result<Rows> fresh = Engine::CertainAnswers(session.db(), q, {});
+  Result<Rows> fresh = testutil::CertainAnswers(session.db(), q, {});
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(*after, *fresh);
   EXPECT_GE(session.stats().answers_full, 2u);
@@ -419,7 +415,7 @@ TEST(SessionTest, RandomDeltaSequencesMatchFreshEngine) {
       Result<Rows> served = Materialize(session.CertainAnswers(q, fv));
       ASSERT_TRUE(served.ok())
           << seed << "/" << d << ": " << served.status();
-      Result<Rows> fresh = Engine::CertainAnswers(session.db(), q, fv);
+      Result<Rows> fresh = testutil::CertainAnswers(session.db(), q, fv);
       ASSERT_TRUE(fresh.ok()) << fresh.status();
       EXPECT_EQ(*served, *fresh)
           << "seed " << seed << " delta " << d << " query "
@@ -558,7 +554,7 @@ TEST(SessionTest, PersistentPoolReusesWorkerIndexesAcrossCalls) {
   for (int i = 0; i < 5; ++i) {
     Result<SolveOutcome> solved = session.Solve(q);
     ASSERT_TRUE(solved.ok());
-    Result<SolveOutcome> expected = Engine::Solve(session.db(), q);
+    Result<SolveOutcome> expected = testutil::Solve(session.db(), q);
     ASSERT_TRUE(expected.ok());
     EXPECT_EQ(solved->certain, expected->certain);
     Delta delta;

@@ -1,81 +1,77 @@
-// This suite deliberately exercises the deprecated legacy Engine
-// surface (it is the differential baseline the Service is checked
-// against), so it opts out of the deprecation attribute.
-#define CQA_ALLOW_DEPRECATED_ENGINE
 #include <gtest/gtest.h>
 
 #include "cq/corpus.h"
 #include "cq/parser.h"
 #include "gen/db_gen.h"
-#include "solvers/engine.h"
+#include "solve_helpers.h"
 #include "solvers/oracle_solver.h"
 
 namespace cqa {
 namespace {
 
-TEST(EngineTest, DispatchesFoQueries) {
+TEST(SolveDispatchTest, DispatchesFoQueries) {
   Result<SolveOutcome> outcome =
-      Engine::Solve(corpus::ConferenceDatabase(), corpus::ConferenceQuery());
+      testutil::Solve(corpus::ConferenceDatabase(), corpus::ConferenceQuery());
   ASSERT_TRUE(outcome.ok());
   EXPECT_FALSE(outcome->certain);
   EXPECT_EQ(outcome->solver, SolverKind::kFoRewriting);
   EXPECT_EQ(outcome->complexity, ComplexityClass::kFirstOrder);
 }
 
-TEST(EngineTest, DispatchesTerminalCycles) {
+TEST(SolveDispatchTest, DispatchesTerminalCycles) {
   BlockDbGenOptions options;
   options.seed = 3;
   Database db = RandomBlockDatabase(corpus::Fig4Query(), options);
-  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Fig4Query());
+  Result<SolveOutcome> outcome = testutil::Solve(db, corpus::Fig4Query());
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->solver, SolverKind::kTerminalCycles);
 }
 
-TEST(EngineTest, DispatchesAck) {
+TEST(SolveDispatchTest, DispatchesAck) {
   Result<SolveOutcome> outcome =
-      Engine::Solve(corpus::Fig6Database(), corpus::Ack(3));
+      testutil::Solve(corpus::Fig6Database(), corpus::Ack(3));
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->solver, SolverKind::kAck);
   EXPECT_FALSE(outcome->certain);
 }
 
-TEST(EngineTest, DispatchesCk) {
+TEST(SolveDispatchTest, DispatchesCk) {
   Database db;
   ASSERT_TRUE(db.AddFact(Fact::Make("R1", {"a", "b"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R2", {"b", "c"}, 1)).ok());
   ASSERT_TRUE(db.AddFact(Fact::Make("R3", {"c", "a"}, 1)).ok());
-  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Ck(3));
+  Result<SolveOutcome> outcome = testutil::Solve(db, corpus::Ck(3));
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->solver, SolverKind::kCk);
   EXPECT_TRUE(outcome->certain);
 }
 
-TEST(EngineTest, DispatchesConpToSat) {
+TEST(SolveDispatchTest, DispatchesConpToSat) {
   BlockDbGenOptions options;
   options.seed = 5;
   Database db = RandomBlockDatabase(corpus::Q0(), options);
-  Result<SolveOutcome> outcome = Engine::Solve(db, corpus::Q0());
+  Result<SolveOutcome> outcome = testutil::Solve(db, corpus::Q0());
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->solver, SolverKind::kSat);
   EXPECT_EQ(outcome->complexity, ComplexityClass::kConpComplete);
 }
 
-TEST(EngineTest, SelfJoinFallsBackToSat) {
+TEST(SolveDispatchTest, SelfJoinFallsBackToSat) {
   Query q;
   q.AddAtom(Atom::Make("R", {"x", "y"}, 1));
   q.AddAtom(Atom::Make("R", {"y", "x"}, 1));
   Database db;
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"a", "a"}, 1)).ok());
-  Result<SolveOutcome> outcome = Engine::Solve(db, q);
+  Result<SolveOutcome> outcome = testutil::Solve(db, q);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->solver, SolverKind::kSat);
   EXPECT_TRUE(outcome->certain);
 }
 
 /// Every dispatch path must agree with the oracle.
-class EngineVsOracle : public ::testing::TestWithParam<uint64_t> {};
+class SolveVsOracle : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(EngineVsOracle, AllCorpusQueriesAgree) {
+TEST_P(SolveVsOracle, AllCorpusQueriesAgree) {
   for (const auto& [name, q] : corpus::AllNamedQueries()) {
     BlockDbGenOptions options;
     options.seed = GetParam();
@@ -84,7 +80,7 @@ TEST_P(EngineVsOracle, AllCorpusQueriesAgree) {
     options.domain_size = 3;
     Database db = RandomBlockDatabase(q, options);
     if (db.RepairCount() > BigInt(4096)) continue;
-    Result<SolveOutcome> outcome = Engine::Solve(db, q);
+    Result<SolveOutcome> outcome = testutil::Solve(db, q);
     ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.status();
     EXPECT_EQ(outcome->certain, *OracleSolver(q).IsCertain(db))
         << name << " via " << outcome->solver << " seed=" << GetParam()
@@ -93,10 +89,10 @@ TEST_P(EngineVsOracle, AllCorpusQueriesAgree) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsOracle,
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveVsOracle,
                          ::testing::Range(uint64_t{1}, uint64_t{40}));
 
-TEST(EngineTest, FindFalsifyingRepairOnAllClasses) {
+TEST(SolveDispatchTest, FindFalsifyingRepairOnAllClasses) {
   struct Case {
     Query q;
     Database db;
@@ -110,10 +106,10 @@ TEST(EngineTest, FindFalsifyingRepairOnAllClasses) {
     cases.push_back({corpus::Q0(), RandomBlockDatabase(corpus::Q0(), options)});
   }
   for (const Case& c : cases) {
-    Result<SolveOutcome> outcome = Engine::Solve(c.db, c.q);
+    Result<SolveOutcome> outcome = testutil::Solve(c.db, c.q);
     ASSERT_TRUE(outcome.ok());
     Result<std::optional<std::vector<Fact>>> witness =
-        Engine::FindFalsifyingRepair(c.db, c.q);
+        testutil::FindFalsifyingRepair(c.db, c.q);
     ASSERT_TRUE(witness.ok());
     EXPECT_EQ(outcome->certain, !witness->has_value()) << c.q.ToString();
     if (witness->has_value()) {
@@ -132,11 +128,11 @@ TEST(CertainAnswersTest, ConferenceCities) {
   Database db = corpus::ConferenceDatabase();
   Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
   std::vector<SymbolId> free_vars = {InternSymbol("c")};
-  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  auto possible = testutil::PossibleAnswers(db, q, free_vars);
   ASSERT_TRUE(possible.ok());
   EXPECT_EQ(possible->size(), 2u);  // Rome, Paris.
   Result<std::vector<std::vector<SymbolId>>> certain =
-      Engine::CertainAnswers(db, q, free_vars);
+      testutil::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
   EXPECT_TRUE(certain->empty());
 }
@@ -147,11 +143,11 @@ TEST(CertainAnswersTest, MultipleFreeVariables) {
   Database db = corpus::ConferenceDatabase();
   Query q = MustParseQuery("C(x, y | c)");
   std::vector<SymbolId> free_vars = {InternSymbol("x"), InternSymbol("c")};
-  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  auto possible = testutil::PossibleAnswers(db, q, free_vars);
   ASSERT_TRUE(possible.ok());
   EXPECT_EQ(possible->size(), 3u);  // (PODS,Rome), (PODS,Paris), (KDD,Rome).
   Result<std::vector<std::vector<SymbolId>>> certain =
-      Engine::CertainAnswers(db, q, free_vars);
+      testutil::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
   ASSERT_EQ(certain->size(), 1u);
   EXPECT_EQ((*certain)[0][0], InternSymbol("KDD"));
@@ -167,9 +163,9 @@ TEST(CertainAnswersTest, EmptyFreeVarsHasBooleanSemantics) {
         "C(x, y | 'Rome'), R(x | 'A')"})  // not certain: city uncertain
   {
     Query q = MustParseQuery(text);
-    auto rows = Engine::CertainAnswers(db, q, {});
+    auto rows = testutil::CertainAnswers(db, q, {});
     ASSERT_TRUE(rows.ok()) << text << ": " << rows.status();
-    Result<SolveOutcome> solved = Engine::Solve(db, q);
+    Result<SolveOutcome> solved = testutil::Solve(db, q);
     ASSERT_TRUE(solved.ok());
     EXPECT_EQ(!rows->empty(), solved->certain) << text;
     if (!rows->empty()) {
@@ -185,10 +181,10 @@ TEST(CertainAnswersTest, RejectsFreeVariableNotInQuery) {
   Database db = corpus::ConferenceDatabase();
   Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
   std::vector<SymbolId> free_vars = {InternSymbol("nosuchvar")};
-  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  auto possible = testutil::PossibleAnswers(db, q, free_vars);
   ASSERT_FALSE(possible.ok());
   EXPECT_EQ(possible.status().code(), StatusCode::kInvalidArgument);
-  auto certain = Engine::CertainAnswers(db, q, free_vars);
+  auto certain = testutil::CertainAnswers(db, q, free_vars);
   ASSERT_FALSE(certain.ok());
   EXPECT_EQ(certain.status().code(), StatusCode::kInvalidArgument);
 }
@@ -201,16 +197,16 @@ TEST(CertainAnswersTest, CompiledDispatchMatchesPerRowSolve) {
   ASSERT_TRUE(db.AddFact(Fact::Make("R", {"ICDT", "A"}, 1)).ok());
   Query q = MustParseQuery("C(x, y | c), R(x | r)");
   std::vector<SymbolId> free_vars = {InternSymbol("c"), InternSymbol("r")};
-  auto possible = Engine::PossibleAnswers(db, q, free_vars);
+  auto possible = testutil::PossibleAnswers(db, q, free_vars);
   ASSERT_TRUE(possible.ok());
-  auto certain = Engine::CertainAnswers(db, q, free_vars);
+  auto certain = testutil::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
   for (const auto& row : *possible) {
     Query ground = q;
     for (size_t i = 0; i < free_vars.size(); ++i) {
       ground = ground.Substitute(free_vars[i], row[i]);
     }
-    Result<SolveOutcome> solved = Engine::Solve(db, ground);
+    Result<SolveOutcome> solved = testutil::Solve(db, ground);
     ASSERT_TRUE(solved.ok());
     bool listed = std::find(certain->begin(), certain->end(), row) !=
                   certain->end();
@@ -224,7 +220,7 @@ TEST(CertainAnswersTest, DuplicatedFreeVariablesProjectTheColumnTwice) {
   ASSERT_TRUE(db.AddFact(Fact::Make("S", {"b", "c"}, 1)).ok());
   Query q = MustParseQuery("R(x | y), S(y | z)");
   SymbolId x = InternSymbol("x");
-  auto rows = Engine::CertainAnswers(db, q, {x, x});
+  auto rows = testutil::CertainAnswers(db, q, {x, x});
   ASSERT_TRUE(rows.ok()) << rows.status();
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0],
@@ -232,7 +228,7 @@ TEST(CertainAnswersTest, DuplicatedFreeVariablesProjectTheColumnTwice) {
 
   // A variable that never occurs is still rejected, naming the caller's
   // variable (not a canonical placeholder).
-  auto bad = Engine::CertainAnswers(db, q, {InternSymbol("nosuchvar")});
+  auto bad = testutil::CertainAnswers(db, q, {InternSymbol("nosuchvar")});
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(bad.status().message().find("nosuchvar"), std::string::npos);
@@ -245,7 +241,7 @@ TEST(CertainAnswersTest, CertainCityAppearsAfterConsistentInsert) {
   Query q = MustParseQuery("C(x, y | c), R(x | 'A')");
   std::vector<SymbolId> free_vars = {InternSymbol("c")};
   Result<std::vector<std::vector<SymbolId>>> certain =
-      Engine::CertainAnswers(db, q, free_vars);
+      testutil::CertainAnswers(db, q, free_vars);
   ASSERT_TRUE(certain.ok());
   ASSERT_EQ(certain->size(), 1u);
   EXPECT_EQ((*certain)[0][0], InternSymbol("Lyon"));
