@@ -90,6 +90,38 @@ BENCHMARK(BM_Fo_CertainAnswersProgram)
     ->RangeMultiplier(4)
     ->Range(32, cqa_bench::RangeLimit(2048, 128));
 
+void BM_Fo_CertainAnswersParallel(benchmark::State& state) {
+  // Thread-scaling series of the data-parallel row path: one large
+  // CertainAnswers call per iteration, its candidate batch partitioned
+  // across `threads` workers (the answer cache is disabled so every
+  // iteration re-decides the full batch). The arg-pair (blocks,
+  // threads) makes the 1/2/4/8-worker curve one filtered series in
+  // BENCH_results.json.
+  Database db = PathDb(static_cast<int>(state.range(0)), 42);
+  int threads = static_cast<int>(state.range(1));
+  double facts = db.size();
+  Session::Options options;
+  options.num_threads = threads;
+  options.answer_cache_capacity = 0;
+  Session session(std::move(db), options);
+  Query q = corpus::PathQuery2();
+  std::vector<SymbolId> fv = {InternSymbol("x")};
+  size_t answers = 0;
+  for (auto _ : state) {
+    answers = (*session.CertainAnswers(q, fv))->size();
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["facts"] = facts;
+  state.counters["threads"] = threads;
+  state.counters["certain"] = static_cast<double>(answers);
+  Session::Stats stats = session.stats();
+  state.counters["parallel_chunks"] =
+      static_cast<double>(stats.parallel_chunks);
+}
+BENCHMARK(BM_Fo_CertainAnswersParallel)
+    ->ArgsProduct({{cqa_bench::RangeLimit(2048, 128)},
+                   cqa_bench::ThreadCounts()});
+
 void BM_Fo_BooleanInterpreter(benchmark::State& state) {
   Database db = PathDb(static_cast<int>(state.range(0)), 42);
   Result<FoSolver> solver = FoSolver::Create(corpus::PathQuery2());

@@ -23,6 +23,22 @@ int64_t RangeLimit(int64_t full, int64_t smoke) {
   return SmokeMode() ? smoke : full;
 }
 
+std::vector<int64_t> ThreadCounts() {
+  const char* env = std::getenv("CQA_BENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    std::vector<int64_t> counts;
+    std::stringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      long n = std::strtol(item.c_str(), nullptr, 10);
+      if (n >= 1 && n <= 64) counts.push_back(n);
+    }
+    if (!counts.empty()) return counts;
+  }
+  if (SmokeMode()) return {1, 2};
+  return {1, 2, 4, 8};
+}
+
 }  // namespace cqa_bench
 
 namespace {
@@ -69,7 +85,8 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
            << (wall_s > 0 ? facts / wall_s : 0);
       // Plan-cache and serving counters, when the benchmark sets them.
       for (const char* key :
-           {"plan_hits", "plan_misses", "hit_rate", "qps", "threads"}) {
+           {"plan_hits", "plan_misses", "hit_rate", "qps", "threads",
+            "parallel_chunks"}) {
         auto cit = run.counters.find(key);
         if (cit != run.counters.end()) {
           line << ",\"" << key << "\":" << cit->second.value;
@@ -130,14 +147,25 @@ int main(int argc, char** argv) {
   // once with CQA_BENCH_SMOKE set; the second pass sees the variable and
   // registers the small ranges.
   bool smoke_flag = false;
+  const char* threads_flag = nullptr;
   for (int i = 1; i < argc; ++i) {
     smoke_flag = smoke_flag || std::strcmp(argv[i], "--smoke") == 0;
+    if (std::strncmp(argv[i], "--threads=", strlen("--threads=")) == 0) {
+      threads_flag = argv[i] + strlen("--threads=");
+    }
   }
-  if (smoke_flag && !cqa_bench::SmokeMode()) {
-    setenv("CQA_BENCH_SMOKE", "1", 1);
+  // `--threads=LIST` works like `--smoke`: ThreadCounts() is consulted
+  // at registration, so the flag becomes CQA_BENCH_THREADS before the
+  // re-exec below (one re-exec covers both flags).
+  bool need_reexec =
+      (smoke_flag && !cqa_bench::SmokeMode()) ||
+      (threads_flag != nullptr && std::getenv("CQA_BENCH_THREADS") == nullptr);
+  if (need_reexec) {
+    if (smoke_flag) setenv("CQA_BENCH_SMOKE", "1", 1);
+    if (threads_flag != nullptr) setenv("CQA_BENCH_THREADS", threads_flag, 1);
     execv("/proc/self/exe", argv);  // Linux
     execv(argv[0], argv);           // fallback: invoked by path
-    std::fprintf(stderr, "bench_main: --smoke re-exec failed\n");
+    std::fprintf(stderr, "bench_main: --smoke/--threads re-exec failed\n");
     return 1;
   }
 
@@ -151,6 +179,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--smoke") continue;
+    if (arg.rfind("--threads=", 0) == 0) continue;
     if (arg.rfind("--filter=", 0) == 0) {
       arg = "--benchmark_filter=" + arg.substr(strlen("--filter="));
     } else if (arg == "--filter" && i + 1 < argc) {

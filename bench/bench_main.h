@@ -3,6 +3,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 /// \file
 /// Shared benchmark harness. Every bench_*.cc includes this header instead
 /// of <benchmark/benchmark.h> and links against `cqa_bench_main`, whose
@@ -46,6 +49,15 @@ bool SmokeMode();
 /// `full` normally, `smoke` in smoke mode — the registration-time hook
 /// for capping `Range(...)` sizes in the CI smoke job.
 int64_t RangeLimit(int64_t full, int64_t smoke);
+
+/// Worker counts for thread-scaling benchmark series, consulted at
+/// registration time (e.g. `ArgsProduct({{size}, ThreadCounts()})`).
+/// Default {1, 2, 4, 8} for the full suite, {1, 2} in smoke mode;
+/// CQA_BENCH_THREADS (a comma-separated list, e.g. "1,2,4,8,16")
+/// overrides both. Every bench binary also accepts `--threads=LIST`,
+/// which re-execs with the variable set so registration sees it —
+/// mirroring `--smoke`.
+std::vector<int64_t> ThreadCounts();
 
 }  // namespace cqa_bench
 

@@ -227,4 +227,52 @@ BENCHMARK(BM_Service_PaginatedAnswers)
     ->RangeMultiplier(4)
     ->Range(1024, cqa_bench::RangeLimit(4096, 1024));
 
+/// Thread-scaling series through the front door: one uncached
+/// CertainAnswers request per iteration over a `blocks`-block path
+/// database, its candidate batch partitioned across `threads` workers.
+/// The end-to-end façade counterpart of BM_Fo_CertainAnswersParallel;
+/// filter on the "threads" field for the curve.
+void BM_Service_CertainAnswersThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    std::string a = "a" + std::to_string(i);
+    std::string b = "b" + std::to_string(i);
+    db.AddFact(Fact::Make("R", {a, b}, 1)).ok();
+    if (i % 7 == 0) {
+      db.AddFact(Fact::Make("R", {a, "dead" + std::to_string(i)}, 1)).ok();
+    }
+    db.AddFact(Fact::Make("S", {b, "c"}, 1)).ok();
+  }
+  Service::Options options;
+  options.num_threads = threads;
+  options.session.answer_cache_capacity = 0;
+  options.default_page_size = 1 << 20;
+  options.max_page_size = 1 << 20;
+  Service service(options);
+  service.CreateDatabase("wide", std::move(db)).ok();
+  PreparedQueryHandle handle =
+      service
+          .Prepare(MustParseQuery("R(x | y), S(y | z)"),
+                   {InternSymbol("x")})
+          .value();
+  size_t rows = 0;
+  for (auto _ : state) {
+    Service::CertainAnswersRequest request;
+    request.database = "wide";
+    request.prepared = handle;
+    rows = service.CertainAnswers(request)->rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["threads"] = threads;
+  Service::StatsResponse stats = service.Stats({}).value();
+  state.counters["parallel_chunks"] =
+      static_cast<double>(stats.session.parallel_chunks);
+}
+BENCHMARK(BM_Service_CertainAnswersThreads)
+    ->ArgsProduct({{cqa_bench::RangeLimit(4096, 256)},
+                   cqa_bench::ThreadCounts()});
+
 }  // namespace

@@ -146,6 +146,43 @@ BENCHMARK(BM_Session_FullRecompute)
     ->RangeMultiplier(4)
     ->Range(64, cqa_bench::RangeLimit(4096, 64));
 
+/// Thread-scaling series of the full-recompute path: the same workload
+/// as BM_Session_FullRecompute, but the service pool runs `threads`
+/// workers and every request's candidate batch is partitioned across
+/// them (Session data parallelism). Filter on the "threads" field in
+/// BENCH_results.json for the 1/2/4/8-worker curve.
+void BM_Session_FullRecomputeThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  Service::Options options = PathServiceOptions();
+  options.num_threads = threads;
+  options.session.answer_cache_capacity = 0;
+  Service service(options);
+  service.CreateDatabase("path", PathDb(n)).ok();
+  PreparedQueryHandle handle =
+      service.Prepare(PathQ(), {InternSymbol("x")}).value();
+  Service::CertainAnswersRequest request = PathRequest(handle);
+  size_t rows = 0;
+  int k = 0;
+  bool uncertain = true;
+  for (auto _ : state) {
+    service.ApplyDelta(FlipDelta(k, uncertain)).ok();
+    auto fresh = service.CertainAnswers(request);
+    benchmark::DoNotOptimize(fresh);
+    rows = fresh->rows.size();
+    k = (k + 13) % n;
+    uncertain = !uncertain;
+  }
+  ReportServiceCounters(state, service, rows);
+  state.counters["threads"] = threads;
+  Service::StatsResponse stats = service.Stats({}).value();
+  state.counters["parallel_chunks"] =
+      static_cast<double>(stats.session.parallel_chunks);
+}
+BENCHMARK(BM_Session_FullRecomputeThreads)
+    ->ArgsProduct({{cqa_bench::RangeLimit(4096, 64)},
+                   cqa_bench::ThreadCounts()});
+
 /// The durability tax on the delta re-serve path: identical workload to
 /// BM_Session_DeltaReServe, but every delta goes through the
 /// write-ahead log first (group-commit kNever policy, in-memory Env so

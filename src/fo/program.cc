@@ -569,15 +569,24 @@ bool FoProgram::EvaluateBool(const FactIndex& index,
 std::vector<char> FoProgram::EvaluateRows(
     const FactIndex& index, const std::vector<SymbolId>& adom,
     const std::vector<std::vector<SymbolId>>& rows) const {
-  std::vector<char> mask(rows.size(), 1);
-  if (rows.empty()) return mask;
+  return EvaluateRows(index, adom, rows, 0, rows.size());
+}
+
+std::vector<char> FoProgram::EvaluateRows(
+    const FactIndex& index, const std::vector<SymbolId>& adom,
+    const std::vector<std::vector<SymbolId>>& rows, size_t begin,
+    size_t end) const {
+  assert(begin <= end && end <= rows.size());
+  size_t n = end - begin;
+  std::vector<char> mask(n, 1);
+  if (n == 0) return mask;
   Table t;
   t.width = width_;
-  t.n = rows.size();
+  t.n = n;
   t.data.assign(t.n * t.width, 0);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    assert(rows[i].size() == params_.size() && "row arity != params()");
-    std::copy(rows[i].begin(), rows[i].end(), t.row(i));
+  for (size_t i = 0; i < n; ++i) {
+    assert(rows[begin + i].size() == params_.size() && "row arity != params()");
+    std::copy(rows[begin + i].begin(), rows[begin + i].end(), t.row(i));
   }
   Executor exec(*this, index, adom);
   exec.Filter(root_, 0, t, mask);

@@ -121,6 +121,18 @@ class FoProgram {
       const FactIndex& index, const std::vector<SymbolId>& adom,
       const std::vector<std::vector<SymbolId>>& rows) const;
 
+  /// Contiguous-span variant for data-parallel execution: decides
+  /// rows[begin, end) and returns a mask of size end - begin (entry i
+  /// answers rows[begin + i]). Rows are per-row-independent, so
+  /// evaluating a span is exactly the batch evaluation of its rows —
+  /// workers splitting one batch into disjoint spans reproduce the
+  /// whole-batch result bit for bit. Thread-safe against concurrent
+  /// spans on the same program and index (both are read-only here).
+  std::vector<char> EvaluateRows(
+      const FactIndex& index, const std::vector<SymbolId>& adom,
+      const std::vector<std::vector<SymbolId>>& rows, size_t begin,
+      size_t end) const;
+
   const std::vector<SymbolId>& params() const { return params_; }
   /// Register count == row width of the execution matrix.
   int width() const { return width_; }

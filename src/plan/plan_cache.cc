@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <iterator>
 #include <utility>
 
 namespace cqa {
@@ -78,88 +77,112 @@ Result<std::shared_ptr<const QueryPlan>> PlanCache::GetOrCompileCanonical(
     CanonicalQuery canonical, Status precheck) {
   Shard& shard = ShardFor(canonical.hash);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    // Hit path: shared lock only. Recency is an atomic stamp, so
+    // concurrent hits on one hot α-class never serialize. A failed
+    // try_lock_shared means an insert/eviction holds the shard
+    // exclusively — count it, then block normally.
+    std::shared_lock<std::shared_mutex> lock(shard.mu, std::defer_lock);
+    if (!lock.try_lock()) {
+      shard.waits.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
     auto it = shard.by_key.find(canonical.key);
     if (it != shard.by_key.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      ++shard.hits;
-      if (it->second->second.plan != nullptr) {
-        return it->second->second.plan;
+      it->second.last_use.store(NextTick(), std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.plan != nullptr) {
+        return it->second.plan;
       }
-      ++shard.negative_hits;
-      return it->second->second.error;
+      shard.negative_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second.error;
     }
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
   }
   // Compile outside the lock: plan compilation can run the rewriter.
   // Failures — a precheck rejection or a compile error — become
   // negative entries under the same key and LRU policy, so repeated
   // malformed traffic skips recompilation.
   std::string key = canonical.key;
-  Entry entry;
+  std::shared_ptr<const QueryPlan> plan;
+  Status error = Status::OK();
   if (!precheck.ok()) {
-    entry.error = std::move(precheck);
+    error = std::move(precheck);
   } else {
     Result<std::shared_ptr<const QueryPlan>> compiled =
         QueryPlan::CompileCanonical(std::move(canonical));
     if (compiled.ok()) {
-      entry.plan = *compiled;
+      plan = *compiled;
     } else {
-      entry.error = compiled.status();
+      error = compiled.status();
     }
   }
 
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.by_key.find(key);
-  if (it != shard.by_key.end()) {
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.by_key.try_emplace(std::move(key));
+  it->second.last_use.store(NextTick(), std::memory_order_relaxed);
+  if (!inserted) {
     // Lost a compile race; adopt the winner so all callers share one
     // instance (and one set of stats). Don't count the loser's own
     // failure as a served negative hit.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    if (it->second->second.plan != nullptr) return it->second->second.plan;
-    return it->second->second.error;
+    if (it->second.plan != nullptr) return it->second.plan;
+    return it->second.error;
   }
-  shard.lru.emplace_front(key, entry);
-  shard.by_key.emplace(std::move(key), shard.lru.begin());
-  while (shard.lru.size() > per_shard_capacity_) {
-    // Negative entries are evicted before any compiled plan (oldest
-    // first), so a stream of DISTINCT malformed queries can never flush
-    // hot plans out of the shard — it only cycles the negative entries.
-    auto victim = std::prev(shard.lru.end());
-    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
-      if (it->second.plan == nullptr) {
-        victim = std::prev(it.base());
-        break;
+  it->second.plan = plan;
+  it->second.error = error;
+  EvictOverflowLocked(shard);
+  // Return the local copies: eviction may have chosen the entry we just
+  // inserted (e.g. a fresh negative entry in a shard full of plans).
+  if (plan != nullptr) return plan;
+  return error;
+}
+
+void PlanCache::EvictOverflowLocked(Shard& shard) {
+  while (shard.by_key.size() > per_shard_capacity_) {
+    // Negative entries are evicted before any compiled plan (least
+    // recent first), so a stream of DISTINCT malformed queries can
+    // never flush hot plans out of the shard — it only cycles the
+    // negative entries. The scan is O(shard size), but eviction only
+    // runs on insert overflow — the cold path by construction.
+    auto victim = shard.by_key.end();
+    bool victim_negative = false;
+    uint64_t victim_use = 0;
+    for (auto it = shard.by_key.begin(); it != shard.by_key.end(); ++it) {
+      bool negative = it->second.plan == nullptr;
+      uint64_t use = it->second.last_use.load(std::memory_order_relaxed);
+      if (victim == shard.by_key.end() ||
+          (negative && !victim_negative) ||
+          (negative == victim_negative && use < victim_use)) {
+        victim = it;
+        victim_negative = negative;
+        victim_use = use;
       }
     }
-    shard.by_key.erase(victim->first);
-    shard.lru.erase(victim);
-    ++shard.evictions;
+    shard.by_key.erase(victim);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  if (entry.plan != nullptr) return entry.plan;
-  return entry.error;
 }
 
 std::shared_ptr<const QueryPlan> PlanCache::Lookup(const Query& q) const {
   CanonicalQuery canonical = Canonicalize(q);
   Shard& shard = ShardFor(canonical.hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.by_key.find(canonical.key);
   if (it == shard.by_key.end()) return nullptr;
-  return it->second->second.plan;  // null for negative entries.
+  return it->second.plan;  // null for negative entries.
 }
 
 PlanCache::Stats PlanCache::Snapshot() const {
   Stats out;
   out.capacity = per_shard_capacity_ * shards_.size();
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    out.hits += shard.hits;
-    out.misses += shard.misses;
-    out.evictions += shard.evictions;
-    out.negative_hits += shard.negative_hits;
-    out.entries += shard.lru.size();
-    for (const auto& [key, entry] : shard.lru) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    out.hits += shard.hits.load(std::memory_order_relaxed);
+    out.misses += shard.misses.load(std::memory_order_relaxed);
+    out.evictions += shard.evictions.load(std::memory_order_relaxed);
+    out.negative_hits += shard.negative_hits.load(std::memory_order_relaxed);
+    out.shard_waits += shard.waits.load(std::memory_order_relaxed);
+    out.entries += shard.by_key.size();
+    for (const auto& [key, entry] : shard.by_key) {
       (void)key;
       if (entry.plan == nullptr) ++out.negative_entries;
     }
@@ -169,13 +192,13 @@ PlanCache::Stats PlanCache::Snapshot() const {
 
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.lru.clear();
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
     shard.by_key.clear();
-    shard.hits = 0;
-    shard.misses = 0;
-    shard.evictions = 0;
-    shard.negative_hits = 0;
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.evictions.store(0, std::memory_order_relaxed);
+    shard.negative_hits.store(0, std::memory_order_relaxed);
+    shard.waits.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,10 +1,10 @@
 #ifndef CQA_PLAN_PLAN_CACHE_H_
 #define CQA_PLAN_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +12,7 @@
 #include "plan/query_plan.h"
 
 /// \file
-/// A bounded, mutex-sharded LRU cache of compiled `QueryPlan`s, keyed by
+/// A bounded, sharded LRU cache of compiled `QueryPlan`s, keyed by
 /// the query's canonical form — α-equivalent queries (same up to
 /// variable renaming and atom order) share one plan, so classification,
 /// attack-graph analysis and the FO rewriting are paid once per
@@ -27,11 +27,18 @@
 /// overflows, negative entries are evicted before any compiled plan, so
 /// distinct-malformed floods cannot flush hot plans.
 ///
-/// Sharding: the canonical hash picks a shard; each shard has its own
-/// mutex, LRU list and map, so concurrent workers rarely contend.
-/// Compilation runs outside the lock (it can be expensive); when two
-/// threads race to compile the same key, the first insert wins and the
-/// loser adopts the winner's entry.
+/// Sharding and the hot-hit path: the canonical hash picks a shard;
+/// each shard is guarded by a `shared_mutex`, and a HIT takes only the
+/// SHARED side — recency is a per-entry atomic stamped from a global
+/// clock, not a splice into an exclusively-locked list — so many
+/// workers hammering the same hot α-class (the serving steady state)
+/// read concurrently instead of convoying on a shard mutex. Exclusive
+/// locking is reserved for inserts and evictions. Compilation runs
+/// outside any lock (it can be expensive); when two threads race to
+/// compile the same key, the first insert wins and the loser adopts the
+/// winner's entry. `Stats::shard_waits` counts hit-path probes that
+/// found their shard exclusively held — the contention signal this
+/// design exists to keep near zero.
 
 namespace cqa {
 
@@ -59,7 +66,8 @@ class PlanCache {
   Result<std::shared_ptr<const QueryPlan>> GetOrCompile(
       const Query& q, const std::vector<SymbolId>& free_vars);
 
-  /// Cache probe without compiling (test/diagnostic hook).
+  /// Cache probe without compiling (test/diagnostic hook). Does not
+  /// touch recency or the hit/miss counters.
   std::shared_ptr<const QueryPlan> Lookup(const Query& q) const;
 
   struct Stats {
@@ -68,16 +76,19 @@ class PlanCache {
     uint64_t evictions = 0;
     /// Hits served by a cached compile *failure* (subset of `hits`).
     uint64_t negative_hits = 0;
+    /// Hit-path probes that found their shard exclusively locked and
+    /// had to block (contention events on the hot path).
+    uint64_t shard_waits = 0;
     size_t entries = 0;
     /// Entries holding a Status instead of a plan (subset of `entries`).
     size_t negative_entries = 0;
     size_t capacity = 0;
   };
-  /// An atomic snapshot of the counters: every field is read under the
-  /// shard lock that updates it, so within a shard hits/misses/
-  /// negative_hits/entries are mutually consistent (no torn reads of
-  /// independently-advancing atomics). This is what `Service::Stats`
-  /// surfaces.
+  /// An atomic snapshot of the counters: every shard is read under its
+  /// EXCLUSIVE lock, which excludes in-flight hit paths, so within a
+  /// shard hits/misses/negative_hits/entries are mutually consistent
+  /// (no torn reads of independently-advancing atomics). This is what
+  /// `Service::Stats` surfaces.
   Stats Snapshot() const;
 
   /// Drops all entries and resets the counters.
@@ -85,25 +96,27 @@ class PlanCache {
 
  private:
   /// One cached compile outcome: a plan, or the Status that compilation
-  /// failed with (negative entry; `plan` is null exactly then).
+  /// failed with (negative entry; `plan` is null exactly then). The
+  /// payload is immutable after insert; only `last_use` advances, which
+  /// is why hits can run under the shared lock.
   struct Entry {
     std::shared_ptr<const QueryPlan> plan;
     Status error = Status::OK();
+    /// Recency stamp from `clock_`; larger = more recently used.
+    mutable std::atomic<uint64_t> last_use{0};
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    /// Front = most recently used.
-    std::list<std::pair<std::string, Entry>> lru;
-    std::unordered_map<std::string,
-                       decltype(lru)::iterator>
-        by_key;
-    /// Counters live with the data they describe and are only touched
-    /// under `mu`, so `Snapshot()` reads a consistent view per shard.
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t negative_hits = 0;
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, Entry> by_key;
+    /// Atomics because the hit path advances them under the SHARED
+    /// lock; Snapshot/Clear read/reset them under the exclusive lock,
+    /// which is what makes the snapshot per-shard consistent.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> negative_hits{0};
+    std::atomic<uint64_t> waits{0};
   };
 
   /// `precheck` is a validation failure determined from the ORIGINAL
@@ -112,9 +125,16 @@ class PlanCache {
   Result<std::shared_ptr<const QueryPlan>> GetOrCompileCanonical(
       CanonicalQuery canonical, Status precheck);
   Shard& ShardFor(uint64_t hash) const;
+  /// Evicts until `shard` fits its capacity. Caller holds the exclusive
+  /// lock. Negative entries go first, then least-recent overall.
+  void EvictOverflowLocked(Shard& shard);
+
+  uint64_t NextTick() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
   size_t per_shard_capacity_;
   mutable std::vector<Shard> shards_;
+  /// Global recency clock; one relaxed fetch_add per use event.
+  std::atomic<uint64_t> clock_{0};
 };
 
 }  // namespace cqa

@@ -1,6 +1,7 @@
 #include "plan/query_plan.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace cqa {
@@ -245,11 +246,21 @@ Result<std::optional<std::vector<Fact>>> QueryPlan::FindFalsifyingRepair(
 
 Result<std::vector<char>> QueryPlan::IsCertainRows(
     EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows) const {
+  std::vector<char> out(rows.size(), 0);
+  Status s = IsCertainRowSpan(ctx, rows, 0, rows.size(), &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status QueryPlan::IsCertainRowSpan(
+    EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows,
+    size_t begin, size_t end, std::vector<char>* out) const {
   if (!parameterized()) {
     return Status::InvalidArgument("plan has no parameters; use Solve");
   }
-  for (const std::vector<SymbolId>& row : rows) {
-    if (row.size() != canonical_.params.size()) {
+  assert(begin <= end && end <= rows.size() && out->size() == rows.size());
+  for (size_t i = begin; i < end; ++i) {
+    if (rows[i].size() != canonical_.params.size()) {
       return Status::InvalidArgument("row arity does not match plan params");
     }
   }
@@ -257,17 +268,19 @@ Result<std::vector<char>> QueryPlan::IsCertainRows(
     static const std::vector<SymbolId> kNoAdom;
     const std::vector<SymbolId>& adom =
         fo_program_->needs_adom() ? ctx.evaluator().adom() : kNoAdom;
-    return fo_program_->EvaluateRows(ctx.fact_index(), adom, rows);
+    std::vector<char> mask = fo_program_->EvaluateRows(
+        ctx.fact_index(), adom, rows, begin, end);
+    std::copy(mask.begin(), mask.end(), out->begin() + begin);
+    return Status::OK();
   }
   // Row-at-a-time fallback: non-FO plans, substituted FO
   // implementations, and the interpreter oracle mode.
-  std::vector<char> out(rows.size(), 0);
-  for (size_t i = 0; i < rows.size(); ++i) {
+  for (size_t i = begin; i < end; ++i) {
     Result<bool> certain = IsCertainRow(ctx, rows[i]);
     if (!certain.ok()) return certain.status();
-    out[i] = *certain ? 1 : 0;
+    (*out)[i] = *certain ? 1 : 0;
   }
-  return out;
+  return Status::OK();
 }
 
 Result<bool> QueryPlan::IsCertainRow(

@@ -175,6 +175,18 @@ class QueryPlan {
       EvalContext& ctx,
       const std::vector<std::vector<SymbolId>>& rows) const;
 
+  /// Span variant for data-parallel execution: decides rows[begin, end)
+  /// and writes the verdicts into (*out)[begin, end) — `out` must
+  /// already have size rows.size(). Rows are decided independently, so
+  /// workers covering a batch with disjoint spans (each with its OWN
+  /// EvalContext) produce exactly the vector IsCertainRows returns,
+  /// without any cross-worker coordination on the output. Entries
+  /// outside the span are never touched.
+  Status IsCertainRowSpan(EvalContext& ctx,
+                          const std::vector<std::vector<SymbolId>>& rows,
+                          size_t begin, size_t end,
+                          std::vector<char>* out) const;
+
  private:
   QueryPlan() = default;
 

@@ -54,6 +54,10 @@ void Accumulate(Session::Stats* into, const Session::Stats& from) {
   into->answers_full += from.answers_full;
   into->rows_reused += from.rows_reused;
   into->rows_decided += from.rows_decided;
+  into->parallel_batches += from.parallel_batches;
+  into->parallel_chunks += from.parallel_chunks;
+  into->gate_writer_handoffs += from.gate_writer_handoffs;
+  into->gate_reader_waits += from.gate_reader_waits;
 }
 
 void AccumulateStore(Service::StoreStats* into,
@@ -663,6 +667,14 @@ Result<Service::StatsResponse> Service::Stats(
     std::lock_guard<std::mutex> lock(cursors_mu_);
     response.open_cursors = cursors_.size();
   }
+  Interner::Stats interner = GlobalInterner().stats();
+  response.contention.interner_lookups = interner.lookups;
+  response.contention.interner_misses = interner.misses;
+  response.contention.interner_symbols = interner.symbols;
+  response.contention.plan_cache_shard_waits = response.plan_cache.shard_waits;
+  response.contention.gate_writer_handoffs =
+      response.session.gate_writer_handoffs;
+  response.contention.gate_reader_waits = response.session.gate_reader_waits;
   return response;
 }
 

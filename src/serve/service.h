@@ -319,12 +319,34 @@ class Service {
     uint64_t torn_tails_recovered = 0;
     uint64_t snapshots_skipped = 0;
   };
+  /// Contention counters across the shared hot-path structures — the
+  /// scaling-blocker telemetry a `/metrics` exporter inherits for free.
+  /// Interner and plan-cache fields are process-wide (both structures
+  /// are shared across databases); gate fields are summed over the
+  /// selected database(s), mirroring `session`.
+  struct ContentionStats {
+    /// String->id probes and first-sight appends of the global interner
+    /// (canonicalization traffic; the lock-free id->string direction is
+    /// deliberately uncounted).
+    uint64_t interner_lookups = 0;
+    uint64_t interner_misses = 0;
+    size_t interner_symbols = 0;
+    /// Plan-cache hit-path probes that found their shard exclusively
+    /// locked (PlanCache::Stats::shard_waits).
+    uint64_t plan_cache_shard_waits = 0;
+    /// Epoch-gate events: writer-to-writer hand-offs at unlock, and
+    /// readers parked behind an announced writer.
+    uint64_t gate_writer_handoffs = 0;
+    uint64_t gate_reader_waits = 0;
+  };
   struct StatsResponse {
     /// Atomic snapshot of the service plan cache (see
     /// PlanCache::Snapshot — mutually consistent counters).
     PlanCache::Stats plan_cache;
     /// Session counters, summed over the selected database(s).
     Session::Stats session;
+    /// Hot-path contention counters (see ContentionStats).
+    ContentionStats contention;
     /// Durability counters (all zero when durability is off).
     StoreStats store;
     size_t databases = 0;

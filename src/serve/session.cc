@@ -196,8 +196,15 @@ Database Session::Snapshot() const {
 }
 
 Session::Stats Session::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  WriterPriorityGate::Stats gate = epoch_mu_.stats();
+  out.gate_writer_handoffs = gate.writer_handoffs;
+  out.gate_reader_waits = gate.reader_waits;
+  return out;
 }
 
 void Session::BumpAdomCounts(const Fact& fact, int direction) {
@@ -324,9 +331,56 @@ Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
 void Session::RunOnPool(
     size_t n, const std::function<void(EvalContext&, size_t)>& serve) {
   if (n == 0) return;
+  std::atomic<size_t> cursor{0};
+  auto drain = [&](EvalContext& ctx) {
+    for (size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+      serve(ctx, i);
+    }
+  };
+
+  int here = pool_->WorkerIndexHere();
+  if (here >= 0) {
+    // Nested fan-out (data-parallel row chunks dispatched from inside a
+    // serving task): the calling worker PARTICIPATES — it spawns up to
+    // pool-1 sibling drains, works the shared cursor itself, then
+    // help-waits, executing other queued tasks instead of parking. A
+    // waiting worker can therefore never strand the queue, which is
+    // what makes nested batches deadlock-free at any pool size.
+    size_t spawned =
+        std::min<size_t>(static_cast<size_t>(pool_->size()) - 1, n - 1);
+    if (spawned == 0) {
+      drain(*workers_[here]);
+      return;
+    }
+    std::mutex done_mu;
+    size_t remaining = spawned;
+    for (size_t t = 0; t < spawned; ++t) {
+      pool_->Submit([&] {
+        int w = pool_->WorkerIndexHere();
+        assert(w >= 0);
+        drain(*workers_[w]);
+        bool last;
+        {
+          // The waiter may destroy these stack variables as soon as its
+          // predicate (which locks done_mu) observes remaining == 0 —
+          // touch nothing batch-local after this block. NotifyHelpers
+          // only touches pool state, which outlives the batch.
+          std::lock_guard<std::mutex> lock(done_mu);
+          last = (--remaining == 0);
+        }
+        if (last) pool_->NotifyHelpers();
+      });
+    }
+    drain(*workers_[here]);
+    pool_->HelpWhile([&] {
+      std::lock_guard<std::mutex> lock(done_mu);
+      return remaining == 0;
+    });
+    return;
+  }
+
   int spawned = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(pool_->size()), n));
-  std::atomic<size_t> cursor{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
   int remaining = spawned;
@@ -334,11 +388,7 @@ void Session::RunOnPool(
     pool_->Submit([&] {
       int w = pool_->WorkerIndexHere();
       assert(w >= 0);
-      EvalContext& ctx = *workers_[w];
-      for (size_t i = cursor.fetch_add(1); i < n;
-           i = cursor.fetch_add(1)) {
-        serve(ctx, i);
-      }
+      drain(*workers_[w]);
       // Notify while holding the mutex: the waiter owns these stack
       // variables and may destroy them as soon as it can observe
       // remaining == 0, which it cannot before this lock is released.
@@ -349,6 +399,43 @@ void Session::RunOnPool(
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+Result<std::vector<char>> Session::DecideRows(
+    EvalContext& ctx, const QueryPlan& plan,
+    const std::vector<std::vector<SymbolId>>& rows) {
+  size_t n = rows.size();
+  size_t threshold = options_.parallel_row_threshold;
+  if (threshold == 0 || n < threshold || pool_->size() < 2) {
+    return plan.IsCertainRows(ctx, rows);
+  }
+  // Contiguous chunks into disjoint output spans: assembly is free and
+  // the result is byte-identical to sequential by construction. ~4
+  // chunks per worker keeps the cursor balancing uneven chunk costs
+  // without shrinking chunks below the per-dispatch overhead floor.
+  constexpr size_t kMinRowChunk = 64;
+  size_t workers = static_cast<size_t>(pool_->size());
+  size_t chunk =
+      std::max(kMinRowChunk, (n + workers * 4 - 1) / (workers * 4));
+  size_t nchunks = (n + chunk - 1) / chunk;
+  std::vector<char> out(n, 0);
+  std::vector<Status> errors(nchunks, Status::OK());
+  RunOnPool(nchunks, [&](EvalContext& worker_ctx, size_t c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(n, begin + chunk);
+    errors[c] = plan.IsCertainRowSpan(worker_ctx, rows, begin, end, &out);
+  });
+  // Deterministic error selection: the lowest-indexed failing chunk,
+  // independent of which worker failed first in wall time.
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.parallel_batches;
+    stats_.parallel_chunks += nchunks;
+  }
+  return out;
 }
 
 std::vector<Result<SolveOutcome>> Session::SolveBatch(
@@ -466,9 +553,10 @@ Result<Session::RowSet> Session::ComputeCertainFull(
     }
     return out;
   }
-  // One set-at-a-time execution over the worker's live index decides
-  // every candidate row.
-  Result<std::vector<char>> certain = plan.IsCertainRows(ctx, candidates);
+  // One set-at-a-time execution decides every candidate row —
+  // partitioned across the pool's live indexes when the batch is large
+  // enough (DecideRows), on this worker's alone otherwise.
+  Result<std::vector<char>> certain = DecideRows(ctx, plan, candidates);
   if (!certain.ok()) return certain.status();
   for (size_t i = 0; i < candidates.size(); ++i) {
     if ((*certain)[i]) out.push_back(std::move(candidates[i]));
@@ -597,10 +685,10 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
         CollectProjections(ctx.fact_index(), q, initial, free_vars,
                            &candidate_set);
       }
-      // One batched execution re-decides every dirty row.
+      // One batched execution re-decides every dirty row, partitioned
+      // across the pool when the dirty set is large enough.
       RowSet candidates(candidate_set.begin(), candidate_set.end());
-      Result<std::vector<char>> certain =
-          plan->IsCertainRows(ctx, candidates);
+      Result<std::vector<char>> certain = DecideRows(ctx, *plan, candidates);
       if (!certain.ok()) return certain.status();
       for (size_t i = 0; i < candidates.size(); ++i) {
         if ((*certain)[i]) keep.insert(std::move(candidates[i]));

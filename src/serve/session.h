@@ -64,8 +64,18 @@
 ///     recompute installs a fresh snapshot without disturbing the
 ///     row sets earlier callers still hold.
 ///
-/// Do not call serving methods from inside the session's own pool
-/// workers (the completion wait would self-deadlock).
+/// Serving is parallel at TWO grains: whole requests fan out across the
+/// pool (SolveBatch, CertainAnswersBatch), and inside ONE request a
+/// large candidate row batch is itself partitioned into contiguous
+/// chunks decided by several workers at once (data parallelism; see
+/// `Options::parallel_row_threshold`). The row split is exact: rows are
+/// per-row-independent FO work, each chunk writes a disjoint span of the
+/// output, and chunk boundaries don't alter any verdict — so the
+/// parallel result (rows, order, and the answer-path stats) is
+/// byte-identical to the sequential one. Nested fan-out from inside a
+/// pool worker is deadlock-free because completion waits are
+/// cooperative (`ThreadPool::HelpWhile`): a waiting worker drains the
+/// pool queue instead of parking.
 
 namespace cqa {
 
@@ -139,6 +149,13 @@ class Session {
     /// Dirty key patterns tolerated per (entry, delta-range) before the
     /// incremental path gives up and recomputes in full.
     size_t max_dirty_patterns = 32;
+    /// Minimum candidate rows in one decision batch before it is
+    /// partitioned across the pool; smaller batches run on the calling
+    /// worker (chunk dispatch overhead would dominate). 0 disables row
+    /// partitioning entirely. Applies to both the full-recompute and
+    /// the dirty-row re-decide paths; never changes results, only which
+    /// worker decides which span.
+    size_t parallel_row_threshold = 256;
     /// First epoch value; a session recovered from durable storage
     /// resumes the epoch chain its WAL left off at instead of
     /// restarting from 0.
@@ -232,6 +249,17 @@ class Session {
     /// Row-level accounting across the incremental path.
     uint64_t rows_reused = 0;
     uint64_t rows_decided = 0;
+    /// Data-parallel execution: decision batches that were partitioned
+    /// across workers, and the chunks they split into. Scheduling
+    /// telemetry only — never part of the deterministic answer
+    /// contract (the same traffic under a different pool size legally
+    /// reports different values here).
+    uint64_t parallel_batches = 0;
+    uint64_t parallel_chunks = 0;
+    /// Epoch-gate contention (util/rw_gate.h): writer-to-writer
+    /// hand-offs and readers parked behind an announced writer.
+    uint64_t gate_writer_handoffs = 0;
+    uint64_t gate_reader_waits = 0;
   };
   Stats stats() const;
 
@@ -271,9 +299,25 @@ class Session {
 
   /// Runs `serve(ctx, index)` for index in [0, n) over the persistent
   /// pool (min(n, pool size) cursor workers) and waits for completion
-  /// of exactly these submissions.
+  /// of exactly these submissions. Safe to call from inside a pool
+  /// worker (nested fan-out): the caller then participates in its own
+  /// batch and help-waits on the pool queue instead of parking, so
+  /// nested batches cannot deadlock even with every worker waiting.
   void RunOnPool(size_t n,
                  const std::function<void(EvalContext&, size_t)>& serve);
+
+  /// Decides `rows` against `plan`, equivalent to
+  /// `plan.IsCertainRows(ctx, rows)` but partitioned across the pool in
+  /// contiguous chunks when the batch is large enough
+  /// (`Options::parallel_row_threshold`) and workers are available.
+  /// Deterministic: output and error selection are independent of the
+  /// partitioning (on failure, the error of the lowest-indexed failing
+  /// chunk is returned). `ctx` is the calling worker's context, used
+  /// directly for the sequential path and for the caller's own share of
+  /// a partitioned batch.
+  Result<std::vector<char>> DecideRows(
+      EvalContext& ctx, const QueryPlan& plan,
+      const std::vector<std::vector<SymbolId>>& rows);
 
   Result<std::shared_ptr<const RowSet>> ServeCertain(
       EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,

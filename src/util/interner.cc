@@ -1,41 +1,90 @@
 #include "util/interner.h"
 
 #include <cassert>
-#include <mutex>
+#include <functional>
 
 namespace cqa {
 
 Interner::Interner() {
   // Reserve id 0 for the empty symbol so that 0 can double as "no symbol".
-  strings_.emplace_back("");
-  ids_.emplace("", 0);
+  Intern("");
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+Interner::~Interner() {
+  size_t n = size_.load(std::memory_order_acquire);
+  size_t num_blocks = (n + kBlockSize - 1) / kBlockSize;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    delete[] blocks_[b].load(std::memory_order_acquire);
+  }
+}
+
+Interner::Shard& Interner::ShardFor(std::string_view s) const {
+  // hash>>16 decorrelates from any map-internal use of the low bits.
+  return shards_[(std::hash<std::string_view>{}(s) >> 16) % kShards];
+}
+
+SymbolId Interner::AppendLocked(std::string_view s) {
+  size_t n = size_.load(std::memory_order_relaxed);
+  size_t block = n >> kBlockBits;
+  size_t slot = n & (kBlockSize - 1);
+  assert(block < kMaxBlocks && "interner block directory exhausted");
+  std::string* storage = blocks_[block].load(std::memory_order_relaxed);
+  if (storage == nullptr) {
+    storage = new std::string[kBlockSize];
+    blocks_[block].store(storage, std::memory_order_release);
+  }
+  storage[slot].assign(s.data(), s.size());
+  // Release-publish AFTER the string is fully written: a reader that
+  // acquires size_ > n sees the completed string.
+  size_.store(n + 1, std::memory_order_release);
+  return static_cast<SymbolId>(n);
 }
 
 SymbolId Interner::Intern(std::string_view s) {
-  std::string key(s);
+  Shard& shard = ShardFor(s);
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = ids_.find(key);
-    if (it != ids_.end()) return it->second;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.ids.find(s);
+    if (it != shard.ids.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(key);
-  if (it != ids_.end()) return it->second;
-  SymbolId id = static_cast<SymbolId>(strings_.size());
-  strings_.emplace_back(std::move(key));
-  ids_.emplace(strings_.back(), id);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.ids.find(s);
+  if (it != shard.ids.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  SymbolId id;
+  {
+    // Appends across shards serialize here; that is fine — interning a
+    // NEW string is the cold path (query vocabulary, not per-row work).
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    id = AppendLocked(s);
+  }
+  // Key the map by the stable storage copy, not the caller's view.
+  shard.ids.emplace(std::string_view(Lookup(id)), id);
   return id;
 }
 
 const std::string& Interner::Lookup(SymbolId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  assert(id < strings_.size());
-  return strings_[id];
+  assert(id < size_.load(std::memory_order_acquire));
+  const std::string* storage =
+      blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+  return storage[id & (kBlockSize - 1)];
 }
 
-size_t Interner::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return strings_.size();
+Interner::Stats Interner::stats() const {
+  Stats out;
+  uint64_t hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.lookups = hits + out.misses;
+  out.symbols = size();
+  return out;
 }
 
 Interner& GlobalInterner() {

@@ -1,8 +1,10 @@
 #ifndef CQA_UTIL_INTERNER_H_
 #define CQA_UTIL_INTERNER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -18,31 +20,87 @@ namespace cqa {
 /// Dense id for an interned string. Id 0 is reserved for "the empty symbol".
 using SymbolId = uint32_t;
 
-/// A bidirectional string <-> id table.
+/// A bidirectional string <-> id table built for read-mostly traffic
+/// from many serving workers at once.
 ///
-/// Thread-safe: `Intern` takes an exclusive lock, `Lookup` a shared one.
-/// Strings live in a deque so the reference returned by `Lookup` stays
-/// valid across later `Intern` calls (deque growth never moves existing
-/// elements, and interned strings are immutable). The lock matters for
-/// the serving path: plan compilation interns fresh rewriting variables
-/// and canonical names concurrently from worker threads.
+/// The id -> string direction (`Lookup`) is LOCK-FREE: interned strings
+/// are append-only and immutable, stored in fixed-size heap blocks whose
+/// pointers live in an atomic block directory, and `size_` is published
+/// with release ordering only after the string is fully constructed. A
+/// reader that acquires `size_` (or holds any id it obtained earlier)
+/// therefore sees a completed string, and the reference stays valid
+/// forever — blocks are never moved or freed while the interner lives.
+///
+/// The string -> id direction (`Intern`) is sharded: the string's hash
+/// picks one of `kShards` independent `shared_mutex`-protected maps, so
+/// concurrent canonicalization from worker threads contends only when
+/// two threads intern strings that land in the same shard. The common
+/// case (symbol already interned) takes one shared lock on one shard.
 class Interner {
  public:
   Interner();
+  ~Interner();
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
 
   /// Returns the id for `s`, interning it on first use.
   SymbolId Intern(std::string_view s);
 
-  /// Returns the string for `id`. `id` must have been produced by Intern.
+  /// Returns the string for `id`. `id` must have been produced by
+  /// Intern. Lock-free.
   const std::string& Lookup(SymbolId id) const;
 
   /// Number of interned symbols (including the reserved empty symbol).
-  size_t size() const;
+  /// Lock-free.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    /// Total Intern/Lookup-side probes: `hits + misses` of the string
+    /// -> id maps (id -> string lookups are lock-free and uncounted —
+    /// counting them would reintroduce a shared cache line on the path
+    /// the design exists to keep contention-free).
+    uint64_t lookups = 0;
+    /// Intern calls that had to take a shard's exclusive lock and
+    /// append (first sight of a string).
+    uint64_t misses = 0;
+    /// == size().
+    size_t symbols = 0;
+  };
+  Stats stats() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, SymbolId> ids_;
-  std::deque<std::string> strings_;
+  static constexpr int kShardBits = 4;
+  static constexpr size_t kShards = 1u << kShardBits;  // 16
+  static constexpr int kBlockBits = 12;
+  static constexpr size_t kBlockSize = 1u << kBlockBits;  // 4096 strings
+  /// 4096 blocks x 4096 strings = 2^24 symbols before the directory is
+  /// full — far beyond any workload here (ids are 32-bit, but symbol
+  /// populations are query vocabularies, not fact payloads).
+  static constexpr size_t kMaxBlocks = 4096;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    /// Keys view into the block storage (stable addresses), so the map
+    /// never copies the string twice.
+    std::unordered_map<std::string_view, SymbolId> ids;
+  };
+
+  Shard& ShardFor(std::string_view s) const;
+  /// Appends `s` to block storage and publishes the new size. Caller
+  /// holds `append_mu_`.
+  SymbolId AppendLocked(std::string_view s);
+
+  mutable std::array<Shard, kShards> shards_;
+
+  /// Serializes appends (block allocation + slot construction). Readers
+  /// never take it.
+  std::mutex append_mu_;
+  std::atomic<size_t> size_{0};
+  std::array<std::atomic<std::string*>, kMaxBlocks> blocks_{};
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 /// Process-wide interner used by parsers and printers.

@@ -3,24 +3,50 @@
 namespace cqa {
 
 void WriterPriorityGate::lock_shared() {
+  // Fast path: one CAS, no mutex. The expected value has both writer
+  // flags clear, so the CAS can only succeed while no writer is active
+  // or announced — a writer announcing itself changes the word and
+  // fails the CAS, diverting us to the slow path. That full-value
+  // compare is what makes "queue behind every announced writer" safe
+  // without a lock.
+  uint32_t s = state_.load(std::memory_order_relaxed);
+  while ((s & kWriterFlags) == 0) {
+    if (state_.compare_exchange_weak(s, s + kReaderUnit,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  reader_waits_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
-  // Queue behind every announced writer, not just the active one: this
-  // is the writer-priority inversion.
-  reader_cv_.wait(lock,
-                  [&] { return !writer_active_ && pending_writers_ == 0; });
-  ++active_readers_;
+  reader_cv_.wait(lock, [&] {
+    return (state_.load(std::memory_order_relaxed) & kWriterFlags) == 0;
+  });
+  // Safe as a plain RMW under mu_: writers mutate the flags only while
+  // holding mu_, which we hold between the predicate and this add.
+  state_.fetch_add(kReaderUnit, std::memory_order_acquire);
 }
 
 bool WriterPriorityGate::try_lock_shared() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (writer_active_ || pending_writers_ > 0) return false;
-  ++active_readers_;
-  return true;
+  uint32_t s = state_.load(std::memory_order_relaxed);
+  while ((s & kWriterFlags) == 0) {
+    if (state_.compare_exchange_weak(s, s + kReaderUnit,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void WriterPriorityGate::unlock_shared() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--active_readers_ == 0 && pending_writers_ > 0) {
+  uint32_t now =
+      state_.fetch_sub(kReaderUnit, std::memory_order_release) - kReaderUnit;
+  if ((now & kWriterPending) != 0 && (now >> 2) == 0) {
+    // Last reader out with a writer parked: wake it. Taking mu_ (even
+    // empty) before notifying closes the race against a writer between
+    // its predicate check and its wait.
+    { std::lock_guard<std::mutex> lock(mu_); }
     writer_cv_.notify_one();
   }
 }
@@ -28,28 +54,50 @@ void WriterPriorityGate::unlock_shared() {
 void WriterPriorityGate::lock() {
   std::unique_lock<std::mutex> lock(mu_);
   ++pending_writers_;
-  writer_cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
+  // From this RMW on, reader fast-path CASes fail (the expected value
+  // they use has the pending bit clear), so the reader population can
+  // only shrink: writer latency is bounded by the readers already in.
+  state_.fetch_or(kWriterPending, std::memory_order_relaxed);
+  writer_cv_.wait(lock, [&] {
+    uint32_t s = state_.load(std::memory_order_acquire);
+    return (s & kWriterActive) == 0 && (s >> 2) == 0;
+  });
   --pending_writers_;
-  writer_active_ = true;
+  // Plain store is safe: pending is set (blocks reader fast path) and
+  // we hold mu_ (blocks slow-path readers and other writers).
+  state_.store(kWriterActive |
+                   (pending_writers_ > 0 ? kWriterPending : 0u),
+               std::memory_order_relaxed);
 }
 
 bool WriterPriorityGate::try_lock() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (writer_active_ || active_readers_ > 0) return false;
-  writer_active_ = true;
-  return true;
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  uint32_t expected = 0;
+  return state_.compare_exchange_strong(expected, kWriterActive,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
 }
 
 void WriterPriorityGate::unlock() {
   std::lock_guard<std::mutex> lock(mu_);
-  writer_active_ = false;
   if (pending_writers_ > 0) {
     // Hand off writer-to-writer first; readers drain once no writer is
     // announced.
+    state_.store(kWriterPending, std::memory_order_release);
+    writer_handoffs_.fetch_add(1, std::memory_order_relaxed);
     writer_cv_.notify_one();
   } else {
+    state_.store(0, std::memory_order_release);
     reader_cv_.notify_all();
   }
+}
+
+WriterPriorityGate::Stats WriterPriorityGate::stats() const {
+  Stats out;
+  out.writer_handoffs = writer_handoffs_.load(std::memory_order_relaxed);
+  out.reader_waits = reader_waits_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace cqa

@@ -1,7 +1,9 @@
 #ifndef CQA_UTIL_RW_GATE_H_
 #define CQA_UTIL_RW_GATE_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 /// \file
@@ -9,11 +11,18 @@
 /// glibc is reader-preferring: under saturated read load (a serving
 /// session whose workers hold the lock shared back to back) a writer
 /// can wait unboundedly because new readers keep acquiring while it is
-/// parked. This gate inverts the policy with a pending-writer counter:
-/// the moment a writer announces itself, new readers queue behind it,
-/// so writer latency is bounded by the readers already inside (plus any
-/// earlier writers) — exactly what `Session::ApplyDelta` needs to stay
-/// responsive while solve traffic saturates the shared side.
+/// parked. This gate inverts the policy: the moment a writer announces
+/// itself, new readers queue behind it, so writer latency is bounded by
+/// the readers already inside (plus any earlier writers) — exactly what
+/// `Session::ApplyDelta` needs to stay responsive while solve traffic
+/// saturates the shared side.
+///
+/// The shared side is a single CAS on an uncontended-path atomic: the
+/// state word packs `writer active` (bit 0), `writer pending` (bit 1)
+/// and the active reader count (bits 2+). Readers only fall into the
+/// mutex/condvar slow path when a writer is announced, so back-to-back
+/// reader hand-offs — the serving steady state — never serialize
+/// through the mutex the way the previous all-mutex implementation did.
 ///
 /// The member names follow the SharedMutex requirements, so
 /// `std::shared_lock<WriterPriorityGate>` and
@@ -39,13 +48,33 @@ class WriterPriorityGate {
   bool try_lock();
   void unlock();
 
+  struct Stats {
+    /// Writer-to-writer hand-offs at unlock (a second writer was
+    /// already announced when the first finished).
+    uint64_t writer_handoffs = 0;
+    /// Reader acquisitions that had to park behind an announced writer
+    /// (fast-path CAS refused; the writer-priority inversion at work).
+    uint64_t reader_waits = 0;
+  };
+  Stats stats() const;
+
  private:
+  static constexpr uint32_t kWriterActive = 1u;
+  static constexpr uint32_t kWriterPending = 2u;
+  static constexpr uint32_t kReaderUnit = 4u;
+  static constexpr uint32_t kWriterFlags = kWriterActive | kWriterPending;
+
+  /// Packed gate state; the only word the reader fast path touches.
+  std::atomic<uint32_t> state_{0};
+
+  /// Slow path: parking and writer bookkeeping.
   std::mutex mu_;
   std::condition_variable reader_cv_;
   std::condition_variable writer_cv_;
-  int active_readers_ = 0;
   int pending_writers_ = 0;
-  bool writer_active_ = false;
+
+  std::atomic<uint64_t> writer_handoffs_{0};
+  std::atomic<uint64_t> reader_waits_{0};
 };
 
 }  // namespace cqa

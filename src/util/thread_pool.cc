@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 namespace cqa {
 
@@ -46,6 +49,34 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+void ThreadPool::HelpWhile(const std::function<bool()>& done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!done()) {
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    } else {
+      // Parked helpers share work_cv_ with idle workers: a Submit or a
+      // NotifyHelpers wakes us to re-check the queue and the predicate.
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void ThreadPool::NotifyHelpers() {
+  // Empty critical section: a helper between its predicate check and
+  // its wait still holds mu_, so acquiring it here guarantees the
+  // notification cannot slip into that window and get lost.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  work_cv_.notify_all();
+}
+
 int ThreadPool::WorkerIndexHere() const {
   return tls_worker.pool == this ? tls_worker.index : -1;
 }
@@ -72,9 +103,52 @@ void ThreadPool::WorkerLoop(int worker_index) {
   }
 }
 
+namespace {
+
+/// The container CPU limit, or 0 when unlimited/undetectable. Inside a
+/// cgroup with a CPU quota, hardware_concurrency() still reports the
+/// host's cores — sizing a CPU-bound pool by it oversubscribes the
+/// quota and every worker just slices the same budget thinner.
+int CgroupCpuQuota() {
+  // cgroup v2: /sys/fs/cgroup/cpu.max is "<quota> <period>" with
+  // quota == "max" when unlimited.
+  {
+    std::ifstream f("/sys/fs/cgroup/cpu.max");
+    std::string quota;
+    long long period = 0;
+    if (f >> quota >> period) {
+      if (quota != "max" && period > 0) {
+        long long q = std::atoll(quota.c_str());
+        if (q > 0) return static_cast<int>((q + period - 1) / period);
+      }
+      return 0;
+    }
+  }
+  // cgroup v1: quota and period live in separate files; quota -1 means
+  // unlimited.
+  std::ifstream fq("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  std::ifstream fp("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  long long quota = 0;
+  long long period = 0;
+  if ((fq >> quota) && (fp >> period) && quota > 0 && period > 0) {
+    return static_cast<int>((quota + period - 1) / period);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int DefaultServingThreads() {
+  if (const char* env = std::getenv("CQA_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return std::min(n, 64);
+  }
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 2;
+  int quota = CgroupCpuQuota();
+  if (quota > 0 && static_cast<unsigned>(quota) < hw) {
+    hw = static_cast<unsigned>(quota);
+  }
   return static_cast<int>(std::min(hw, 8u));
 }
 

@@ -22,6 +22,13 @@
 /// completion barrier for *their* submissions only (concurrent batches
 /// sharing one pool) count completions themselves rather than using the
 /// global `Wait`.
+///
+/// Nested fan-out: a task may itself submit sub-tasks (the data-parallel
+/// row partitioning inside one serving call) and wait for them with
+/// `HelpWhile`, which keeps the calling worker *executing queued tasks*
+/// instead of parking. That is what makes nested waits deadlock-free:
+/// a worker blocked on sub-task completion can never strand the queue,
+/// because it drains the queue itself while it waits.
 
 namespace cqa {
 
@@ -39,6 +46,19 @@ class ThreadPool {
 
   /// Blocks until all submitted tasks have finished.
   void Wait();
+
+  /// Cooperative wait for nested fan-out: runs queued tasks on the
+  /// CALLING thread until `done()` returns true. `done` is evaluated
+  /// under the pool mutex, so it must not touch pool state and must not
+  /// block; reading a caller-owned counter under the caller's own mutex
+  /// is fine (that mutex must never be held while calling into the
+  /// pool). Wake-ups come from `Submit` and `NotifyHelpers` — whoever
+  /// makes `done()` true must call `NotifyHelpers()` afterwards.
+  void HelpWhile(const std::function<bool()>& done);
+
+  /// Wakes every thread parked in `HelpWhile` so it re-evaluates its
+  /// predicate. Cheap; safe to call from any thread.
+  void NotifyHelpers();
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -59,9 +79,15 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// The default worker count for a serving batch: the hardware
+/// The default worker count for a serving batch: the usable hardware
 /// concurrency, clamped to [1, 8] — certainty checks are CPU-bound and
-/// a "small worker pool" is the contract.
+/// a "small worker pool" is the contract. "Usable" means the smaller of
+/// `std::thread::hardware_concurrency()` (which over-reports inside
+/// containers: it sees the host's cores) and the cgroup CPU quota
+/// (`cpu.max` on cgroup v2, `cpu.cfs_quota_us`/`cpu.cfs_period_us` on
+/// v1). The CQA_THREADS environment variable overrides everything
+/// (clamped to [1, 64]) — the CI sanitizer matrix uses it to force a
+/// >=4-worker configuration onto the concurrency suites.
 int DefaultServingThreads();
 
 }  // namespace cqa
