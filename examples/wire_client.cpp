@@ -1,0 +1,188 @@
+// The acceptance journey of docs/PROTOCOL.md §1, as a runnable client:
+// connect to a wire server, create a database, prepare a query, solve
+// (by handle and ad-hoc), apply a delta, page through certain answers,
+// and read stats + metrics — everything the in-process Service offers,
+// over TCP.
+//
+//   ./example_wire_server &
+//   ./example_wire_client                 # default 127.0.0.1:7464
+//   ./example_wire_client --port=41234
+//
+// Exits non-zero on the first divergence, so scripts (CI's wire-smoke
+// job) can use it as a protocol conformance check.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cqa.h"
+
+using namespace cqa;
+
+namespace {
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    Status _st = (expr);                                            \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "wire_client: %s failed: %s\n", #expr,   \
+                   _st.message().c_str());                          \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+Query ParseOrDie(const std::string& text) {
+  Result<Query> q = ParseQuery(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "wire_client: bad query '%s': %s\n", text.c_str(),
+                 q.status().message().c_str());
+    std::exit(1);
+  }
+  return *q;
+}
+
+void PrintRows(const char* label, const Session::RowSet& rows) {
+  std::printf("%s: [", label);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%s(", i == 0 ? "" : " ");
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      std::printf("%s%s", j == 0 ? "" : ",", SymbolName(rows[i][j]).c_str());
+    }
+    std::printf(")");
+  }
+  std::printf("]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7464;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else {
+      std::fprintf(stderr, "usage: wire_client [--host=H] [--port=N]\n");
+      return 2;
+    }
+  }
+
+  net::Client client;
+  CHECK_OK(client.Connect(host, static_cast<uint16_t>(port)));
+  std::printf("connected: %s speaks protocol v%llu (max payload %llu)\n",
+              client.hello().server_name.c_str(),
+              static_cast<unsigned long long>(client.hello().version),
+              static_cast<unsigned long long>(client.hello().max_payload));
+
+  // A tenant of our own, next to the server's seeded "demo".
+  Database orders;
+  (void)orders.AddFact(Fact::Make("O", {"o1", "p1"}, 1));
+  (void)orders.AddFact(Fact::Make("O", {"o2", "p2"}, 1));
+  (void)orders.AddFact(Fact::Make("O", {"o2", "p3"}, 1));  // conflict
+  (void)client.DropDatabase("orders");  // leftovers from a prior run
+  CHECK_OK(client.CreateDatabase("orders", orders));
+  Result<net::NameListResponse> names = client.ListDatabases();
+  CHECK_OK(names.status());
+  std::printf("databases:");
+  for (const std::string& name : names->names) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  // Prepare O(o1, p1) — its block is clean, so certainty holds.
+  net::PrepareRequest prep;
+  prep.query = ParseOrDie("O('o1' | 'p1')");
+  Result<net::PrepareResponse> prepared = client.Prepare(prep);
+  CHECK_OK(prepared.status());
+  std::printf("prepared %s: solver=%s complexity=%s\n",
+              prepared->prepared_id.c_str(), prepared->solver_kind.c_str(),
+              prepared->complexity.c_str());
+
+  net::SolveCall by_handle;
+  by_handle.database = "orders";
+  by_handle.prepared_id = prepared->prepared_id;
+  Result<net::SolveReply> certain = client.Solve(by_handle);
+  CHECK_OK(certain.status());
+  std::printf("O('o1,'p1) certain=%s (epoch %llu)\n",
+              certain->certain ? "true" : "false",
+              static_cast<unsigned long long>(certain->epoch));
+
+  // Ad-hoc: O(o2, p2) is uncertain — a repair may keep p3 instead.
+  net::SolveCall adhoc;
+  adhoc.database = "orders";
+  adhoc.query = ParseOrDie("O('o2' | 'p2')");
+  Result<net::SolveReply> uncertain = client.Solve(adhoc);
+  CHECK_OK(uncertain.status());
+  std::printf("O('o2,'p2) certain=%s via %s\n",
+              uncertain->certain ? "true" : "false",
+              uncertain->solver_kind.c_str());
+  if (!certain->certain || uncertain->certain) {
+    std::fprintf(stderr, "wire_client: unexpected certainty\n");
+    return 1;
+  }
+
+  // Delta: a new clean order arrives; the epoch advances.
+  Delta delta;
+  delta.Insert(Fact::Make("O", {"o3", "p1"}, 1));
+  net::ApplyDeltaCall delta_call;
+  delta_call.database = "orders";
+  delta_call.delta = delta;
+  Result<net::ApplyDeltaReply> applied = client.ApplyDelta(delta_call);
+  CHECK_OK(applied.status());
+  std::printf("delta applied: epoch %llu\n",
+              static_cast<unsigned long long>(applied->epoch));
+
+  // Page through the certain answers of O(x | y) on (x, y), two rows
+  // per page: (o1,p1) and (o3,p1) are certain; o2's part is not — its
+  // block offers p2 or p3 depending on the repair. (Projected on x
+  // alone, o2 WOULD be certain: every repair keeps some o2 row.)
+  net::CertainAnswersCall page_call;
+  page_call.database = "orders";
+  page_call.query = ParseOrDie("O(x | y)");
+  page_call.free_vars = {"x", "y"};
+  page_call.page_size = 2;
+  Session::RowSet all_rows;
+  for (int page_no = 1;; ++page_no) {
+    Result<net::CertainAnswersReply> page = client.CertainAnswers(page_call);
+    CHECK_OK(page.status());
+    std::string label = "page " + std::to_string(page_no);
+    PrintRows(label.c_str(), page->rows);
+    for (auto& row : page->rows) all_rows.push_back(std::move(row));
+    if (page->next_page_token.empty()) break;
+    page_call = net::CertainAnswersCall();
+    page_call.database = "orders";
+    page_call.page_token = page->next_page_token;
+  }
+  if (all_rows.size() != 2) {
+    std::fprintf(stderr, "wire_client: expected 2 certain orders, got %zu\n",
+                 all_rows.size());
+    return 1;
+  }
+
+  // Stats and the Prometheus exposition, from the same counter source.
+  Result<net::StatsReply> stats = client.Stats(net::StatsCall{""});
+  CHECK_OK(stats.status());
+  std::printf("stats: solves=%llu deltas=%llu databases=%llu\n",
+              static_cast<unsigned long long>(
+                  stats->counters.at("session.solves")),
+              static_cast<unsigned long long>(
+                  stats->counters.at("session.deltas_applied")),
+              static_cast<unsigned long long>(
+                  stats->counters.at("service.databases")));
+  Result<net::MetricsReply> metrics = client.Metrics();
+  CHECK_OK(metrics.status());
+  if (metrics->text.find("cqa_server_requests_total") == std::string::npos) {
+    std::fprintf(stderr, "wire_client: metrics text missing server family\n");
+    return 1;
+  }
+  std::printf("metrics: %zu bytes of Prometheus text exposition\n",
+              metrics->text.size());
+
+  CHECK_OK(client.DropDatabase("orders"));
+  std::printf("wire_client: journey complete\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// A standalone wire-protocol server: hosts one cqa::Service behind the
+// binary protocol of docs/PROTOCOL.md and runs until SIGINT/SIGTERM.
+//
+//   ./example_wire_server                      # port 7464
+//   ./example_wire_server --port=0 --port-file=port.txt   # ephemeral,
+//                                     # bound port written for scripts
+//   ./example_wire_server --durability-dir=/tmp/tenants   # WAL-backed
+//
+// It seeds a small demo database ("demo": a conflicted supplier catalog
+// plus a clean paging relation) so a client has something to query
+// immediately; see examples/wire_client.cpp for the matching journey.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cqa.h"
+
+using namespace cqa;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+Database DemoDatabase() {
+  Database db;
+  (void)db.AddFact(Fact::Make("S", {"p1", "acme"}, 1));
+  (void)db.AddFact(Fact::Make("S", {"p2", "acme"}, 1));
+  (void)db.AddFact(Fact::Make("S", {"p2", "globex"}, 1));  // conflict
+  (void)db.AddFact(Fact::Make("S", {"p3", "initech"}, 1));
+  (void)db.AddFact(Fact::Make("D", {"acme", "east"}, 1));
+  (void)db.AddFact(Fact::Make("D", {"globex", "west"}, 1));
+  for (int i = 1; i <= 10; ++i) {
+    (void)db.AddFact(Fact::Make("P", {"p" + std::to_string(i)}, 1));
+  }
+  return db;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 7464;
+  std::string port_file;
+  std::string durability_dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+      port_file = arg + 12;
+    } else if (std::strncmp(arg, "--durability-dir=", 17) == 0) {
+      durability_dir = arg + 17;
+    } else {
+      std::fprintf(stderr,
+                   "usage: wire_server [--port=N] [--port-file=PATH] "
+                   "[--durability-dir=DIR]\n");
+      return 2;
+    }
+  }
+
+  Service::Options service_options;
+  if (!durability_dir.empty()) {
+    service_options.durability.dir = durability_dir;
+  }
+  Service service(service_options);
+  Status seeded = service.CreateDatabase("demo", DemoDatabase());
+  if (!seeded.ok() && seeded.code() != StatusCode::kFailedPrecondition) {
+    // FailedPrecondition = the durable tenant already exists from a
+    // previous run; anything else is a real failure.
+    std::fprintf(stderr, "wire_server: seed failed: %s\n",
+                 seeded.message().c_str());
+    return 1;
+  }
+
+  net::Server::Options options;
+  options.port = static_cast<uint16_t>(port);
+  options.server_name = "cqa-demo";
+  net::Server server(&service, options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "wire_server: start failed: %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    // Write-then-rename: a watcher never reads a half-written port.
+    std::string tmp = port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << server.port() << "\n";
+    }
+    std::rename(tmp.c_str(), port_file.c_str());
+  }
+  std::printf("wire_server: protocol v%d on 127.0.0.1:%u (db \"demo\"%s)\n",
+              net::kProtocolVersion, server.port(),
+              durability_dir.empty() ? "" : ", durable");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    // The poll/executor/metrics threads do all the work; this thread
+    // only waits for the shutdown signal.
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  net::Server::Counters c = server.counters();
+  server.Stop();
+  std::printf(
+      "wire_server: served %llu requests on %llu connections "
+      "(%llu shed, %llu protocol errors)\n",
+      static_cast<unsigned long long>(c.requests),
+      static_cast<unsigned long long>(c.connections_accepted),
+      static_cast<unsigned long long>(c.shed_inflight + c.shed_queue),
+      static_cast<unsigned long long>(c.protocol_errors));
+  return 0;
+}

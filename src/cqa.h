@@ -34,6 +34,12 @@
 /// compacts into checksummed snapshots, and `OpenStore` recovers a
 /// database after a crash (see store/store.h). Direct `Session` use
 /// remains supported for embedding the serving loop without the façade.
+///
+/// The whole Service API also travels over TCP: `net::Server` speaks
+/// the length-prefixed, CRC-framed binary protocol of docs/PROTOCOL.md
+/// (with admission control and a Prometheus-style metrics export), and
+/// `net::Client` is the matching blocking client — see net/server.h,
+/// net/client.h and examples/wire_server.cpp / wire_client.cpp.
 
 #include "core/attack_graph.h"
 #include "core/classifier.h"
@@ -58,6 +64,11 @@
 #include "gen/db_gen.h"
 #include "gen/instance_gen.h"
 #include "gen/query_gen.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/metrics.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
 #include "prob/bid.h"

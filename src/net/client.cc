@@ -1,0 +1,263 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace cqa {
+namespace net {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Unavailable("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip = host.empty() ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("host is not an IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Close();
+    return Status::Unavailable("connect() failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Handshake (PROTOCOL.md §2.3): the client offers its version range;
+  // the server answers with the version it will speak or refuses.
+  HelloRequest req;
+  req.client_name = "cqa-client";
+  std::string payload;
+  Writer w(&payload);
+  EncodeHelloRequest(&w, req);
+  std::string body;
+  Status st = Call(Verb::kHello, payload, &body);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  Reader r(body);
+  Result<HelloResponse> hello = DecodeHelloResponse(&r);
+  if (!hello.ok()) {
+    Close();
+    return hello.status();
+  }
+  hello_ = *hello;
+  return Status::OK();
+}
+
+Status Client::WriteAll(const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t sent = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Status Client::ReadFrame(Frame* frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    std::string error;
+    ParseResult res = TryParseFrame(&in_, frame, &error);
+    if (res == ParseResult::kOk) return Status::OK();
+    if (res == ParseResult::kFatal) {
+      Close();
+      return Status::Internal("framing error from server: " + error);
+    }
+    char buf[64 * 1024];
+    ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got == 0) {
+      Close();
+      return Status::Unavailable("server closed the connection");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Unavailable("recv() failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    in_.append(buf, static_cast<size_t>(got));
+  }
+}
+
+Status Client::Call(Verb verb, const std::string& payload, std::string* body) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  uint64_t id = next_request_id_++;
+  std::string frame_bytes;
+  AppendFrame(&frame_bytes, static_cast<uint8_t>(verb), id, payload);
+  CQA_RETURN_NOT_OK(WriteAll(frame_bytes.data(), frame_bytes.size()));
+
+  // One request in flight: the next response with our id is ours. A
+  // terminal notice (request id 0) means the server is closing on us.
+  for (;;) {
+    Frame frame;
+    CQA_RETURN_NOT_OK(ReadFrame(&frame));
+    if (!(frame.verb & kResponseBit)) {
+      Close();
+      return Status::Internal("request frame received from server");
+    }
+    if (frame.request_id != id && frame.request_id != 0) continue;
+    Reader r(frame.payload);
+    Status status = DecodeStatus(&r);
+    if (r.failed()) {
+      Close();
+      return Status::Internal("undecodable status from server");
+    }
+    if (frame.request_id == 0) {
+      Close();
+      return status.ok() ? Status::Unavailable("server closed the connection")
+                         : status;
+    }
+    if (!status.ok()) return status;
+    if (body != nullptr) {
+      *body = frame.payload.substr(frame.payload.size() - r.remaining());
+    }
+    return Status::OK();
+  }
+}
+
+namespace {
+
+/// Decodes the response body with `decode`, propagating decode errors.
+template <typename T, typename Decode>
+Result<T> DecodeBody(const std::string& body, Decode decode) {
+  Reader r(body);
+  Result<T> result = decode(&r);
+  if (!result.ok()) return result.status();
+  return result;
+}
+
+}  // namespace
+
+Status Client::CreateDatabase(const std::string& name, const Database& db) {
+  CreateDatabaseRequest req;
+  req.name = name;
+  req.db = db;
+  std::string payload;
+  Writer w(&payload);
+  EncodeCreateDatabaseRequest(&w, req);
+  return Call(Verb::kCreateDatabase, payload, nullptr);
+}
+
+Status Client::DropDatabase(const std::string& name) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeNameRequest(&w, NameRequest{name});
+  return Call(Verb::kDropDatabase, payload, nullptr);
+}
+
+Result<NameListResponse> Client::ListDatabases() {
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kListDatabases, "", &body));
+  return DecodeBody<NameListResponse>(body, DecodeNameListResponse);
+}
+
+Result<NameListResponse> Client::ListStores() {
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kListStores, "", &body));
+  return DecodeBody<NameListResponse>(body, DecodeNameListResponse);
+}
+
+Result<OpenStoreResponse> Client::OpenStore(const std::string& name) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeNameRequest(&w, NameRequest{name});
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kOpenStore, payload, &body));
+  return DecodeBody<OpenStoreResponse>(body, DecodeOpenStoreResponse);
+}
+
+Result<PrepareResponse> Client::Prepare(const PrepareRequest& request) {
+  std::string payload;
+  Writer w(&payload);
+  EncodePrepareRequest(&w, request);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kPrepare, payload, &body));
+  return DecodeBody<PrepareResponse>(body, DecodePrepareResponse);
+}
+
+Result<SolveReply> Client::Solve(const SolveCall& call) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeSolveCall(&w, call);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kSolve, payload, &body));
+  return DecodeBody<SolveReply>(body, DecodeSolveReply);
+}
+
+Result<SolveBatchResponse> Client::SolveBatch(const SolveBatchRequest& request) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeSolveBatchRequest(&w, request);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kSolveBatch, payload, &body));
+  return DecodeBody<SolveBatchResponse>(body, DecodeSolveBatchResponse);
+}
+
+Result<CertainAnswersReply> Client::CertainAnswers(
+    const CertainAnswersCall& call) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeCertainAnswersCall(&w, call);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kCertainAnswers, payload, &body));
+  return DecodeBody<CertainAnswersReply>(body, DecodeCertainAnswersReply);
+}
+
+Result<ApplyDeltaReply> Client::ApplyDelta(const ApplyDeltaCall& call) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeApplyDeltaCall(&w, call);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kApplyDelta, payload, &body));
+  return DecodeBody<ApplyDeltaReply>(body, DecodeApplyDeltaReply);
+}
+
+Result<StatsReply> Client::Stats(const StatsCall& call) {
+  std::string payload;
+  Writer w(&payload);
+  EncodeStatsCall(&w, call);
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kStats, payload, &body));
+  return DecodeBody<StatsReply>(body, DecodeStatsReply);
+}
+
+Result<MetricsReply> Client::Metrics() {
+  std::string body;
+  CQA_RETURN_NOT_OK(Call(Verb::kMetrics, "", &body));
+  return DecodeBody<MetricsReply>(body, DecodeMetricsReply);
+}
+
+}  // namespace net
+}  // namespace cqa

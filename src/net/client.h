@@ -1,0 +1,83 @@
+#ifndef CQA_NET_CLIENT_H_
+#define CQA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/codec.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+/// \file
+/// A minimal blocking client for the v1 wire protocol — one connection,
+/// one request in flight, synchronous Call. It exists so tests, the
+/// examples and the load generator exercise the REAL protocol path
+/// (frame → socket → server → Service → socket → frame) with no mock
+/// seam; a production client wanting pipelining would reuse net/wire.h
+/// and net/codec.h directly and keep a request-id window instead.
+///
+/// Every method returns the remote Status verbatim: calling
+/// `Solve` on a dropped database over the wire fails with exactly the
+/// Status an in-process `Service::Solve` caller would see (the
+/// acceptance bar of docs/PROTOCOL.md §1).
+
+namespace cqa {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and exchanges the Hello handshake (verifying the server
+  /// speaks protocol v1). Unavailable when the endpoint refuses.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The server's Hello banner (valid after Connect).
+  const HelloResponse& hello() const { return hello_; }
+
+  // ---------------------------------------------------- typed wrappers
+  Status CreateDatabase(const std::string& name, const Database& db);
+  Status DropDatabase(const std::string& name);
+  Result<NameListResponse> ListDatabases();
+  Result<NameListResponse> ListStores();
+  Result<OpenStoreResponse> OpenStore(const std::string& name);
+  Result<PrepareResponse> Prepare(const PrepareRequest& request);
+  Result<SolveReply> Solve(const SolveCall& call);
+  Result<SolveBatchResponse> SolveBatch(const SolveBatchRequest& request);
+  Result<CertainAnswersReply> CertainAnswers(const CertainAnswersCall& call);
+  Result<ApplyDeltaReply> ApplyDelta(const ApplyDeltaCall& call);
+  Result<StatsReply> Stats(const StatsCall& call);
+  Result<MetricsReply> Metrics();
+
+  /// Raw round trip: sends `payload` under `verb`, blocks for the
+  /// response frame with the matching request id, decodes the leading
+  /// Status and returns the remaining body bytes in `*body`. The
+  /// building block under every typed wrapper; exposed for tests that
+  /// need to speak malformed or unknown verbs.
+  Status Call(Verb verb, const std::string& payload, std::string* body);
+
+  /// Sends raw pre-framed bytes without waiting (tests use this to
+  /// pipeline requests past the admission budget and to inject hostile
+  /// frames).
+  Status SendRaw(const std::string& bytes);
+  /// Blocks for the next response frame, whatever its request id.
+  Status ReadFrame(Frame* frame);
+
+ private:
+  Status WriteAll(const char* data, size_t size);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string in_;  // read-ahead buffer
+  HelloResponse hello_;
+};
+
+}  // namespace net
+}  // namespace cqa
+
+#endif  // CQA_NET_CLIENT_H_

@@ -1,0 +1,203 @@
+#ifndef CQA_NET_SERVER_H_
+#define CQA_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/metrics.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "util/status.h"
+
+/// \file
+/// The wire server: a poll(2)-based socket loop that speaks the
+/// protocol of docs/PROTOCOL.md and multiplexes every connection's
+/// requests onto one `cqa::Service`. Three thread roles:
+///
+///   * ONE poll thread owns every socket: it accepts connections,
+///     reads bytes, splits and CRC-checks frames, applies ADMISSION
+///     CONTROL, and flushes queued response bytes. It never executes a
+///     request, so a slow query can never stall connection handling.
+///   * A small EXECUTOR pool decodes admitted payloads, calls the
+///     Service (whose session worker pools do the real row-deciding
+///     fan-out), and encodes response frames. Executors never touch a
+///     socket; finished frames go back to the poll thread over a wake
+///     pipe. Responses therefore complete OUT OF ORDER — the request id
+///     echoed in each frame is what ties them back (PROTOCOL.md §2.2).
+///   * An optional `MetricsExporter` thread samples `Service::Stats`
+///     into the exportable time series behind the kMetrics verb.
+///
+/// Admission control (PROTOCOL.md §7): a request parsed off a
+/// connection that already has `max_inflight_per_connection` requests
+/// executing, or while the global executor queue holds
+/// `max_queued_requests` entries, is answered kUnavailable IMMEDIATELY
+/// from the poll thread — shedding load instead of queueing behind a
+/// backed-up SolveBatch. kUnavailable is always retry-later, never
+/// failure of the request itself.
+///
+/// Framing errors (bad magic, bad CRC, oversized length, wrong
+/// version) are connection-fatal: the server sends one terminal notice
+/// frame (verb byte 0x80, request id 0) when the stream still permits
+/// it, then closes.
+
+namespace cqa {
+namespace net {
+
+class Server {
+ public:
+  struct Options {
+    /// Listen address. Port 0 binds an ephemeral port; read the actual
+    /// one from `port()` after Start().
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Executor threads decoding + dispatching admitted requests. The
+    /// heavy lifting stays on the Service's session pools; executors
+    /// mostly marshal, so a handful suffices.
+    int num_executors = 4;
+    /// Accepted connections beyond this are closed immediately.
+    size_t max_connections = 256;
+    /// Per-connection in-flight budget (admitted, response not yet
+    /// queued). The excess is shed with kUnavailable.
+    size_t max_inflight_per_connection = 32;
+    /// Global executor-queue watermark; requests arriving while the
+    /// queue is this deep are shed with kUnavailable.
+    size_t max_queued_requests = 256;
+    /// Server-minted prepared-query handles kept alive (LRU). An
+    /// evicted id answers NotFound; clients re-Prepare.
+    size_t max_prepared = 1024;
+    /// Announced in the Hello response.
+    std::string server_name = "cqa";
+    /// Background stats sampling (the kMetrics time series). Interval
+    /// and ring capacity; `sample_metrics` false disables the thread
+    /// (kMetrics then renders current counters only).
+    bool sample_metrics = true;
+    MetricsExporter::Options metrics;
+  };
+
+  /// Server-level counters (everything the Service cannot see),
+  /// exported through kMetrics under `cqa_server_*`.
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t connections_rejected = 0;  // over max_connections
+    uint64_t protocol_errors = 0;
+    uint64_t requests = 0;
+    uint64_t responses = 0;
+    uint64_t shed_inflight = 0;
+    uint64_t shed_queue = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    size_t active_connections = 0;
+  };
+
+  /// `service` must outlive the server.
+  Server(Service* service, const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the poll + executor (+ metrics)
+  /// threads. Fails with Unavailable when the address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return bound_port_; }
+
+  Counters counters() const;
+
+  /// The sampler behind the kMetrics verb (valid between construction
+  /// and destruction; only sampling when Options::sample_metrics).
+  MetricsExporter& metrics() { return exporter_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;   // poll thread only
+    std::string out;  // poll thread only
+    /// Encoded response frames from executors, drained by the poll
+    /// thread; guarded by Server::mu_.
+    std::deque<std::string> ready;
+    /// Admitted requests whose response is not yet queued; guarded by
+    /// Server::mu_.
+    size_t inflight = 0;
+    bool close_after_flush = false;  // terminal notice pending
+  };
+
+  struct Work {
+    uint64_t conn_id = 0;
+    uint8_t verb = 0;
+    uint64_t request_id = 0;
+    std::string payload;
+  };
+
+  void PollLoop();
+  void ExecutorLoop();
+  /// Parses every complete frame in `conn->in`; returns false when the
+  /// connection must close (framing error).
+  bool DrainFrames(const std::shared_ptr<Conn>& conn);
+  /// Poll-thread half of response delivery: moves `ready` frames into
+  /// the write buffer.
+  void CollectReady(const std::shared_ptr<Conn>& conn);
+  /// Encodes `status` + empty body into a response frame for `verb`.
+  static std::string ErrorFrame(uint8_t verb, uint64_t request_id,
+                                const Status& status);
+  /// Executor half: full decode + Service dispatch + response encode.
+  std::string DispatchFrame(uint8_t verb, uint64_t request_id,
+                            const std::string& payload);
+  /// Dispatch helpers per verb; each returns the response payload
+  /// (status ++ body).
+  std::string HandleVerb(Verb verb, const std::string& payload);
+
+  /// Queues `frame` for `conn_id` and wakes the poll thread; drops the
+  /// frame when the connection died in the meantime.
+  void QueueResponse(uint64_t conn_id, std::string frame);
+  void WakePoll();
+
+  /// Prepared-handle registry (id -> pinned handle, LRU-capped).
+  Result<PreparedQueryHandle> ResolvePrepared(const std::string& id) const;
+  void RememberPrepared(const PreparedQueryHandle& handle);
+
+  Service* service_;
+  Options options_;
+  MetricsExporter exporter_;
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  uint16_t bound_port_ = 0;
+  std::thread poll_thread_;
+  std::vector<std::thread> executors_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> work_;
+  bool stop_ = false;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
+  Counters counters_;
+
+  mutable std::mutex prepared_mu_;
+  std::unordered_map<std::string, PreparedQueryHandle> prepared_;
+  std::list<std::string> prepared_lru_;  // front = most recent
+};
+
+}  // namespace net
+}  // namespace cqa
+
+#endif  // CQA_NET_SERVER_H_

@@ -1,0 +1,169 @@
+#include "net/wire.h"
+
+#include "store/record.h"  // Crc32c
+
+namespace cqa {
+namespace net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, uint8_t verb, uint64_t request_id,
+                 std::string_view payload) {
+  size_t start = out->size();
+  out->push_back(kMagic0);
+  out->push_back(kMagic1);
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(verb));
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+  uint32_t crc =
+      store::Crc32c(out->data() + start, out->size() - start);
+  PutU32(out, crc);
+}
+
+ParseResult TryParseFrame(std::string* buffer, Frame* frame,
+                          std::string* error, uint8_t* bad_version) {
+  if (buffer->size() < kHeaderSize) {
+    // Reject a bad magic as soon as the first bytes arrive, not only
+    // once a whole (possibly huge) "header" accumulated.
+    if (!buffer->empty() && (*buffer)[0] != kMagic0) {
+      *error = "bad frame magic";
+      return ParseResult::kFatal;
+    }
+    if (buffer->size() >= 2 && (*buffer)[1] != kMagic1) {
+      *error = "bad frame magic";
+      return ParseResult::kFatal;
+    }
+    return ParseResult::kNeedMore;
+  }
+  const char* p = buffer->data();
+  if (p[0] != kMagic0 || p[1] != kMagic1) {
+    *error = "bad frame magic";
+    return ParseResult::kFatal;
+  }
+  uint8_t version = static_cast<uint8_t>(p[2]);
+  if (version != kProtocolVersion) {
+    if (bad_version != nullptr) *bad_version = version;
+    *error = "unsupported protocol version " + std::to_string(version);
+    return ParseResult::kFatal;
+  }
+  uint32_t payload_len = GetU32(p + 12);
+  if (payload_len > kMaxPayload) {
+    *error = "frame payload length " + std::to_string(payload_len) +
+             " exceeds limit " + std::to_string(kMaxPayload);
+    return ParseResult::kFatal;
+  }
+  size_t total = kHeaderSize + payload_len + kTrailerSize;
+  if (buffer->size() < total) return ParseResult::kNeedMore;
+  uint32_t expect = GetU32(p + kHeaderSize + payload_len);
+  uint32_t actual = store::Crc32c(p, kHeaderSize + payload_len);
+  if (expect != actual) {
+    *error = "frame checksum mismatch";
+    return ParseResult::kFatal;
+  }
+  frame->version = version;
+  frame->verb = static_cast<uint8_t>(p[3]);
+  frame->request_id = GetU64(p + 4);
+  frame->payload.assign(p + kHeaderSize, payload_len);
+  buffer->erase(0, total);
+  return ParseResult::kOk;
+}
+
+// ------------------------------------------------------------- writer
+
+void Writer::Varint(uint64_t v) {
+  while (v >= 0x80) {
+    out_->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_->push_back(static_cast<char>(v));
+}
+
+void Writer::Str(std::string_view s) {
+  Varint(s.size());
+  out_->append(s.data(), s.size());
+}
+
+// ------------------------------------------------------------- reader
+
+uint8_t Reader::U8() {
+  if (failed_ || pos_ >= data_.size()) {
+    failed_ = true;
+    return 0;
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+bool Reader::Bool() {
+  uint8_t v = U8();
+  if (v > 1) failed_ = true;
+  return v == 1;
+}
+
+uint64_t Reader::Varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t byte = U8();
+    if (failed_) return 0;
+    // The 10th byte may only contribute the 64th bit.
+    if (i == 9 && byte > 1) {
+      failed_ = true;
+      return 0;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  failed_ = true;  // unterminated varint
+  return 0;
+}
+
+std::string_view Reader::Str() {
+  uint64_t n = Varint();
+  if (failed_ || n > remaining()) {
+    failed_ = true;
+    return {};
+  }
+  std::string_view s = data_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Status MalformedPayload(const char* what) {
+  return Status::InvalidArgument(std::string("malformed payload: ") + what);
+}
+
+}  // namespace net
+}  // namespace cqa

@@ -1,0 +1,171 @@
+#ifndef CQA_NET_WIRE_H_
+#define CQA_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file
+/// The v1 wire frame and its payload primitives — the bottom half of
+/// the binary protocol that takes `cqa::Service` over a socket. The
+/// NORMATIVE specification is docs/PROTOCOL.md; this header implements
+/// it and must never silently diverge from it.
+///
+/// A frame is a fixed 16-byte header, a bounded payload, and a trailing
+/// CRC32C over everything before it:
+///
+///   offset size  field
+///   0      2     magic "cq" (0x63 0x71)
+///   2      1     protocol version (kProtocolVersion = 1)
+///   3      1     verb (request) or verb|0x80 (response)
+///   4      8     request id, u64 little-endian (echoed in the response)
+///   12     4     payload length, u32 little-endian (<= kMaxPayload)
+///   16     n     payload
+///   16+n   4     CRC32C over bytes [0, 16+n), u32 little-endian
+///
+/// Framing errors (bad magic, unsupported version, oversized length,
+/// checksum mismatch) are CONNECTION-FATAL: the stream can no longer be
+/// trusted, so the peer closes it. Request-level errors (unknown verb,
+/// malformed payload, any Service error) travel inside a well-formed
+/// response frame and leave the connection usable.
+///
+/// Payload primitives (all integers beyond the header are varints):
+///   varint  unsigned LEB128, at most 10 bytes, canonical 64-bit range
+///   string  varint byte length + raw bytes (no terminator, any bytes)
+///   bool    one byte, 0 or 1
+///
+/// Symbols always travel as strings — interner ids are process-local
+/// and never cross the wire (the same rule store/record.h applies to
+/// durable state).
+
+namespace cqa {
+namespace net {
+
+/// The protocol version this build speaks. Frames carrying any other
+/// version are refused (see docs/PROTOCOL.md §2.3 for the negotiation
+/// rules a multi-version server would follow).
+constexpr uint8_t kProtocolVersion = 1;
+
+constexpr char kMagic0 = 'c';
+constexpr char kMagic1 = 'q';
+constexpr size_t kHeaderSize = 16;
+constexpr size_t kTrailerSize = 4;  // CRC32C
+/// Hard payload bound; a length field above it is a framing error
+/// before any allocation happens (hostile lengths cannot balloon
+/// memory).
+constexpr uint32_t kMaxPayload = 16u << 20;
+
+/// Request verbs of protocol v1. Values are wire-stable: new verbs
+/// append, old ones never renumber (docs/PROTOCOL.md §4).
+enum class Verb : uint8_t {
+  kHello = 1,
+  kCreateDatabase = 2,
+  kDropDatabase = 3,
+  kListDatabases = 4,
+  kOpenStore = 5,
+  kListStores = 6,
+  kPrepare = 7,
+  kSolve = 8,
+  kSolveBatch = 9,
+  kCertainAnswers = 10,
+  kApplyDelta = 11,
+  kStats = 12,
+  kMetrics = 13,
+};
+
+/// Bit set on the verb byte of every response frame.
+constexpr uint8_t kResponseBit = 0x80;
+
+/// A parsed frame header + payload, as handed to the dispatch layer.
+struct Frame {
+  uint8_t version = kProtocolVersion;
+  uint8_t verb = 0;  // raw byte; may carry kResponseBit
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes a complete frame (header, payload, CRC) onto `out`.
+void AppendFrame(std::string* out, uint8_t verb, uint64_t request_id,
+                 std::string_view payload);
+
+/// Outcome of TryParseFrame over a byte stream prefix.
+enum class ParseResult {
+  /// A complete, checksum-valid frame was consumed.
+  kOk,
+  /// The buffer holds a valid prefix; read more bytes and retry.
+  kNeedMore,
+  /// The stream is corrupt (magic/version/length/CRC); close it.
+  kFatal,
+};
+
+/// Attempts to parse one frame from the front of `buffer`. On kOk the
+/// frame's bytes are consumed from `buffer` and `*frame` is filled; on
+/// kNeedMore nothing is consumed; on kFatal `*error` names the
+/// violation and the connection must be closed. A version other than
+/// kProtocolVersion is kFatal with `*bad_version` set (when non-null),
+/// so the server can still send a closing error response the client
+/// understands structurally.
+ParseResult TryParseFrame(std::string* buffer, Frame* frame,
+                          std::string* error,
+                          uint8_t* bad_version = nullptr);
+
+// ------------------------------------------------------ payload writer
+
+/// Append-only payload builder implementing the primitive encodings.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// Unsigned LEB128.
+  void Varint(uint64_t v);
+  /// varint length + raw bytes.
+  void Str(std::string_view s);
+
+ private:
+  std::string* out_;
+};
+
+// ------------------------------------------------------ payload reader
+
+/// Bounds-checked cursor over one payload. Every getter fails soft: the
+/// first out-of-bounds or malformed read latches `failed()` and further
+/// reads return zero values, so decoders can run straight-line and
+/// check once at the end — hostile payloads can never read out of
+/// bounds or loop on a bad varint.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  bool Bool();
+  uint64_t Varint();
+  /// Validates the length against the remaining bytes BEFORE exposing
+  /// it, so a hostile length cannot drive an allocation.
+  std::string_view Str();
+
+  bool failed() const { return failed_; }
+  /// True iff every byte was consumed and nothing failed — decoders
+  /// require this so trailing garbage is an error, not a skew.
+  bool done() const { return !failed_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Latches failure from a semantic check (e.g. an unknown enum tag).
+  void Fail() { failed_ = true; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// The uniform error for any payload that fails to decode.
+Status MalformedPayload(const char* what);
+
+}  // namespace net
+}  // namespace cqa
+
+#endif  // CQA_NET_WIRE_H_

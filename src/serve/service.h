@@ -68,7 +68,10 @@
 /// it left off. Direct `Session` construction remains supported for
 /// embedding the serving loop without the façade; this is the seam
 /// future scenarios (sharding, remote transport, multi-tenant quotas)
-/// attach to.
+/// attach to — and the one `net::Server` already uses: every request
+/// struct here has a wire codec (net/codec.h) and the whole API
+/// travels over TCP per docs/PROTOCOL.md. docs/ARCHITECTURE.md traces
+/// a request through every layer.
 
 namespace cqa {
 
@@ -163,7 +166,13 @@ class Service {
   };
 
   Service() : Service(Options()) {}
+  /// Constructs an empty service: no databases, an empty plan cache.
+  /// Cheap — sessions (and their worker pools) are created per
+  /// database by CreateDatabase/OpenStore, not up front.
   explicit Service(const Options& options);
+  /// Drains and joins every database session. Outstanding
+  /// PreparedQueryHandles stay valid (they own their plans); page
+  /// tokens do not survive the service.
   ~Service();
 
   Service(const Service&) = delete;
@@ -200,6 +209,8 @@ class Service {
   /// Names (unescaped) of the stores under the durability root, sorted;
   /// empty when durability is off.
   std::vector<std::string> ListStores() const;
+  /// True iff `name` is currently registered (racy by nature — a
+  /// concurrent create/drop can change the answer immediately).
   bool HasDatabase(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> ListDatabases() const;
@@ -242,6 +253,10 @@ class Service {
     /// The session epoch observed when the decision was served.
     uint64_t epoch = 0;
   };
+  /// Decides CERTAINTY(q) — does the query hold in EVERY repair? —
+  /// against one consistent database snapshot (the epoch gate is held
+  /// shared for the whole call). Thread-safe; any number of Solves may
+  /// run concurrently with each other and with paginated streams.
   Result<SolveResponse> Solve(const SolveRequest& request);
   /// Batched decisions over each database's worker pool. Results align
   /// positionally; each item carries its own status.
@@ -279,6 +294,12 @@ class Service {
     /// The session epoch the snapshot was cut at.
     uint64_t epoch = 0;
   };
+  /// Serves one page of the certain answers of (query, free_vars) —
+  /// the rows true in EVERY repair. A first-page request computes (or
+  /// serves from the session's answer cache) the full row set, pins it
+  /// as an immutable snapshot in the cursor table, and returns the
+  /// first page plus a token; continuations walk that same snapshot.
+  /// Unavailable on an evicted cursor (restart the stream).
   Result<CertainAnswersResponse> CertainAnswers(
       const CertainAnswersRequest& request);
 
@@ -292,6 +313,11 @@ class Service {
     /// The database epoch after the delta.
     uint64_t epoch = 0;
   };
+  /// Applies the delta transactionally: every op is validated against
+  /// the pre-delta state (an invalid op rejects the whole delta and
+  /// mutates nothing), durable databases WAL-append before the
+  /// in-memory commit, and the epoch advances by exactly one. Open
+  /// answer streams are unaffected — they serve their pinned snapshot.
   Result<DeltaResponse> ApplyDelta(const DeltaRequest& request);
 
   // ------------------------------------------------------------- stats
@@ -357,6 +383,10 @@ class Service {
     /// handles' pinned solvers.
     std::map<SolverKind, SolverCounters> solvers;
   };
+  /// One consistent counter snapshot across every subsystem. This is
+  /// the single source the wire tier exports from — net/codec.h's
+  /// FlattenStats names these fields for the kStats verb and the
+  /// Prometheus exposition (docs/PROTOCOL.md §6.9).
   Result<StatsResponse> Stats(const StatsRequest& request) const;
 
  private:

@@ -173,7 +173,11 @@ class Session {
 
   /// Takes ownership of the database snapshot.
   explicit Session(Database db);
+  /// Takes ownership of `db` and spins up the persistent worker pool
+  /// (each worker's FactIndex builds lazily on first use).
   Session(Database db, const Options& options);
+  /// Joins the pool. Row-set snapshots handed out earlier stay valid —
+  /// they are shared, immutable, and own their storage.
   ~Session();
 
   Session(const Session&) = delete;
@@ -204,7 +208,12 @@ class Session {
   bool defunct() const { return defunct_.load(std::memory_order_acquire); }
 
   // --------------------------------------------------------- serving
+  /// Decides CERTAINTY(q) against the current epoch, resolving the
+  /// query through the plan cache. Thread-safe; holds the epoch gate
+  /// shared for the whole decision.
   Result<SolveOutcome> Solve(const Query& q);
+  /// Batched decisions fanned out across the worker pool; results
+  /// align positionally and each carries its own status.
   std::vector<Result<SolveOutcome>> SolveBatch(
       const std::vector<Query>& queries);
 
@@ -261,8 +270,12 @@ class Session {
     uint64_t gate_writer_handoffs = 0;
     uint64_t gate_reader_waits = 0;
   };
+  /// One consistent copy of the serving counters (taken under the
+  /// stats lock; gate counters read from the gate's own atomics).
   Stats stats() const;
 
+  /// Actual worker count of the persistent pool (after
+  /// DefaultServingThreads() resolution).
   int num_threads() const { return pool_->size(); }
 
  private:

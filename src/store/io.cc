@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -58,6 +59,24 @@ class PosixWritableFile : public WritableFile {
   Status Sync() override {
     if (::fsync(fd_) != 0) return IoError("fsync", path_, errno);
     return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+/// flock(2)-backed lease. The kernel ties the lock to the open file
+/// description: a crash or kill releases it with the fd, while a rival
+/// process (or a second open in THIS process) gets EWOULDBLOCK as long
+/// as we hold it.
+class PosixFileLock : public FileLock {
+ public:
+  PosixFileLock(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixFileLock() override {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
   }
 
  private:
@@ -192,6 +211,21 @@ class PosixEnv : public Env {
     }
     if (::rmdir(dir.c_str()) != 0) return IoError("rmdir", dir, errno);
     return Status::OK();
+  }
+
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return IoError("open", path, errno);
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      int err = errno;
+      ::close(fd);
+      if (err == EWOULDBLOCK) {
+        return Status::FailedPrecondition(
+            "'" + path + "' is locked by another process");
+      }
+      return IoError("flock", path, err);
+    }
+    return std::unique_ptr<FileLock>(new PosixFileLock(path, fd));
   }
 };
 
@@ -395,6 +429,41 @@ Status MemEnv::RemoveDirRecursive(const std::string& dir) {
     }
   }
   return Status::OK();
+}
+
+/// Releases the leased path on destruction. Matches MemEnv's friend
+/// declaration (so it can reach the lock registry), hence not in an
+/// anonymous namespace.
+class MemFileLock : public FileLock {
+ public:
+  MemFileLock(MemEnv* env, std::string key)
+      : env_(env), key_(std::move(key)) {}
+  ~MemFileLock() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    env_->locks_.erase(key_);
+  }
+
+ private:
+  MemEnv* env_;
+  std::string key_;
+};
+
+Result<std::unique_ptr<FileLock>> MemEnv::LockFile(const std::string& path) {
+  std::string key = Normalize(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t slash = key.rfind('/');
+  if (slash != std::string::npos &&
+      dirs_.count(key.substr(0, slash)) == 0) {
+    return Status::NotFound("no such directory '" + key.substr(0, slash) +
+                            "'");
+  }
+  if (locks_.count(key) != 0) {
+    return Status::FailedPrecondition("'" + path +
+                                      "' is locked by another process");
+  }
+  locks_[key] = true;
+  files_.try_emplace(key);  // the lock file exists while leased
+  return std::unique_ptr<FileLock>(new MemFileLock(this, key));
 }
 
 void MemEnv::SimulateCrash() {

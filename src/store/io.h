@@ -37,6 +37,20 @@
 namespace cqa {
 namespace store {
 
+/// An exclusive advisory lease on a path, released by destruction. The
+/// Env that minted it must outlive it. Holding one answers "is another
+/// LIVE process (or Env user) serving this tenant?" — a question the
+/// directory's existence cannot, since a crashed process leaves its
+/// directory behind but never its lease.
+class FileLock {
+ public:
+  virtual ~FileLock() = default;
+
+  FileLock() = default;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+};
+
 /// An append-only file handle. Not thread-safe; the store layer
 /// serializes all writes per database under the session's writer gate.
 class WritableFile {
@@ -94,6 +108,16 @@ class Env {
   /// Removes `dir` and everything under it (DropDatabase).
   virtual Status RemoveDirRecursive(const std::string& dir) = 0;
 
+  /// Acquires an exclusive, non-blocking advisory lease on `path`
+  /// (creating the file when absent). FailedPrecondition when the path
+  /// is already leased — by another process (POSIX flock) or by another
+  /// holder on the same Env. The lease survives until the returned
+  /// FileLock is destroyed; crashing releases it automatically (the
+  /// kernel drops flocks with the process), which is exactly why the
+  /// store layer uses this instead of a create-time-only sentinel.
+  virtual Result<std::unique_ptr<FileLock>> LockFile(
+      const std::string& path) = 0;
+
   /// The process-wide POSIX environment.
   static Env* Default();
 };
@@ -115,6 +139,7 @@ class MemEnv : public Env {
   bool DirExists(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
   Status RemoveDirRecursive(const std::string& dir) override;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override;
 
   /// Rolls every file back to its durable (synced) prefix — what the
   /// disk holds after a power cut. Open handles keep working (they
@@ -128,6 +153,7 @@ class MemEnv : public Env {
 
  private:
   friend class MemWritableFile;
+  friend class MemFileLock;
   struct FileState {
     std::string data;
     size_t durable_size = 0;  // prefix surviving SimulateCrash
@@ -138,6 +164,10 @@ class MemEnv : public Env {
   std::mutex mu_;
   std::map<std::string, FileState> files_;
   std::map<std::string, bool> dirs_;  // normalized path -> exists
+  /// Paths currently leased via LockFile. SimulateCrash does NOT clear
+  /// it: crash-restart tests drop the old Service (releasing its locks)
+  /// before reopening, exactly like a real process exit would.
+  std::map<std::string, bool> locks_;
 };
 
 /// Deterministic fault plan for `FaultInjectingEnv`. Counters are
@@ -207,6 +237,9 @@ class FaultInjectingEnv : public Env {
   }
   Status RemoveDirRecursive(const std::string& dir) override {
     return base_->RemoveDirRecursive(dir);
+  }
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override {
+    return base_->LockFile(path);
   }
 
  private:

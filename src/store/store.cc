@@ -8,6 +8,14 @@
 namespace cqa {
 namespace store {
 
+namespace {
+
+/// The tenant lease file. Never part of the (snapshot, WAL) pair:
+/// recovery's file scan and RemoveObsoleteFiles both leave it alone.
+constexpr char kLockFileName[] = "LOCK";
+
+}  // namespace
+
 DbStore::DbStore(Env* env, std::string dir, const Options& options,
                  std::unique_ptr<Wal> wal, uint64_t wal_epoch)
     : env_(env),
@@ -38,6 +46,13 @@ Result<std::unique_ptr<DbStore>> DbStore::Create(Env* env,
   // The exclusive mkdir doubles as the "does this tenant already have
   // durable state" check.
   CQA_RETURN_NOT_OK(env->CreateDir(dir));
+  Result<std::unique_ptr<FileLock>> lock =
+      env->LockFile(JoinPath(dir, kLockFileName));
+  if (!lock.ok()) {
+    Status cleanup = env->RemoveDirRecursive(dir);
+    (void)cleanup;
+    return lock.status();
+  }
   auto seed = [&]() -> Result<std::unique_ptr<Wal>> {
     // WAL before snapshot rename (invariant 2): the moment
     // `snapshot-<E>` exists, `wal-<E>` is already durable.
@@ -49,16 +64,27 @@ Result<std::unique_ptr<DbStore>> DbStore::Create(Env* env,
   };
   Result<std::unique_ptr<Wal>> wal = seed();
   if (!wal.ok()) {
+    // Release the lease BEFORE removing the directory so the lock file
+    // does not linger (MemEnv keeps a leased path alive).
+    lock->reset();
     Status cleanup = env->RemoveDirRecursive(dir);
     (void)cleanup;  // best effort: leave no half-created tenant behind
     return wal.status();
   }
-  return std::unique_ptr<DbStore>(
+  std::unique_ptr<DbStore> store(
       new DbStore(env, dir, options, std::move(*wal), epoch));
+  store->lock_ = std::move(*lock);
+  return store;
 }
 
 Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
                                          const Options& options) {
+  // The lease comes FIRST: refusing a live tenant must precede reading
+  // (let alone truncating) a WAL another process is appending to.
+  Result<std::unique_ptr<FileLock>> lock =
+      env->LockFile(JoinPath(dir, kLockFileName));
+  if (!lock.ok()) return lock.status();
+
   Result<LoadedSnapshot> snap = LoadNewestSnapshot(env, dir);
   if (!snap.ok()) return snap.status();
 
@@ -118,6 +144,7 @@ Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
   out.epoch = base_epoch + out.replayed;
   out.store = std::unique_ptr<DbStore>(
       new DbStore(env, dir, options, std::move(wal), base_epoch));
+  out.store->lock_ = std::move(*lock);
   {
     std::lock_guard<std::mutex> lock(out.store->mu_);
     out.store->stats_.torn_tails_recovered = out.torn_tail ? 1 : 0;

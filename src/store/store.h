@@ -59,9 +59,10 @@ class DbStore {
   };
 
   /// Creates `dir` (exclusively — an existing directory is
-  /// FailedPrecondition, which doubles as the tenant-exists check) and
-  /// seeds it with a snapshot of `initial` at `epoch` plus an empty
-  /// WAL. The database is durable before this returns.
+  /// FailedPrecondition, which doubles as the tenant-exists check),
+  /// acquires the tenant lease on `<dir>/LOCK`, and seeds the directory
+  /// with a snapshot of `initial` at `epoch` plus an empty WAL. The
+  /// database is durable before this returns.
   static Result<std::unique_ptr<DbStore>> Create(Env* env,
                                                  const std::string& dir,
                                                  const Database& initial,
@@ -82,6 +83,13 @@ class DbStore {
   /// truncated; mid-log corruption or a broken epoch chain is DataLoss.
   /// Obsolete files (older pairs, stray temps, orphaned WALs from an
   /// interrupted compaction) are removed best-effort.
+  ///
+  /// Opening FIRST acquires the `<dir>/LOCK` lease: a tenant still
+  /// being served by a live process fails FailedPrecondition instead of
+  /// letting two writers interleave one WAL. A lease left by a CRASHED
+  /// process does not block — flock dies with its holder — which is
+  /// what makes the lease strictly better than a create-time sentinel
+  /// file.
   static Result<Recovered> Open(Env* env, const std::string& dir,
                                 const Options& options);
 
@@ -116,6 +124,9 @@ class DbStore {
   Env* const env_;
   const std::string dir_;
   const Options options_;
+  /// The exclusive tenant lease on `<dir>/LOCK`, held from
+  /// Create()/Open() until destruction.
+  std::unique_ptr<FileLock> lock_;
 
   mutable std::mutex mu_;
   std::unique_ptr<Wal> wal_;

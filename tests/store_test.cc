@@ -401,7 +401,9 @@ TEST(FaultInjectionTest, FailedFsyncMakesTheStoreReadOnly) {
             StatusCode::kUnavailable);
   EXPECT_EQ((*store)->Sync().code(), StatusCode::kUnavailable);
 
-  // The durable prefix (delta 1) still recovers on the pristine env.
+  // The durable prefix (delta 1) still recovers on the pristine env —
+  // after the degraded process exits and its tenant lease dies with it.
+  store->reset();
   Result<DbStore::Recovered> reopened = DbStore::Open(&base, "/db", options);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_GE(reopened->epoch, 1u);
@@ -427,6 +429,7 @@ TEST(FaultInjectionTest, EnospcDegradesButDurablePrefixRecovers) {
   EXPECT_EQ(last.code(), StatusCode::kUnavailable);
   EXPECT_TRUE((*store)->read_only());
 
+  store->reset();  // process exit releases the tenant lease
   Result<DbStore::Recovered> reopened = DbStore::Open(&base, "/db", options);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ(reopened->epoch, committed);
@@ -470,11 +473,12 @@ TEST(DbStoreTest, CompactionSwitchesTheLivePairAndDropsObsoleteFiles) {
   }
   ASSERT_TRUE(compacted);
 
-  // Exactly one live (snapshot, wal) pair remains, at the compaction
-  // epoch; the old pair and any temps are gone.
+  // Exactly one live (snapshot, wal) pair remains (plus the tenant
+  // lease file), at the compaction epoch; the old pair and any temps
+  // are gone.
   Result<std::vector<std::string>> names = env.ListDir("/db");
   ASSERT_TRUE(names.ok());
-  std::vector<std::string> expected = {SnapshotFileName(epoch),
+  std::vector<std::string> expected = {"LOCK", SnapshotFileName(epoch),
                                        WalFileName(epoch)};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(*names, expected);
@@ -486,11 +490,82 @@ TEST(DbStoreTest, CompactionSwitchesTheLivePairAndDropsObsoleteFiles) {
   ASSERT_TRUE(store.AppendDelta(d, ++epoch).ok());
   ASSERT_TRUE(store.Sync().ok());
 
+  created->reset();  // process exit releases the tenant lease
   Result<DbStore::Recovered> reopened = DbStore::Open(&env, "/db", options);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   EXPECT_EQ(reopened->epoch, epoch);
   EXPECT_EQ(reopened->replayed, 1u);
   EXPECT_EQ(SortedFacts(reopened->db), SortedFacts(db));
+}
+
+// ---------------------------------------------------------- tenant lease
+
+TEST(EnvLockTest, PosixFlockLeaseIsExclusivePerPath) {
+  Env* env = Env::Default();
+  std::string path = testing::TempDir() + "/cqa_lease_test.LOCK";
+  Result<std::unique_ptr<FileLock>> lease = env->LockFile(path);
+  ASSERT_TRUE(lease.ok()) << lease.status();
+  // A second holder — another Service in this process or (via flock
+  // semantics) another process entirely — is refused while we live.
+  EXPECT_EQ(env->LockFile(path).status().code(),
+            StatusCode::kFailedPrecondition);
+  lease->reset();
+  // Released leases (process exit, crash) stop blocking.
+  Result<std::unique_ptr<FileLock>> again = env->LockFile(path);
+  EXPECT_TRUE(again.ok()) << again.status();
+  again->reset();
+  Status cleanup = env->RemoveFile(path);
+  (void)cleanup;
+}
+
+TEST(DbStoreTest, OpenRefusesATenantAnotherHolderIsServing) {
+  MemEnv env;
+  DbStore::Options options;
+  options.wal.policy = Wal::SyncPolicy::kAlways;
+  Result<std::unique_ptr<DbStore>> created =
+      DbStore::Create(&env, "/db", SmallDb(), 0, options);
+  ASSERT_TRUE(created.ok()) << created.status();
+
+  // The tenant is LIVE: a second open must refuse up front — before
+  // reading (or truncating) a WAL the holder is still appending to.
+  Result<DbStore::Recovered> contended = DbStore::Open(&env, "/db", options);
+  EXPECT_EQ(contended.status().code(), StatusCode::kFailedPrecondition);
+
+  // The holder exiting (or crashing: flock dies with its process)
+  // releases the lease, and the same open succeeds.
+  created->reset();
+  Result<DbStore::Recovered> reopened = DbStore::Open(&env, "/db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(SortedFacts(reopened->db), SortedFacts(SmallDb()));
+
+  // ... and the reopened store holds the lease in turn.
+  EXPECT_EQ(DbStore::Open(&env, "/db", options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceStoreTest, SecondServiceCannotOpenALiveTenant) {
+  MemEnv env;
+  Service::Options options;
+  options.num_threads = 1;
+  options.durability.dir = "/tenants";
+  options.durability.env = &env;
+  options.durability.wal.policy = Wal::SyncPolicy::kAlways;
+
+  auto first = std::make_unique<Service>(options);
+  ASSERT_TRUE(first->CreateDatabase("shared", SmallDb()).ok());
+
+  // A rival service over the same filesystem must not be able to
+  // double-serve the tenant.
+  Service second(options);
+  EXPECT_EQ(second.OpenStore("shared").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // The first service shutting down releases the lease; now the
+  // takeover succeeds and recovers the data.
+  first.reset();
+  Result<Service::OpenStoreResponse> opened = second.OpenStore("shared");
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_TRUE(second.HasDatabase("shared"));
 }
 
 TEST(DbStoreTest, EpochChainGapIsDataLoss) {
