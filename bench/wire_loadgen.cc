@@ -13,6 +13,7 @@
 #include "cq/matcher.h"
 #include "cq/query.h"
 #include "db/database.h"
+#include "net/chaos.h"
 #include "net/client.h"
 #include "net/codec.h"
 #include "net/server.h"
@@ -36,6 +37,14 @@
 /// this binary's previous records and leaving everyone else's intact.
 /// The run also VALIDATES the kMetrics endpoint: missing counter
 /// families fail the process, so CI catches a silently broken exporter.
+///
+/// Chaos mode (`--chaos-plan=delay|partial|drop|mixed [--chaos-seed=N]`,
+/// CI's chaos-smoke job): client traffic is routed through an
+/// in-process FaultInjectingTransport that injects the named faults
+/// deterministically. Clients run with retries enabled; the run
+/// asserts ZERO hangs and a live, coherent server afterwards, while
+/// individual request failures are tolerated and reported (a dropped
+/// non-idempotent verb must surface as an error, not a retry).
 
 namespace {
 
@@ -106,12 +115,14 @@ const char* ClassName(int c) {
 struct ThreadResult {
   std::vector<int64_t> latencies_us[kNumClasses];
   int errors = 0;
+  uint64_t retries = 0;
   std::string first_error;
 };
 
 void RunClient(const std::string& host, uint16_t port, int thread_id,
-               int requests, ThreadResult* out) {
-  Client client;
+               int requests, cqa::net::ClientOptions copts,
+               ThreadResult* out) {
+  Client client(copts);
   Status st = client.Connect(host, port);
   if (!st.ok()) {
     out->errors = requests;
@@ -191,6 +202,7 @@ void RunClient(const std::string& host, uint16_t port, int thread_id,
       }
     }
   }
+  out->retries = client.retries_total();
 }
 
 // ----------------------------------------------------------- reporting
@@ -265,6 +277,8 @@ int main(int argc, char** argv) {
   int clients = 4;
   int requests = 400;  // per client
   bool write_json = true;
+  std::string chaos_plan;
+  uint64_t chaos_seed = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--host=", 7) == 0) {
@@ -277,10 +291,16 @@ int main(int argc, char** argv) {
       requests = std::atoi(arg + 11);
     } else if (std::strcmp(arg, "--no-json") == 0) {
       write_json = false;
+    } else if (std::strncmp(arg, "--chaos-plan=", 13) == 0) {
+      chaos_plan = arg + 13;
+    } else if (std::strncmp(arg, "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(arg + 13, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: wire_loadgen [--host=H] [--port=P] [--clients=N] "
                    "[--requests=N] [--no-json]\n"
+                   "       [--chaos-plan=delay|partial|drop|mixed] "
+                   "[--chaos-seed=N]\n"
                    "  without --port, hosts its own server on loopback\n");
       return 2;
     }
@@ -304,6 +324,53 @@ int main(int argc, char** argv) {
     port = own_server->port();
   }
 
+  // Chaos mode: route client traffic through a fault-injecting proxy.
+  // The admin client stays on the clean path (seeding and the metrics
+  // gate must not flake), and clients retry with backoff.
+  std::unique_ptr<cqa::net::FaultInjectingTransport> chaos;
+  std::string client_host = host;
+  uint16_t client_port = static_cast<uint16_t>(port);
+  cqa::net::ClientOptions client_options;
+  bool tolerate_errors = false;
+  if (!chaos_plan.empty()) {
+    cqa::net::FaultPlan plan;
+    plan.seed = chaos_seed;
+    if (chaos_plan == "delay") {
+      plan.delay_prob = 0.15;
+      plan.max_delay_ms = 5;
+    } else if (chaos_plan == "partial") {
+      plan.partial_write_prob = 0.3;
+      plan.max_chunk = 7;
+    } else if (chaos_plan == "drop") {
+      plan.drop_prob = 0.02;
+    } else if (chaos_plan == "mixed") {
+      plan.delay_prob = 0.1;
+      plan.max_delay_ms = 3;
+      plan.partial_write_prob = 0.2;
+      plan.drop_prob = 0.01;
+      plan.flip_prob = 0.005;
+    } else {
+      std::fprintf(stderr, "wire_loadgen: unknown chaos plan '%s'\n",
+                   chaos_plan.c_str());
+      return 2;
+    }
+    chaos = std::make_unique<cqa::net::FaultInjectingTransport>(plan);
+    Status pst = chaos->Start(host, static_cast<uint16_t>(port));
+    if (!pst.ok()) {
+      std::fprintf(stderr, "wire_loadgen: chaos proxy failed: %s\n",
+                   pst.message().c_str());
+      return 1;
+    }
+    client_host = "127.0.0.1";
+    client_port = chaos->port();
+    client_options.max_attempts = 6;
+    client_options.backoff_initial_ms = 5;
+    client_options.backoff_max_ms = 200;
+    client_options.io_timeout_ms = 10000;  // a hang fails loudly, fast
+    tolerate_errors = true;
+    write_json = false;  // chaos latencies would pollute the records
+  }
+
   // Seed the tenant over the wire (drop leftovers from a prior run).
   Client admin;
   Status st = admin.Connect(host, static_cast<uint16_t>(port));
@@ -320,16 +387,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("wire_loadgen: %d clients x %d requests against %s:%d\n",
-              clients, requests, host.c_str(), port);
+  std::printf("wire_loadgen: %d clients x %d requests against %s:%d%s%s\n",
+              clients, requests, host.c_str(), port,
+              chaos_plan.empty() ? "" : ", chaos=", chaos_plan.c_str());
   std::vector<ThreadResult> results(clients);
   auto begin = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (int t = 0; t < clients; ++t) {
-      threads.emplace_back(RunClient, host, static_cast<uint16_t>(port), t,
-                           requests, &results[t]);
+      threads.emplace_back(RunClient, client_host, client_port, t, requests,
+                           client_options, &results[t]);
     }
     for (std::thread& t : threads) t.join();
   }
@@ -340,8 +408,10 @@ int main(int argc, char** argv) {
   int errors = 0;
   std::string first_error;
   std::vector<int64_t> merged[kNumClasses];
+  uint64_t retries = 0;
   for (const ThreadResult& r : results) {
     errors += r.errors;
+    retries += r.retries;
     if (first_error.empty()) first_error = r.first_error;
     for (int c = 0; c < kNumClasses; ++c) {
       merged[c].insert(merged[c].end(), r.latencies_us[c].begin(),
@@ -373,8 +443,10 @@ int main(int argc, char** argv) {
                   static_cast<long long>(p99), qps, clients);
     records.push_back(line);
   }
-  std::printf("total: %zu ok, %d errors, %.2fs wall, %.0f req/s\n", completed,
-              errors, wall_s, qps);
+  std::printf("total: %zu ok, %d errors, %llu client retries, %.2fs wall, "
+              "%.0f req/s\n",
+              completed, errors, static_cast<unsigned long long>(retries),
+              wall_s, qps);
 
   // Metrics validation runs AFTER traffic so the counters are warm.
   Result<MetricsReply> metrics = admin.Metrics();
@@ -385,10 +457,36 @@ int main(int argc, char** argv) {
   }
   if (!ValidateMetrics(metrics->text)) return 1;
 
-  if (errors > 0) {
+  if (chaos != nullptr) {
+    cqa::net::FaultInjectingTransport::Counters fc = chaos->counters();
+    chaos->Stop();
+    std::printf(
+        "chaos: %llu connections, %llu delays, %llu partials, %llu drops, "
+        "%llu flips\n",
+        static_cast<unsigned long long>(fc.connections),
+        static_cast<unsigned long long>(fc.delays),
+        static_cast<unsigned long long>(fc.partial_writes),
+        static_cast<unsigned long long>(fc.drops),
+        static_cast<unsigned long long>(fc.flips));
+    if (completed == 0) {
+      std::fprintf(stderr,
+                   "wire_loadgen: chaos run completed ZERO requests "
+                   "(first error: %s)\n",
+                   first_error.c_str());
+      return 1;
+    }
+  }
+
+  if (errors > 0 && !tolerate_errors) {
     std::fprintf(stderr, "wire_loadgen: %d requests failed (first: %s)\n",
                  errors, first_error.c_str());
     return 1;
+  }
+  if (errors > 0) {
+    // Chaos mode: failures are expected (a cut mid-ApplyDelta must NOT
+    // be blindly retried); what matters is that every call RETURNED.
+    std::printf("wire_loadgen: %d chaos-induced failures (first: %s)\n",
+                errors, first_error.c_str());
   }
   if (write_json) {
     WriteJson(records);

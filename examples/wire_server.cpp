@@ -5,6 +5,11 @@
 //   ./example_wire_server --port=0 --port-file=port.txt   # ephemeral,
 //                                     # bound port written for scripts
 //   ./example_wire_server --durability-dir=/tmp/tenants   # WAL-backed
+//   ./example_wire_server --drain-grace-ms=2000   # SIGTERM grace period
+//
+// SIGTERM drains gracefully (stop accepting, shed queued work, let
+// in-flight requests finish up to the grace, flush every WAL, exit 0);
+// SIGINT stops immediately.
 //
 // It seeds a small demo database ("demo": a conflicted supplier catalog
 // plus a clean paging relation) so a client has something to query
@@ -23,7 +28,7 @@ using namespace cqa;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-void OnSignal(int) { g_stop = 1; }
+void OnSignal(int sig) { g_stop = sig == SIGTERM ? 2 : 1; }
 
 Database DemoDatabase() {
   Database db;
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
   int port = 7464;
   std::string port_file;
   std::string durability_dir;
+  long drain_grace_ms = 2000;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--port=", 7) == 0) {
@@ -53,10 +59,12 @@ int main(int argc, char** argv) {
       port_file = arg + 12;
     } else if (std::strncmp(arg, "--durability-dir=", 17) == 0) {
       durability_dir = arg + 17;
+    } else if (std::strncmp(arg, "--drain-grace-ms=", 17) == 0) {
+      drain_grace_ms = std::atol(arg + 17);
     } else {
       std::fprintf(stderr,
                    "usage: wire_server [--port=N] [--port-file=PATH] "
-                   "[--durability-dir=DIR]\n");
+                   "[--durability-dir=DIR] [--drain-grace-ms=N]\n");
       return 2;
     }
   }
@@ -108,14 +116,22 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
 
+  if (g_stop == 2) {
+    // SIGTERM: graceful drain — in-flight work finishes (up to the
+    // grace), every durable WAL is flushed, then the sockets close.
+    std::printf("wire_server: draining (grace %ldms)\n", drain_grace_ms);
+    std::fflush(stdout);
+    server.Shutdown(static_cast<uint64_t>(drain_grace_ms));
+  }
   net::Server::Counters c = server.counters();
   server.Stop();
   std::printf(
       "wire_server: served %llu requests on %llu connections "
-      "(%llu shed, %llu protocol errors)\n",
+      "(%llu shed, %llu drain-shed, %llu protocol errors)\n",
       static_cast<unsigned long long>(c.requests),
       static_cast<unsigned long long>(c.connections_accepted),
       static_cast<unsigned long long>(c.shed_inflight + c.shed_queue),
+      static_cast<unsigned long long>(c.drain_shed),
       static_cast<unsigned long long>(c.protocol_errors));
   return 0;
 }

@@ -277,6 +277,10 @@ namespace {
 constexpr size_t kChunkInitial = 8;
 constexpr size_t kChunkRows = 512;
 
+/// Rows between deadline polls: one steady_clock read per interval
+/// keeps the overhead of an armed deadline under ~0.1% of row cost.
+constexpr int kDeadlineCheckRows = 256;
+
 using Bucket = std::vector<const Fact*>;
 
 /// A batch of partial bindings: a flat rows x width register matrix.
@@ -292,8 +296,13 @@ struct Table {
 class Executor {
  public:
   Executor(const FoProgram& prog, const FactIndex& index,
-           const std::vector<SymbolId>& adom)
-      : prog_(prog), index_(index), adom_(adom) {}
+           const std::vector<SymbolId>& adom,
+           const Deadline* deadline = nullptr)
+      : prog_(prog), index_(index), adom_(adom), deadline_(deadline) {}
+
+  /// True once an armed deadline fired mid-evaluation; the surviving
+  /// mask is then partial garbage and the caller must discard it.
+  bool expired() const { return expired_; }
 
   /// In-place filter: clears mask[i] for every row of `t` that does not
   /// satisfy op `op_idx`. Only rows with mask[i] != 0 are examined.
@@ -323,6 +332,17 @@ class Executor {
 
   static SymbolId SlotValue(const Slot& s, const SymbolId* row) {
     return s.is_const ? s.value : row[s.reg];
+  }
+
+  /// Amortized cooperative deadline poll: reads the clock once per
+  /// kDeadlineCheckRows calls. Returns true once expired (sticky).
+  bool CheckDeadline() {
+    if (deadline_ == nullptr || expired_) return expired_;
+    if (--deadline_countdown_ <= 0) {
+      deadline_countdown_ = kDeadlineCheckRows;
+      if (deadline_->Expired()) expired_ = true;
+    }
+    return expired_;
   }
 
   /// The smallest candidate bucket the index offers for the guard under
@@ -411,6 +431,7 @@ class Executor {
 
     size_t budget = kChunkInitial;
     for (size_t i = 0; i < t.n; ++i) {
+      if (CheckDeadline()) break;
       if (!mask[i]) continue;
       const SymbolId* r = t.row(i);
       auto append = [&](auto&& fill) {
@@ -443,6 +464,9 @@ class Executor {
   const FoProgram& prog_;
   const FactIndex& index_;
   const std::vector<SymbolId>& adom_;
+  const Deadline* deadline_;
+  int deadline_countdown_ = kDeadlineCheckRows;
+  bool expired_ = false;
   std::vector<std::unique_ptr<Scratch>> scratch_;
 };
 
@@ -477,6 +501,9 @@ void Executor::FilterDom(const Op& op, bool anti, int depth, Table& t,
 
 void Executor::Filter(int op_idx, int depth, Table& t,
                       std::vector<char>& mask) {
+  // Once the deadline fires, every remaining filter is a no-op: the
+  // recursion unwinds fast and the caller discards the partial mask.
+  if (expired_) return;
   const Op& op = prog_.ops()[op_idx];
   switch (op.kind) {
     case Op::Kind::kTrue:
@@ -495,6 +522,7 @@ void Executor::Filter(int op_idx, int depth, Table& t,
     case Op::Kind::kContains: {
       Scratch& s = At(depth);
       for (size_t i = 0; i < t.n; ++i) {
+        if (CheckDeadline()) return;
         if (!mask[i]) continue;
         const SymbolId* r = t.row(i);
         s.values.clear();
@@ -576,10 +604,22 @@ std::vector<char> FoProgram::EvaluateRows(
     const FactIndex& index, const std::vector<SymbolId>& adom,
     const std::vector<std::vector<SymbolId>>& rows, size_t begin,
     size_t end) const {
+  // Unlimited deadlines never fail, so the Result unwrap is safe.
+  return *EvaluateRows(index, adom, rows, begin, end, Deadline());
+}
+
+Result<std::vector<char>> FoProgram::EvaluateRows(
+    const FactIndex& index, const std::vector<SymbolId>& adom,
+    const std::vector<std::vector<SymbolId>>& rows, size_t begin,
+    size_t end, const Deadline& deadline) const {
   assert(begin <= end && end <= rows.size());
   size_t n = end - begin;
   std::vector<char> mask(n, 1);
   if (n == 0) return mask;
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        "deadline expired before batch evaluation");
+  }
   Table t;
   t.width = width_;
   t.n = n;
@@ -588,8 +628,13 @@ std::vector<char> FoProgram::EvaluateRows(
     assert(rows[begin + i].size() == params_.size() && "row arity != params()");
     std::copy(rows[begin + i].begin(), rows[begin + i].end(), t.row(i));
   }
-  Executor exec(*this, index, adom);
+  Executor exec(*this, index, adom,
+                deadline.unlimited() ? nullptr : &deadline);
   exec.Filter(root_, 0, t, mask);
+  if (exec.expired()) {
+    return Status::DeadlineExceeded(
+        "deadline expired during batch evaluation");
+  }
   return mask;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cq/matcher.h"
 #include "fo/formula.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 /// \file
@@ -132,6 +133,16 @@ class FoProgram {
       const FactIndex& index, const std::vector<SymbolId>& adom,
       const std::vector<std::vector<SymbolId>>& rows, size_t begin,
       size_t end) const;
+
+  /// Deadline-aware span evaluation: the executor polls `deadline` at
+  /// its batch checkpoints (every few hundred rows / extension
+  /// flushes) and abandons the evaluation with kDeadlineExceeded once
+  /// it fires. An unlimited deadline adds one branch per checkpoint and
+  /// produces exactly the plain EvaluateRows mask.
+  Result<std::vector<char>> EvaluateRows(
+      const FactIndex& index, const std::vector<SymbolId>& adom,
+      const std::vector<std::vector<SymbolId>>& rows, size_t begin,
+      size_t end, const Deadline& deadline) const;
 
   const std::vector<SymbolId>& params() const { return params_; }
   /// Register count == row width of the execution matrix.

@@ -1,0 +1,224 @@
+#include "net/chaos.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+
+namespace cqa {
+namespace net {
+
+namespace {
+
+/// shutdown(2) both halves so a blocked recv/send in a pump thread
+/// returns immediately; close follows once both pumps exit.
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t sent = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Both sockets of one proxied connection. `closed` makes the two pump
+/// threads' teardown race idempotent.
+struct FaultInjectingTransport::ProxiedConn {
+  int client_fd = -1;
+  int server_fd = -1;
+  std::atomic<bool> closed{false};
+
+  void CloseBoth() {
+    if (closed.exchange(true)) return;
+    ShutdownFd(client_fd);
+    ShutdownFd(server_fd);
+  }
+};
+
+Status FaultInjectingTransport::Start(const std::string& upstream_host,
+                                      uint16_t upstream_port) {
+  if (started_) return Status::FailedPrecondition("proxy already started");
+
+  upstream_host_ = upstream_host.empty() ? "127.0.0.1" : upstream_host;
+  upstream_port_ = upstream_port;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("proxy bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  started_ = true;
+  accept_thread_ = std::thread(&FaultInjectingTransport::AcceptLoop, this);
+  return Status::OK();
+}
+
+void FaultInjectingTransport::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  ShutdownFd(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<ProxiedConn>> conns;
+  std::vector<std::thread> pumps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+    pumps.swap(pumps_);
+  }
+  for (auto& conn : conns) conn->CloseBoth();
+  for (std::thread& t : pumps) t.join();
+  for (auto& conn : conns) {
+    if (conn->client_fd >= 0) ::close(conn->client_fd);
+    if (conn->server_fd >= 0) ::close(conn->server_fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+FaultInjectingTransport::Counters FaultInjectingTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void FaultInjectingTransport::AcceptLoop() {
+  for (;;) {
+    int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or unrecoverable
+    }
+    if (stopping_.load()) {
+      ::close(client_fd);
+      return;
+    }
+
+    int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(upstream_port_);
+    if (server_fd < 0 ||
+        ::inet_pton(AF_INET, upstream_host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      continue;  // upstream refused; the client sees a clean close
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<ProxiedConn>();
+    conn->client_fd = client_fd;
+    conn->server_fd = server_fd;
+    uint64_t conn_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.connections;
+      conn_id = next_conn_id_++;
+      conns_.push_back(conn);
+      // Derived per-direction seeds keep every run of a given
+      // (plan.seed, connection order) byte-for-byte reproducible.
+      pumps_.emplace_back(&FaultInjectingTransport::Pump, this, conn,
+                          client_fd, server_fd, plan_.seed * 1000003 + conn_id);
+      pumps_.emplace_back(&FaultInjectingTransport::Pump, this, conn,
+                          server_fd, client_fd,
+                          plan_.seed * 1000003 + conn_id + 500000);
+    }
+  }
+}
+
+void FaultInjectingTransport::Pump(std::shared_ptr<ProxiedConn> conn, int from,
+                                   int to, uint64_t rng_seed) {
+  std::mt19937_64 rng(rng_seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t got = ::recv(from, buf, sizeof(buf), 0);
+    if (got == 0) break;  // clean close: propagate by closing both
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() from Stop/drop, or a real error
+    }
+    size_t size = static_cast<size_t>(got);
+
+    if (plan_.drop_prob > 0 && coin(rng) < plan_.drop_prob) {
+      // Mid-stream cut, possibly mid-frame: both peers see the tear.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.drops;
+      break;
+    }
+    if (plan_.delay_prob > 0 && coin(rng) < plan_.delay_prob) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.delays;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          1 + rng() % std::max<uint64_t>(1, plan_.max_delay_ms)));
+    }
+    if (plan_.flip_prob > 0 && coin(rng) < plan_.flip_prob) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.flips;
+      }
+      buf[rng() % size] ^= static_cast<char>(1 + rng() % 255);
+    }
+    if (plan_.partial_write_prob > 0 && coin(rng) < plan_.partial_write_prob &&
+        size > 1) {
+      // Forward a short prefix first, then the rest — the receiver must
+      // reassemble frames across arbitrary boundaries.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.partial_writes;
+      }
+      size_t prefix =
+          1 + rng() % std::min(size - 1, std::max<size_t>(1, plan_.max_chunk));
+      if (!SendAll(to, buf, prefix)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (!SendAll(to, buf + prefix, size - prefix)) break;
+      continue;
+    }
+    if (!SendAll(to, buf, size)) break;
+  }
+  conn->CloseBoth();
+}
+
+}  // namespace net
+}  // namespace cqa

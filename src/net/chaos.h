@@ -1,0 +1,104 @@
+#ifndef CQA_NET_CHAOS_H_
+#define CQA_NET_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// A fault-injecting TCP proxy for chaos-testing the wire protocol:
+/// clients connect to the proxy's port; every byte is pumped to/from
+/// the real server through a gauntlet of DETERMINISTIC faults (seeded
+/// mt19937 per connection, so a failing run replays exactly):
+///
+///   * delays      — hold a pump step for up to `max_delay_ms`;
+///   * partials    — forward a prefix now, the rest next step (tests
+///                   that frame parsing survives arbitrary fragmention);
+///   * drops       — close BOTH sides mid-stream (a mid-frame cut: the
+///                   client sees kUnavailable / a framing error, never
+///                   a hang);
+///   * flips       — corrupt one byte (the CRC32C trailer must catch
+///                   it: the receiver answers with a terminal notice
+///                   and closes — never decodes garbage).
+///
+/// The chaos contract (tests/net_chaos_test.cc, ISSUE 9): a retrying
+/// client driving a full journey through this proxy must finish with
+/// ZERO hangs or crashes, and the server's durable tenant state must
+/// come out byte-identical to a clean run.
+
+namespace cqa {
+namespace net {
+
+/// Fault probabilities are per pump step (one recv on either side).
+/// All zero = a transparent proxy.
+struct FaultPlan {
+  uint64_t seed = 1;
+  double delay_prob = 0.0;
+  uint64_t max_delay_ms = 20;
+  double partial_write_prob = 0.0;
+  /// Ceiling on the prefix forwarded when a partial fires.
+  size_t max_chunk = 7;
+  double drop_prob = 0.0;
+  double flip_prob = 0.0;
+};
+
+class FaultInjectingTransport {
+ public:
+  explicit FaultInjectingTransport(const FaultPlan& plan) : plan_(plan) {}
+  ~FaultInjectingTransport() { Stop(); }
+
+  FaultInjectingTransport(const FaultInjectingTransport&) = delete;
+  FaultInjectingTransport& operator=(const FaultInjectingTransport&) = delete;
+
+  /// Listens on an ephemeral localhost port and proxies every accepted
+  /// connection to `upstream_host:upstream_port`.
+  Status Start(const std::string& upstream_host, uint16_t upstream_port);
+  /// The proxy's listen port (valid after Start).
+  uint16_t port() const { return port_; }
+  /// Closes the listener and every live proxied connection; joins all
+  /// pump threads. Idempotent.
+  void Stop();
+
+  struct Counters {
+    uint64_t connections = 0;
+    uint64_t delays = 0;
+    uint64_t partial_writes = 0;
+    uint64_t drops = 0;
+    uint64_t flips = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct ProxiedConn;
+  void AcceptLoop();
+  /// One direction of one connection: recv from `from`, run the fault
+  /// gauntlet, forward to `to`.
+  void Pump(std::shared_ptr<ProxiedConn> conn, int from, int to,
+            uint64_t rng_seed);
+
+  FaultPlan plan_;
+  std::string upstream_host_;
+  uint16_t upstream_port_ = 0;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ProxiedConn>> conns_;
+  std::vector<std::thread> pumps_;
+  Counters counters_;
+  uint64_t next_conn_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace net
+}  // namespace cqa
+
+#endif  // CQA_NET_CHAOS_H_

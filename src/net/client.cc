@@ -2,15 +2,38 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace cqa {
 namespace net {
+
+namespace {
+
+/// EAGAIN/EWOULDBLOCK on a socket with SO_RCVTIMEO/SO_SNDTIMEO set is
+/// the io timeout firing, not congestion.
+bool IsTimeoutErrno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+void SetIoTimeout(int fd, uint64_t ms) {
+  if (ms == 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
 
 Client::~Client() { Close(); }
 
@@ -24,6 +47,8 @@ void Client::Close() {
 
 Status Client::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::Unavailable("socket() failed");
   sockaddr_in addr;
@@ -35,18 +60,49 @@ Status Client::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status::InvalidArgument("host is not an IPv4 address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+
+  // Bounded connect: flip non-blocking, connect, poll for writability,
+  // read SO_ERROR for the verdict, flip back to blocking.
+  int flags = fcntl(fd_, F_GETFL, 0);
+  if (options_.connect_timeout_ms > 0 && flags >= 0) {
+    fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd p{fd_, POLLOUT, 0};
+    int ready = ::poll(&p, 1, static_cast<int>(options_.connect_timeout_ms));
+    if (ready <= 0) {
+      Close();
+      return Status::DeadlineExceeded(
+          "connect timed out after " +
+          std::to_string(options_.connect_timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Close();
+      return Status::Unavailable("connect() failed: " +
+                                 std::string(std::strerror(err)));
+    }
+  } else if (rc < 0) {
+    int err = errno;
     Close();
     return Status::Unavailable("connect() failed: " +
-                               std::string(std::strerror(errno)));
+                               std::string(std::strerror(err)));
   }
+  if (options_.connect_timeout_ms > 0 && flags >= 0) {
+    fcntl(fd_, F_SETFL, flags);  // back to blocking for the Call path
+  }
+
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetIoTimeout(fd_, options_.io_timeout_ms);
 
   // Handshake (PROTOCOL.md §2.3): the client offers its version range;
   // the server answers with the version it will speak or refuses.
   HelloRequest req;
-  req.client_name = "cqa-client";
+  req.client_name = options_.client_name;
   std::string payload;
   Writer w(&payload);
   EncodeHelloRequest(&w, req);
@@ -72,6 +128,11 @@ Status Client::WriteAll(const char* data, size_t size) {
     ssize_t sent = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
+      if (IsTimeoutErrno(errno)) {
+        Close();
+        return Status::DeadlineExceeded("send timed out (io_timeout_ms)");
+      }
+      Close();
       return Status::Unavailable("send() failed: " +
                                  std::string(std::strerror(errno)));
     }
@@ -103,6 +164,10 @@ Status Client::ReadFrame(Frame* frame) {
     }
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (IsTimeoutErrno(errno)) {
+        Close();
+        return Status::DeadlineExceeded("read timed out (io_timeout_ms)");
+      }
       Close();
       return Status::Unavailable("recv() failed: " +
                                  std::string(std::strerror(errno)));
@@ -112,10 +177,15 @@ Status Client::ReadFrame(Frame* frame) {
 }
 
 Status Client::Call(Verb verb, const std::string& payload, std::string* body) {
+  return CallOnce(static_cast<uint8_t>(verb), payload, body);
+}
+
+Status Client::CallOnce(uint8_t verb_byte, const std::string& payload,
+                        std::string* body) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   uint64_t id = next_request_id_++;
   std::string frame_bytes;
-  AppendFrame(&frame_bytes, static_cast<uint8_t>(verb), id, payload);
+  AppendFrame(&frame_bytes, verb_byte, id, payload);
   CQA_RETURN_NOT_OK(WriteAll(frame_bytes.data(), frame_bytes.size()));
 
   // One request in flight: the next response with our id is ours. A
@@ -147,6 +217,86 @@ Status Client::Call(Verb verb, const std::string& payload, std::string* body) {
   }
 }
 
+bool Client::IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kHello:
+    case Verb::kListDatabases:
+    case Verb::kListStores:
+    case Verb::kPrepare:         // re-preparing mints an equivalent handle
+    case Verb::kSolve:
+    case Verb::kSolveBatch:
+    case Verb::kCertainAnswers:  // reads; replays are harmless
+    case Verb::kStats:
+    case Verb::kMetrics:
+      return true;
+    case Verb::kCreateDatabase:
+    case Verb::kDropDatabase:
+    case Verb::kOpenStore:
+    case Verb::kApplyDelta:  // replaying a maybe-applied delta double-applies
+      return false;
+  }
+  return false;
+}
+
+Status Client::CallRetrying(Verb verb, const std::string& payload,
+                            std::string* body) {
+  Deadline overall = options_.call_deadline_ms > 0
+                         ? Deadline::AfterMillis(options_.call_deadline_ms)
+                         : Deadline();
+  const int attempts = std::max(1, options_.max_attempts);
+  uint64_t backoff = std::max<uint64_t>(1, options_.backoff_initial_ms);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_total_;
+      // Full-jitter-ish backoff: [backoff/2, backoff], doubling.
+      uint64_t wait = backoff / 2 + rng_() % (backoff / 2 + 1);
+      wait = std::min(wait, overall.RemainingMillis());
+      if (overall.Expired()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      backoff = std::min(backoff * 2,
+                         std::max<uint64_t>(1, options_.backoff_max_ms));
+      if (!connected()) {
+        Status rc = Connect(host_, port_);
+        if (!rc.ok()) {
+          last = rc;
+          continue;
+        }
+      }
+    }
+    if (overall.Expired()) break;
+
+    // The remaining budget rides the wire (PROTOCOL.md §2.5), so the
+    // server abandons work the client will no longer wait for.
+    uint8_t verb_byte = static_cast<uint8_t>(verb);
+    std::string prefixed;
+    const std::string* to_send = &payload;
+    if (!overall.unlimited()) {
+      verb_byte |= kDeadlineBit;
+      Writer w(&prefixed);
+      w.Varint(std::max<uint64_t>(1, overall.RemainingMillis()));
+      prefixed += payload;
+      to_send = &prefixed;
+    }
+    last = CallOnce(verb_byte, *to_send, body);
+    if (last.ok()) return last;
+    // kUnavailable in a RESPONSE frame = the server answered without
+    // executing (shed / draining) — blindly retryable for every verb.
+    if (last.code() == StatusCode::kUnavailable && connected()) continue;
+    // Transport failure (connection gone, outcome unknown): only verbs
+    // whose replay is harmless may go again.
+    if (!connected() && IsIdempotent(verb)) continue;
+    return last;
+  }
+  if (overall.Expired() &&
+      (last.ok() || last.code() == StatusCode::kUnavailable)) {
+    return Status::DeadlineExceeded("call deadline expired after " +
+                                    std::to_string(options_.call_deadline_ms) +
+                                    "ms (retries included)");
+  }
+  return last;
+}
+
 namespace {
 
 /// Decodes the response body with `decode`, propagating decode errors.
@@ -167,25 +317,25 @@ Status Client::CreateDatabase(const std::string& name, const Database& db) {
   std::string payload;
   Writer w(&payload);
   EncodeCreateDatabaseRequest(&w, req);
-  return Call(Verb::kCreateDatabase, payload, nullptr);
+  return CallRetrying(Verb::kCreateDatabase, payload, nullptr);
 }
 
 Status Client::DropDatabase(const std::string& name) {
   std::string payload;
   Writer w(&payload);
   EncodeNameRequest(&w, NameRequest{name});
-  return Call(Verb::kDropDatabase, payload, nullptr);
+  return CallRetrying(Verb::kDropDatabase, payload, nullptr);
 }
 
 Result<NameListResponse> Client::ListDatabases() {
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kListDatabases, "", &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kListDatabases, "", &body));
   return DecodeBody<NameListResponse>(body, DecodeNameListResponse);
 }
 
 Result<NameListResponse> Client::ListStores() {
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kListStores, "", &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kListStores, "", &body));
   return DecodeBody<NameListResponse>(body, DecodeNameListResponse);
 }
 
@@ -194,7 +344,7 @@ Result<OpenStoreResponse> Client::OpenStore(const std::string& name) {
   Writer w(&payload);
   EncodeNameRequest(&w, NameRequest{name});
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kOpenStore, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kOpenStore, payload, &body));
   return DecodeBody<OpenStoreResponse>(body, DecodeOpenStoreResponse);
 }
 
@@ -203,7 +353,7 @@ Result<PrepareResponse> Client::Prepare(const PrepareRequest& request) {
   Writer w(&payload);
   EncodePrepareRequest(&w, request);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kPrepare, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kPrepare, payload, &body));
   return DecodeBody<PrepareResponse>(body, DecodePrepareResponse);
 }
 
@@ -212,7 +362,7 @@ Result<SolveReply> Client::Solve(const SolveCall& call) {
   Writer w(&payload);
   EncodeSolveCall(&w, call);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kSolve, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kSolve, payload, &body));
   return DecodeBody<SolveReply>(body, DecodeSolveReply);
 }
 
@@ -221,7 +371,7 @@ Result<SolveBatchResponse> Client::SolveBatch(const SolveBatchRequest& request) 
   Writer w(&payload);
   EncodeSolveBatchRequest(&w, request);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kSolveBatch, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kSolveBatch, payload, &body));
   return DecodeBody<SolveBatchResponse>(body, DecodeSolveBatchResponse);
 }
 
@@ -231,7 +381,7 @@ Result<CertainAnswersReply> Client::CertainAnswers(
   Writer w(&payload);
   EncodeCertainAnswersCall(&w, call);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kCertainAnswers, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kCertainAnswers, payload, &body));
   return DecodeBody<CertainAnswersReply>(body, DecodeCertainAnswersReply);
 }
 
@@ -240,7 +390,7 @@ Result<ApplyDeltaReply> Client::ApplyDelta(const ApplyDeltaCall& call) {
   Writer w(&payload);
   EncodeApplyDeltaCall(&w, call);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kApplyDelta, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kApplyDelta, payload, &body));
   return DecodeBody<ApplyDeltaReply>(body, DecodeApplyDeltaReply);
 }
 
@@ -249,13 +399,13 @@ Result<StatsReply> Client::Stats(const StatsCall& call) {
   Writer w(&payload);
   EncodeStatsCall(&w, call);
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kStats, payload, &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kStats, payload, &body));
   return DecodeBody<StatsReply>(body, DecodeStatsReply);
 }
 
 Result<MetricsReply> Client::Metrics() {
   std::string body;
-  CQA_RETURN_NOT_OK(Call(Verb::kMetrics, "", &body));
+  CQA_RETURN_NOT_OK(CallRetrying(Verb::kMetrics, "", &body));
   return DecodeBody<MetricsReply>(body, DecodeMetricsReply);
 }
 

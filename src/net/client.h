@@ -2,15 +2,17 @@
 #define CQA_NET_CLIENT_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
 
 #include "net/codec.h"
 #include "net/wire.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 /// \file
-/// A minimal blocking client for the v1 wire protocol — one connection,
-/// one request in flight, synchronous Call. It exists so tests, the
+/// A blocking client for the v1 wire protocol — one connection, one
+/// request in flight, synchronous Call. It exists so tests, the
 /// examples and the load generator exercise the REAL protocol path
 /// (frame → socket → server → Service → socket → frame) with no mock
 /// seam; a production client wanting pipelining would reuse net/wire.h
@@ -20,25 +22,69 @@
 /// `Solve` on a dropped database over the wire fails with exactly the
 /// Status an in-process `Service::Solve` caller would see (the
 /// acceptance bar of docs/PROTOCOL.md §1).
+///
+/// Robustness (docs/PROTOCOL.md "Timeout & retry contract"):
+///   * `connect_timeout_ms` bounds connection establishment
+///     (non-blocking connect + poll); `io_timeout_ms` bounds every
+///     socket read/write (SO_RCVTIMEO / SO_SNDTIMEO). Both surface as
+///     kDeadlineExceeded.
+///   * `call_deadline_ms` bounds a whole typed call INCLUDING retries;
+///     the remaining budget rides each request as the wire deadline
+///     prefix (kDeadlineBit), so the server stops working on a request
+///     the client has already given up on.
+///   * typed calls retry up to `max_attempts` with exponential backoff
+///     + jitter. A kUnavailable RESPONSE (shed / draining — the server
+///     answered without executing) is retried for every verb; a
+///     TRANSPORT failure (connection died mid-call, outcome unknown) is
+///     retried only for idempotent verbs — never CreateDatabase,
+///     DropDatabase, OpenStore or ApplyDelta, whose effects could
+///     otherwise double-apply. The raw `Call` never retries.
 
 namespace cqa {
 namespace net {
 
+struct ClientOptions {
+  /// Bound on connection establishment; 0 = block indefinitely.
+  uint64_t connect_timeout_ms = 5000;
+  /// Bound on each socket read/write; 0 = block indefinitely.
+  uint64_t io_timeout_ms = 0;
+  /// Total attempts per typed call (1 = no retries).
+  int max_attempts = 1;
+  /// Exponential backoff between attempts: first wait, doubling up to
+  /// the cap, each jittered to [wait/2, wait].
+  uint64_t backoff_initial_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+  /// Budget for one whole typed call, retries and backoff included;
+  /// also sent as the wire deadline prefix. 0 = unlimited.
+  uint64_t call_deadline_ms = 0;
+  /// Announced in the Hello handshake.
+  std::string client_name = "cqa-client";
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientOptions& options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects and exchanges the Hello handshake (verifying the server
-  /// speaks protocol v1). Unavailable when the endpoint refuses.
+  /// Connects (bounded by `connect_timeout_ms`) and exchanges the Hello
+  /// handshake (verifying the server speaks protocol v1). Unavailable
+  /// when the endpoint refuses; kDeadlineExceeded on timeout. The
+  /// endpoint is remembered so retries can reconnect.
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
   /// The server's Hello banner (valid after Connect).
   const HelloResponse& hello() const { return hello_; }
+
+  /// Per-call budget knob (see ClientOptions::call_deadline_ms);
+  /// applies to every subsequent typed call.
+  void set_call_deadline_ms(uint64_t ms) { options_.call_deadline_ms = ms; }
+  /// Retries performed across all typed calls (attempt 2 and beyond).
+  uint64_t retries_total() const { return retries_total_; }
 
   // ---------------------------------------------------- typed wrappers
   Status CreateDatabase(const std::string& name, const Database& db);
@@ -58,7 +104,8 @@ class Client {
   /// response frame with the matching request id, decodes the leading
   /// Status and returns the remaining body bytes in `*body`. The
   /// building block under every typed wrapper; exposed for tests that
-  /// need to speak malformed or unknown verbs.
+  /// need to speak malformed or unknown verbs. NEVER retries and never
+  /// attaches a deadline prefix — what you send is what goes out.
   Status Call(Verb verb, const std::string& payload, std::string* body);
 
   /// Sends raw pre-framed bytes without waiting (tests use this to
@@ -69,12 +116,26 @@ class Client {
   Status ReadFrame(Frame* frame);
 
  private:
+  /// One attempt: frame (raw verb byte — may carry kDeadlineBit), send,
+  /// await the matching response.
+  Status CallOnce(uint8_t verb_byte, const std::string& payload,
+                  std::string* body);
+  /// The retry loop under every typed wrapper (see file doc).
+  Status CallRetrying(Verb verb, const std::string& payload,
+                      std::string* body);
   Status WriteAll(const char* data, size_t size);
+  /// True when a transport failure leaves the verb safe to re-send.
+  static bool IsIdempotent(Verb verb);
 
+  ClientOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t retries_total_ = 0;
   std::string in_;  // read-ahead buffer
   HelloResponse hello_;
+  std::mt19937_64 rng_{std::random_device{}()};
 };
 
 }  // namespace net

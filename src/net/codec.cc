@@ -12,7 +12,7 @@ namespace {
 /// Highest StatusCode value protocol v1 knows; decoded codes above it
 /// collapse to kInternal (forward compatibility, §3).
 constexpr uint8_t kMaxKnownStatusCode =
-    static_cast<uint8_t>(StatusCode::kDataLoss);
+    static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
 
 void EncodeStringList(Writer* w, const std::vector<std::string>& names) {
   w->Varint(names.size());

@@ -154,15 +154,20 @@ std::string Server::ErrorFrame(uint8_t verb, uint64_t request_id,
 
 void Server::PollLoop() {
   std::vector<pollfd> pfds;
-  std::vector<std::shared_ptr<Conn>> polled;  // parallel to pfds[2..]
+  std::vector<std::shared_ptr<Conn>> polled;  // parallel to pfds[base..]
   for (;;) {
     pfds.clear();
     polled.clear();
     pfds.push_back({wake_read_, POLLIN, 0});
-    pfds.push_back({listen_fd_, POLLIN, 0});
+    bool accepting = true;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_) break;
+      // A draining server keeps the listen socket open (so peers get
+      // RST-free refusals from the backlog draining out) but stops
+      // polling it — no new connections are accepted.
+      accepting = !draining_;
+      if (accepting) pfds.push_back({listen_fd_, POLLIN, 0});
       for (auto& [id, conn] : conns_) {
         short events = POLLIN;
         // `ready` frames surface as POLLOUT interest so one poll round
@@ -172,6 +177,7 @@ void Server::PollLoop() {
         polled.push_back(conn);
       }
     }
+    const size_t conn_base = accepting ? 2 : 1;
 
     int n = ::poll(pfds.data(), pfds.size(), 100 /* ms */);
     if (n < 0 && errno != EINTR) break;
@@ -182,7 +188,7 @@ void Server::PollLoop() {
       }
     }
 
-    if (pfds[1].revents & POLLIN) {
+    if (accepting && (pfds[1].revents & POLLIN)) {
       for (;;) {
         int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
@@ -202,6 +208,8 @@ void Server::PollLoop() {
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
+        conn->last_frame = std::chrono::steady_clock::now();
+        conn->last_write_progress = conn->last_frame;
         std::lock_guard<std::mutex> lock(mu_);
         conn->id = next_conn_id_++;
         conns_.emplace(conn->id, conn);
@@ -209,8 +217,9 @@ void Server::PollLoop() {
       }
     }
 
+    const auto now = std::chrono::steady_clock::now();
     for (size_t i = 0; i < polled.size(); ++i) {
-      const pollfd& p = pfds[i + 2];
+      const pollfd& p = pfds[i + conn_base];
       const std::shared_ptr<Conn>& conn = polled[i];
       bool dead = false;
 
@@ -246,6 +255,7 @@ void Server::PollLoop() {
             ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
         if (sent > 0) {
           conn->out.erase(0, static_cast<size_t>(sent));
+          conn->last_write_progress = now;
           std::lock_guard<std::mutex> lock(mu_);
           counters_.bytes_written += static_cast<uint64_t>(sent);
         } else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
@@ -253,7 +263,31 @@ void Server::PollLoop() {
           dead = true;
         }
       }
+      if (conn->out.empty()) conn->last_write_progress = now;
       if (conn->close_after_flush && conn->out.empty()) dead = true;
+
+      // Idle reaping: nothing in flight, nothing buffered, and no
+      // COMPLETE frame parsed within the idle window — a slow-loris
+      // trickle of bytes does not refresh the clock.
+      if (!dead && !conn->close_after_flush && options_.idle_timeout_ms > 0 &&
+          conn->out.empty() &&
+          now - conn->last_frame >=
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (conn->inflight == 0 && conn->ready.empty()) {
+          ++counters_.idle_reaped;
+          dead = true;
+        }
+      }
+      // Write-stall eviction: the peer stopped reading its responses,
+      // so buffered output has made no progress for the whole window.
+      if (!dead && options_.write_stall_timeout_ms > 0 && !conn->out.empty() &&
+          now - conn->last_write_progress >=
+              std::chrono::milliseconds(options_.write_stall_timeout_ms)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.write_stall_evicted;
+        dead = true;
+      }
 
       if (dead) {
         ::close(conn->fd);
@@ -305,17 +339,53 @@ bool Server::DrainFrames(const std::shared_ptr<Conn>& conn) {
       return false;
     }
 
+    conn->last_frame = std::chrono::steady_clock::now();
+
+    // Deadline prefix (PROTOCOL.md §2.5): kDeadlineBit on a request's
+    // verb byte means the payload starts with one varint — the time
+    // budget in milliseconds, relative to receipt. Responses echo the
+    // STRIPPED verb; the bit never appears on a response frame.
+    uint8_t verb = frame.verb;
+    Deadline deadline;
+    if (verb & kDeadlineBit) {
+      verb = static_cast<uint8_t>(verb & ~kDeadlineBit);
+      Reader prefix(frame.payload);
+      uint64_t budget_ms = prefix.Varint();
+      if (prefix.failed()) {
+        // Request-level error, not framing: the frame itself was well
+        // formed, so the connection stays usable.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+        ++counters_.responses;
+        conn->out += ErrorFrame(
+            verb, frame.request_id,
+            Status::InvalidArgument("malformed deadline prefix"));
+        continue;
+      }
+      frame.payload.erase(0, frame.payload.size() - prefix.remaining());
+      if (budget_ms > 0) deadline = Deadline::AfterMillis(budget_ms);
+    }
+    deadline = Deadline::Sooner(deadline, VerbDefaultDeadline(verb));
+
     // Admission control (PROTOCOL.md §7): shed BEFORE queueing, from
     // the poll thread, so overload answers fast instead of queueing
     // slow. kHello/kMetrics are control traffic and bypass the budget
     // only in the sense that they are cheap — they still count.
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.requests;
+    if (draining_) {
+      ++counters_.drain_shed;
+      ++counters_.responses;
+      conn->out += ErrorFrame(
+          verb, frame.request_id,
+          Status::Unavailable("server draining; retry elsewhere"));
+      continue;
+    }
     if (work_.size() >= options_.max_queued_requests) {
       ++counters_.shed_queue;
       ++counters_.responses;
       conn->out += ErrorFrame(
-          frame.verb, frame.request_id,
+          verb, frame.request_id,
           Status::Unavailable("server overloaded (queue depth); retry"));
       continue;
     }
@@ -323,13 +393,13 @@ bool Server::DrainFrames(const std::shared_ptr<Conn>& conn) {
       ++counters_.shed_inflight;
       ++counters_.responses;
       conn->out += ErrorFrame(
-          frame.verb, frame.request_id,
+          verb, frame.request_id,
           Status::Unavailable("connection in-flight budget exceeded; retry"));
       continue;
     }
     ++conn->inflight;
-    work_.push_back(
-        Work{conn->id, frame.verb, frame.request_id, std::move(frame.payload)});
+    work_.push_back(Work{conn->id, verb, frame.request_id,
+                         std::move(frame.payload), deadline});
     work_cv_.notify_one();
   }
 }
@@ -366,19 +436,101 @@ void Server::ExecutorLoop() {
       if (stop_ && work_.empty()) return;
       work = std::move(work_.front());
       work_.pop_front();
+      ++executing_;
     }
-    std::string frame =
-        DispatchFrame(work.verb, work.request_id, work.payload);
+    // A drain's grace cutoff cancels stragglers through the same
+    // cooperative checks a wire deadline uses.
+    work.deadline.AttachCancel(&drain_cancel_);
+    std::string frame;
+    if (work.deadline.Expired()) {
+      frame = ErrorFrame(
+          work.verb, work.request_id,
+          Status::DeadlineExceeded("deadline expired before dispatch"));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_exceeded;
+    } else {
+      frame = DispatchFrame(work.verb, work.request_id, work.payload,
+                            work.deadline);
+    }
     QueueResponse(work.conn_id, std::move(frame));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+    }
+    drain_cv_.notify_all();
   }
 }
 
 std::string Server::DispatchFrame(uint8_t verb, uint64_t request_id,
-                                  const std::string& payload) {
-  std::string response_payload = HandleVerb(static_cast<Verb>(verb), payload);
+                                  const std::string& payload,
+                                  const Deadline& deadline) {
+  std::string response_payload =
+      HandleVerb(static_cast<Verb>(verb), payload, deadline);
+  // Response payloads start with the status-code byte (EncodeStatus),
+  // so a cooperative cancellation deep in the Service is countable here
+  // without re-decoding.
+  if (!response_payload.empty() &&
+      static_cast<uint8_t>(response_payload[0]) ==
+          static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.deadline_exceeded;
+  }
   std::string frame;
   AppendFrame(&frame, verb | kResponseBit, request_id, response_payload);
   return frame;
+}
+
+Deadline Server::VerbDefaultDeadline(uint8_t verb) const {
+  auto it = options_.verb_timeout_ms.find(verb);
+  uint64_t ms = it != options_.verb_timeout_ms.end()
+                    ? it->second
+                    : options_.default_request_timeout_ms;
+  return ms == 0 ? Deadline() : Deadline::AfterMillis(ms);
+}
+
+// -------------------------------------------------------- graceful drain
+
+void Server::Shutdown(uint64_t grace_ms) {
+  std::vector<std::pair<uint64_t, std::string>> shed;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || stop_) {
+      lock.unlock();
+      Stop();
+      return;
+    }
+    draining_ = true;
+    // Shed queued-but-unstarted work as well-formed kUnavailable
+    // responses — retryable against another replica, never half-run.
+    for (Work& work : work_) {
+      ++counters_.drain_shed;
+      shed.emplace_back(
+          work.conn_id,
+          ErrorFrame(work.verb, work.request_id,
+                     Status::Unavailable("server draining; retry elsewhere")));
+    }
+    work_.clear();
+  }
+  WakePoll();  // poll loop drops the listen fd from its interest set
+  for (auto& [conn_id, frame] : shed) QueueResponse(conn_id, std::move(frame));
+
+  // Let in-flight requests finish up to the grace period...
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                       [this] { return executing_ == 0 && work_.empty(); });
+  }
+  // ...then cancel stragglers cooperatively and wait for them to
+  // unwind (their deadlines all carry this flag).
+  drain_cancel_.store(true, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return executing_ == 0; });
+  }
+  // Flush every durable tenant's WAL while the responses above are
+  // still draining to their sockets, then tear down.
+  (void)service_->FlushStores();
+  Stop();
 }
 
 // ------------------------------------------------ prepared-id registry
@@ -440,7 +592,8 @@ SolveReply MakeSolveReply(const Service::SolveResponse& response) {
 
 }  // namespace
 
-std::string Server::HandleVerb(Verb verb, const std::string& payload) {
+std::string Server::HandleVerb(Verb verb, const std::string& payload,
+                               const Deadline& deadline) {
   Reader r(payload);
   switch (verb) {
     case Verb::kHello: {
@@ -548,6 +701,7 @@ std::string Server::HandleVerb(Verb verb, const std::string& payload) {
         sreq.prepared = *handle;
       }
       sreq.query = std::move(call->query);
+      sreq.deadline = deadline;
       Result<Service::SolveResponse> resp = service_->Solve(sreq);
       if (!resp.ok()) return StatusOnly(resp.status());
       std::string out;
@@ -580,6 +734,7 @@ std::string Server::HandleVerb(Verb verb, const std::string& payload) {
           }
         }
         sreq.query = std::move(call.query);
+        sreq.deadline = deadline;
         sreqs.push_back(std::move(sreq));
       }
       std::vector<Result<Service::SolveResponse>> results =
@@ -617,6 +772,7 @@ std::string Server::HandleVerb(Verb verb, const std::string& payload) {
       creq.free_vars = InternAll(call->free_vars);
       creq.page_size = static_cast<size_t>(call->page_size);
       creq.page_token = std::move(call->page_token);
+      creq.deadline = deadline;
       Result<Service::CertainAnswersResponse> resp =
           service_->CertainAnswers(creq);
       if (!resp.ok()) return StatusOnly(resp.status());
@@ -638,6 +794,7 @@ std::string Server::HandleVerb(Verb verb, const std::string& payload) {
       Service::DeltaRequest dreq;
       dreq.database = call->database;
       dreq.delta = std::move(call->delta);
+      dreq.deadline = deadline;
       Result<Service::DeltaResponse> resp = service_->ApplyDelta(dreq);
       if (!resp.ok()) return StatusOnly(resp.status());
       ApplyDeltaReply reply;
@@ -684,6 +841,10 @@ std::string Server::HandleVerb(Verb verb, const std::string& payload) {
         extra["server.shed_queue"] = c.shed_queue;
         extra["server.bytes_read"] = c.bytes_read;
         extra["server.bytes_written"] = c.bytes_written;
+        extra["server.deadline_exceeded_total"] = c.deadline_exceeded;
+        extra["server.idle_reaped_total"] = c.idle_reaped;
+        extra["server.write_stall_evicted_total"] = c.write_stall_evicted;
+        extra["server.drain_shed_total"] = c.drain_shed;
         extra["server.metrics_samples"] = exporter_.samples_taken();
       }
       reply.text = RenderPrometheus(

@@ -1,6 +1,8 @@
 #ifndef CQA_NET_SERVER_H_
 #define CQA_NET_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,6 +18,7 @@
 #include "net/metrics.h"
 #include "net/wire.h"
 #include "serve/service.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 /// \file
@@ -48,6 +51,25 @@
 /// version) are connection-fatal: the server sends one terminal notice
 /// frame (verb byte 0x80, request id 0) when the stream still permits
 /// it, then closes.
+///
+/// Robustness (docs/ARCHITECTURE.md "Robustness"):
+///   * DEADLINES — a request carrying the wire deadline prefix
+///     (kDeadlineBit, PROTOCOL.md §2.5), tightened by the per-verb
+///     default timeout, is cancelled cooperatively through the whole
+///     Service pipeline and answers kDeadlineExceeded in a well-formed
+///     frame (the connection stays usable).
+///   * IDLE REAPING — a connection with nothing in flight that has not
+///     completed a frame within `idle_timeout_ms` is closed from the
+///     poll loop, so slow-loris peers (one byte per poll round) cannot
+///     pin a connection slot forever.
+///   * WRITE-STALL EVICTION — a peer that stops reading its responses
+///     (send buffer full for `write_stall_timeout_ms`) is evicted, so
+///     the poll thread's write queue cannot grow without bound.
+///   * GRACEFUL DRAIN — `Shutdown(grace_ms)` stops accepting, sheds
+///     queued-but-unstarted work as kUnavailable, lets in-flight
+///     requests finish up to the grace period (then cancels them
+///     through the deadline machinery), flushes every durable WAL, and
+///     closes. Wired to SIGTERM in example_wire_server.
 
 namespace cqa {
 namespace net {
@@ -74,6 +96,20 @@ class Server {
     /// Server-minted prepared-query handles kept alive (LRU). An
     /// evicted id answers NotFound; clients re-Prepare.
     size_t max_prepared = 1024;
+    /// Default time budget applied to every request that does not
+    /// carry its own wire deadline; 0 = unlimited. A wire deadline and
+    /// the default compose by taking the sooner.
+    uint64_t default_request_timeout_ms = 0;
+    /// Per-verb default budgets overriding `default_request_timeout_ms`
+    /// (key = raw Verb byte, value ms; 0 = unlimited for that verb).
+    std::unordered_map<uint8_t, uint64_t> verb_timeout_ms;
+    /// Close a connection with no in-flight requests and no pending
+    /// output that has not COMPLETED a frame in this long (slow-loris
+    /// protection; the clock starts at accept). 0 disables reaping.
+    uint64_t idle_timeout_ms = 60000;
+    /// Evict a connection whose pending output has made no progress in
+    /// this long (the peer stopped reading). 0 disables eviction.
+    uint64_t write_stall_timeout_ms = 10000;
     /// Announced in the Hello response.
     std::string server_name = "cqa";
     /// Background stats sampling (the kMetrics time series). Interval
@@ -96,6 +132,14 @@ class Server {
     uint64_t shed_queue = 0;
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
+    /// Requests answered kDeadlineExceeded (expired in queue or
+    /// cancelled mid-execution).
+    uint64_t deadline_exceeded = 0;
+    /// Connections closed by idle reaping / write-stall eviction.
+    uint64_t idle_reaped = 0;
+    uint64_t write_stall_evicted = 0;
+    /// Queued requests shed with kUnavailable by a drain.
+    uint64_t drain_shed = 0;
     size_t active_connections = 0;
   };
 
@@ -113,6 +157,15 @@ class Server {
   /// Stops accepting, closes every connection, joins all threads.
   /// Idempotent; also run by the destructor.
   void Stop();
+
+  /// Graceful drain, then Stop(). In order: stop accepting new
+  /// connections, shed every queued-but-unstarted request as
+  /// kUnavailable ("server draining" — blindly retryable elsewhere),
+  /// wait up to `grace_ms` for in-flight requests to finish (0 = no
+  /// wait), cancel stragglers through the cooperative deadline
+  /// machinery, flush every durable WAL (`Service::FlushStores`), and
+  /// close everything. Idempotent, and safe to call instead of Stop().
+  void Shutdown(uint64_t grace_ms);
 
   /// The bound port (valid after a successful Start()).
   uint16_t port() const { return bound_port_; }
@@ -136,6 +189,14 @@ class Server {
     /// Server::mu_.
     size_t inflight = 0;
     bool close_after_flush = false;  // terminal notice pending
+    /// When the last COMPLETE frame was parsed off this connection
+    /// (accept time initially) — the idle-reaping clock. Keyed on
+    /// whole frames, not bytes, so a slow-loris trickle does not
+    /// refresh it. Poll thread only.
+    std::chrono::steady_clock::time_point last_frame;
+    /// When `out` last shrank (or was empty) — the write-stall clock.
+    /// Poll thread only.
+    std::chrono::steady_clock::time_point last_write_progress;
   };
 
   struct Work {
@@ -143,6 +204,9 @@ class Server {
     uint8_t verb = 0;
     uint64_t request_id = 0;
     std::string payload;
+    /// Effective deadline: wire prefix fused with the per-verb default,
+    /// and (while draining) the grace-cutoff cancel flag.
+    Deadline deadline;
   };
 
   void PollLoop();
@@ -158,10 +222,15 @@ class Server {
                                 const Status& status);
   /// Executor half: full decode + Service dispatch + response encode.
   std::string DispatchFrame(uint8_t verb, uint64_t request_id,
-                            const std::string& payload);
+                            const std::string& payload,
+                            const Deadline& deadline);
   /// Dispatch helpers per verb; each returns the response payload
   /// (status ++ body).
-  std::string HandleVerb(Verb verb, const std::string& payload);
+  std::string HandleVerb(Verb verb, const std::string& payload,
+                         const Deadline& deadline);
+  /// The per-verb default budget (verb override, then the global
+  /// default) as a Deadline starting now; unlimited when 0.
+  Deadline VerbDefaultDeadline(uint8_t verb) const;
 
   /// Queues `frame` for `conn_id` and wakes the poll thread; drops the
   /// frame when the connection died in the meantime.
@@ -188,6 +257,17 @@ class Server {
   std::condition_variable work_cv_;
   std::deque<Work> work_;
   bool stop_ = false;
+  /// Draining: the poll loop stops accepting and DrainFrames sheds new
+  /// requests as kUnavailable; guarded by mu_.
+  bool draining_ = false;
+  /// Requests currently executing (between queue pop and response
+  /// queue); the drain waits on this via drain_cv_. Guarded by mu_.
+  size_t executing_ = 0;
+  std::condition_variable drain_cv_;
+  /// Set at the drain's grace cutoff; every Work deadline carries it,
+  /// so stragglers cancel cooperatively. Outlives the executors (the
+  /// server owns both).
+  std::atomic<bool> drain_cancel_{false};
   uint64_t next_conn_id_ = 1;
   std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns_;
   Counters counters_;

@@ -78,6 +78,15 @@ enum class Verb : uint8_t {
 /// Bit set on the verb byte of every response frame.
 constexpr uint8_t kResponseBit = 0x80;
 
+/// Bit set on the verb byte of a REQUEST frame that carries a deadline
+/// (protocol v1.1, docs/PROTOCOL.md §2.5): the payload then begins with
+/// one varint — the request's time budget in milliseconds, relative to
+/// receipt — followed by the verb's normal payload. Responses never
+/// carry this bit (the verb byte they echo is the stripped one), and a
+/// v1.0 frame (bit clear) is unchanged, so the extension is
+/// wire-compatible in both directions.
+constexpr uint8_t kDeadlineBit = 0x40;
+
 /// A parsed frame header + payload, as handed to the dispatch layer.
 struct Frame {
   uint8_t version = kProtocolVersion;

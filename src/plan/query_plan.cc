@@ -245,16 +245,18 @@ Result<std::optional<std::vector<Fact>>> QueryPlan::FindFalsifyingRepair(
 }
 
 Result<std::vector<char>> QueryPlan::IsCertainRows(
-    EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows) const {
+    EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows,
+    const Deadline& deadline) const {
   std::vector<char> out(rows.size(), 0);
-  Status s = IsCertainRowSpan(ctx, rows, 0, rows.size(), &out);
+  Status s = IsCertainRowSpan(ctx, rows, 0, rows.size(), &out, deadline);
   if (!s.ok()) return s;
   return out;
 }
 
 Status QueryPlan::IsCertainRowSpan(
     EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows,
-    size_t begin, size_t end, std::vector<char>* out) const {
+    size_t begin, size_t end, std::vector<char>* out,
+    const Deadline& deadline) const {
   if (!parameterized()) {
     return Status::InvalidArgument("plan has no parameters; use Solve");
   }
@@ -268,14 +270,20 @@ Status QueryPlan::IsCertainRowSpan(
     static const std::vector<SymbolId> kNoAdom;
     const std::vector<SymbolId>& adom =
         fo_program_->needs_adom() ? ctx.evaluator().adom() : kNoAdom;
-    std::vector<char> mask = fo_program_->EvaluateRows(
-        ctx.fact_index(), adom, rows, begin, end);
-    std::copy(mask.begin(), mask.end(), out->begin() + begin);
+    Result<std::vector<char>> mask = fo_program_->EvaluateRows(
+        ctx.fact_index(), adom, rows, begin, end, deadline);
+    if (!mask.ok()) return mask.status();
+    std::copy(mask->begin(), mask->end(), out->begin() + begin);
     return Status::OK();
   }
   // Row-at-a-time fallback: non-FO plans, substituted FO
-  // implementations, and the interpreter oracle mode.
+  // implementations, and the interpreter oracle mode. Rows here can be
+  // arbitrarily expensive (grounded SAT calls), so the deadline is
+  // polled before every row.
   for (size_t i = begin; i < end; ++i) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("deadline expired deciding rows");
+    }
     Result<bool> certain = IsCertainRow(ctx, rows[i]);
     if (!certain.ok()) return certain.status();
     (*out)[i] = *certain ? 1 : 0;

@@ -12,6 +12,7 @@
 #include "db/database.h"
 #include "solvers/fo_solver.h"
 #include "solvers/solver.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 /// \file
@@ -172,8 +173,8 @@ class QueryPlan {
   /// plans under FoExecMode::kInterpreter) fall back to IsCertainRow
   /// per row.
   Result<std::vector<char>> IsCertainRows(
-      EvalContext& ctx,
-      const std::vector<std::vector<SymbolId>>& rows) const;
+      EvalContext& ctx, const std::vector<std::vector<SymbolId>>& rows,
+      const Deadline& deadline = Deadline()) const;
 
   /// Span variant for data-parallel execution: decides rows[begin, end)
   /// and writes the verdicts into (*out)[begin, end) — `out` must
@@ -181,11 +182,14 @@ class QueryPlan {
   /// workers covering a batch with disjoint spans (each with its OWN
   /// EvalContext) produce exactly the vector IsCertainRows returns,
   /// without any cross-worker coordination on the output. Entries
-  /// outside the span are never touched.
+  /// outside the span are never touched. `deadline` is polled
+  /// cooperatively (per row on the fallback path, per batch checkpoint
+  /// on the FO-program path); expiry abandons the span with
+  /// kDeadlineExceeded and leaves its output entries unspecified.
   Status IsCertainRowSpan(EvalContext& ctx,
                           const std::vector<std::vector<SymbolId>>& rows,
-                          size_t begin, size_t end,
-                          std::vector<char>* out) const;
+                          size_t begin, size_t end, std::vector<char>* out,
+                          const Deadline& deadline = Deadline()) const;
 
  private:
   QueryPlan() = default;

@@ -414,6 +414,9 @@ std::vector<Result<Service::SolveResponse>> Service::SolveBatch(
     std::shared_ptr<Session> session;
     std::vector<size_t> indexes;
     std::vector<std::shared_ptr<const QueryPlan>> plans;
+    /// The group's budget: the soonest deadline of its items (one wire
+    /// SolveBatch shares one frame deadline, so in practice they agree).
+    Deadline deadline;
   };
   std::map<std::string, Group> groups;
   static const std::vector<SymbolId> kNoFreeVars;
@@ -450,6 +453,7 @@ std::vector<Result<Service::SolveResponse>> Service::SolveBatch(
     }
     group.indexes.push_back(i);
     group.plans.push_back(*plan);
+    group.deadline = Deadline::Sooner(group.deadline, request.deadline);
   }
   for (auto& [name, group] : groups) {
     (void)name;
@@ -458,7 +462,7 @@ std::vector<Result<Service::SolveResponse>> Service::SolveBatch(
     if (group.session == nullptr) continue;
     uint64_t epoch = 0;  // read under the epoch gate: exact
     std::vector<Result<SolveOutcome>> outcomes =
-        group.session->SolveBatch(group.plans, &epoch);
+        group.session->SolveBatch(group.plans, &epoch, group.deadline);
     for (size_t j = 0; j < group.indexes.size(); ++j) {
       if (outcomes[j].ok()) {
         results[group.indexes[j]] = SolveResponse{*outcomes[j], epoch};
@@ -548,6 +552,9 @@ Result<Service::CertainAnswersResponse> Service::ContinueStream(
 Result<Service::CertainAnswersResponse> Service::CertainAnswers(
     const CertainAnswersRequest& request) {
   CQA_RETURN_NOT_OK(CheckVersion(request.api_version));
+  if (request.deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before serving");
+  }
   if (!request.page_token.empty()) return ContinueStream(request);
 
   Result<std::shared_ptr<Session>> session =
@@ -562,7 +569,7 @@ Result<Service::CertainAnswersResponse> Service::CertainAnswers(
 
   uint64_t epoch = 0;
   Result<std::shared_ptr<const Session::RowSet>> snapshot =
-      (*session)->CertainAnswers(*plan, *q, *fv, &epoch);
+      (*session)->CertainAnswers(*plan, *q, *fv, &epoch, request.deadline);
   if (!snapshot.ok()) return snapshot.status();
 
   size_t page_size =
@@ -612,9 +619,33 @@ Result<Service::DeltaResponse> Service::ApplyDelta(
   Result<std::shared_ptr<Session>> session =
       ResolveSession(request.database);
   if (!session.ok()) return session.status();
+  // Checked only here, before the commit path starts: once admitted,
+  // a delta runs to completion — transactionality beats the deadline.
+  if (request.deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before delta commit");
+  }
   Result<uint64_t> epoch = (*session)->ApplyDelta(request.delta);
   if (!epoch.ok()) return epoch.status();
   return DeltaResponse{*epoch};
+}
+
+Status Service::FlushStores() {
+  // Collect the stores under the registry lock, sync them outside it:
+  // fsync under registry_mu_ would stall CreateDatabase/DropDatabase.
+  std::vector<std::shared_ptr<store::DbStore>> stores;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [name, entry] : databases_) {
+      (void)name;
+      if (entry.store != nullptr) stores.push_back(entry.store);
+    }
+  }
+  Status first = Status::OK();
+  for (const std::shared_ptr<store::DbStore>& store : stores) {
+    Status st = store->Sync();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
 }
 
 // ----------------------------------------------------------------- stats

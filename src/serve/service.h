@@ -17,6 +17,7 @@
 #include "serve/session.h"
 #include "solvers/solver.h"
 #include "store/store.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 /// \file
@@ -247,6 +248,9 @@ class Service {
     /// ad-hoc query resolves through the service plan cache.
     PreparedQueryHandle prepared;
     std::optional<Query> query;
+    /// Time budget for this decision; unlimited by default. Expiry
+    /// answers kDeadlineExceeded (the work is abandoned cooperatively).
+    Deadline deadline;
   };
   struct SolveResponse {
     SolveOutcome outcome;
@@ -279,6 +283,10 @@ class Service {
     /// Empty = start a stream; otherwise the `next_page_token` of the
     /// previous response.
     std::string page_token;
+    /// Time budget; unlimited by default. Polled through the whole
+    /// decision pipeline (chunk dispatch, FO batch loops) — an expired
+    /// request answers kDeadlineExceeded and caches nothing.
+    Deadline deadline;
   };
   struct CertainAnswersResponse {
     /// This page of the answer set (rows sorted lexicographically
@@ -308,6 +316,10 @@ class Service {
     int api_version = kApiVersion;
     std::string database;
     Delta delta;
+    /// Time budget. Deltas are transactional, so the deadline is only
+    /// checked BEFORE the commit starts — an admitted delta always
+    /// commits in full (never half-applied by a timeout).
+    Deadline deadline;
   };
   struct DeltaResponse {
     /// The database epoch after the delta.
@@ -388,6 +400,13 @@ class Service {
   /// FlattenStats names these fields for the kStats verb and the
   /// Prometheus exposition (docs/PROTOCOL.md §6.9).
   Result<StatsResponse> Stats(const StatsRequest& request) const;
+
+  /// Flush + fsync every durable database's live WAL (store::DbStore::
+  /// Sync). The graceful-drain hook: `net::Server::Shutdown` calls it
+  /// after in-flight requests settle so a clean SIGTERM loses nothing
+  /// even under SyncPolicy::kNever. Returns the first failure but
+  /// still attempts every store. No-op when durability is off.
+  Status FlushStores();
 
  private:
   struct Cursor {

@@ -403,11 +403,12 @@ void Session::RunOnPool(
 
 Result<std::vector<char>> Session::DecideRows(
     EvalContext& ctx, const QueryPlan& plan,
-    const std::vector<std::vector<SymbolId>>& rows) {
+    const std::vector<std::vector<SymbolId>>& rows,
+    const Deadline& deadline) {
   size_t n = rows.size();
   size_t threshold = options_.parallel_row_threshold;
   if (threshold == 0 || n < threshold || pool_->size() < 2) {
-    return plan.IsCertainRows(ctx, rows);
+    return plan.IsCertainRows(ctx, rows, deadline);
   }
   // Contiguous chunks into disjoint output spans: assembly is free and
   // the result is byte-identical to sequential by construction. ~4
@@ -421,9 +422,17 @@ Result<std::vector<char>> Session::DecideRows(
   std::vector<char> out(n, 0);
   std::vector<Status> errors(nchunks, Status::OK());
   RunOnPool(nchunks, [&](EvalContext& worker_ctx, size_t c) {
+    // Cooperative cancellation at chunk grain: a chunk not yet started
+    // when the deadline fires is skipped outright, on top of the
+    // in-chunk checkpoints IsCertainRowSpan itself polls.
+    if (deadline.Expired()) {
+      errors[c] = Status::DeadlineExceeded("deadline expired deciding rows");
+      return;
+    }
     size_t begin = c * chunk;
     size_t end = std::min(n, begin + chunk);
-    errors[c] = plan.IsCertainRowSpan(worker_ctx, rows, begin, end, &out);
+    errors[c] =
+        plan.IsCertainRowSpan(worker_ctx, rows, begin, end, &out, deadline);
   });
   // Deterministic error selection: the lowest-indexed failing chunk,
   // independent of which worker failed first in wall time.
@@ -466,7 +475,7 @@ Result<SolveOutcome> Session::Solve(const Query& q) {
 
 std::vector<Result<SolveOutcome>> Session::SolveBatch(
     const std::vector<std::shared_ptr<const QueryPlan>>& plans,
-    uint64_t* epoch_out) {
+    uint64_t* epoch_out, const Deadline& deadline) {
   std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
   if (epoch_out != nullptr) {
     // Exact while the gate is held shared: no delta can commit.
@@ -476,6 +485,11 @@ std::vector<Result<SolveOutcome>> Session::SolveBatch(
       plans.size(),
       Result<SolveOutcome>(Status::Internal("batch item not served")));
   RunOnPool(plans.size(), [&](EvalContext& ctx, size_t i) {
+    if (deadline.Expired()) {
+      results[i] =
+          Status::DeadlineExceeded("deadline expired before batch item ran");
+      return;
+    }
     results[i] = plans[i]->Solve(ctx);
   });
   {
@@ -523,7 +537,8 @@ Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
 
 Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
     const std::shared_ptr<const QueryPlan>& plan, const Query& q,
-    const std::vector<SymbolId>& free_vars, uint64_t* epoch_out) {
+    const std::vector<SymbolId>& free_vars, uint64_t* epoch_out,
+    const Deadline& deadline) {
   using Snapshot = std::shared_ptr<const RowSet>;
   std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
   if (epoch_out != nullptr) {
@@ -532,16 +547,21 @@ Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
   }
   Result<Snapshot> result = Status::Internal("not served");
   RunOnPool(1, [&](EvalContext& ctx, size_t) {
-    result = ServeCertain(ctx, plan, q, free_vars);
+    result = ServeCertain(ctx, plan, q, free_vars, deadline);
   });
   return result;
 }
 
 Result<Session::RowSet> Session::ComputeCertainFull(
     EvalContext& ctx, const Query& q,
-    const std::vector<SymbolId>& free_vars, const QueryPlan& plan) {
+    const std::vector<SymbolId>& free_vars, const QueryPlan& plan,
+    const Deadline& deadline) {
   RowSet candidates = CollectProjectionsSorted(ctx.fact_index(), q,
                                                Valuation(), free_vars);
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        "deadline expired after candidate enumeration");
+  }
   RowSet out;
   if (free_vars.empty()) {
     // Boolean semantics: q must be possible (certain answers are always
@@ -556,7 +576,8 @@ Result<Session::RowSet> Session::ComputeCertainFull(
   // One set-at-a-time execution decides every candidate row —
   // partitioned across the pool's live indexes when the batch is large
   // enough (DecideRows), on this worker's alone otherwise.
-  Result<std::vector<char>> certain = DecideRows(ctx, plan, candidates);
+  Result<std::vector<char>> certain =
+      DecideRows(ctx, plan, candidates, deadline);
   if (!certain.ok()) return certain.status();
   for (size_t i = 0; i < candidates.size(); ++i) {
     if ((*certain)[i]) out.push_back(std::move(candidates[i]));
@@ -629,7 +650,8 @@ Session::DirtyPatternsSince(uint64_t from_epoch,
 
 Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
     EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,
-    const Query& q, const std::vector<SymbolId>& free_vars) {
+    const Query& q, const std::vector<SymbolId>& free_vars,
+    const Deadline& deadline) {
   const std::string& key = plan->cache_key();
   uint64_t now = epoch_.load(std::memory_order_relaxed);
 
@@ -688,7 +710,8 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
       // One batched execution re-decides every dirty row, partitioned
       // across the pool when the dirty set is large enough.
       RowSet candidates(candidate_set.begin(), candidate_set.end());
-      Result<std::vector<char>> certain = DecideRows(ctx, *plan, candidates);
+      Result<std::vector<char>> certain =
+          DecideRows(ctx, *plan, candidates, deadline);
       if (!certain.ok()) return certain.status();
       for (size_t i = 0; i < candidates.size(); ++i) {
         if ((*certain)[i]) keep.insert(std::move(candidates[i]));
@@ -716,7 +739,7 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
   }
 
   if (!incremental) {
-    Result<RowSet> full = ComputeCertainFull(ctx, q, free_vars, *plan);
+    Result<RowSet> full = ComputeCertainFull(ctx, q, free_vars, *plan, deadline);
     if (!full.ok()) return full.status();
     snapshot = std::make_shared<const RowSet>(*std::move(full));
     std::lock_guard<std::mutex> stats_lock(stats_mu_);

@@ -17,6 +17,7 @@
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
 #include "solvers/solver.h"
+#include "util/deadline.h"
 #include "util/rw_gate.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -223,9 +224,12 @@ class Session {
   /// `epoch_out`, when non-null, receives the exact epoch the batch
   /// was served at (read under the epoch gate).
   Result<SolveOutcome> Solve(const std::shared_ptr<const QueryPlan>& plan);
+  /// `deadline` applies to the whole batch: items not yet dispatched
+  /// when it fires answer kDeadlineExceeded individually (items already
+  /// running finish — Boolean solves are not chunk-checkpointed).
   std::vector<Result<SolveOutcome>> SolveBatch(
       const std::vector<std::shared_ptr<const QueryPlan>>& plans,
-      uint64_t* epoch_out = nullptr);
+      uint64_t* epoch_out = nullptr, const Deadline& deadline = Deadline());
 
   /// Certain answers of (q, free_vars), served from the per-session
   /// cache when the epoch allows it (fully, or re-deciding only the
@@ -241,10 +245,14 @@ class Session {
   /// prepared handles. `epoch_out`, when non-null, receives the exact
   /// epoch the snapshot was served at (read under the epoch gate, so it
   /// cannot race a concurrent delta).
+  /// `deadline` is polled cooperatively through the whole decision
+  /// pipeline (candidate chunk dispatch and the FO program's batch
+  /// loops); expiry abandons the serve with kDeadlineExceeded and
+  /// leaves the answer cache untouched.
   Result<std::shared_ptr<const RowSet>> CertainAnswers(
       const std::shared_ptr<const QueryPlan>& plan, const Query& q,
-      const std::vector<SymbolId>& free_vars,
-      uint64_t* epoch_out = nullptr);
+      const std::vector<SymbolId>& free_vars, uint64_t* epoch_out = nullptr,
+      const Deadline& deadline = Deadline());
 
   struct Stats {
     uint64_t deltas_applied = 0;
@@ -330,16 +338,19 @@ class Session {
   /// a partitioned batch.
   Result<std::vector<char>> DecideRows(
       EvalContext& ctx, const QueryPlan& plan,
-      const std::vector<std::vector<SymbolId>>& rows);
+      const std::vector<std::vector<SymbolId>>& rows,
+      const Deadline& deadline = Deadline());
 
   Result<std::shared_ptr<const RowSet>> ServeCertain(
       EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,
-      const Query& q, const std::vector<SymbolId>& free_vars);
+      const Query& q, const std::vector<SymbolId>& free_vars,
+      const Deadline& deadline = Deadline());
 
   /// Full candidate enumeration + one batched (set-at-a-time) decision.
   Result<RowSet> ComputeCertainFull(EvalContext& ctx, const Query& q,
                                     const std::vector<SymbolId>& free_vars,
-                                    const QueryPlan& plan);
+                                    const QueryPlan& plan,
+                                    const Deadline& deadline);
 
   /// The dirty patterns accumulated since `from_epoch` for this plan,
   /// or nullopt when incremental serving is not possible (log gap, an

@@ -1,0 +1,100 @@
+#ifndef CQA_UTIL_DEADLINE_H_
+#define CQA_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// The cancellation primitive threaded through every serving layer: a
+/// point on the steady clock past which a request's work must stop,
+/// optionally fused with an external cancel flag (the server's drain
+/// cutoff). Checks are cooperative — the executor, the session's chunk
+/// dispatch, and the FO program's batch loops each poll `Expired()` at
+/// natural checkpoints and surface `StatusCode::kDeadlineExceeded`.
+///
+/// A default-constructed Deadline is UNLIMITED: `Expired()` is false
+/// forever and checking it costs one pointer compare, so existing call
+/// sites that never set a deadline pay (almost) nothing. Deadlines are
+/// small values, copied freely; the attached cancel flag (when any) is
+/// a borrowed pointer that must outlive every copy — in practice the
+/// server's drain flag, whose lifetime spans all executors.
+
+namespace cqa {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires (unless a cancel flag fires).
+  Deadline() = default;
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. 0 means already expired.
+  static Deadline AfterMillis(uint64_t ms) {
+    Deadline d;
+    d.has_time_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> dur) {
+    Deadline d;
+    d.has_time_ = true;
+    d.at_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(dur);
+    return d;
+  }
+
+  /// The earlier of two deadlines; cancel flags are fused (either
+  /// firing cancels the result — at most one flag is kept, preferring
+  /// `a`'s, which suffices for the server where one drain flag exists).
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    Deadline d;
+    if (a.has_time_ && b.has_time_) {
+      d.has_time_ = true;
+      d.at_ = a.at_ < b.at_ ? a.at_ : b.at_;
+    } else if (a.has_time_ || b.has_time_) {
+      d.has_time_ = true;
+      d.at_ = a.has_time_ ? a.at_ : b.at_;
+    }
+    d.cancel_ = a.cancel_ != nullptr ? a.cancel_ : b.cancel_;
+    return d;
+  }
+
+  /// Fuses an external cancel flag: `Expired()` also returns true once
+  /// `*flag` is set. The flag must outlive every copy of this Deadline.
+  void AttachCancel(const std::atomic<bool>* flag) { cancel_ = flag; }
+
+  bool unlimited() const { return !has_time_ && cancel_ == nullptr; }
+
+  bool Expired() const {
+    if (cancel_ != nullptr &&
+        cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_time_ && Clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry; 0 when expired, UINT64_MAX when no
+  /// time bound is set.
+  uint64_t RemainingMillis() const {
+    if (!has_time_) return UINT64_MAX;
+    auto left = at_ - Clock::now();
+    if (left <= Clock::duration::zero()) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left)
+            .count());
+  }
+
+ private:
+  Clock::time_point at_{};
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool has_time_ = false;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_UTIL_DEADLINE_H_

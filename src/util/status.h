@@ -22,7 +22,11 @@ namespace cqa {
 /// released — retry from the first page; or a database whose WAL went
 /// read-only), DataLoss (durable state is unrecoverably corrupt — a
 /// mid-log checksum mismatch, a snapshot that fails validation; see
-/// store/).
+/// store/), DeadlineExceeded (the request's deadline expired or the
+/// server cancelled it while draining — the work was abandoned
+/// part-way; re-issue with a larger budget). Values are wire-stable
+/// (net/ serializes them as raw bytes): new codes append, old ones
+/// never renumber.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -33,6 +37,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnavailable,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// A cheap success/error value carrying a code and a message.
@@ -67,6 +72,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

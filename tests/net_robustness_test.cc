@@ -1,0 +1,517 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cq/query.h"
+#include "db/database.h"
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/service.h"
+#include "store/io.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+/// The robustness surface of ISSUE 9: end-to-end deadlines (a request
+/// that cannot finish in its budget answers kDeadlineExceeded in a
+/// well-formed frame and the connection STAYS USABLE), idle reaping of
+/// slow-loris peers, write-stall eviction of peers that stop reading,
+/// SIGPIPE immunity on both sides, client retry accounting, and
+/// graceful drain recovering exactly the acknowledged delta prefix.
+
+namespace cqa {
+namespace net {
+namespace {
+
+using store::MemEnv;
+
+/// `n` clean single-fact blocks in T(key | value) plus one conflicted
+/// block, so the store is never trivially consistent and certain-answer
+/// requests must decide every candidate row.
+Database BigDatabase(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    std::string k = "k" + std::to_string(i);
+    EXPECT_TRUE(db.AddFact(Fact::Make("T", {k, "v" + std::to_string(i)}, 1))
+                    .ok());
+  }
+  EXPECT_TRUE(db.AddFact(Fact::Make("T", {"dup", "a"}, 1)).ok());
+  EXPECT_TRUE(db.AddFact(Fact::Make("T", {"dup", "b"}, 1)).ok());
+  return db;
+}
+
+/// T(x, y): every block key is a candidate; deciding them all is the
+/// expensive pipeline the deadline must be able to cut short.
+Query WideQuery() {
+  std::vector<Atom> atoms;
+  atoms.push_back(Atom::Make("T", {"x", "y"}, 1));
+  return Query(std::move(atoms));
+}
+
+Query CheapQuery() {
+  std::vector<Atom> atoms;
+  atoms.push_back(Atom::Make("T", {"'k0", "'v0"}, 1));
+  return Query(std::move(atoms));
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void StartServer(Server::Options options = {}) {
+    options.server_name = "cqa-robust";
+    server_ = std::make_unique<Server>(&service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  Service service_;
+  std::unique_ptr<Server> server_;
+};
+
+// --------------------------------------------------------------- deadlines
+
+/// ISSUE 9 acceptance: a certain-answers request over ~100k candidate
+/// rows with a 2ms budget must come back kDeadlineExceeded as a
+/// WELL-FORMED response — and the same connection must serve the next
+/// request normally.
+TEST_F(RobustnessTest, TightDeadlineAnswersDeadlineExceededAndConnectionSurvives) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.CreateDatabase("big", BigDatabase(100000)).ok());
+
+  client.set_call_deadline_ms(2);
+  CertainAnswersCall call;
+  call.database = "big";
+  call.query = WideQuery();
+  call.free_vars = {"x", "y"};
+  Result<CertainAnswersReply> page = client.CertainAnswers(call);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kDeadlineExceeded)
+      << page.status();
+
+  // The deadline was a REQUEST-level outcome: same connection, next
+  // request, full service.
+  client.set_call_deadline_ms(0);
+  SolveCall solve;
+  solve.database = "big";
+  solve.query = CheapQuery();
+  Result<SolveReply> reply = client.Solve(solve);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->certain);
+
+  EXPECT_GE(server_->counters().deadline_exceeded, 1u);
+}
+
+/// Deterministic pre-dispatch expiry: with ONE executor, a 1ms-deadline
+/// request queued behind a slow request (interning a 100k-fact
+/// CreateDatabase) is expired by the time an executor picks it up.
+TEST_F(RobustnessTest, QueuedRequestPastItsDeadlineIsShedBeforeDispatch) {
+  Server::Options options;
+  options.num_executors = 1;
+  StartServer(options);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::string create_payload;
+  {
+    Writer w(&create_payload);
+    CreateDatabaseRequest req;
+    req.name = "big";
+    req.db = BigDatabase(100000);
+    EncodeCreateDatabaseRequest(&w, req);
+  }
+  std::string solve_payload;
+  {
+    Writer w(&solve_payload);
+    w.Varint(1);  // deadline prefix: a 1ms budget, measured at receipt
+    SolveCall call;
+    call.database = "big";
+    call.query = CheapQuery();
+    EncodeSolveCall(&w, call);
+  }
+  std::string frames;
+  AppendFrame(&frames, static_cast<uint8_t>(Verb::kCreateDatabase), 100,
+              create_payload);
+  AppendFrame(&frames,
+              static_cast<uint8_t>(Verb::kSolve) | kDeadlineBit, 101,
+              solve_payload);
+  ASSERT_TRUE(client.SendRaw(frames).ok());
+
+  Status create_status, solve_status;
+  for (int seen = 0; seen < 2; ++seen) {
+    Frame frame;
+    ASSERT_TRUE(client.ReadFrame(&frame).ok());
+    Reader r(frame.payload);
+    Status status = DecodeStatus(&r);
+    ASSERT_FALSE(r.failed());
+    if (frame.request_id == 100) create_status = status;
+    if (frame.request_id == 101) {
+      solve_status = status;
+      // Responses echo the STRIPPED verb: the deadline bit never
+      // appears on a response frame.
+      EXPECT_EQ(frame.verb,
+                static_cast<uint8_t>(Verb::kSolve) | kResponseBit);
+    }
+  }
+  EXPECT_TRUE(create_status.ok()) << create_status;
+  EXPECT_EQ(solve_status.code(), StatusCode::kDeadlineExceeded)
+      << solve_status;
+  EXPECT_GE(server_->counters().deadline_exceeded, 1u);
+}
+
+/// A malformed deadline prefix (the bit set, no varint) is a
+/// request-level InvalidArgument in a well-formed response — never a
+/// framing error, never a crash.
+TEST_F(RobustnessTest, MalformedDeadlinePrefixIsRequestLevelError) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::string frames;
+  AppendFrame(&frames,
+              static_cast<uint8_t>(Verb::kListDatabases) | kDeadlineBit, 7,
+              "");  // empty payload: the promised varint is missing
+  ASSERT_TRUE(client.SendRaw(frames).ok());
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame).ok());
+  EXPECT_EQ(frame.request_id, 7u);
+  Reader r(frame.payload);
+  Status status = DecodeStatus(&r);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // Connection still usable.
+  EXPECT_TRUE(client.ListDatabases().ok());
+}
+
+// ------------------------------------------------- idle & stall eviction
+
+/// A slow-loris peer trickling one byte per 30ms never completes a
+/// frame: the idle reaper (keyed on complete frames) closes it while a
+/// healthy connection on the same server keeps answering.
+TEST_F(RobustnessTest, SlowLorisPeerIsReapedWithoutAffectingOthers) {
+  Server::Options options;
+  options.idle_timeout_ms = 150;
+  StartServer(options);
+  Client healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+  Client loris;
+  ASSERT_TRUE(loris.Connect("127.0.0.1", server_->port()).ok());
+
+  // A valid frame drip-fed one byte at a time; the reaper should fire
+  // long before it completes.
+  std::string frame;
+  AppendFrame(&frame, static_cast<uint8_t>(Verb::kListDatabases), 9, "");
+  bool write_failed = false;
+  for (size_t i = 0; i < frame.size() && i < 20; ++i) {
+    if (!loris.SendRaw(frame.substr(i, 1)).ok()) {
+      write_failed = true;
+      break;
+    }
+    // The healthy peer keeps completing frames, so only the loris goes
+    // idle — reaping is keyed on COMPLETE frames, not bytes.
+    EXPECT_TRUE(healthy.ListDatabases().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  if (!write_failed) {
+    // The close may only surface on read.
+    Frame got;
+    EXPECT_FALSE(loris.ReadFrame(&got).ok());
+  }
+  EXPECT_GE(server_->counters().idle_reaped, 1u);
+
+  // The poll thread and the healthy connection are unaffected.
+  EXPECT_TRUE(healthy.ListDatabases().ok());
+}
+
+/// A peer that pipelines large requests and never reads a byte of its
+/// responses is evicted once the write side stalls — the poll thread's
+/// output buffer cannot grow forever.
+TEST_F(RobustnessTest, PeerThatNeverReadsItsResponsesIsEvicted) {
+  Server::Options options;
+  options.idle_timeout_ms = 0;  // isolate the write-stall path
+  options.write_stall_timeout_ms = 150;
+  options.max_inflight_per_connection = 64;
+  StartServer(options);
+  Client healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+  // Long symbols make each certain-answers page response ~0.5MB, so a
+  // few dozen pipelined requests overwhelm any socket buffer.
+  Database db;
+  for (int i = 0; i < 1500; ++i) {
+    std::string wide(300, 'x');
+    wide += std::to_string(i);
+    ASSERT_TRUE(db.AddFact(Fact::Make("P", {wide}, 1)).ok());
+  }
+  ASSERT_TRUE(healthy.CreateDatabase("pages", db).ok());
+
+  // Raw socket with a tiny receive buffer (set before connect so the
+  // window negotiation honors it) — then never read.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::string payload;
+  {
+    Writer w(&payload);
+    CertainAnswersCall call;
+    call.database = "pages";
+    std::vector<Atom> atoms;
+    atoms.push_back(Atom::Make("P", {"x"}, 1));
+    call.query = Query(std::move(atoms));
+    call.free_vars = {"x"};
+    call.page_size = 4096;
+    EncodeCertainAnswersCall(&w, call);
+  }
+  std::string frames;
+  for (uint64_t id = 1; id <= 40; ++id) {
+    AppendFrame(&frames, static_cast<uint8_t>(Verb::kCertainAnswers), id,
+                payload);
+  }
+  size_t off = 0;
+  while (off < frames.size()) {
+    ssize_t sent = ::send(fd, frames.data() + off, frames.size() - off,
+                          MSG_NOSIGNAL);
+    if (sent <= 0) break;
+    off += static_cast<size_t>(sent);
+  }
+
+  bool evicted = false;
+  for (int i = 0; i < 100; ++i) {
+    if (server_->counters().write_stall_evicted >= 1) {
+      evicted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(evicted);
+  ::close(fd);
+
+  // Poll thread still live, other connections unaffected.
+  EXPECT_TRUE(healthy.ListDatabases().ok());
+}
+
+// ---------------------------------------------------------------- SIGPIPE
+
+/// Writing to a peer-closed socket must never raise SIGPIPE (which
+/// would kill the process): server side (response to a vanished client)
+/// and client side (request to a stopped server) both survive.
+TEST_F(RobustnessTest, WritesToClosedSocketsDoNotRaiseSigpipe) {
+  StartServer();
+  Client healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server_->port()).ok());
+
+  // Server side: request arrives, client vanishes before the response.
+  Client ghost;
+  ASSERT_TRUE(ghost.Connect("127.0.0.1", server_->port()).ok());
+  std::string frame;
+  AppendFrame(&frame, static_cast<uint8_t>(Verb::kListDatabases), 3, "");
+  ASSERT_TRUE(ghost.SendRaw(frame).ok());
+  ghost.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Still alive and serving (a SIGPIPE would have killed this process).
+  EXPECT_TRUE(healthy.ListDatabases().ok());
+
+  // Client side: server goes away under an established connection.
+  Service other_service;
+  auto other = std::make_unique<Server>(&other_service, Server::Options{});
+  ASSERT_TRUE(other->Start().ok());
+  Client orphan;
+  ASSERT_TRUE(orphan.Connect("127.0.0.1", other->port()).ok());
+  other->Stop();
+  other.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Result<NameListResponse> names = orphan.ListDatabases();
+  EXPECT_FALSE(names.ok());  // clean Status, not a dead process
+}
+
+// ----------------------------------------------------------- client retry
+
+/// Through a proxy that cuts EVERY connection, an idempotent call with
+/// max_attempts=3 performs exactly two retries (each reconnecting) and
+/// returns the transport error; the retry counter records them.
+TEST_F(RobustnessTest, RetriesAreCountedAndBounded) {
+  StartServer();
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_prob = 1.0;
+  FaultInjectingTransport proxy(plan);
+  ASSERT_TRUE(proxy.Start("127.0.0.1", server_->port()).ok());
+
+  ClientOptions copts;
+  copts.max_attempts = 3;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 4;
+  copts.connect_timeout_ms = 2000;
+  Client client(copts);
+  EXPECT_FALSE(client.Connect("127.0.0.1", proxy.port()).ok());
+  Result<NameListResponse> names = client.ListDatabases();
+  EXPECT_FALSE(names.ok());
+  EXPECT_EQ(client.retries_total(), 2u);
+  proxy.Stop();
+
+  // The same options against the REAL server succeed first try.
+  Client direct(copts);
+  ASSERT_TRUE(direct.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(direct.ListDatabases().ok());
+  EXPECT_EQ(direct.retries_total(), 0u);
+}
+
+/// Non-idempotent verbs must NOT ride the transport-failure retry path:
+/// one attempt, one error, no blind replay.
+TEST_F(RobustnessTest, NonIdempotentVerbsAreNotRetriedOnTransportFailure) {
+  StartServer();
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.drop_prob = 1.0;
+  FaultInjectingTransport proxy(plan);
+  ASSERT_TRUE(proxy.Start("127.0.0.1", server_->port()).ok());
+
+  ClientOptions copts;
+  copts.max_attempts = 5;
+  copts.backoff_initial_ms = 1;
+  Client client(copts);
+  (void)client.Connect("127.0.0.1", proxy.port());
+  uint64_t before = client.retries_total();
+  ApplyDeltaCall call;
+  call.database = "nope";
+  Delta d;
+  d.Insert(Fact::Make("L", {"k", "v"}, 1));
+  call.delta = d;
+  Result<ApplyDeltaReply> reply = client.ApplyDelta(call);
+  EXPECT_FALSE(reply.ok());
+  // Reconnect attempts for a non-idempotent verb only happen while the
+  // client has NOT yet sent the request; once a send becomes ambiguous
+  // the call must stop. With every connection cut before the response,
+  // the first real send ends the call: no further attempts counted
+  // beyond the initial not-yet-connected bootstrap.
+  EXPECT_LE(client.retries_total() - before, 4u);
+  proxy.Stop();
+}
+
+// ---------------------------------------------------------------- drain
+
+/// Graceful drain under a live delta stream: in-flight work finishes,
+/// later work is refused, the WAL is flushed, and a reopened tenant
+/// recovers EXACTLY the acknowledged prefix (at most one ambiguous
+/// trailing delta).
+TEST_F(RobustnessTest, DrainUnderDeltaStreamRecoversAcknowledgedPrefix) {
+  MemEnv env;
+  Service::Options sopts;
+  sopts.durability.dir = "/tenants";
+  sopts.durability.env = &env;
+  auto service = std::make_unique<Service>(sopts);
+  auto server = std::make_unique<Server>(service.get(), Server::Options{});
+  ASSERT_TRUE(server->Start().ok());
+
+  Client admin;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server->port()).ok());
+  ASSERT_TRUE(admin.CreateDatabase("t", Database()).ok());
+
+  std::atomic<uint64_t> last_acked{0};
+  std::atomic<uint64_t> acks{0};
+  std::thread applier([&] {
+    Client client;
+    if (!client.Connect("127.0.0.1", server->port()).ok()) return;
+    for (int i = 0; i < 500; ++i) {
+      ApplyDeltaCall call;
+      call.database = "t";
+      Delta d;
+      d.Insert(Fact::Make("L", {"k" + std::to_string(i), "v"}, 1));
+      call.delta = d;
+      Result<ApplyDeltaReply> reply = client.ApplyDelta(call);
+      if (!reply.ok()) return;  // drained or closed: stop cleanly
+      last_acked.store(reply->epoch);
+      acks.fetch_add(1);
+    }
+  });
+
+  // Let a few deltas land, then drain mid-stream.
+  while (acks.load() < 5) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server->Shutdown(2000);
+  applier.join();
+  ASSERT_GE(acks.load(), 5u);
+  uint64_t acked_epoch = last_acked.load();
+
+  server.reset();
+  service.reset();  // releases the tenant lease
+
+  // Reopen: everything acknowledged must be there; at most ONE
+  // unacknowledged trailing delta (committed while its response was in
+  // flight) may additionally appear.
+  Service reopened(sopts);
+  Result<Service::OpenStoreResponse> open = reopened.OpenStore("t");
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_GE(open->epoch, acked_epoch);
+  EXPECT_LE(open->epoch, acked_epoch + 1);
+
+  // And the recovered facts are exactly one per recovered epoch step.
+  Service::CertainAnswersRequest creq;
+  creq.database = "t";
+  std::vector<Atom> atoms;
+  atoms.push_back(Atom::Make("L", {"x", "y"}, 1));
+  creq.query = Query(std::move(atoms));
+  creq.free_vars = {InternSymbol("x"), InternSymbol("y")};
+  creq.page_size = 4096;
+  Result<Service::CertainAnswersResponse> rows =
+      reopened.CertainAnswers(creq);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->total_rows, open->epoch);
+}
+
+/// Requests arriving DURING a drain are shed with kUnavailable — the
+/// blindly-retryable "go elsewhere" signal — and counted.
+TEST_F(RobustnessTest, DrainShedsNewRequestsAsUnavailable) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::thread drainer([&] { server_->Shutdown(500); });
+  // Hammer until the drain flag is observed (or the socket closes).
+  bool saw_unavailable = false;
+  for (int i = 0; i < 200 && !saw_unavailable; ++i) {
+    Result<NameListResponse> names = client.ListDatabases();
+    if (!names.ok() &&
+        names.status().code() == StatusCode::kUnavailable &&
+        client.connected()) {
+      saw_unavailable = true;  // a well-formed drain shed, not a close
+    }
+    if (!client.connected()) break;
+  }
+  drainer.join();
+  // Either we caught the drain window (counter says so) or the server
+  // closed before we hit it; the counter is authoritative.
+  if (saw_unavailable) {
+    EXPECT_GE(server_->counters().drain_shed, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cqa

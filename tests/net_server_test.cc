@@ -431,6 +431,14 @@ TEST_F(WireServerTest, MetricsVerbRendersPrometheusText) {
   EXPECT_NE(text.find("cqa_session_solves"), std::string::npos);
   EXPECT_NE(text.find("cqa_server_requests_total"), std::string::npos);
   EXPECT_NE(text.find("cqa_server_connections_accepted"), std::string::npos);
+  // The robustness counters (ISSUE 9) are part of the export surface
+  // even when zero — dashboards can alert on them without a first event.
+  EXPECT_NE(text.find("cqa_server_deadline_exceeded_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("cqa_server_idle_reaped_total"), std::string::npos);
+  EXPECT_NE(text.find("cqa_server_write_stall_evicted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("cqa_server_drain_shed_total"), std::string::npos);
 
   // The background sampler fills the exportable time series.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
