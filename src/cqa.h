@@ -41,6 +41,7 @@
 /// `net::Client` is the matching blocking client — see net/server.h,
 /// net/client.h and examples/wire_server.cpp / wire_client.cpp.
 
+#include "backend/backend.h"
 #include "core/attack_graph.h"
 #include "core/classifier.h"
 #include "core/dot_export.h"
@@ -61,6 +62,7 @@
 #include "fo/program.h"
 #include "fo/rewriter.h"
 #include "fo/sql_gen.h"
+#include "fo/sql_lower.h"
 #include "gen/db_gen.h"
 #include "gen/instance_gen.h"
 #include "gen/query_gen.h"

@@ -13,6 +13,12 @@ namespace {
 /// Variable -> SQL column expression ("t3.c2") for the current scope.
 using Scope = std::map<SymbolId, std::string>;
 
+/// Table reference for a relation symbol: its (hostile-name safe)
+/// quoted identifier.
+std::string TableRef(SymbolId relation) {
+  return QuoteSqlIdentifier(SymbolName(relation));
+}
+
 std::string SqlLiteral(SymbolId constant) {
   // Standard SQL string literal; single quotes doubled.
   std::string out = "'";
@@ -92,7 +98,7 @@ struct SqlGen {
         std::string alias = "t" + std::to_string(next_alias++);
         Scope inner = scope;
         std::string conds = GuardConstraints(f.atom(), alias, &inner);
-        return "EXISTS (SELECT 1 FROM " + SymbolName(f.atom().relation()) +
+        return "EXISTS (SELECT 1 FROM " + TableRef(f.atom().relation()) +
                " AS " + alias + " WHERE " + conds + ")";
       }
       case Formula::Kind::kExistsGuard: {
@@ -100,7 +106,7 @@ struct SqlGen {
         Scope inner = scope;
         std::string conds = GuardConstraints(f.atom(), alias, &inner);
         std::string child = Translate(*f.children()[0], inner);
-        return "EXISTS (SELECT 1 FROM " + SymbolName(f.atom().relation()) +
+        return "EXISTS (SELECT 1 FROM " + TableRef(f.atom().relation()) +
                " AS " + alias + " WHERE " + conds + " AND " + child + ")";
       }
       case Formula::Kind::kForallGuard: {
@@ -108,9 +114,9 @@ struct SqlGen {
         Scope inner = scope;
         std::string conds = GuardConstraints(f.atom(), alias, &inner);
         std::string child = Translate(*f.children()[0], inner);
-        return "NOT EXISTS (SELECT 1 FROM " +
-               SymbolName(f.atom().relation()) + " AS " + alias +
-               " WHERE " + conds + " AND NOT (" + child + "))";
+        return "NOT EXISTS (SELECT 1 FROM " + TableRef(f.atom().relation()) +
+               " AS " + alias + " WHERE " + conds + " AND NOT (" + child +
+               "))";
       }
       case Formula::Kind::kExistsDom:
       case Formula::Kind::kForallDom:
@@ -123,6 +129,16 @@ struct SqlGen {
 };
 
 }  // namespace
+
+std::string QuoteSqlIdentifier(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
 
 Result<std::string> FormulaToSql(const FormulaPtr& formula) {
   SqlGen gen;

@@ -21,6 +21,14 @@
 
 namespace cqa {
 
+/// Renders `name` as a quoted SQL identifier: wrapped in double quotes
+/// with embedded double quotes doubled, the identifier-side twin of the
+/// single-quote literal escaping below. Relation names are user input
+/// (the same hostile-name discipline store/ applies to tenant dirs):
+/// a relation named `R; DROP TABLE` or `R" OR "1"="1` must land in the
+/// emitted SQL as data, never as syntax. Shared with fo/sql_lower.h.
+std::string QuoteSqlIdentifier(const std::string& name);
+
 /// Renders a formula as a SQL boolean expression. Formulas containing
 /// unguarded domain quantifiers are rejected (certain rewritings never
 /// produce them).

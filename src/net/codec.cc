@@ -598,6 +598,21 @@ std::map<std::string, uint64_t> FlattenStats(
   out["store.compaction_failures"] = stats.store.compaction_failures;
   out["store.torn_tails_recovered"] = stats.store.torn_tails_recovered;
   out["store.snapshots_skipped"] = stats.store.snapshots_skipped;
+  out["backend.pushed_solves"] = stats.backend.pushed_solves;
+  out["backend.pushed_answer_sets"] = stats.backend.pushed_answer_sets;
+  out["backend.pushed_row_spans"] = stats.backend.pushed_row_spans;
+  out["backend.pushed_rows"] = stats.backend.pushed_rows;
+  out["backend.cursors_opened"] = stats.backend.cursors_opened;
+  out["backend.fallback_admitted"] = stats.backend.fallback_admitted;
+  out["backend.fallback_refused"] = stats.backend.fallback_refused;
+  out["backend.loads"] = stats.backend.loads;
+  out["backend.mutations_mirrored"] = stats.backend.mutations_mirrored;
+  out["backend.transactions_committed"] =
+      stats.backend.transactions_committed;
+  out["backend.statements_prepared"] = stats.backend.statements_prepared;
+  out["backend.statement_cache_hits"] = stats.backend.statement_cache_hits;
+  out["backend.sqlite_databases"] = stats.sqlite_databases;
+  out["backend.degraded_backends"] = stats.degraded_backends;
   out["service.databases"] = stats.databases;
   out["service.prepared_queries"] = stats.prepared_queries;
   out["service.open_cursors"] = stats.open_cursors;

@@ -135,6 +135,14 @@ class QueryPlan {
   /// produced something else — those plans use the generic row path).
   const FoSolver* fo_solver() const;
 
+  /// The compiled set-at-a-time FO program (parameters positionally
+  /// aligned with canonical().params). Null for non-FO / substituted
+  /// plans. This is what execution backends lower to SQL (fo/sql_lower.h)
+  /// — a null program means the plan cannot be pushed down natively.
+  const std::shared_ptr<const FoProgram>& fo_program() const {
+    return fo_program_;
+  }
+
   /// Per-atom key-position patterns of the canonical query (parameter
   /// indexes positionally aligned with the plan's parameters / the
   /// caller's free_vars). Computed for every plan, including the

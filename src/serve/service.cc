@@ -73,6 +73,26 @@ void AccumulateStore(Service::StoreStats* into,
   into->snapshots_skipped += from.snapshots_skipped;
 }
 
+void AccumulateBackend(Service::StatsResponse* into, const Backend& backend) {
+  Backend::Stats from = backend.stats();
+  into->backend.pushed_solves += from.pushed_solves;
+  into->backend.pushed_answer_sets += from.pushed_answer_sets;
+  into->backend.pushed_row_spans += from.pushed_row_spans;
+  into->backend.pushed_rows += from.pushed_rows;
+  into->backend.cursors_opened += from.cursors_opened;
+  into->backend.fallback_admitted += from.fallback_admitted;
+  into->backend.fallback_refused += from.fallback_refused;
+  into->backend.loads += from.loads;
+  into->backend.mutations_mirrored += from.mutations_mirrored;
+  into->backend.transactions_committed += from.transactions_committed;
+  into->backend.statements_prepared += from.statements_prepared;
+  into->backend.statement_cache_hits += from.statement_cache_hits;
+  if (from.degraded) ++into->degraded_backends;
+  if (backend.kind() == BackendOptions::Kind::kSqlite) {
+    ++into->sqlite_databases;
+  }
+}
+
 /// Database names are arbitrary strings; directory names are not.
 /// [A-Za-z0-9._-] pass through, everything else becomes %XX — an
 /// injective map, so distinct names never collide on disk.
@@ -145,13 +165,50 @@ store::DbStore::Options Service::StoreOptions() const {
   return out;
 }
 
+Result<std::shared_ptr<Backend>> Service::MakeBackend(
+    const std::string& name, const BackendOptions& backend_options) const {
+  if (backend_options.kind == BackendOptions::Kind::kInMemory) {
+    return std::shared_ptr<Backend>(MakeInMemoryBackend());
+  }
+  // SQLite path resolution. The mirror is always a rebuilt-on-open
+  // execution replica (the in-memory database stays authoritative), so
+  // the only question is where its file may live.
+  std::string path;
+  if (!backend_options.sqlite_dir.empty()) {
+    CQA_RETURN_NOT_OK(
+        store::Env::Default()->CreateDirs(backend_options.sqlite_dir));
+    path = store::JoinPath(backend_options.sqlite_dir,
+                           EscapeDbName(name) + ".sqlite3");
+  } else if (durable() && (options_.durability.env == nullptr ||
+                           options_.durability.env == store::Env::Default())) {
+    // Durable tenant on the real filesystem: keep the mirror inside the
+    // tenant's own store directory, so DropDatabase's directory removal
+    // reclaims it with everything else.
+    path = store::JoinPath(StorePath(name), "backend.sqlite3");
+  }
+  // else: `:memory:` — a memory-only service, or a test Env (MemEnv /
+  // fault injection) whose paths are not real files SQLite could open.
+  Result<std::unique_ptr<Backend>> made =
+      MakeSqliteBackend(path, backend_options.resident_budget_facts);
+  if (!made.ok()) return made.status();
+  return std::shared_ptr<Backend>(std::move(*made));
+}
+
 std::shared_ptr<Session> Service::MakeSession(
     Database db, const std::shared_ptr<store::DbStore>& db_store,
-    uint64_t initial_epoch) {
+    uint64_t initial_epoch, const std::shared_ptr<Backend>& backend) {
   Session::Options session_options = options_.session;
   session_options.num_threads = options_.num_threads;
   session_options.plan_cache = &plan_cache_;
   session_options.initial_epoch = initial_epoch;
+  session_options.backend = backend;
+  if (backend != nullptr) {
+    // A failed load degrades the backend — it starts declining every
+    // pushdown and the session serves in-memory — but never blocks the
+    // database from coming up.
+    Status loaded = backend->Load(db, initial_epoch);
+    (void)loaded;
+  }
   if (db_store != nullptr) {
     // Write-ahead ordering lives here: the commit hook runs after
     // validation and before any in-memory mutation, under the session's
@@ -184,6 +241,11 @@ Status Service::RegisterEntry(const std::string& name, Entry entry) {
 }
 
 Status Service::CreateDatabase(const std::string& name, Database db) {
+  return CreateDatabase(name, std::move(db), options_.backend);
+}
+
+Status Service::CreateDatabase(const std::string& name, Database db,
+                               const BackendOptions& backend_options) {
   if (name.empty()) {
     return Status::InvalidArgument("database name must be non-empty");
   }
@@ -206,10 +268,22 @@ Status Service::CreateDatabase(const std::string& name, Database db) {
     }
     entry.store = std::move(*created);
   }
+  // The backend resolves after the store exists: a durable SQLite
+  // mirror lives inside the store directory created above.
+  Result<std::shared_ptr<Backend>> backend = MakeBackend(name, backend_options);
+  if (!backend.ok()) {
+    if (entry.store != nullptr) {
+      entry.store.reset();
+      Status cleanup = store_env()->RemoveDirRecursive(StorePath(name));
+      (void)cleanup;
+    }
+    return backend.status();
+  }
+  entry.backend = *std::move(backend);
   // The session (worker pool and all) is built outside the registry
   // lock; a lost name race just discards it.
   entry.session = MakeSession(std::move(db), entry.store,
-                              /*initial_epoch=*/0);
+                              /*initial_epoch=*/0, entry.backend);
   Status registered = RegisterEntry(name, std::move(entry));
   if (!registered.ok() && durable()) {
     // The name was live in memory; do not leave a second copy on disk.
@@ -235,6 +309,13 @@ Status Service::DropDatabase(const std::string& name) {
   // session before the drop either committed already or will now fail
   // NotFound instead of landing on a zombie.
   dropped.session->MarkDefunct();
+  if (dropped.backend != nullptr) {
+    // Close the execution mirror and delete its files before the store
+    // directory goes: a live SQLite handle must never race the
+    // directory removal below. Open backend cursors keep reading their
+    // pinned (now unlinked) snapshot until they close.
+    dropped.backend->TearDown();
+  }
   if (dropped.store != nullptr) {
     std::string dir = dropped.store->dir();
     dropped.store.reset();  // only the session's hooks may remain
@@ -278,10 +359,14 @@ Result<Service::OpenStoreResponse> Service::OpenStore(
 
   Entry entry;
   entry.store = std::move(recovered->store);
+  Result<std::shared_ptr<Backend>> backend =
+      MakeBackend(name, options_.backend);
+  if (!backend.ok()) return backend.status();
+  entry.backend = *std::move(backend);
   // Resume the epoch chain where the WAL left off, so post-recovery
   // deltas append with the epochs a future recovery expects.
   entry.session = MakeSession(std::move(recovered->db), entry.store,
-                              recovered->epoch);
+                              recovered->epoch, entry.backend);
   CQA_RETURN_NOT_OK(RegisterEntry(name, std::move(entry)));
 
   OpenStoreResponse response;
@@ -506,11 +591,13 @@ Result<Service::CertainAnswersResponse> Service::ContinueStream(
                                    request.page_token + "'");
   }
   // Under the lock: cursor bookkeeping only (O(1)). The page's rows are
-  // materialized AFTER release — the snapshot is immutable and the
-  // shared_ptr keeps it alive, so concurrent page fetches never queue
-  // behind each other's row copies.
+  // materialized AFTER release — an in-memory snapshot is immutable and
+  // a backend cursor serializes internally — so concurrent page fetches
+  // never queue behind each other's row copies.
   std::shared_ptr<const Session::RowSet> snapshot;
+  std::shared_ptr<Backend::AnswerCursor> backend_cursor;
   uint64_t epoch = 0;
+  size_t total = 0;
   size_t end = 0;
   {
     std::lock_guard<std::mutex> lock(cursors_mu_);
@@ -526,7 +613,9 @@ Result<Service::CertainAnswersResponse> Service::ContinueStream(
           "page token belongs to database '" + cursor.database +
           "', not '" + request.database + "'");
     }
-    if (offset > cursor.snapshot->size()) {
+    total = cursor.snapshot != nullptr ? cursor.snapshot->size()
+                                       : cursor.total_rows;
+    if (offset > total) {
       return Status::InvalidArgument("page token offset out of range");
     }
     size_t page_size =
@@ -534,19 +623,51 @@ Result<Service::CertainAnswersResponse> Service::ContinueStream(
             ? std::min(request.page_size, options_.max_page_size)
             : cursor.page_size;
     snapshot = cursor.snapshot;
+    backend_cursor = cursor.backend_cursor;
     epoch = cursor.epoch;
-    end = std::min(offset + page_size, snapshot->size());
-    if (end >= snapshot->size()) {
+    end = std::min(offset + page_size, total);
+    if (end >= total) {
       cursors_.erase(it);  // Stream exhausted; release the snapshot.
     } else {
       cursor.last_use = ++cursor_clock_;
     }
   }
-  CertainAnswersResponse response = MakePage(snapshot, epoch, offset, end);
-  if (end < snapshot->size()) {
+  CertainAnswersResponse response;
+  if (snapshot != nullptr) {
+    response = MakePage(snapshot, epoch, offset, end);
+  } else {
+    // Backend-paged stream: the rows come straight off the backend's
+    // pinned read snapshot (e.g. a SQLite read transaction).
+    Result<Backend::RowSet> rows = backend_cursor->Fetch(offset, end - offset);
+    if (!rows.ok()) return rows.status();
+    response.rows = *std::move(rows);
+    response.total_rows = total;
+    response.epoch = epoch;
+  }
+  if (end < total) {
     response.next_page_token = PageToken(cursor_id, end);
   }
   return response;
+}
+
+uint64_t Service::RegisterCursor(Cursor cursor) {
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  uint64_t cursor_id = next_cursor_id_++;
+  cursor.last_use = ++cursor_clock_;
+  cursors_.emplace(cursor_id, std::move(cursor));
+  while (cursors_.size() > options_.max_open_cursors) {
+    // Evict the least recently used snapshot; its token fails
+    // Unavailable from now on.
+    auto victim = cursors_.begin();
+    for (auto candidate = cursors_.begin(); candidate != cursors_.end();
+         ++candidate) {
+      if (candidate->second.last_use < victim->second.last_use) {
+        victim = candidate;
+      }
+    }
+    cursors_.erase(victim);
+  }
+  return cursor_id;
 }
 
 Result<Service::CertainAnswersResponse> Service::CertainAnswers(
@@ -567,15 +688,51 @@ Result<Service::CertainAnswersResponse> Service::CertainAnswers(
                   &fv);
   if (!plan.ok()) return plan.status();
 
+  size_t page_size =
+      request.page_size > 0
+          ? std::min(request.page_size, options_.max_page_size)
+          : options_.default_page_size;
+
+  // Backend cursor pushdown: a parameterized plan the backend executes
+  // natively pages straight out of the backend — SQL LIMIT/OFFSET over
+  // a pinned read snapshot — without ever materializing the full answer
+  // set in session memory. A decline (null cursor) or a first-fetch
+  // failure falls through to the materialized path below.
+  if ((*plan)->parameterized()) {
+    uint64_t cursor_epoch = 0;
+    Result<std::shared_ptr<Backend::AnswerCursor>> pushed =
+        (*session)->OpenAnswerCursor(*plan, &cursor_epoch);
+    if (!pushed.ok()) return pushed.status();
+    if (*pushed != nullptr) {
+      size_t total = (*pushed)->total_rows();
+      size_t end = std::min(page_size, total);
+      Result<Backend::RowSet> rows = (*pushed)->Fetch(0, end);
+      if (rows.ok()) {
+        CertainAnswersResponse response;
+        response.rows = *std::move(rows);
+        response.total_rows = total;
+        response.epoch = cursor_epoch;
+        if (total <= page_size) {
+          return response;  // Single-page result: no cursor to track.
+        }
+        Cursor cursor;
+        cursor.database = request.database;
+        cursor.backend_cursor = *std::move(pushed);
+        cursor.total_rows = total;
+        cursor.epoch = cursor_epoch;
+        cursor.page_size = page_size;
+        response.next_page_token =
+            PageToken(RegisterCursor(std::move(cursor)), end);
+        return response;
+      }
+    }
+  }
+
   uint64_t epoch = 0;
   Result<std::shared_ptr<const Session::RowSet>> snapshot =
       (*session)->CertainAnswers(*plan, *q, *fv, &epoch, request.deadline);
   if (!snapshot.ok()) return snapshot.status();
 
-  size_t page_size =
-      request.page_size > 0
-          ? std::min(request.page_size, options_.max_page_size)
-          : options_.default_page_size;
   size_t total = (*snapshot)->size();
   size_t end = std::min(page_size, total);
   CertainAnswersResponse response = MakePage(*snapshot, epoch, 0, end);
@@ -586,28 +743,11 @@ Result<Service::CertainAnswersResponse> Service::CertainAnswers(
   Cursor cursor;
   cursor.database = request.database;
   cursor.snapshot = *snapshot;
+  cursor.total_rows = total;
   cursor.epoch = epoch;
   cursor.page_size = page_size;
-  uint64_t cursor_id = 0;
-  {
-    std::lock_guard<std::mutex> lock(cursors_mu_);
-    cursor_id = next_cursor_id_++;
-    cursor.last_use = ++cursor_clock_;
-    cursors_.emplace(cursor_id, std::move(cursor));
-    while (cursors_.size() > options_.max_open_cursors) {
-      // Evict the least recently used snapshot; its token fails
-      // Unavailable from now on.
-      auto victim = cursors_.begin();
-      for (auto candidate = cursors_.begin(); candidate != cursors_.end();
-           ++candidate) {
-        if (candidate->second.last_use < victim->second.last_use) {
-          victim = candidate;
-        }
-      }
-      cursors_.erase(victim);
-    }
-  }
-  response.next_page_token = PageToken(cursor_id, end);
+  response.next_page_token =
+      PageToken(RegisterCursor(std::move(cursor)), end);
   return response;
 }
 
@@ -661,6 +801,9 @@ Result<Service::StatsResponse> Service::Stats(
       Accumulate(&response.session, entry.session->stats());
       if (entry.store != nullptr) {
         AccumulateStore(&response.store, entry.store->stats());
+      }
+      if (entry.backend != nullptr) {
+        AccumulateBackend(&response, *entry.backend);
       }
     };
     if (request.database.empty()) {

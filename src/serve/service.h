@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/backend.h"
 #include "cq/query.h"
 #include "db/database.h"
 #include "plan/plan_cache.h"
@@ -148,6 +149,12 @@ class Service {
     size_t default_page_size = 256;
     size_t max_page_size = 4096;
     size_t max_open_cursors = 64;
+    /// Default execution backend for every database this service
+    /// creates (backend/backend.h). kInMemory (the default) serves
+    /// exactly as before; kSqlite mirrors each tenant into an embedded
+    /// SQLite database and pushes FO-rewritable plans down as SQL. A
+    /// per-database override is available on CreateDatabase.
+    BackendOptions backend;
     /// Durable storage. With `dir` empty (the default) databases live
     /// in memory only and the rest of this struct is ignored.
     struct Durability {
@@ -186,6 +193,13 @@ class Service {
   /// disk before this returns, and the on-disk directory doubles as the
   /// existence check across restarts.
   Status CreateDatabase(const std::string& name, Database db);
+  /// Per-database backend override: like CreateDatabase above but with
+  /// an explicit execution backend instead of `Options::backend` (e.g.
+  /// one SQLite-backed tenant in an otherwise in-memory service).
+  /// Fails Unsupported when a SQLite backend is requested and the build
+  /// carries none (CQA_WITH_SQLITE off).
+  Status CreateDatabase(const std::string& name, Database db,
+                        const BackendOptions& backend_options);
   /// Unregisters the database. The session is marked defunct under its
   /// exclusive epoch gate first, so a delta racing the drop either
   /// commits before it or fails NotFound — never lands on a zombie
@@ -388,6 +402,14 @@ class Service {
     /// Durability counters (all zero when durability is off).
     StoreStats store;
     size_t databases = 0;
+    /// Execution-backend counters, summed over the selected
+    /// database(s) (see Backend::Stats). `sqlite_databases` counts
+    /// tenants served by the SQLite pushdown backend;
+    /// `degraded_backends` counts backends that hit an execution
+    /// failure and fell back to declining every pushdown.
+    Backend::Stats backend;
+    size_t sqlite_databases = 0;
+    size_t degraded_backends = 0;
     /// Live prepared handles and open pagination cursors.
     size_t prepared_queries = 0;
     size_t open_cursors = 0;
@@ -411,7 +433,15 @@ class Service {
  private:
   struct Cursor {
     std::string database;
+    /// Exactly one of {snapshot, backend_cursor} is set. A snapshot is
+    /// the in-memory materialized row set; a backend cursor pages
+    /// straight out of the execution backend (e.g. a pinned SQLite
+    /// read transaction) without ever materializing the full set.
     std::shared_ptr<const Session::RowSet> snapshot;
+    std::shared_ptr<Backend::AnswerCursor> backend_cursor;
+    /// Row count of the stream; mirrors snapshot->size() for the
+    /// in-memory flavor.
+    size_t total_rows = 0;
     uint64_t epoch = 0;
     size_t page_size = 0;
     uint64_t last_use = 0;  // LRU clock tick
@@ -424,6 +454,9 @@ class Service {
   struct Entry {
     std::shared_ptr<Session> session;
     std::shared_ptr<store::DbStore> store;
+    /// The database's execution backend; never null (the in-memory
+    /// backend is the identity). Shared with the session's options.
+    std::shared_ptr<Backend> backend;
   };
 
   /// The session serving `name`, or NotFound. The returned shared_ptr
@@ -435,11 +468,20 @@ class Service {
   /// `<durability root>/<escaped name>`.
   std::string StorePath(const std::string& name) const;
   store::DbStore::Options StoreOptions() const;
+  /// Builds the execution backend for database `name`. The SQLite
+  /// flavor resolves its file path here: an explicit
+  /// `BackendOptions::sqlite_dir` wins; a durable database on the
+  /// default filesystem keeps its mirror inside its own store
+  /// directory; anything else (memory-only service, injected test Env)
+  /// runs SQLite in `:memory:`.
+  Result<std::shared_ptr<Backend>> MakeBackend(
+      const std::string& name, const BackendOptions& backend_options) const;
   /// Builds the session for `db` with its commit hooks bound to
-  /// `db_store` (null for a memory-only database).
+  /// `db_store` (null for a memory-only database) and its execution
+  /// backend loaded with the initial state.
   std::shared_ptr<Session> MakeSession(
       Database db, const std::shared_ptr<store::DbStore>& db_store,
-      uint64_t initial_epoch);
+      uint64_t initial_epoch, const std::shared_ptr<Backend>& backend);
   /// Registers the entry; on failure (name taken / registry full) the
   /// caller still owns the discarded session and store.
   Status RegisterEntry(const std::string& name, Entry entry);
@@ -457,6 +499,9 @@ class Service {
   static CertainAnswersResponse MakePage(
       const std::shared_ptr<const Session::RowSet>& snapshot,
       uint64_t epoch, size_t offset, size_t end);
+  /// Inserts the cursor under a fresh id, evicting least-recently-used
+  /// entries past `max_open_cursors`. Returns the new cursor's id.
+  uint64_t RegisterCursor(Cursor cursor);
 
   Options options_;
   PlanCache plan_cache_;

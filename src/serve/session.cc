@@ -322,6 +322,18 @@ Result<uint64_t> Session::ApplyDelta(const Delta& delta) {
     stats_.facts_added += added;
     stats_.facts_removed += removed;
   }
+  if (options_.backend != nullptr) {
+    std::vector<Backend::Mutation> mirror;
+    mirror.reserve(actions->size());
+    for (const Action& action : *actions) {
+      mirror.push_back({action.add, action.fact});
+    }
+    // A mirror failure degrades the backend (it starts declining every
+    // pushdown) but never the committed delta: the in-memory database
+    // is authoritative.
+    Status mirrored = options_.backend->ApplyMutations(mirror, db_, next);
+    (void)mirrored;
+  }
   if (options_.post_commit_hook) options_.post_commit_hook(db_, next);
   return next;
 }
@@ -401,11 +413,42 @@ void Session::RunOnPool(
   done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
+Result<SolveOutcome> Session::SolvePlanRouted(EvalContext& ctx,
+                                              const QueryPlan& plan) {
+  Backend* backend = options_.backend.get();
+  if (backend != nullptr) {
+    if (backend->SupportsNatively(plan)) {
+      Result<std::optional<bool>> pushed = backend->SolveCertain(plan);
+      if (!pushed.ok()) return pushed.status();
+      if (pushed->has_value()) {
+        SolveOutcome out;
+        out.certain = **pushed;
+        out.complexity = plan.complexity();
+        out.solver = plan.solver_kind();
+        return out;
+      }
+    } else {
+      CQA_RETURN_NOT_OK(
+          backend->AdmitFallback(plan, static_cast<size_t>(db_.size())));
+    }
+  }
+  return plan.Solve(ctx);
+}
+
 Result<std::vector<char>> Session::DecideRows(
     EvalContext& ctx, const QueryPlan& plan,
     const std::vector<std::vector<SymbolId>>& rows,
     const Deadline& deadline) {
   size_t n = rows.size();
+  if (options_.backend != nullptr && !options_.backend->PartitionsRows(plan)) {
+    // The backend decides rows itself (e.g. SQLite's one serialized
+    // connection): hand the whole batch over as a single span instead
+    // of queueing pool workers on its connection.
+    std::vector<char> out(n, 0);
+    CQA_RETURN_NOT_OK(
+        options_.backend->DecideRowSpan(ctx, plan, rows, 0, n, &out, deadline));
+    return out;
+  }
   size_t threshold = options_.parallel_row_threshold;
   if (threshold == 0 || n < threshold || pool_->size() < 2) {
     return plan.IsCertainRows(ctx, rows, deadline);
@@ -460,7 +503,7 @@ std::vector<Result<SolveOutcome>> Session::SolveBatch(
       results[i] = plan.status();
       return;
     }
-    results[i] = (*plan)->Solve(ctx);
+    results[i] = SolvePlanRouted(ctx, **plan);
   });
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -490,7 +533,7 @@ std::vector<Result<SolveOutcome>> Session::SolveBatch(
           Status::DeadlineExceeded("deadline expired before batch item ran");
       return;
     }
-    results[i] = plans[i]->Solve(ctx);
+    results[i] = SolvePlanRouted(ctx, *plans[i]);
   });
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -552,10 +595,41 @@ Result<std::shared_ptr<const Session::RowSet>> Session::CertainAnswers(
   return result;
 }
 
+Result<std::shared_ptr<Backend::AnswerCursor>> Session::OpenAnswerCursor(
+    const std::shared_ptr<const QueryPlan>& plan, uint64_t* epoch_out) {
+  if (options_.backend == nullptr) {
+    return std::shared_ptr<Backend::AnswerCursor>();
+  }
+  // The shared gate pins the epoch across the open: no delta can commit
+  // between reading epoch_ and the backend pinning its read snapshot,
+  // so the cursor's snapshot IS *epoch_out.
+  std::shared_lock<WriterPriorityGate> lock(epoch_mu_);
+  if (defunct_.load(std::memory_order_relaxed)) {
+    return Status::NotFound("database was dropped");
+  }
+  if (epoch_out != nullptr) {
+    *epoch_out = epoch_.load(std::memory_order_relaxed);
+  }
+  if (!options_.backend->SupportsNatively(*plan)) {
+    return std::shared_ptr<Backend::AnswerCursor>();
+  }
+  return options_.backend->OpenAnswerCursor(*plan);
+}
+
 Result<Session::RowSet> Session::ComputeCertainFull(
     EvalContext& ctx, const Query& q,
     const std::vector<SymbolId>& free_vars, const QueryPlan& plan,
     const Deadline& deadline) {
+  if (options_.backend != nullptr) {
+    // Pushdown: one SQL statement computes the whole contract of this
+    // function (candidates filtered by the rewriting, sorted; for
+    // Boolean plans possible AND certain). A decline (nullopt) falls
+    // through to the in-memory path below.
+    Result<std::optional<RowSet>> pushed =
+        options_.backend->CertainAnswerSet(plan, deadline);
+    if (!pushed.ok()) return pushed.status();
+    if (pushed->has_value()) return *std::move(*pushed);
+  }
   RowSet candidates = CollectProjectionsSorted(ctx.fact_index(), q,
                                                Valuation(), free_vars);
   if (deadline.Expired()) {
@@ -652,6 +726,14 @@ Result<std::shared_ptr<const Session::RowSet>> Session::ServeCertain(
     EvalContext& ctx, const std::shared_ptr<const QueryPlan>& plan,
     const Query& q, const std::vector<SymbolId>& free_vars,
     const Deadline& deadline) {
+  if (options_.backend != nullptr &&
+      !options_.backend->SupportsNatively(*plan)) {
+    // Fallback-admission gate: a SQLite-only tenant over its resident
+    // budget refuses plans it cannot push down instead of silently
+    // serving them from RAM.
+    CQA_RETURN_NOT_OK(options_.backend->AdmitFallback(
+        *plan, static_cast<size_t>(db_.size())));
+  }
   const std::string& key = plan->cache_key();
   uint64_t now = epoch_.load(std::memory_order_relaxed);
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/backend.h"
 #include "db/database.h"
 #include "plan/plan_cache.h"
 #include "plan/query_plan.h"
@@ -161,6 +162,14 @@ class Session {
     /// resumes the epoch chain its WAL left off at instead of
     /// restarting from 0.
     uint64_t initial_epoch = 0;
+    /// Execution backend (backend/backend.h). Null (the default) and
+    /// the in-memory backend behave identically: every decision runs on
+    /// the session's own FoProgram/solver path. A SQLite backend mirrors
+    /// deltas into its embedded database and serves FO-rewritable plans
+    /// as pushed-down SQL; plans it cannot push down pass its
+    /// AdmitFallback policy gate before the in-memory engine serves
+    /// them.
+    std::shared_ptr<Backend> backend;
     /// Called under the exclusive epoch gate after a delta validates
     /// and BEFORE anything mutates, with the epoch the delta will
     /// commit as. A non-OK return rejects the delta untouched — this is
@@ -254,6 +263,15 @@ class Session {
       const std::vector<SymbolId>& free_vars, uint64_t* epoch_out = nullptr,
       const Deadline& deadline = Deadline());
 
+  /// Opens a stable-snapshot answer cursor on the session's backend for
+  /// a parameterized plan, under the shared epoch gate (so the pinned
+  /// snapshot is exactly `*epoch_out`). A null cursor (no backend, plan
+  /// not natively servable, or no snapshot support) is not an error —
+  /// the caller serves through the materialized-snapshot path instead.
+  Result<std::shared_ptr<Backend::AnswerCursor>> OpenAnswerCursor(
+      const std::shared_ptr<const QueryPlan>& plan,
+      uint64_t* epoch_out = nullptr);
+
   struct Stats {
     uint64_t deltas_applied = 0;
     uint64_t facts_added = 0;
@@ -326,6 +344,13 @@ class Session {
   /// nested batches cannot deadlock even with every worker waiting.
   void RunOnPool(size_t n,
                  const std::function<void(EvalContext&, size_t)>& serve);
+
+  /// Boolean decision of `plan` routed through the backend: a natively
+  /// supported plan may be answered by pushed-down SQL; a non-native
+  /// plan passes the backend's fallback-admission gate; everything else
+  /// (and every decline) runs plan.Solve(ctx) unchanged.
+  Result<SolveOutcome> SolvePlanRouted(EvalContext& ctx,
+                                       const QueryPlan& plan);
 
   /// Decides `rows` against `plan`, equivalent to
   /// `plan.IsCertainRows(ctx, rows)` but partitioned across the pool in

@@ -213,15 +213,20 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
-  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override {
+  using Env::LockFile;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path,
+                                             LockMode mode) override {
     int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
     if (fd < 0) return IoError("open", path, errno);
-    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    int op = (mode == LockMode::kShared ? LOCK_SH : LOCK_EX) | LOCK_NB;
+    if (::flock(fd, op) != 0) {
       int err = errno;
       ::close(fd);
       if (err == EWOULDBLOCK) {
         return Status::FailedPrecondition(
-            "'" + path + "' is locked by another process");
+            mode == LockMode::kShared
+                ? "'" + path + "' is locked exclusively by another process"
+                : "'" + path + "' is locked by another process");
       }
       return IoError("flock", path, err);
     }
@@ -436,19 +441,25 @@ Status MemEnv::RemoveDirRecursive(const std::string& dir) {
 /// anonymous namespace.
 class MemFileLock : public FileLock {
  public:
-  MemFileLock(MemEnv* env, std::string key)
-      : env_(env), key_(std::move(key)) {}
+  MemFileLock(MemEnv* env, std::string key, LockMode mode)
+      : env_(env), key_(std::move(key)), mode_(mode) {}
   ~MemFileLock() override {
     std::lock_guard<std::mutex> lock(env_->mu_);
-    env_->locks_.erase(key_);
+    auto it = env_->locks_.find(key_);
+    if (it == env_->locks_.end()) return;
+    if (mode_ == LockMode::kExclusive || --(it->second) <= 0) {
+      env_->locks_.erase(it);
+    }
   }
 
  private:
   MemEnv* env_;
   std::string key_;
+  LockMode mode_;
 };
 
-Result<std::unique_ptr<FileLock>> MemEnv::LockFile(const std::string& path) {
+Result<std::unique_ptr<FileLock>> MemEnv::LockFile(const std::string& path,
+                                                   LockMode mode) {
   std::string key = Normalize(path);
   std::lock_guard<std::mutex> lock(mu_);
   size_t slash = key.rfind('/');
@@ -457,13 +468,22 @@ Result<std::unique_ptr<FileLock>> MemEnv::LockFile(const std::string& path) {
     return Status::NotFound("no such directory '" + key.substr(0, slash) +
                             "'");
   }
-  if (locks_.count(key) != 0) {
-    return Status::FailedPrecondition("'" + path +
-                                      "' is locked by another process");
+  auto it = locks_.find(key);
+  if (mode == LockMode::kExclusive) {
+    if (it != locks_.end()) {
+      return Status::FailedPrecondition("'" + path +
+                                        "' is locked by another process");
+    }
+    locks_[key] = -1;
+  } else {
+    if (it != locks_.end() && it->second < 0) {
+      return Status::FailedPrecondition(
+          "'" + path + "' is locked exclusively by another process");
+    }
+    ++locks_[key];  // value-initialized to 0 on first shared holder
   }
-  locks_[key] = true;
   files_.try_emplace(key);  // the lock file exists while leased
-  return std::unique_ptr<FileLock>(new MemFileLock(this, key));
+  return std::unique_ptr<FileLock>(new MemFileLock(this, key, mode));
 }
 
 void MemEnv::SimulateCrash() {

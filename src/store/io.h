@@ -37,9 +37,15 @@
 namespace cqa {
 namespace store {
 
-/// An exclusive advisory lease on a path, released by destruction. The
-/// Env that minted it must outlive it. Holding one answers "is another
-/// LIVE process (or Env user) serving this tenant?" — a question the
+/// How a lease on a path is held. Exclusive is the writer lease (one
+/// holder, period); shared is the reader lease — any number of shared
+/// holders coexist, but shared and exclusive exclude each other in both
+/// directions.
+enum class LockMode { kExclusive, kShared };
+
+/// An advisory lease on a path, released by destruction. The Env that
+/// minted it must outlive it. Holding one answers "is another LIVE
+/// process (or Env user) serving this tenant?" — a question the
 /// directory's existence cannot, since a crashed process leaves its
 /// directory behind but never its lease.
 class FileLock {
@@ -108,15 +114,20 @@ class Env {
   /// Removes `dir` and everything under it (DropDatabase).
   virtual Status RemoveDirRecursive(const std::string& dir) = 0;
 
-  /// Acquires an exclusive, non-blocking advisory lease on `path`
-  /// (creating the file when absent). FailedPrecondition when the path
-  /// is already leased — by another process (POSIX flock) or by another
-  /// holder on the same Env. The lease survives until the returned
+  /// Acquires a non-blocking advisory lease on `path` (creating the
+  /// file when absent). An exclusive request fails FailedPrecondition
+  /// when ANY lease is held on the path; a shared request fails only
+  /// against an exclusive holder — shared holders stack (multi-reader
+  /// tenant leases). "Held" spans processes (POSIX flock) and other
+  /// holders on the same Env. The lease survives until the returned
   /// FileLock is destroyed; crashing releases it automatically (the
   /// kernel drops flocks with the process), which is exactly why the
   /// store layer uses this instead of a create-time-only sentinel.
-  virtual Result<std::unique_ptr<FileLock>> LockFile(
-      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<FileLock>> LockFile(const std::string& path,
+                                                     LockMode mode) = 0;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) {
+    return LockFile(path, LockMode::kExclusive);
+  }
 
   /// The process-wide POSIX environment.
   static Env* Default();
@@ -139,7 +150,9 @@ class MemEnv : public Env {
   bool DirExists(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
   Status RemoveDirRecursive(const std::string& dir) override;
-  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override;
+  using Env::LockFile;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path,
+                                             LockMode mode) override;
 
   /// Rolls every file back to its durable (synced) prefix — what the
   /// disk holds after a power cut. Open handles keep working (they
@@ -164,10 +177,11 @@ class MemEnv : public Env {
   std::mutex mu_;
   std::map<std::string, FileState> files_;
   std::map<std::string, bool> dirs_;  // normalized path -> exists
-  /// Paths currently leased via LockFile. SimulateCrash does NOT clear
+  /// Paths currently leased via LockFile: -1 = one exclusive holder,
+  /// n > 0 = that many shared holders. SimulateCrash does NOT clear
   /// it: crash-restart tests drop the old Service (releasing its locks)
   /// before reopening, exactly like a real process exit would.
-  std::map<std::string, bool> locks_;
+  std::map<std::string, int> locks_;
 };
 
 /// Deterministic fault plan for `FaultInjectingEnv`. Counters are
@@ -238,8 +252,10 @@ class FaultInjectingEnv : public Env {
   Status RemoveDirRecursive(const std::string& dir) override {
     return base_->RemoveDirRecursive(dir);
   }
-  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override {
-    return base_->LockFile(path);
+  using Env::LockFile;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path,
+                                             LockMode mode) override {
+    return base_->LockFile(path, mode);
   }
 
  private:

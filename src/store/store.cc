@@ -23,9 +23,9 @@ DbStore::DbStore(Env* env, std::string dir, const Options& options,
       options_(options),
       wal_(std::move(wal)),
       wal_epoch_(wal_epoch),
-      last_compact_attempt_bytes_(wal_->bytes()) {
+      last_compact_attempt_bytes_(wal_ != nullptr ? wal_->bytes() : 0) {
   stats_.epoch = wal_epoch;
-  stats_.wal_bytes = wal_->bytes();
+  stats_.wal_bytes = wal_ != nullptr ? wal_->bytes() : 0;
 }
 
 DbStore::~DbStore() {
@@ -79,10 +79,19 @@ Result<std::unique_ptr<DbStore>> DbStore::Create(Env* env,
 
 Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
                                          const Options& options) {
+  return Open(env, dir, options, OpenMode::kReadWrite);
+}
+
+Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
+                                         const Options& options,
+                                         OpenMode mode) {
+  const bool read_only = mode == OpenMode::kReadOnly;
   // The lease comes FIRST: refusing a live tenant must precede reading
   // (let alone truncating) a WAL another process is appending to.
-  Result<std::unique_ptr<FileLock>> lock =
-      env->LockFile(JoinPath(dir, kLockFileName));
+  // Readers stack on a shared lease; a writer lease excludes them all.
+  Result<std::unique_ptr<FileLock>> lock = env->LockFile(
+      JoinPath(dir, kLockFileName),
+      read_only ? LockMode::kShared : LockMode::kExclusive);
   if (!lock.ok()) return lock.status();
 
   Result<LoadedSnapshot> snap = LoadNewestSnapshot(env, dir);
@@ -119,15 +128,21 @@ Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
     if (scan->torn_tail) {
       // A crash mid-append left an incomplete final record. Everything
       // before it is intact; cut the tail so the reopened log stays
-      // parseable.
-      CQA_RETURN_NOT_OK(env->TruncateFile(wal_path, scan->valid_bytes));
+      // parseable. A READER must not mutate the tenant: it reports the
+      // torn tail and leaves the truncation to the next writer open.
+      if (!read_only) {
+        CQA_RETURN_NOT_OK(env->TruncateFile(wal_path, scan->valid_bytes));
+      }
       out.torn_tail = true;
     }
     wal_bytes = scan->valid_bytes;
   }
 
   std::unique_ptr<Wal> wal;
-  if (wal_bytes == 0 && !env->FileExists(wal_path)) {
+  if (read_only) {
+    // No live WAL handle at all: a read-only store never appends, and
+    // opening one could truncate-on-recover under a racing reader.
+  } else if (wal_bytes == 0 && !env->FileExists(wal_path)) {
     // Invariant 2 makes this near-impossible, but an empty fresh log is
     // strictly better than refusing to serve a valid snapshot.
     Result<std::unique_ptr<Wal>> created =
@@ -150,15 +165,21 @@ Result<DbStore::Recovered> DbStore::Open(Env* env, const std::string& dir,
     out.store->stats_.torn_tails_recovered = out.torn_tail ? 1 : 0;
     out.store->stats_.snapshots_skipped = snap->skipped.size();
     out.store->stats_.epoch = out.epoch;
+    out.store->stats_.wal_bytes = wal_bytes;
+    if (read_only) {
+      out.store->read_only_ = true;
+      out.store->stats_.read_only = true;
+    }
   }
-  out.store->RemoveObsoleteFiles(base_epoch);
+  // Obsolete-file removal mutates the directory; readers skip it.
+  if (!read_only) out.store->RemoveObsoleteFiles(base_epoch);
   return out;
 }
 
 Status DbStore::AppendDelta(const Delta& delta, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   if (read_only_) {
-    return Status::Unavailable("database is read-only after a WAL failure");
+    return Status::Unavailable("database is read-only (read-only open or WAL failure)");
   }
   std::string payload = EncodeDeltaPayload(delta, epoch);
   Status st = wal_->Append(payload);
@@ -225,7 +246,7 @@ void DbStore::MaybeCompact(const Database& db, uint64_t epoch) {
 Status DbStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (read_only_) {
-    return Status::Unavailable("database is read-only after a WAL failure");
+    return Status::Unavailable("database is read-only (read-only open or WAL failure)");
   }
   return wal_->Sync();
 }

@@ -78,6 +78,16 @@ class DbStore {
     uint64_t replayed = 0;
   };
 
+  /// How Open holds the tenant lease. kReadWrite takes the exclusive
+  /// writer lease; kReadOnly takes a SHARED lease — any number of
+  /// read-only opens coexist on one tenant, while an exclusive writer
+  /// (Create or a read-write Open) fails FailedPrecondition against
+  /// them and vice versa. A read-only store never mutates the tenant:
+  /// it refuses AppendDelta and Sync (Unavailable), reports a torn WAL
+  /// tail without truncating it, never compacts, and never removes
+  /// obsolete files.
+  enum class OpenMode { kReadWrite, kReadOnly };
+
   /// Recovers a store from `dir`: newest valid snapshot, then WAL tail
   /// replay with strict epoch sequencing. A torn final record is
   /// truncated; mid-log corruption or a broken epoch chain is DataLoss.
@@ -92,6 +102,8 @@ class DbStore {
   /// file.
   static Result<Recovered> Open(Env* env, const std::string& dir,
                                 const Options& options);
+  static Result<Recovered> Open(Env* env, const std::string& dir,
+                                const Options& options, OpenMode mode);
 
   /// Best-effort flush+sync so a clean shutdown loses nothing even
   /// under SyncPolicy::kNever.
@@ -124,8 +136,8 @@ class DbStore {
   Env* const env_;
   const std::string dir_;
   const Options options_;
-  /// The exclusive tenant lease on `<dir>/LOCK`, held from
-  /// Create()/Open() until destruction.
+  /// The tenant lease on `<dir>/LOCK` (exclusive for writers, shared
+  /// for read-only opens), held from Create()/Open() until destruction.
   std::unique_ptr<FileLock> lock_;
 
   mutable std::mutex mu_;

@@ -30,11 +30,36 @@ TEST(SqlGenTest, ConferenceQueryCompiles) {
   // NOT EXISTS over the same relation's block.
   EXPECT_NE(sql->find("EXISTS (SELECT 1 FROM"), std::string::npos);
   EXPECT_NE(sql->find("NOT EXISTS"), std::string::npos);
-  EXPECT_NE(sql->find(" C "), std::string::npos);
-  EXPECT_NE(sql->find(" R "), std::string::npos);
+  // Relation names render as quoted identifiers.
+  EXPECT_NE(sql->find(" \"C\" "), std::string::npos);
+  EXPECT_NE(sql->find(" \"R\" "), std::string::npos);
   EXPECT_NE(sql->find("'Rome'"), std::string::npos);
   EXPECT_NE(sql->find("'A'"), std::string::npos);
   EXPECT_TRUE(ParensBalanced(*sql)) << *sql;
+}
+
+TEST(SqlGenTest, QuotesHostileRelationNames) {
+  // A relation named to break out of an identifier position: quoting
+  // must neutralize both the embedded double-quote and the SQL tail.
+  Query q;
+  q.AddAtom(Atom(InternSymbol("R\" FROM x; DROP TABLE users; --"),
+                 {Term::Var("x"), Term::Var("y")}, 1));
+  Result<std::string> sql = CertainSqlRewriting(q);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  // The embedded quote doubles, so the whole hostile name stays INSIDE
+  // one quoted identifier — the `"` the attacker embedded cannot close
+  // the identifier early.
+  EXPECT_NE(sql->find("\"R\"\" FROM x; DROP TABLE users; --\""),
+            std::string::npos)
+      << *sql;
+  // The raw (undoubled) breakout `R" FROM` never appears.
+  EXPECT_EQ(sql->find("R\" FROM"), std::string::npos) << *sql;
+}
+
+TEST(SqlGenTest, QuoteSqlIdentifierEscapes) {
+  EXPECT_EQ(QuoteSqlIdentifier("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteSqlIdentifier("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(QuoteSqlIdentifier(""), "\"\"");
 }
 
 TEST(SqlGenTest, PathQueryNestsPerAtom) {

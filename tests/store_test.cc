@@ -543,6 +543,102 @@ TEST(DbStoreTest, OpenRefusesATenantAnotherHolderIsServing) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(EnvLockTest, PosixSharedLeasesStackAndExcludeWriters) {
+  Env* env = Env::Default();
+  std::string path = testing::TempDir() + "/cqa_shared_lease_test.LOCK";
+  // Readers stack...
+  Result<std::unique_ptr<FileLock>> r1 =
+      env->LockFile(path, LockMode::kShared);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  Result<std::unique_ptr<FileLock>> r2 =
+      env->LockFile(path, LockMode::kShared);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // ...an exclusive writer fails against them...
+  EXPECT_EQ(env->LockFile(path, LockMode::kExclusive).status().code(),
+            StatusCode::kFailedPrecondition);
+  r1->reset();
+  EXPECT_EQ(env->LockFile(path, LockMode::kExclusive).status().code(),
+            StatusCode::kFailedPrecondition);
+  r2->reset();
+  // ...until the LAST reader releases.
+  Result<std::unique_ptr<FileLock>> writer =
+      env->LockFile(path, LockMode::kExclusive);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  // And a reader fails against a live writer (the other direction).
+  EXPECT_EQ(env->LockFile(path, LockMode::kShared).status().code(),
+            StatusCode::kFailedPrecondition);
+  writer->reset();
+  Status cleanup = env->RemoveFile(path);
+  (void)cleanup;
+}
+
+TEST(EnvLockTest, MemEnvSharedLeasesMatchPosixSemantics) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirs("/d").ok());
+  Result<std::unique_ptr<FileLock>> r1 =
+      env.LockFile("/d/t.LOCK", LockMode::kShared);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  Result<std::unique_ptr<FileLock>> r2 =
+      env.LockFile("/d/t.LOCK", LockMode::kShared);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(env.LockFile("/d/t.LOCK", LockMode::kExclusive).status().code(),
+            StatusCode::kFailedPrecondition);
+  r1->reset();
+  r2->reset();
+  Result<std::unique_ptr<FileLock>> writer =
+      env.LockFile("/d/t.LOCK", LockMode::kExclusive);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ(env.LockFile("/d/t.LOCK", LockMode::kShared).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DbStoreTest, ReadOnlyOpensCoexistAndRefuseAppends) {
+  MemEnv env;
+  DbStore::Options options;
+  options.wal.policy = Wal::SyncPolicy::kAlways;
+  Result<std::unique_ptr<DbStore>> created =
+      DbStore::Create(&env, "/db", SmallDb(), 0, options);
+  ASSERT_TRUE(created.ok()) << created.status();
+  ASSERT_TRUE((*created)->AppendDelta(MakeDelta(1), 1).ok());
+  // A reader must refuse while the WRITER is live...
+  EXPECT_EQ(DbStore::Open(&env, "/db", options, DbStore::OpenMode::kReadOnly)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  created->reset();
+
+  // ...then any number of readers coexist on the released tenant.
+  Result<DbStore::Recovered> reader1 =
+      DbStore::Open(&env, "/db", options, DbStore::OpenMode::kReadOnly);
+  ASSERT_TRUE(reader1.ok()) << reader1.status();
+  Result<DbStore::Recovered> reader2 =
+      DbStore::Open(&env, "/db", options, DbStore::OpenMode::kReadOnly);
+  ASSERT_TRUE(reader2.ok()) << reader2.status();
+
+  // Both recovered the same state, WAL tail included.
+  EXPECT_EQ(reader1->epoch, 1u);
+  EXPECT_EQ(SortedFacts(reader1->db), SortedFacts(reader2->db));
+  EXPECT_TRUE(reader1->store->read_only());
+  EXPECT_TRUE(reader1->store->stats().read_only);
+
+  // A read-only store refuses appends; the tenant stays untouched.
+  EXPECT_EQ(reader1->store->AppendDelta(MakeDelta(2), 2).code(),
+            StatusCode::kUnavailable);
+
+  // An exclusive writer fails against the readers — both of them.
+  EXPECT_EQ(DbStore::Open(&env, "/db", options).status().code(),
+            StatusCode::kFailedPrecondition);
+  reader1->store.reset();
+  EXPECT_EQ(DbStore::Open(&env, "/db", options).status().code(),
+            StatusCode::kFailedPrecondition);
+  reader2->store.reset();
+
+  // Last reader gone: the writer takes over and can append again.
+  Result<DbStore::Recovered> writer = DbStore::Open(&env, "/db", options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_TRUE(writer->store->AppendDelta(MakeDelta(2), 2).ok());
+}
+
 TEST(ServiceStoreTest, SecondServiceCannotOpenALiveTenant) {
   MemEnv env;
   Service::Options options;
